@@ -1,0 +1,240 @@
+// Quantifies §VII's related-work discussion: per-snapshot communication
+// of Digest's sample-based pull evaluation vs the in-network
+// alternatives — push-sum gossip (randomized distributed aggregation)
+// and TAG-style spanning-tree aggregation — plus the tree's
+// churn-fragility sweep (aggregate mass silently lost vs churn between
+// rebuilds).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/push_sum.h"
+#include "baselines/tree_aggregation.h"
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "core/snapshot_estimator.h"
+#include "net/churn.h"
+#include "net/topology.h"
+
+namespace digest {
+namespace bench {
+namespace {
+
+struct Network {
+  Graph graph;
+  std::unique_ptr<P2PDatabase> db;
+};
+
+Network MakeNetwork(size_t nodes, Rng& rng, bool mesh) {
+  Network net;
+  if (mesh) {
+    const size_t rows = static_cast<size_t>(
+        std::floor(std::sqrt(static_cast<double>(nodes))));
+    net.graph = UnwrapOrDie(MakeMesh(rows, (nodes + rows - 1) / rows),
+                            "mesh");
+  } else {
+    net.graph = UnwrapOrDie(MakeBarabasiAlbert(nodes, 3, rng), "ba");
+  }
+  net.db = std::make_unique<P2PDatabase>(Schema::Create({"v"}).value());
+  for (NodeId node : net.graph.LiveNodes()) {
+    CheckOk(net.db->AddNode(node), "AddNode");
+    for (int i = 0; i < 8; ++i) {
+      net.db->StoreAt(node).value()->Insert({rng.NextGaussian(50.0, 8.0)});
+    }
+  }
+  return net;
+}
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  Rng rng(args.seed);
+  AggregateQuery query =
+      UnwrapOrDie(AggregateQuery::Parse("SELECT AVG(v) FROM R"), "query");
+
+  std::printf("=== In-network aggregation vs Digest sampling (§VII) ===\n");
+  std::printf("one AVG snapshot, epsilon=2 p=0.95; messages per snapshot\n\n");
+
+  for (bool mesh : {true, false}) {
+    const size_t n = args.Scaled(mesh ? 529 : 512, 64);
+    Network net = MakeNetwork(n, rng, mesh);
+    std::printf("--- %s, N=%zu nodes, %zu tuples ---\n",
+                mesh ? "mesh" : "power-law", net.graph.NodeCount(),
+                net.db->TotalTuples());
+    TablePrinter table({"approach", "messages/snapshot", "answer",
+                        "abs err"});
+    const double truth =
+        UnwrapOrDie(net.db->ExactAggregate(query), "truth");
+
+    {  // Digest's pull sampling (independent, one occasion).
+      MessageMeter meter;
+      SamplingOperatorOptions walk;
+      walk.walk_length = mesh ? 500 : 250;
+      walk.reset_length = mesh ? 72 : 48;
+      SamplingOperator op(&net.graph, ContentSizeWeight(*net.db),
+                          rng.Fork(), &meter, walk);
+      TwoStageTupleSampler sampler(net.db.get(), &op, rng.Fork());
+      TwoStageSampleSource source(&sampler);
+      ContinuousQuerySpec spec = UnwrapOrDie(
+          ContinuousQuerySpec::Create("SELECT AVG(v) FROM R",
+                                      PrecisionSpec{1.0, 2.0, 0.95}),
+          "spec");
+      IndependentEstimator est(spec, net.db.get(), &source, nullptr,
+                               &meter, rng.Fork());
+      SnapshotEstimate e = UnwrapOrDie(est.Evaluate(0), "estimate");
+      table.AddRow({"Digest sampling (INDEP)", FmtInt(meter.Total()),
+                    Fmt("%.2f", e.value),
+                    Fmt("%.2f", std::fabs(e.value - truth))});
+    }
+    {  // Push-sum gossip.
+      MessageMeter meter;
+      PushSumAggregator gossip(&net.graph, net.db.get(), query, 0, &meter,
+                               rng.Fork());
+      PushSumResult r = UnwrapOrDie(gossip.Run(), "gossip");
+      table.AddRow({"push-sum gossip", FmtInt(meter.Total()),
+                    Fmt("%.2f", r.value),
+                    Fmt("%.2f", std::fabs(r.value - truth))});
+    }
+    {  // Tree aggregation (fresh tree).
+      MessageMeter meter;
+      TreeAggregator tree(&net.graph, net.db.get(), query, 0, &meter);
+      TreeAggregationResult r = UnwrapOrDie(tree.Tick(), "tree");
+      table.AddRow({"TAG tree (fresh tree)", FmtInt(meter.Total()),
+                    Fmt("%.2f", r.value),
+                    Fmt("%.2f", std::fabs(r.value - truth))});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // The continuous-query picture: Digest amortizes (warm walks, PRED
+  // skips, RPT retention) while per-tick gossip/tree pay full price
+  // every tick.
+  std::printf("--- continuous AVG query, %zu ticks (delta=8, eps=2) ---\n",
+              args.quick ? size_t{60} : size_t{300});
+  {
+    const size_t ticks = args.quick ? 60 : 300;
+    const size_t n = args.Scaled(512, 64);
+    TablePrinter table({"approach", "total messages", "messages/tick"});
+    Rng value_rng(args.seed + 7);
+
+    auto drift = [&](Network& net, Rng& r) {
+      for (NodeId node : net.db->Nodes()) {
+        LocalStore* store = net.db->StoreAt(node).value();
+        std::vector<LocalTupleId> ids;
+        store->ForEach([&](LocalTupleId id, const Tuple&) {
+          ids.push_back(id);
+        });
+        for (LocalTupleId id : ids) {
+          Tuple t = store->Get(id).value();
+          t[0] += r.NextGaussian(0.1, 0.4);
+          (void)store->Update(id, t);
+        }
+      }
+    };
+
+    {  // Digest engine (PRED3 + RPT over MCMC).
+      Network net = MakeNetwork(n, rng, false);
+      MessageMeter meter;
+      ContinuousQuerySpec spec = UnwrapOrDie(
+          ContinuousQuerySpec::Create("SELECT AVG(v) FROM R",
+                                      PrecisionSpec{8.0, 2.0, 0.95}),
+          "spec");
+      DigestEngineOptions options;
+      options.sampling_options.walk_length = 250;
+      options.sampling_options.reset_length = 48;
+      auto engine = UnwrapOrDie(
+          DigestEngine::Create(&net.graph, net.db.get(), spec, 0,
+                               rng.Fork(), &meter, options),
+          "engine");
+      Rng r = value_rng;
+      for (size_t t = 1; t <= ticks; ++t) {
+        drift(net, r);
+        CheckOk(engine->Tick(static_cast<int64_t>(t)).status(), "tick");
+      }
+      table.AddRow({"Digest (PRED3+RPT)", FmtInt(meter.Total()),
+                    Fmt("%.0f", double(meter.Total()) / double(ticks))});
+    }
+    {  // Gossip every tick.
+      Network net = MakeNetwork(n, rng, false);
+      MessageMeter meter;
+      Rng r = value_rng;
+      for (size_t t = 1; t <= ticks; ++t) {
+        drift(net, r);
+        PushSumAggregator gossip(&net.graph, net.db.get(), query, 0,
+                                 &meter, rng.Fork());
+        CheckOk(gossip.Run().status(), "gossip tick");
+      }
+      table.AddRow({"push-sum gossip every tick", FmtInt(meter.Total()),
+                    Fmt("%.0f", double(meter.Total()) / double(ticks))});
+    }
+    {  // Tree aggregation every tick (rebuild every 16).
+      Network net = MakeNetwork(n, rng, false);
+      MessageMeter meter;
+      TreeAggregator tree(&net.graph, net.db.get(), query, 0, &meter);
+      Rng r = value_rng;
+      for (size_t t = 1; t <= ticks; ++t) {
+        drift(net, r);
+        CheckOk(tree.Tick().status(), "tree tick");
+      }
+      table.AddRow({"TAG tree every tick", FmtInt(meter.Total()),
+                    Fmt("%.0f", double(meter.Total()) / double(ticks))});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // Churn fragility of the tree: fraction of the aggregate silently
+  // lost as a function of node departures since the last rebuild.
+  std::printf("--- TAG churn fragility: tuples lost vs departures since "
+              "rebuild ---\n");
+  {
+    TablePrinter table({"departed nodes", "lost tuples", "lost fraction",
+                        "COUNT reported", "COUNT true"});
+    Network net = MakeNetwork(args.Scaled(512, 64), rng, false);
+    AggregateQuery count_q =
+        UnwrapOrDie(AggregateQuery::Parse("SELECT COUNT(*) FROM R"), "q");
+    TreeAggregationOptions options;
+    options.rebuild_period = 1 << 30;  // Never rebuild.
+    TreeAggregator tree(&net.graph, net.db.get(), count_q, 0, nullptr,
+                        options);
+    CheckOk(tree.Tick().status(), "initial tick");
+    ChurnConfig churn_config;
+    churn_config.leave_rate = 0.0;
+    ChurnProcess churn(churn_config);
+    (void)churn;
+    size_t departed = 0;
+    const size_t step = std::max<size_t>(net.graph.NodeCount() / 50, 1);
+    for (int round = 0; round < 6; ++round) {
+      for (size_t i = 0; i < step * (round > 0 ? 2 : 1); ++i) {
+        // Remove a random non-root node and its content.
+        Result<NodeId> victim = net.graph.RandomLiveNode(rng);
+        if (!victim.ok() || *victim == 0) continue;
+        CheckOk(net.graph.RemoveNode(*victim), "RemoveNode");
+        CheckOk(net.db->RemoveNode(*victim), "RemoveNode db");
+        ++departed;
+      }
+      RepairConnectivity(net.graph, rng);
+      TreeAggregationResult r = UnwrapOrDie(tree.Tick(), "tick");
+      const double truth =
+          UnwrapOrDie(net.db->ExactAggregate(count_q), "truth");
+      table.AddRow(
+          {FmtInt(departed), FmtInt(r.lost_tuples),
+           Fmt("%.1f%%", 100.0 * static_cast<double>(r.lost_tuples) /
+                              static_cast<double>(net.db->TotalTuples())),
+           Fmt("%.0f", r.value), Fmt("%.0f", truth)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\npaper (§VII): gossip costs O(N) per round — justified only when\n"
+      "all nodes query; trees are exact when fresh but silently drop\n"
+      "orphaned subtrees under churn. Digest's per-querier sampling cost\n"
+      "is independent of N (up to walk length).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace digest
+
+int main(int argc, char** argv) { return digest::bench::Run(argc, argv); }

@@ -1,0 +1,82 @@
+// Reproduces Table II of the paper: parameters of the TEMPERATURE and
+// MEMORY datasets. The paper measured them on real JPL/NASA and
+// SETI@home data; this repo substitutes calibrated synthetic generators
+// (see DESIGN.md), so the check here is paper-target vs measured-on-
+// synthetic for the statistics the algorithms actually consume (ρ, σ,
+// membership dynamics).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/calibration.h"
+#include "workload/memory.h"
+#include "workload/temperature.h"
+
+namespace digest {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::printf("=== Table II: parameters of the datasets ===\n");
+  std::printf("(scale=%.2f of the paper's workload sizes, seed=%llu)\n\n",
+              args.scale, static_cast<unsigned long long>(args.seed));
+
+  TemperatureConfig temp_config;
+  temp_config.num_units = args.Scaled(8000, 200);
+  temp_config.num_nodes = args.Scaled(530, 16);
+  temp_config.seed = args.seed;
+  const size_t temp_ticks = args.quick ? 100 : 400;
+
+  MemoryConfig mem_config;
+  mem_config.num_units = args.Scaled(1000, 100);
+  mem_config.num_nodes = args.Scaled(820, 60);
+  mem_config.seed = args.seed;
+  const size_t mem_ticks = args.quick ? 100 : 400;
+
+  auto temp = UnwrapOrDie(TemperatureWorkload::Create(temp_config),
+                          "TemperatureWorkload::Create");
+  auto mem =
+      UnwrapOrDie(MemoryWorkload::Create(mem_config), "MemoryWorkload::Create");
+
+  const size_t temp_nodes = temp->graph().NodeCount();
+  const size_t temp_units = temp->db().TotalTuples();
+  const size_t mem_nodes = mem->graph().NodeCount();
+  const size_t mem_units = mem->db().TotalTuples();
+
+  DatasetStatistics ts = UnwrapOrDie(
+      MeasureWorkloadStatistics(*temp, temp_ticks), "temperature stats");
+  DatasetStatistics ms = UnwrapOrDie(
+      MeasureWorkloadStatistics(*mem, mem_ticks), "memory stats");
+
+  TablePrinter table({"parameter", "TEMPERATURE (paper)",
+                      "TEMPERATURE (measured)", "MEMORY (paper)",
+                      "MEMORY (measured)"});
+  table.AddRow({"number of tuples (end)", "8640000*", FmtInt(ts.tuples_end),
+                "95445*", FmtInt(ms.tuples_end)});
+  table.AddRow({"number of units", "8000", FmtInt(temp_units), "1000",
+                FmtInt(mem_units)});
+  table.AddRow({"number of nodes", "530", FmtInt(temp_nodes), "820",
+                FmtInt(mem_nodes)});
+  table.AddRow({"updates observed", "(18 months)", FmtInt(ts.updates),
+                "(1 hour)", FmtInt(ms.updates)});
+  table.AddRow({"tuple joins during window", "~0", FmtInt(ts.joins),
+                "churning", FmtInt(ms.joins)});
+  table.AddRow({"tuple leaves during window", "~0", FmtInt(ts.leaves),
+                "churning", FmtInt(ms.leaves)});
+  table.AddRow({"rho (lag-1 correlation)", "0.89", Fmt("%.3f", ts.rho),
+                "0.68", Fmt("%.3f", ms.rho)});
+  table.AddRow({"sigma (dispersion)", "8", Fmt("%.2f", ts.sigma), "10",
+                Fmt("%.2f", ms.sigma)});
+  table.Print();
+  std::printf(
+      "\n* the paper's tuple counts are append-log sizes over the whole\n"
+      "  recording; here tuples are updated in place, so the comparable\n"
+      "  quantity is 'updates observed' over the measured window.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace digest
+
+int main(int argc, char** argv) { return digest::bench::Run(argc, argv); }

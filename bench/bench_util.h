@@ -1,0 +1,132 @@
+#ifndef DIGEST_BENCH_BENCH_UTIL_H_
+#define DIGEST_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment-reproduction binaries in bench/.
+// Each binary regenerates one table or figure of the paper and prints it
+// as an aligned text table, with a --scale flag to trade fidelity for
+// runtime (scale=1.0 reproduces the paper's full workload sizes).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace digest {
+namespace bench {
+
+/// Command-line options common to every bench binary.
+struct BenchArgs {
+  double scale = 0.25;  ///< Workload-size multiplier vs the paper.
+  uint64_t seed = 1;    ///< Master seed for the run.
+  bool quick = false;   ///< Cut sweeps down for smoke runs.
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+        args.scale = std::atof(argv[i] + 8);
+      } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+        args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        args.quick = true;
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "usage: %s [--scale=F] [--seed=N] [--quick]\n"
+            "  --scale=F  workload size multiplier vs the paper "
+            "(default 0.25; 1.0 = paper scale)\n"
+            "  --seed=N   master RNG seed (default 1)\n"
+            "  --quick    shorten sweeps for smoke testing\n",
+            argv[0]);
+        std::exit(0);
+      }
+    }
+    if (args.scale <= 0.0) args.scale = 0.25;
+    return args;
+  }
+
+  size_t Scaled(size_t paper_value, size_t minimum) const {
+    const double v = static_cast<double>(paper_value) * scale;
+    return v < static_cast<double>(minimum) ? minimum
+                                            : static_cast<size_t>(v);
+  }
+};
+
+/// Aborts the benchmark with a readable message on unexpected errors.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL in %s: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T UnwrapOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL in %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// Minimal aligned-column table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf("%-*s", static_cast<int>(widths[c] + 2), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+inline std::string FmtInt(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace digest
+
+#endif  // DIGEST_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,267 @@
+// An interactive shell over a simulated peer-to-peer database: load a
+// workload, type a continuous aggregate query (WHERE clauses supported),
+// pick precision and engine policies, and step simulated time while the
+// running result updates. Also works non-interactively:
+//
+//   echo "workload temperature 800 53
+//         precision 2 1 0.95
+//         query SELECT AVG(temperature) FROM R
+//         run 40
+//         stats" | ./digest_shell
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "core/engine.h"
+#include "workload/memory.h"
+#include "workload/temperature.h"
+
+using namespace digest;
+
+namespace {
+
+struct ShellState {
+  std::unique_ptr<Workload> workload;
+  std::unique_ptr<DigestEngine> engine;
+  ContinuousQuerySpec spec;
+  PrecisionSpec precision{2.0, 1.0, 0.95};
+  DigestEngineOptions options;
+  MessageMeter meter;
+  NodeId querying_node = kInvalidNode;
+  uint64_t seed = 42;
+  bool has_query = false;
+};
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  workload temperature|memory [units] [nodes]   load a dataset\n"
+      "  precision <delta> <epsilon> <p>                set the contract\n"
+      "  mode <all|pred> <indep|rpt> <exact|mcmc>       engine policies\n"
+      "  query SELECT <op>(<expr>) FROM R [WHERE ...]   start a query\n"
+      "      op: AVG | SUM | COUNT | MEDIAN; WHERE supports comparisons,\n"
+      "      AND/OR/NOT, BETWEEN a AND b, [NOT] IN (...)\n"
+      "  run <ticks>                                    advance time\n"
+      "  truth                                          oracle value\n"
+      "  stats                                          counters so far\n"
+      "  help | quit\n");
+}
+
+bool LoadWorkload(ShellState& state, std::istringstream& args) {
+  std::string kind;
+  size_t units = 0, nodes = 0;
+  args >> kind >> units >> nodes;
+  if (EqualsIgnoreCase(kind, "temperature")) {
+    TemperatureConfig config;
+    if (units > 0) config.num_units = units;
+    if (nodes > 0) config.num_nodes = nodes;
+    config.seed = state.seed;
+    auto w = TemperatureWorkload::Create(config);
+    if (!w.ok()) {
+      std::printf("error: %s\n", w.status().ToString().c_str());
+      return false;
+    }
+    state.workload = std::move(*w);
+  } else if (EqualsIgnoreCase(kind, "memory")) {
+    MemoryConfig config;
+    if (units > 0) config.num_units = units;
+    if (nodes > 0) config.num_nodes = nodes;
+    config.seed = state.seed;
+    auto w = MemoryWorkload::Create(config);
+    if (!w.ok()) {
+      std::printf("error: %s\n", w.status().ToString().c_str());
+      return false;
+    }
+    state.workload = std::move(*w);
+  } else {
+    std::printf("unknown workload '%s' (temperature|memory)\n",
+                kind.c_str());
+    return false;
+  }
+  state.engine.reset();
+  state.has_query = false;
+  std::printf("loaded %s: %zu nodes, %zu tuples, attribute '%s'\n",
+              kind.c_str(), state.workload->graph().NodeCount(),
+              state.workload->db().TotalTuples(),
+              state.workload->attribute());
+  return true;
+}
+
+bool StartQuery(ShellState& state, const std::string& query_text) {
+  if (state.workload == nullptr) {
+    std::printf("load a workload first\n");
+    return false;
+  }
+  auto spec = ContinuousQuerySpec::Create(query_text, state.precision);
+  if (!spec.ok()) {
+    std::printf("error: %s\n", spec.status().ToString().c_str());
+    return false;
+  }
+  state.spec = std::move(*spec);
+  Rng rng(state.seed + 1);
+  auto node = state.workload->graph().RandomLiveNode(rng);
+  if (!node.ok()) {
+    std::printf("error: %s\n", node.status().ToString().c_str());
+    return false;
+  }
+  state.querying_node = *node;
+  state.workload->ProtectNode(state.querying_node);
+  state.meter.Reset();
+  auto engine = DigestEngine::Create(
+      &state.workload->graph(), &state.workload->db(), state.spec,
+      state.querying_node, rng.Fork(), &state.meter, state.options);
+  if (!engine.ok()) {
+    std::printf("error: %s\n", engine.status().ToString().c_str());
+    return false;
+  }
+  state.engine = std::move(*engine);
+  state.has_query = true;
+  std::printf("running %s at node %u\n", state.spec.ToString().c_str(),
+              state.querying_node);
+  return true;
+}
+
+void Run(ShellState& state, int ticks) {
+  if (!state.has_query) {
+    std::printf("start a query first\n");
+    return;
+  }
+  for (int i = 0; i < ticks; ++i) {
+    Status s = state.workload->Advance();
+    if (!s.ok()) {
+      std::printf("workload error: %s\n", s.ToString().c_str());
+      return;
+    }
+    auto tick = state.engine->Tick(state.workload->now());
+    if (!tick.ok()) {
+      std::printf("engine error: %s\n", tick.status().ToString().c_str());
+      return;
+    }
+    if (tick->result_updated) {
+      auto truth = state.workload->db().ExactAggregate(state.spec.query);
+      std::printf("tick %-6lld UPDATE  X^ = %.3f  (truth %.3f)\n",
+                  static_cast<long long>(state.workload->now()),
+                  tick->reported_value,
+                  truth.ok() ? *truth : std::nan(""));
+    }
+  }
+  std::printf("now at tick %lld, X^ = %.3f\n",
+              static_cast<long long>(state.workload->now()),
+              state.engine->reported_value());
+}
+
+void PrintStats(const ShellState& state) {
+  if (!state.has_query) {
+    std::printf("no query running\n");
+    return;
+  }
+  const EngineStats& s = state.engine->stats();
+  std::printf(
+      "ticks=%zu snapshots=%zu updates=%zu samples=%zu (fresh=%zu "
+      "retained=%zu)\nmessages=%llu (walk=%llu probe=%llu transfer=%llu "
+      "refresh=%llu)\ncorrelation estimate rho^=%.3f\n",
+      s.ticks, s.snapshots, s.result_updates, s.total_samples,
+      s.fresh_samples, s.retained_samples,
+      static_cast<unsigned long long>(state.meter.Total()),
+      static_cast<unsigned long long>(state.meter.walk_hops()),
+      static_cast<unsigned long long>(state.meter.weight_probes()),
+      static_cast<unsigned long long>(state.meter.sample_transfers()),
+      static_cast<unsigned long long>(state.meter.refreshes()),
+      state.engine->correlation_estimate());
+}
+
+}  // namespace
+
+int main() {
+  ShellState state;
+  std::printf("Digest shell — 'help' for commands\n");
+  std::string line;
+  while (true) {
+    std::printf("digest> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string trimmed(StripWhitespace(line));
+    if (trimmed.empty()) continue;
+    std::istringstream args(trimmed);
+    std::string command;
+    args >> command;
+    if (EqualsIgnoreCase(command, "quit") ||
+        EqualsIgnoreCase(command, "exit")) {
+      break;
+    } else if (EqualsIgnoreCase(command, "help")) {
+      PrintHelp();
+    } else if (EqualsIgnoreCase(command, "workload")) {
+      LoadWorkload(state, args);
+    } else if (EqualsIgnoreCase(command, "precision")) {
+      double delta, epsilon, p;
+      if (args >> delta >> epsilon >> p) {
+        PrecisionSpec candidate{delta, epsilon, p};
+        Status s = candidate.Validate();
+        if (s.ok()) {
+          state.precision = candidate;
+          std::printf("precision: delta=%g epsilon=%g p=%g\n", delta,
+                      epsilon, p);
+        } else {
+          std::printf("error: %s\n", s.ToString().c_str());
+        }
+      } else {
+        std::printf("usage: precision <delta> <epsilon> <p>\n");
+      }
+    } else if (EqualsIgnoreCase(command, "mode")) {
+      std::string sched, est, sampler;
+      args >> sched >> est >> sampler;
+      state.options.scheduler = EqualsIgnoreCase(sched, "all")
+                                    ? SchedulerKind::kAll
+                                    : SchedulerKind::kPred;
+      state.options.estimator = EqualsIgnoreCase(est, "indep")
+                                    ? EstimatorKind::kIndependent
+                                    : EstimatorKind::kRepeated;
+      state.options.sampler = EqualsIgnoreCase(sampler, "exact")
+                                  ? SamplerKind::kExactCentral
+                                  : SamplerKind::kTwoStageMcmc;
+      std::printf("mode: %s + %s over %s sampling\n",
+                  state.options.scheduler == SchedulerKind::kAll ? "ALL"
+                                                                 : "PRED",
+                  state.options.estimator == EstimatorKind::kIndependent
+                      ? "INDEP"
+                      : "RPT",
+                  state.options.sampler == SamplerKind::kExactCentral
+                      ? "exact"
+                      : "MCMC");
+    } else if (EqualsIgnoreCase(command, "query")) {
+      const size_t at = trimmed.find_first_of(" \t");
+      if (at == std::string::npos) {
+        std::printf("usage: query SELECT ...\n");
+      } else {
+        StartQuery(state, trimmed.substr(at + 1));
+      }
+    } else if (EqualsIgnoreCase(command, "run")) {
+      int ticks = 0;
+      if (args >> ticks && ticks > 0) {
+        Run(state, ticks);
+      } else {
+        std::printf("usage: run <ticks>\n");
+      }
+    } else if (EqualsIgnoreCase(command, "truth")) {
+      if (state.has_query) {
+        auto truth = state.workload->db().ExactAggregate(state.spec.query);
+        if (truth.ok()) {
+          std::printf("oracle: %.3f\n", *truth);
+        } else {
+          std::printf("error: %s\n", truth.status().ToString().c_str());
+        }
+      } else {
+        std::printf("no query running\n");
+      }
+    } else if (EqualsIgnoreCase(command, "stats")) {
+      PrintStats(state);
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", command.c_str());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "baselines/push_all.h"
+
+namespace digest {
+
+Result<double> PushAllBaseline::Tick() {
+  ++ticks_;
+  if (meter_ != nullptr) {
+    DIGEST_ASSIGN_OR_RETURN(std::vector<int> dist,
+                            graph_->BfsDistances(querying_node_));
+    uint64_t messages = 0;
+    for (NodeId node : db_->Nodes()) {
+      if (!graph_->HasNode(node)) continue;
+      const int hops = node < dist.size() ? dist[node] : -1;
+      if (hops <= 0) continue;  // The querying node's own tuples are free.
+      messages += static_cast<uint64_t>(hops) * db_->ContentSize(node);
+    }
+    meter_->AddPush(messages);
+  }
+  return db_->ExactAggregate(query_);
+}
+
+}  // namespace digest

@@ -1,0 +1,48 @@
+#ifndef DIGEST_BASELINES_PUSH_ALL_H_
+#define DIGEST_BASELINES_PUSH_ALL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "db/p2p_database.h"
+#include "net/graph.h"
+#include "net/message_meter.h"
+
+namespace digest {
+
+/// The ALL+ALL baseline of §VI-B3: at every snapshot (every tick) every
+/// node pushes all of its tuples to the querying node, which evaluates
+/// the query exactly. Only exact queries are supported; the point of the
+/// baseline is its communication cost — each pushed tuple pays one
+/// message per overlay hop on its way to the querying node.
+class PushAllBaseline {
+ public:
+  /// `meter` may be null (no accounting).
+  PushAllBaseline(const Graph* graph, const P2PDatabase* db,
+                  AggregateQuery query, NodeId querying_node,
+                  MessageMeter* meter)
+      : graph_(graph),
+        db_(db),
+        query_(std::move(query)),
+        querying_node_(querying_node),
+        meter_(meter) {}
+
+  /// Executes one tick: charges the push traffic and returns the exact
+  /// aggregate value at the querying node.
+  Result<double> Tick();
+
+  /// Number of ticks executed.
+  size_t ticks() const { return ticks_; }
+
+ private:
+  const Graph* graph_;
+  const P2PDatabase* db_;
+  AggregateQuery query_;
+  NodeId querying_node_;
+  MessageMeter* meter_;
+  size_t ticks_ = 0;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_BASELINES_PUSH_ALL_H_

@@ -1,0 +1,163 @@
+#include "baselines/tree_aggregation.h"
+
+#include <deque>
+
+namespace digest {
+
+TreeAggregator::TreeAggregator(const Graph* graph, const P2PDatabase* db,
+                               AggregateQuery query, NodeId root,
+                               MessageMeter* meter,
+                               TreeAggregationOptions options)
+    : graph_(graph),
+      db_(db),
+      query_(std::move(query)),
+      root_(root),
+      meter_(meter),
+      options_(options) {
+  if (options_.rebuild_period == 0) options_.rebuild_period = 1;
+}
+
+Status TreeAggregator::RebuildTree() {
+  if (!graph_->HasNode(root_)) {
+    return Status::InvalidArgument("tree root is not live");
+  }
+  parent_.assign(graph_->NextId(), kInvalidNode);
+  std::vector<bool> visited(graph_->NextId(), false);
+  std::deque<NodeId> queue;
+  visited[root_] = true;
+  queue.push_back(root_);
+  size_t flood_messages = 0;
+  size_t tree_nodes = 0;
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    ++tree_nodes;
+    for (NodeId nb : graph_->Neighbors(cur)) {
+      ++flood_messages;  // Every edge carries the flood announcement.
+      if (!visited[nb]) {
+        visited[nb] = true;
+        parent_[nb] = cur;
+        queue.push_back(nb);
+      }
+    }
+  }
+  if (meter_ != nullptr) {
+    // Flood + one join ack from every non-root tree node to its parent.
+    meter_->AddPush(flood_messages + (tree_nodes - 1));
+  }
+  has_tree_ = true;
+  tree_age_ = 0;
+  return Status::OK();
+}
+
+Result<TreeAggregationResult> TreeAggregator::Tick() {
+  TreeAggregationResult out;
+  if (!has_tree_ || tree_age_ >= options_.rebuild_period) {
+    DIGEST_RETURN_IF_ERROR(RebuildTree());
+    out.rebuilt = true;
+  }
+  ++tree_age_;
+
+  Expression expr = query_.expression;
+  DIGEST_RETURN_IF_ERROR(expr.Bind(db_->schema()));
+  Predicate where = query_.where;
+  DIGEST_RETURN_IF_ERROR(where.Bind(db_->schema()));
+
+  // A node contributes iff its whole path to the root is still live
+  // (an orphaned subtree has nowhere to send its partial; TAG's churn
+  // fragility). Memoized reachability walk over parent pointers.
+  std::vector<int8_t> reachable(graph_->NextId(), -1);  // -1 unknown.
+  reachable[root_] = graph_->HasNode(root_) ? 1 : 0;
+  auto is_reachable = [&](NodeId node) {
+    std::vector<NodeId> chain;
+    NodeId cur = node;
+    while (cur < reachable.size() && reachable[cur] < 0) {
+      if (!graph_->HasNode(cur)) {
+        reachable[cur] = 0;
+        break;
+      }
+      // A node that joined after the tree was built has no parent edge.
+      const NodeId up = cur < parent_.size() ? parent_[cur] : kInvalidNode;
+      if (up == kInvalidNode) {
+        reachable[cur] = cur == root_ ? 1 : 0;
+        break;
+      }
+      // The parent link itself must still exist.
+      if (!graph_->HasEdge(cur, up)) {
+        reachable[cur] = 0;
+        break;
+      }
+      chain.push_back(cur);
+      cur = up;
+    }
+    const int8_t value =
+        cur < reachable.size() && reachable[cur] > 0 ? 1 : 0;
+    for (NodeId c : chain) reachable[c] = value;
+    return value > 0;
+  };
+
+  double sum = 0.0;
+  size_t count = 0;
+  size_t contributing_nodes = 0;
+  Status failure = Status::OK();
+  for (NodeId node : db_->Nodes()) {
+    const size_t content = db_->ContentSize(node);
+    if (!graph_->HasNode(node)) {
+      out.lost_tuples += content;
+      continue;
+    }
+    if (!is_reachable(node)) {
+      out.lost_tuples += content;
+      continue;
+    }
+    ++contributing_nodes;
+    Result<const LocalStore*> store = db_->StoreAt(node);
+    if (!store.ok()) continue;
+    (*store)->ForEach([&](LocalTupleId, const Tuple& tuple) {
+      if (!failure.ok()) return;
+      Result<bool> qualifies = where.Evaluate(tuple);
+      if (!qualifies.ok()) {
+        failure = qualifies.status();
+        return;
+      }
+      if (!*qualifies) return;
+      Result<double> y = expr.Evaluate(tuple);
+      if (!y.ok()) {
+        failure = y.status();
+        return;
+      }
+      sum += *y;
+      ++count;
+    });
+    if (!failure.ok()) return failure;
+  }
+  // Aggregation pass: one partial-aggregate message up every live tree
+  // edge (per contributing non-root node).
+  if (meter_ != nullptr && contributing_nodes > 0) {
+    meter_->AddPush(contributing_nodes - 1);
+  }
+  out.covered_tuples = count;
+  switch (query_.op) {
+    case AggregateOp::kSum:
+      out.value = sum;
+      break;
+    case AggregateOp::kCount:
+      out.value = static_cast<double>(count);
+      break;
+    case AggregateOp::kAvg:
+      if (count == 0) {
+        return Status::FailedPrecondition(
+            "no reachable qualifying tuples for AVG");
+      }
+      out.value = sum / static_cast<double>(count);
+      break;
+    case AggregateOp::kMedian:
+      // Partial aggregates merged up a tree cannot carry exact
+      // quantiles with bounded state.
+      return Status::InvalidArgument(
+          "tree aggregation supports decomposable aggregates only");
+  }
+  return out;
+}
+
+}  // namespace digest

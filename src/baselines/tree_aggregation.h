@@ -1,0 +1,69 @@
+#ifndef DIGEST_BASELINES_TREE_AGGREGATION_H_
+#define DIGEST_BASELINES_TREE_AGGREGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "db/p2p_database.h"
+#include "net/graph.h"
+#include "net/message_meter.h"
+
+namespace digest {
+
+/// Tuning of the tree-based aggregation baseline.
+struct TreeAggregationOptions {
+  /// Ticks between spanning-tree rebuilds. 1 rebuilds every tick
+  /// (expensive but accurate); larger values expose the protocol to the
+  /// churn fragility §VII describes for TAG: a node whose tree path
+  /// broke silently drops its whole subtree from the aggregate.
+  size_t rebuild_period = 16;
+};
+
+/// Result of one tree-aggregation tick.
+struct TreeAggregationResult {
+  double value = 0.0;       ///< Aggregate over *reachable* tuples.
+  size_t covered_tuples = 0;///< Tuples that actually contributed.
+  size_t lost_tuples = 0;   ///< Tuples dropped by broken tree paths.
+  bool rebuilt = false;     ///< True if the tree was rebuilt this tick.
+};
+
+/// TAG-style spanning-tree in-network aggregation (§VII): a BFS tree
+/// rooted at the querying node is built by flooding, and each tick every
+/// node sends one partial aggregate (sum, count) to its parent; partials
+/// merge on the way up, so the aggregation pass costs one message per
+/// tree edge. Exact while the tree matches the network — but between
+/// rebuilds, churn orphans subtrees whose contributions silently vanish,
+/// the miscalculation mode the paper calls out for dynamic P2P overlays.
+class TreeAggregator {
+ public:
+  TreeAggregator(const Graph* graph, const P2PDatabase* db,
+                 AggregateQuery query, NodeId root, MessageMeter* meter,
+                 TreeAggregationOptions options = {});
+
+  /// Executes one aggregation tick (rebuilding the tree if due).
+  Result<TreeAggregationResult> Tick();
+
+  /// Forces a tree rebuild on the next tick.
+  void InvalidateTree() { tree_age_ = options_.rebuild_period; }
+
+ private:
+  /// Floods from the root to (re)build parent pointers. Cost: one
+  /// message per edge (the flood) plus one per node (parent acks).
+  Status RebuildTree();
+
+  const Graph* graph_;
+  const P2PDatabase* db_;
+  AggregateQuery query_;
+  NodeId root_;
+  MessageMeter* meter_;
+  TreeAggregationOptions options_;
+
+  std::vector<NodeId> parent_;  // kInvalidNode = not in tree / root.
+  bool has_tree_ = false;
+  size_t tree_age_ = 0;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_BASELINES_TREE_AGGREGATION_H_

@@ -1,0 +1,99 @@
+#ifndef DIGEST_COMMON_RESULT_H_
+#define DIGEST_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace digest {
+
+/// A value-or-Status discriminated union, in the Arrow style.
+///
+/// A Result<T> holds either a T (success) or a non-OK Status (failure).
+/// Constructing a Result from an OK Status is a programming error and is
+/// converted into an internal-error Result so the bug surfaces at the call
+/// site instead of crashing.
+///
+/// Typical use:
+///
+///   Result<Polynomial> fit = FitPolynomial(xs, ys, degree);
+///   if (!fit.ok()) return fit.status();
+///   UsePolynomial(*fit);
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed Result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// Constructs a successful Result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff this Result holds a value.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure Status; Status::OK() when this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Access to the held value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the held value, or `fallback` when this Result is a failure.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  /// Pointer-style accessors, valid only when ok().
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on failure returns its
+/// Status from the enclosing function, otherwise assigns the value to
+/// `lhs` (which must be a declaration or assignable lvalue).
+#define DIGEST_ASSIGN_OR_RETURN(lhs, rexpr)                     \
+  DIGEST_ASSIGN_OR_RETURN_IMPL_(                                \
+      DIGEST_CONCAT_(_digest_result, __LINE__), lhs, rexpr)
+
+#define DIGEST_CONCAT_INNER_(a, b) a##b
+#define DIGEST_CONCAT_(a, b) DIGEST_CONCAT_INNER_(a, b)
+#define DIGEST_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace digest
+
+#endif  // DIGEST_COMMON_RESULT_H_

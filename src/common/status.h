@@ -1,0 +1,115 @@
+#ifndef DIGEST_COMMON_STATUS_H_
+#define DIGEST_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace digest {
+
+/// Machine-readable category of a failure.
+///
+/// The set is deliberately small; the human-readable message carries the
+/// detail. Codes are stable so callers may branch on them.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a value outside the contract.
+  kOutOfRange = 2,        ///< Index/time outside the valid range.
+  kNotFound = 3,          ///< Referenced entity does not exist.
+  kAlreadyExists = 4,     ///< Entity with the same identity already exists.
+  kFailedPrecondition = 5,///< Object is not in a state that allows the call.
+  kUnavailable = 6,       ///< Transient inability (e.g., node left network).
+  kParseError = 7,        ///< Query/expression text could not be parsed.
+  kNumericError = 8,      ///< Numerical routine failed to converge/solve.
+  kInternal = 9,          ///< Invariant violation inside the library.
+};
+
+/// Returns the canonical lower-case name of a status code ("ok",
+/// "invalid-argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail, in the Arrow/RocksDB style.
+///
+/// The library does not throw exceptions across its public API; every
+/// fallible operation returns a Status (or a Result<T>, see result.h).
+/// A default-constructed Status is OK and carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. Prefer the named
+  /// factories (Status::InvalidArgument etc.) at call sites.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Named factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The human-readable message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  /// Two statuses are equal iff code and message are equal.
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Evaluates `expr` (a Status expression); on failure, returns it from the
+/// enclosing function. Library-internal convenience.
+#define DIGEST_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::digest::Status _digest_status = (expr);       \
+    if (!_digest_status.ok()) return _digest_status;\
+  } while (false)
+
+}  // namespace digest
+
+#endif  // DIGEST_COMMON_STATUS_H_

@@ -1,0 +1,25 @@
+#ifndef DIGEST_COMMON_STRINGS_H_
+#define DIGEST_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace digest {
+
+/// Returns `s` with ASCII whitespace removed from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits `s` on `delim`, trimming whitespace from each piece. Empty pieces
+/// are kept (so "a,,b" yields {"a", "", "b"}).
+std::vector<std::string> SplitAndTrim(std::string_view s, char delim);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII letters in `s`.
+std::string ToUpperAscii(std::string_view s);
+
+}  // namespace digest
+
+#endif  // DIGEST_COMMON_STRINGS_H_

@@ -1,0 +1,70 @@
+#include "core/digest_node.h"
+
+#include <string>
+
+namespace digest {
+
+Result<std::unique_ptr<DigestNode>> DigestNode::Create(
+    const Graph* graph, const P2PDatabase* db, NodeId self, Rng rng,
+    MessageMeter* meter, DigestEngineOptions default_options) {
+  if (!graph->HasNode(self)) {
+    return Status::InvalidArgument("node is not in the network");
+  }
+  std::unique_ptr<DigestNode> node(
+      new DigestNode(graph, db, self, meter, default_options));
+  node->rng_ = rng;
+  if (default_options.sampler == SamplerKind::kTwoStageMcmc) {
+    node->operator_ = std::make_unique<SamplingOperator>(
+        graph, ContentSizeWeight(*db), node->rng_.Fork(), meter,
+        default_options.sampling_options);
+  }
+  return node;
+}
+
+Result<QueryId> DigestNode::IssueQuery(ContinuousQuerySpec spec) {
+  return IssueQuery(std::move(spec), default_options_);
+}
+
+Result<QueryId> DigestNode::IssueQuery(ContinuousQuerySpec spec,
+                                       DigestEngineOptions options) {
+  if (options.sampler != default_options_.sampler) {
+    return Status::InvalidArgument(
+        "query sampler kind must match the node's shared operator");
+  }
+  DIGEST_ASSIGN_OR_RETURN(
+      std::unique_ptr<DigestEngine> engine,
+      DigestEngine::CreateWithOperator(graph_, db_, std::move(spec), self_,
+                                       rng_.Fork(), meter_,
+                                       operator_.get(), options));
+  const QueryId id = next_id_++;
+  engines_.emplace(id, std::move(engine));
+  return id;
+}
+
+Status DigestNode::CancelQuery(QueryId id) {
+  if (engines_.erase(id) == 0) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<QueryId, EngineTickResult>>> DigestNode::Tick(
+    int64_t t) {
+  std::vector<std::pair<QueryId, EngineTickResult>> out;
+  out.reserve(engines_.size());
+  for (auto& [id, engine] : engines_) {
+    DIGEST_ASSIGN_OR_RETURN(EngineTickResult result, engine->Tick(t));
+    out.emplace_back(id, result);
+  }
+  return out;
+}
+
+Result<const DigestEngine*> DigestNode::engine(QueryId id) const {
+  auto it = engines_.find(id);
+  if (it == engines_.end()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  return static_cast<const DigestEngine*>(it->second.get());
+}
+
+}  // namespace digest

@@ -1,0 +1,81 @@
+#ifndef DIGEST_CORE_DIGEST_NODE_H_
+#define DIGEST_CORE_DIGEST_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+
+namespace digest {
+
+/// Identifier of a continuous query registered at a DigestNode.
+using QueryId = uint64_t;
+
+/// The per-peer Digest runtime of §III ("each node of the peer-to-peer
+/// database operates its own individual instance of Digest to answer the
+/// continuous queries received from the local user"): one sampling
+/// operator per node, shared by any number of concurrently running
+/// continuous queries. Sharing matters because the operator keeps its
+/// random-walk agents warm — every query's samples after the first cost
+/// only the reset time.
+class DigestNode {
+ public:
+  /// Builds the runtime at `self`. The graph and database must outlive
+  /// it. `meter` may be null; all queries charge the same meter.
+  static Result<std::unique_ptr<DigestNode>> Create(
+      const Graph* graph, const P2PDatabase* db, NodeId self, Rng rng,
+      MessageMeter* meter, DigestEngineOptions default_options = {});
+
+  /// Registers a continuous query with the node's default options.
+  Result<QueryId> IssueQuery(ContinuousQuerySpec spec);
+
+  /// Registers a continuous query with explicit options. The sampler
+  /// kind must match the node's default (the operator is shared).
+  Result<QueryId> IssueQuery(ContinuousQuerySpec spec,
+                             DigestEngineOptions options);
+
+  /// Stops and forgets a query. Fails with kNotFound for unknown ids.
+  Status CancelQuery(QueryId id);
+
+  /// Advances every active query to tick `t` (strictly increasing per
+  /// query; queries issued later simply start later). Returns one entry
+  /// per active query, in issue order.
+  Result<std::vector<std::pair<QueryId, EngineTickResult>>> Tick(int64_t t);
+
+  /// Read access to one query's engine; fails with kNotFound.
+  Result<const DigestEngine*> engine(QueryId id) const;
+
+  /// Number of active queries.
+  size_t active_queries() const { return engines_.size(); }
+
+  /// The node this runtime lives on.
+  NodeId self() const { return self_; }
+
+ private:
+  DigestNode(const Graph* graph, const P2PDatabase* db, NodeId self,
+             MessageMeter* meter, DigestEngineOptions default_options)
+      : graph_(graph),
+        db_(db),
+        self_(self),
+        meter_(meter),
+        default_options_(default_options) {}
+
+  const Graph* graph_;
+  const P2PDatabase* db_;
+  NodeId self_;
+  MessageMeter* meter_;
+  DigestEngineOptions default_options_;
+  Rng rng_{0};
+
+  std::unique_ptr<SamplingOperator> operator_;  // Shared by all queries.
+  std::map<QueryId, std::unique_ptr<DigestEngine>> engines_;
+  QueryId next_id_ = 1;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_CORE_DIGEST_NODE_H_

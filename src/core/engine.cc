@@ -1,0 +1,200 @@
+#include "core/engine.h"
+
+#include <cmath>
+#include <utility>
+
+#include "sampling/size_estimator.h"
+
+namespace digest {
+
+DigestEngine::DigestEngine(const Graph* graph, const P2PDatabase* db,
+                           ContinuousQuerySpec spec, NodeId querying_node,
+                           MessageMeter* meter, DigestEngineOptions options)
+    : graph_(graph),
+      db_(db),
+      spec_(std::move(spec)),
+      querying_node_(querying_node),
+      meter_(meter),
+      options_(options),
+      extrapolator_(options.extrapolator) {}
+
+Result<std::unique_ptr<DigestEngine>> DigestEngine::Create(
+    const Graph* graph, const P2PDatabase* db, ContinuousQuerySpec spec,
+    NodeId querying_node, Rng rng, MessageMeter* meter,
+    DigestEngineOptions options) {
+  return CreateWithOperator(graph, db, std::move(spec), querying_node, rng,
+                            meter, /*shared_operator=*/nullptr, options);
+}
+
+Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
+    const Graph* graph, const P2PDatabase* db, ContinuousQuerySpec spec,
+    NodeId querying_node, Rng rng, MessageMeter* meter,
+    SamplingOperator* shared_operator, DigestEngineOptions options) {
+  DIGEST_RETURN_IF_ERROR(spec.precision.Validate());
+  if (!graph->HasNode(querying_node)) {
+    return Status::InvalidArgument("querying node is not in the network");
+  }
+  if (shared_operator != nullptr &&
+      options.sampler != SamplerKind::kTwoStageMcmc) {
+    return Status::InvalidArgument(
+        "a shared sampling operator requires the two-stage MCMC sampler");
+  }
+  std::unique_ptr<DigestEngine> engine(new DigestEngine(
+      graph, db, std::move(spec), querying_node, meter, options));
+
+  // Bottom tier: sample source.
+  switch (options.sampler) {
+    case SamplerKind::kTwoStageMcmc: {
+      SamplingOperator* op = shared_operator;
+      if (op == nullptr) {
+        engine->sampling_operator_ = std::make_unique<SamplingOperator>(
+            graph, ContentSizeWeight(*db), rng.Fork(), meter,
+            options.sampling_options);
+        op = engine->sampling_operator_.get();
+      }
+      engine->two_stage_sampler_ =
+          std::make_unique<TwoStageTupleSampler>(db, op, rng.Fork());
+      engine->sample_source_ = std::make_unique<TwoStageSampleSource>(
+          engine->two_stage_sampler_.get());
+      break;
+    }
+    case SamplerKind::kExactCentral: {
+      engine->exact_sampler_ =
+          std::make_unique<ExactTupleSampler>(db, rng.Fork(), meter);
+      engine->sample_source_ =
+          std::make_unique<ExactSampleSource>(engine->exact_sampler_.get());
+      break;
+    }
+  }
+  switch (options.size_oracle) {
+    case SizeOracleKind::kExact:
+      engine->size_oracle_ = std::make_unique<ExactSizeOracle>(db);
+      break;
+    case SizeOracleKind::kSampled: {
+      // The collision estimator needs *uniform* node samples, so it runs
+      // its own operator next to the content-size-weighted one.
+      engine->uniform_operator_ = std::make_unique<SamplingOperator>(
+          graph, UniformWeight(), rng.Fork(), meter,
+          options.sampling_options);
+      engine->size_oracle_ = std::make_unique<CollisionSizeEstimator>(
+          db, engine->uniform_operator_.get(), querying_node,
+          options.size_estimator_options);
+      break;
+    }
+  }
+
+  // Top tier: snapshot estimator.
+  switch (options.estimator) {
+    case EstimatorKind::kIndependent:
+      engine->estimator_ = std::make_unique<IndependentEstimator>(
+          engine->spec_, db, engine->sample_source_.get(),
+          engine->size_oracle_.get(), meter, rng.Fork(),
+          options.estimator_options);
+      break;
+    case EstimatorKind::kRepeated:
+      engine->estimator_ = std::make_unique<RepeatedSamplingEstimator>(
+          engine->spec_, db, engine->sample_source_.get(),
+          engine->size_oracle_.get(), meter, rng.Fork(),
+          options.estimator_options);
+      break;
+  }
+  return engine;
+}
+
+double DigestEngine::correlation_estimate() const {
+  const auto* rpt =
+      dynamic_cast<const RepeatedSamplingEstimator*>(estimator_.get());
+  return rpt != nullptr ? rpt->correlation_estimate() : 0.0;
+}
+
+Result<double> DigestEngine::AdjustedPreviousResult() const {
+  const auto* rpt =
+      dynamic_cast<const RepeatedSamplingEstimator*>(estimator_.get());
+  if (rpt == nullptr) {
+    return Status::FailedPrecondition(
+        "forward regression requires the repeated-sampling estimator");
+  }
+  return rpt->AdjustedPreviousEstimate();
+}
+
+Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
+  if (t <= last_tick_) {
+    return Status::InvalidArgument("ticks must be strictly increasing");
+  }
+  last_tick_ = t;
+  ++stats_.ticks;
+
+  EngineTickResult out;
+  out.reported_value = reported_value_;
+  out.has_result = has_result_;
+  if (has_result_ && t < next_snapshot_tick_) {
+    // Between sampling occasions the result holds (§II: X̂[t] = X̂[t_u]),
+    // or is presented via the scheduling fit's extrapolation.
+    if (options_.report_mode == ReportMode::kExtrapolate) {
+      Result<double> value = extrapolator_.ExtrapolatedValue(t);
+      if (value.ok()) out.reported_value = *value;
+    }
+    return out;
+  }
+
+  // This tick is a sampling occasion: evaluate the snapshot query.
+  DIGEST_ASSIGN_OR_RETURN(SnapshotEstimate est,
+                          estimator_->Evaluate(querying_node_));
+  ++stats_.snapshots;
+  stats_.total_samples += est.total_samples;
+  stats_.fresh_samples += est.fresh_samples;
+  stats_.retained_samples += est.retained_samples;
+  out.snapshot_executed = true;
+
+  DIGEST_RETURN_IF_ERROR(extrapolator_.AddObservation(t, est.value));
+
+  // Resolution semantics: report only moves of at least δ.
+  if (!has_result_ ||
+      std::fabs(est.value - reported_value_) >= spec_.precision.delta) {
+    reported_value_ = est.value;
+    has_result_ = true;
+    ++stats_.result_updates;
+    out.result_updated = true;
+  }
+  out.reported_value = reported_value_;
+  out.has_result = true;
+
+  // Schedule the next sampling occasion.
+  switch (options_.scheduler) {
+    case SchedulerKind::kAll:
+      next_snapshot_tick_ = t + 1;
+      break;
+    case SchedulerKind::kPred: {
+      if (options_.strict_resolution) {
+        // Strict mode: the crossing is measured from the running result
+        // X̂[t_u], so drift accumulated across non-updating snapshots
+        // counts toward δ.
+        DIGEST_ASSIGN_OR_RETURN(next_snapshot_tick_,
+                                extrapolator_.PredictNextSnapshotTime(
+                                    spec_.precision.delta, reported_value_));
+        if (!out.result_updated) {
+          // The predicted crossing did not materialize: the aggregate is
+          // approaching the threshold (or the fit misjudged it). Do not
+          // let a fresh long-range prediction outgrow the gap that led
+          // here — otherwise a flat fit can postpone the crossing
+          // indefinitely while real drift accumulates.
+          next_snapshot_tick_ = std::min(
+              next_snapshot_tick_, t + std::max<int64_t>(last_gap_, 1));
+        }
+      } else {
+        // Paper-faithful mode: drift measured from the latest snapshot
+        // (the fitted P_n at its last point), per the idealized reading
+        // of Eq. 4 in which every predicted crossing materializes.
+        DIGEST_ASSIGN_OR_RETURN(
+            next_snapshot_tick_,
+            extrapolator_.PredictNextSnapshotTime(spec_.precision.delta));
+      }
+      if (next_snapshot_tick_ <= t) next_snapshot_tick_ = t + 1;
+      last_gap_ = next_snapshot_tick_ - t;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace digest

@@ -1,0 +1,187 @@
+#ifndef DIGEST_CORE_ENGINE_H_
+#define DIGEST_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "core/extrapolator.h"
+#include "core/query_spec.h"
+#include "db/size_oracle.h"
+#include "core/snapshot_estimator.h"
+#include "db/p2p_database.h"
+#include "net/graph.h"
+#include "net/message_meter.h"
+#include "numeric/rng.h"
+#include "sampling/sampling_operator.h"
+#include "sampling/size_estimator.h"
+#include "sampling/tuple_sampler.h"
+
+namespace digest {
+
+/// Snapshot scheduling policy: ALL executes a snapshot query at every
+/// tick; PRED uses the extrapolation algorithm (§IV-A) to skip ticks the
+/// aggregate cannot have drifted δ in.
+enum class SchedulerKind { kAll, kPred };
+
+/// Snapshot evaluation policy: classical independent sampling (INDEP,
+/// §IV-B1) or repeated sampling with regression estimation (RPT,
+/// §IV-B2).
+enum class EstimatorKind { kIndependent, kRepeated };
+
+/// Where fresh samples come from: the distributed two-stage MCMC sampler
+/// (the system under study) or a centralized exact sampler (fast oracle
+/// for tests and sample-count-only experiments).
+enum class SamplerKind { kTwoStageMcmc, kExactCentral };
+
+/// Where the relation cardinality N (needed by SUM/COUNT) comes from:
+/// a ground-truth oracle (simulation default) or the fully distributed
+/// collision-based random-walk estimator (see sampling/size_estimator.h).
+enum class SizeOracleKind { kExact, kSampled };
+
+/// How X̂[t] is presented between sampling occasions (§II: "X̂[t] can be
+/// estimated without update/re-evaluation, e.g., by holding or
+/// interpolation"). kHold repeats X̂[t_u]; kExtrapolate evaluates the
+/// fitted Taylor polynomial at t (costs nothing — the fit exists for
+/// scheduling anyway). Presentation only: update semantics (δ) and all
+/// efficiency counters are identical in both modes.
+enum class ReportMode { kHold, kExtrapolate };
+
+/// Full engine configuration. Digest proper is {kPred, kRepeated,
+/// kTwoStageMcmc}; the paper's comparison grid varies the first two.
+struct DigestEngineOptions {
+  SchedulerKind scheduler = SchedulerKind::kPred;
+  EstimatorKind estimator = EstimatorKind::kRepeated;
+  SamplerKind sampler = SamplerKind::kTwoStageMcmc;
+  SizeOracleKind size_oracle = SizeOracleKind::kExact;
+  ReportMode report_mode = ReportMode::kHold;
+  ExtrapolatorOptions extrapolator;
+  EstimatorOptions estimator_options;
+  SamplingOperatorOptions sampling_options;
+  SizeEstimatorOptions size_estimator_options;  ///< For kSampled oracle.
+
+  /// How PRED measures the predicted δ-drift (Eq. 4).
+  ///
+  /// false (paper-faithful default): drift is measured from the fitted
+  /// value at the most recent snapshot — the paper's idealized reading,
+  /// which assumes each predicted crossing materializes. Cheapest, but
+  /// when the aggregate hovers near the threshold (or the fit flattens
+  /// under estimate noise), detection of a crossing can lag by several
+  /// prediction gaps.
+  ///
+  /// true (strict): drift is measured from the *running result* X̂[t_u],
+  /// so drift accumulated across non-updating snapshots counts toward δ,
+  /// and after a snapshot that did not confirm a crossing the next gap
+  /// never exceeds the previous one. Tighter resolution at the cost of
+  /// more snapshots near crossings. See DESIGN.md (ablations) and
+  /// bench_fig4a --strict.
+  bool strict_resolution = false;
+};
+
+/// What one engine tick did.
+struct EngineTickResult {
+  bool snapshot_executed = false;  ///< A sampling occasion ran this tick.
+  bool result_updated = false;     ///< The reported result moved (Δ ≥ δ).
+  double reported_value = 0.0;     ///< Current running result X̂[t].
+  bool has_result = false;         ///< False until the first snapshot.
+};
+
+/// Cumulative efficiency counters (the paper's metrics).
+struct EngineStats {
+  size_t ticks = 0;
+  size_t snapshots = 0;        ///< Snapshot queries executed (Fig. 4-a).
+  size_t result_updates = 0;   ///< Times the reported result changed.
+  size_t total_samples = 0;    ///< Retained + fresh (Fig. 4-b, 5-a).
+  size_t fresh_samples = 0;    ///< Network-drawn samples.
+  size_t retained_samples = 0; ///< Re-evaluated in place.
+};
+
+/// The Digest query-answering engine (paper §III): one instance runs at
+/// the querying node and drives one continuous aggregate query over the
+/// simulated P2P database, producing the running estimate X̂[t] with the
+/// (δ, ε, p) precision contract.
+///
+/// Call Tick(t) once per simulated time unit with strictly increasing t.
+/// The engine decides internally whether the tick is a sampling occasion
+/// (per the scheduler) and whether the result updates (per δ).
+class DigestEngine {
+ public:
+  /// Builds an engine for `spec` issued at `querying_node`. The graph
+  /// and database must outlive the engine. `meter` may be null.
+  static Result<std::unique_ptr<DigestEngine>> Create(
+      const Graph* graph, const P2PDatabase* db, ContinuousQuerySpec spec,
+      NodeId querying_node, Rng rng, MessageMeter* meter,
+      DigestEngineOptions options = {});
+
+  /// Like Create, but sampling through `shared_operator` (not owned;
+  /// must be configured with the content-size weight and outlive the
+  /// engine). This is how one node runs several continuous queries over
+  /// a single sampling operator whose warm agents they all reuse (the
+  /// per-node architecture of §III; see DigestNode). Only meaningful
+  /// with SamplerKind::kTwoStageMcmc.
+  static Result<std::unique_ptr<DigestEngine>> CreateWithOperator(
+      const Graph* graph, const P2PDatabase* db, ContinuousQuerySpec spec,
+      NodeId querying_node, Rng rng, MessageMeter* meter,
+      SamplingOperator* shared_operator, DigestEngineOptions options = {});
+
+  /// Advances the continuous query to tick `t` (strictly increasing).
+  Result<EngineTickResult> Tick(int64_t t);
+
+  /// Current running result; meaningful once has_result().
+  double reported_value() const { return reported_value_; }
+
+  /// True after the first completed snapshot.
+  bool has_result() const { return has_result_; }
+
+  /// Cumulative counters.
+  const EngineStats& stats() const { return stats_; }
+
+  /// The engine's configuration.
+  const DigestEngineOptions& options() const { return options_; }
+
+  /// The precision/query spec under execution.
+  const ContinuousQuerySpec& spec() const { return spec_; }
+
+  /// The repeated-sampling correlation estimate ρ̂ (0 when running the
+  /// independent estimator).
+  double correlation_estimate() const;
+
+  /// Forward regression (§VIII extension): a retrospectively improved
+  /// estimate of the previous sampling occasion's aggregate, in query
+  /// units. Fails for independent-estimator engines and before the
+  /// second occasion.
+  Result<double> AdjustedPreviousResult() const;
+
+ private:
+  DigestEngine(const Graph* graph, const P2PDatabase* db,
+               ContinuousQuerySpec spec, NodeId querying_node,
+               MessageMeter* meter, DigestEngineOptions options);
+
+  const Graph* graph_;
+  const P2PDatabase* db_;
+  ContinuousQuerySpec spec_;
+  NodeId querying_node_;
+  MessageMeter* meter_;
+  DigestEngineOptions options_;
+
+  // Owned plumbing, wired up in Create.
+  std::unique_ptr<SamplingOperator> sampling_operator_;
+  std::unique_ptr<SamplingOperator> uniform_operator_;  // Size estimation.
+  std::unique_ptr<TwoStageTupleSampler> two_stage_sampler_;
+  std::unique_ptr<ExactTupleSampler> exact_sampler_;
+  std::unique_ptr<SampleSource> sample_source_;
+  std::unique_ptr<SizeOracle> size_oracle_;
+  std::unique_ptr<SnapshotEstimator> estimator_;
+  Extrapolator extrapolator_;
+
+  EngineStats stats_;
+  double reported_value_ = 0.0;
+  bool has_result_ = false;
+  int64_t next_snapshot_tick_ = INT64_MIN;
+  int64_t last_tick_ = INT64_MIN;
+  int64_t last_gap_ = 1;  // Gap that led to the current snapshot.
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_CORE_ENGINE_H_

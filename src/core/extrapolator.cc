@@ -1,0 +1,133 @@
+#include "core/extrapolator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "numeric/levmar.h"
+
+namespace digest {
+
+Extrapolator::Extrapolator(ExtrapolatorOptions options) : options_(options) {
+  if (options_.history_points < 2) options_.history_points = 2;
+  if (options_.max_skip < 1) options_.max_skip = 1;
+}
+
+Status Extrapolator::AddObservation(int64_t t, double x) {
+  if (!history_.empty() && t <= history_.back().t) {
+    return Status::InvalidArgument(
+        "observations must have strictly increasing ticks");
+  }
+  history_.push_back(Observation{t, x});
+  // One extra point beyond k is kept for the remainder estimate.
+  while (history_.size() > options_.history_points + 1) {
+    history_.pop_front();
+  }
+  return Status::OK();
+}
+
+Result<Extrapolator::Fit> Extrapolator::FitHistory() const {
+  const size_t k = options_.history_points;
+  if (history_.size() < k) {
+    return Status::FailedPrecondition("extrapolator is still bootstrapping");
+  }
+  const int64_t t_last = history_.back().t;
+  // The fit uses the most recent k points, in the shifted variable
+  // s = t − t_last (so s ≤ 0 and extrapolation evaluates at s > 0).
+  std::vector<double> xs, ys;
+  xs.reserve(k);
+  ys.reserve(k);
+  for (size_t i = history_.size() - k; i < history_.size(); ++i) {
+    xs.push_back(static_cast<double>(history_[i].t - t_last));
+    ys.push_back(history_[i].x);
+  }
+  const size_t degree = k - 1;
+  Fit fit;
+  if (options_.use_levmar) {
+    // The paper fits the Taylor polynomial with Levenberg–Marquardt.
+    // Seed LM from the constant term to keep iterations short.
+    std::vector<double> initial(degree + 1, 0.0);
+    initial[0] = ys.back();
+    auto model = [](double x, const std::vector<double>& params) {
+      double acc = 0.0;
+      for (size_t i = params.size(); i-- > 0;) acc = acc * x + params[i];
+      return acc;
+    };
+    DIGEST_ASSIGN_OR_RETURN(LevMarResult lm,
+                            FitModelLevMar(model, xs, ys, initial));
+    fit.poly = Polynomial(lm.parameters);
+  } else {
+    DIGEST_ASSIGN_OR_RETURN(fit.poly,
+                            FitPolynomialLeastSquares(xs, ys, degree));
+  }
+  // Lagrange-remainder constant |f⁽ᵏ⁾(ξ)/k!| (Eq. 2/3): the order-k
+  // divided difference needs k+1 points; with only k available, fall
+  // back to the magnitude of the highest fitted coefficient (the
+  // order-(k−1) derivative scale) as a conservative proxy.
+  if (history_.size() >= k + 1) {
+    std::vector<double> all_xs, all_ys;
+    for (const Observation& obs : history_) {
+      all_xs.push_back(static_cast<double>(obs.t - t_last));
+      all_ys.push_back(obs.x);
+    }
+    DIGEST_ASSIGN_OR_RETURN(std::vector<double> dd,
+                            DividedDifferences(all_xs, all_ys));
+    fit.remainder_c = std::fabs(dd.back());
+  } else {
+    fit.remainder_c = std::fabs(fit.poly.coefficients().back());
+  }
+  return fit;
+}
+
+Result<int64_t> Extrapolator::PredictNextSnapshotTime(
+    double delta, double reference) const {
+  if (delta < 0.0) {
+    return Status::InvalidArgument("delta must be >= 0");
+  }
+  if (history_.empty()) {
+    return Status::FailedPrecondition("no observations yet");
+  }
+  const int64_t t_last = history_.back().t;
+  if (!Bootstrapped() || delta == 0.0) {
+    // Bootstrap period (or exact resolution): continuous querying.
+    return t_last + 1;
+  }
+  DIGEST_ASSIGN_OR_RETURN(Fit fit, FitHistory());
+  const double k = static_cast<double>(options_.history_points);
+  for (int64_t s = 1; s <= options_.max_skip; ++s) {
+    const double sd = static_cast<double>(s);
+    const double drift = std::fabs(fit.poly.Evaluate(sd) - reference);
+    const double remainder =
+        options_.remainder_inflation * fit.remainder_c * std::pow(sd, k);
+    if (drift + remainder > delta) {
+      return t_last + s;
+    }
+  }
+  return t_last + options_.max_skip;
+}
+
+Result<int64_t> Extrapolator::PredictNextSnapshotTime(double delta) const {
+  if (delta < 0.0) {
+    return Status::InvalidArgument("delta must be >= 0");
+  }
+  if (history_.empty()) {
+    return Status::FailedPrecondition("no observations yet");
+  }
+  if (!Bootstrapped()) {
+    return history_.back().t + 1;
+  }
+  DIGEST_ASSIGN_OR_RETURN(Fit fit, FitHistory());
+  return PredictNextSnapshotTime(delta, fit.poly.Evaluate(0.0));
+}
+
+Result<double> Extrapolator::ExtrapolatedValue(int64_t t) const {
+  if (history_.empty()) {
+    return Status::FailedPrecondition("no observations yet");
+  }
+  if (!Bootstrapped()) {
+    return history_.back().x;
+  }
+  DIGEST_ASSIGN_OR_RETURN(Fit fit, FitHistory());
+  return fit.poly.Evaluate(static_cast<double>(t - history_.back().t));
+}
+
+}  // namespace digest

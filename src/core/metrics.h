@@ -1,0 +1,33 @@
+#ifndef DIGEST_CORE_METRICS_H_
+#define DIGEST_CORE_METRICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/query_spec.h"
+
+namespace digest {
+
+/// Achieved-precision summary of a continuous-query run, computed by
+/// comparing the per-tick reported series X̂[t] against the oracle series
+/// X[t]. Used by tests and benches to confirm that efficiency gains do
+/// not silently trade away the precision contract.
+struct PrecisionReport {
+  double mean_abs_error = 0.0;     ///< Mean |X̂[t] − X[t]| over all ticks.
+  double max_abs_error = 0.0;      ///< Worst-tick absolute error.
+  /// Fraction of ticks with |X̂[t] − X[t]| ≤ ε + δ. Between updates the
+  /// result legitimately lags by up to δ, and the estimate itself is only
+  /// ε-accurate, so ε+δ is the per-tick contract.
+  double within_tolerance_fraction = 0.0;
+  size_t ticks = 0;
+};
+
+/// Compares the reported series against ground truth under `precision`.
+/// Both series must be non-empty and the same length (tick-aligned).
+Result<PrecisionReport> EvaluatePrecision(
+    const std::vector<double>& reported, const std::vector<double>& truth,
+    const PrecisionSpec& precision);
+
+}  // namespace digest
+
+#endif  // DIGEST_CORE_METRICS_H_

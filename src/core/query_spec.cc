@@ -1,0 +1,36 @@
+#include "core/query_spec.h"
+
+#include <cstdio>
+
+namespace digest {
+
+Status PrecisionSpec::Validate() const {
+  if (delta < 0.0) {
+    return Status::InvalidArgument("resolution delta must be >= 0");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("confidence interval epsilon must be > 0");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence level must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+Result<ContinuousQuerySpec> ContinuousQuerySpec::Create(
+    std::string_view query_text, PrecisionSpec precision) {
+  DIGEST_RETURN_IF_ERROR(precision.Validate());
+  ContinuousQuerySpec spec;
+  DIGEST_ASSIGN_OR_RETURN(spec.query, AggregateQuery::Parse(query_text));
+  spec.precision = precision;
+  return spec;
+}
+
+std::string ContinuousQuerySpec::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), " [delta=%g epsilon=%g p=%g]",
+                precision.delta, precision.epsilon, precision.confidence);
+  return query.ToString() + buf;
+}
+
+}  // namespace digest

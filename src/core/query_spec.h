@@ -1,0 +1,47 @@
+#ifndef DIGEST_CORE_QUERY_SPEC_H_
+#define DIGEST_CORE_QUERY_SPEC_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "db/query.h"
+
+namespace digest {
+
+/// User-defined precision of a fixed-precision approximate continuous
+/// aggregate query (paper §II).
+struct PrecisionSpec {
+  /// Resolution δ ≥ 0: the result is re-updated only when the aggregate
+  /// has moved by at least δ since the last reported update. δ = 0
+  /// requests every change (exact-resolution).
+  double delta = 0.0;
+
+  /// Confidence interval half-width ε > 0: at each update time the
+  /// estimate lies within ±ε of the true aggregate …
+  double epsilon = 1.0;
+
+  /// … with probability at least `confidence` ∈ (0, 1).
+  double confidence = 0.95;
+
+  /// Validates the ranges above.
+  Status Validate() const;
+};
+
+/// A continuous aggregate query Q^C: the underlying snapshot query Q plus
+/// the precision contract. The query runs from its arrival tick until the
+/// driver stops it.
+struct ContinuousQuerySpec {
+  AggregateQuery query;
+  PrecisionSpec precision;
+
+  /// Parses "SELECT op(expr) FROM R" and attaches the precision spec.
+  static Result<ContinuousQuerySpec> Create(std::string_view query_text,
+                                            PrecisionSpec precision);
+
+  /// Human-readable one-liner for logs and benches.
+  std::string ToString() const;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_CORE_QUERY_SPEC_H_

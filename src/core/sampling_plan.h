@@ -1,0 +1,53 @@
+#ifndef DIGEST_CORE_SAMPLING_PLAN_H_
+#define DIGEST_CORE_SAMPLING_PLAN_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+
+namespace digest {
+
+/// The closed-form planning math of §IV-B, exposed as pure functions so
+/// the estimators stay thin and the formulas are unit-testable against
+/// the paper's equations.
+
+/// Eq. 6: samples needed so that a mean estimate from iid draws with
+/// per-tuple stddev `sigma` lies within ±epsilon with two-sided normal
+/// quantile `z`. Returns at least 1; fails on non-positive epsilon/z or
+/// negative sigma.
+Result<size_t> CltSampleSize(double sigma, double epsilon, double z);
+
+/// Hoeffding bound alternative (distribution-free, used by snapshot-
+/// query systems such as Arai et al.): for values confined to a range of
+/// width `range`, n = ln(2/(1−p))·range²/(2ε²) guarantees the confidence
+/// without any variance estimate — typically far more conservative than
+/// the CLT size. Fails on non-positive range/epsilon or p outside (0,1).
+Result<size_t> HoeffdingSampleSize(double range, double epsilon,
+                                   double confidence);
+
+/// The repeated-sampling occasion plan (Eq. 8–10, with the Eq. 9
+/// erratum corrected — see EXPERIMENTS.md).
+struct RepeatedSamplingPlan {
+  size_t total = 0;     ///< n: total samples this occasion.
+  size_t retained = 0;  ///< g_opt = n·√(1−ρ²)/(1+√(1−ρ²)).
+  size_t fresh = 0;     ///< f_opt = n/(1+√(1−ρ²)).
+};
+
+/// Plans an occasion: the total n comes from Eq. 10's optimal variance
+/// σ²(1+√(1−ρ²))/(2n) ≤ (ε/z)², then Eq. 9 (corrected) splits it.
+/// |rho| is clamped to 0.99 for planning. Fails on invalid inputs.
+Result<RepeatedSamplingPlan> PlanRepeatedOccasion(double sigma, double rho,
+                                                  double epsilon, double z);
+
+/// Eq. 8: variance of the combined two-occasion estimator with fresh
+/// portion f of total n, unit per-tuple variance (multiply by σ²).
+/// Fails unless 0 < f ≤ n and |rho| ≤ 1.
+Result<double> CombinedVarianceFactor(size_t n, size_t fresh, double rho);
+
+/// Eq. 11's improvement ratio var_indep / var_rpt at the optimum:
+/// 2/(1+√(1−ρ²)).
+double OptimalImprovementRatio(double rho);
+
+}  // namespace digest
+
+#endif  // DIGEST_CORE_SAMPLING_PLAN_H_

@@ -1,0 +1,496 @@
+#include "core/snapshot_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/sampling_plan.h"
+#include "numeric/normal.h"
+#include "numeric/stats.h"
+
+namespace digest {
+namespace {
+
+// ceil of a positive double into size_t with sane bounds.
+size_t CeilToCount(double x, size_t lo, size_t hi) {
+  if (!(x > 0.0)) return lo;
+  const double c = std::ceil(x);
+  if (c >= static_cast<double>(hi)) return hi;
+  return std::max(lo, static_cast<size_t>(c));
+}
+
+}  // namespace
+
+IndependentEstimator::IndependentEstimator(const ContinuousQuerySpec& spec,
+                                           const P2PDatabase* db,
+                                           SampleSource* source,
+                                           SizeOracle* size_oracle,
+                                           MessageMeter* meter, Rng rng,
+                                           EstimatorOptions options)
+    : spec_(spec),
+      db_(db),
+      source_(source),
+      size_oracle_(size_oracle),
+      meter_(meter),
+      rng_(rng),
+      options_(options),
+      bound_expression_(spec.query.expression),
+      bound_where_(spec.query.where) {}
+
+Status IndependentEstimator::EnsureInitialized() {
+  if (initialized_) return Status::OK();
+  DIGEST_RETURN_IF_ERROR(spec_.precision.Validate());
+  DIGEST_RETURN_IF_ERROR(bound_expression_.Bind(db_->schema()));
+  DIGEST_RETURN_IF_ERROR(bound_where_.Bind(db_->schema()));
+  DIGEST_ASSIGN_OR_RETURN(z_, TwoSidedZ(spec_.precision.confidence));
+  if (options_.pilot_samples < 2) {
+    return Status::InvalidArgument("pilot sample size must be >= 2");
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<double> IndependentEstimator::MeanEpsilon() const {
+  switch (spec_.query.op) {
+    case AggregateOp::kAvg:
+      return spec_.precision.epsilon;
+    case AggregateOp::kMedian:
+      // For quantile queries ε is a *rank* tolerance: the returned value
+      // lies between the (½−ε)- and (½+ε)-quantiles w.p. ≥ p.
+      if (!(spec_.precision.epsilon < 0.5)) {
+        return Status::InvalidArgument(
+            "MEDIAN interprets epsilon as a rank tolerance in (0, 0.5)");
+      }
+      return spec_.precision.epsilon;
+    case AggregateOp::kSum:
+    case AggregateOp::kCount: {
+      if (size_oracle_ == nullptr) {
+        return Status::FailedPrecondition(
+            "SUM/COUNT queries require a SizeOracle");
+      }
+      // The SUM estimate is N·Ŷ, so a query-unit tolerance of ε means a
+      // per-tuple-mean tolerance of ε/N.
+      Result<double> n = size_oracle_->EstimateRelationSize();
+      if (!n.ok()) return n.status();
+      if (*n <= 0.0) {
+        return Status::FailedPrecondition("relation size estimate is zero");
+      }
+      return spec_.precision.epsilon / *n;
+    }
+  }
+  return Status::Internal("unhandled aggregate op");
+}
+
+Result<double> IndependentEstimator::ScaleToQueryUnits(double mean) const {
+  switch (spec_.query.op) {
+    case AggregateOp::kAvg:
+    case AggregateOp::kMedian:
+      return mean;
+    case AggregateOp::kSum:
+    case AggregateOp::kCount: {
+      if (size_oracle_ == nullptr) {
+        return Status::FailedPrecondition(
+            "SUM/COUNT queries require a SizeOracle");
+      }
+      Result<double> n = size_oracle_->EstimateRelationSize();
+      if (!n.ok()) return n.status();
+      return *n * mean;
+    }
+  }
+  return Status::Internal("unhandled aggregate op");
+}
+
+Result<std::optional<double>> IndependentEstimator::ContributionValue(
+    const Tuple& tuple) const {
+  DIGEST_ASSIGN_OR_RETURN(bool qualifies, bound_where_.Evaluate(tuple));
+  switch (spec_.query.op) {
+    case AggregateOp::kAvg:
+    case AggregateOp::kMedian: {
+      // Conditional statistic over the qualifying subpopulation.
+      if (!qualifies) return std::optional<double>();
+      Result<double> y = YValue(tuple);
+      if (!y.ok()) return y.status();
+      return std::optional<double>(*y);
+    }
+    case AggregateOp::kSum: {
+      if (!qualifies) return std::optional<double>(0.0);
+      Result<double> y = YValue(tuple);
+      if (!y.ok()) return y.status();
+      return std::optional<double>(*y);
+    }
+    case AggregateOp::kCount:
+      return std::optional<double>(qualifies ? 1.0 : 0.0);
+  }
+  return Status::Internal("unhandled aggregate op");
+}
+
+Result<SnapshotEstimate> IndependentEstimator::Evaluate(NodeId origin) {
+  DIGEST_RETURN_IF_ERROR(EnsureInitialized());
+  DIGEST_ASSIGN_OR_RETURN(double eps_mean, MeanEpsilon());
+
+  std::vector<TupleSample> samples;  // Contributing samples only.
+  std::vector<double> ys;
+  RunningStats stats;
+  size_t drawn_total = 0;
+
+  // Draws until `count` *contributing* samples have been collected (for
+  // a predicated AVG, non-qualifying draws cost traffic but are skipped).
+  auto draw = [&](size_t count) -> Status {
+    size_t guard = 0;
+    while (count > 0) {
+      if (++guard > 200) {
+        return Status::Unavailable(
+            "predicate selectivity too low: could not collect the "
+            "required qualifying samples");
+      }
+      DIGEST_ASSIGN_OR_RETURN(std::vector<TupleSample> batch,
+                              source_->DrawFresh(origin, count));
+      drawn_total += batch.size();
+      for (TupleSample& s : batch) {
+        DIGEST_ASSIGN_OR_RETURN(std::optional<double> y,
+                                ContributionValue(s.tuple));
+        if (!y.has_value()) continue;
+        ys.push_back(*y);
+        stats.Add(*y);
+        samples.push_back(std::move(s));
+        --count;
+      }
+    }
+    return Status::OK();
+  };
+
+  if (spec_.query.op == AggregateOp::kMedian) {
+    // Quantile estimation by order statistics: the empirical CDF at any
+    // point is within ε of the true CDF w.p. ≥ p after
+    // n = ln(2/(1−p))/(2ε²) samples (Hoeffding/DKW), so the sample
+    // median sits between the true (½±ε)-quantiles.
+    DIGEST_ASSIGN_OR_RETURN(
+        size_t needed,
+        HoeffdingSampleSize(1.0, eps_mean, spec_.precision.confidence));
+    needed = std::min(std::max(needed, options_.pilot_samples),
+                      options_.max_samples);
+    DIGEST_RETURN_IF_ERROR(draw(needed));
+  } else if (options_.sample_size_policy == SampleSizePolicy::kHoeffding) {
+    // One-shot distribution-free size; no pilot iteration needed.
+    DIGEST_ASSIGN_OR_RETURN(
+        size_t needed,
+        HoeffdingSampleSize(options_.value_range, eps_mean,
+                            spec_.precision.confidence));
+    needed = std::min(std::max(needed, options_.pilot_samples),
+                      options_.max_samples);
+    DIGEST_RETURN_IF_ERROR(draw(needed));
+  } else {
+    DIGEST_RETURN_IF_ERROR(draw(options_.pilot_samples));
+    for (size_t round = 0; round < options_.max_rounds; ++round) {
+      const double sigma = stats.SampleStdDev();
+      if (sigma == 0.0) break;  // Degenerate population: any n suffices.
+      // Eq. 6: n = (z_p σ̂ / ε)².
+      DIGEST_ASSIGN_OR_RETURN(size_t clt,
+                              CltSampleSize(sigma, eps_mean, z_));
+      const size_t needed =
+          std::min(std::max(clt, options_.pilot_samples),
+                   options_.max_samples);
+      if (ys.size() >= needed) break;
+      DIGEST_RETURN_IF_ERROR(draw(needed - ys.size()));
+    }
+  }
+
+  SnapshotEstimate est;
+  if (spec_.query.op == AggregateOp::kMedian) {
+    // Sample lower median of the qualifying draws.
+    std::vector<double> sorted = ys;
+    const size_t mid = (sorted.size() - 1) / 2;
+    std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+    est.mean_estimate = sorted[mid];
+  } else {
+    est.mean_estimate = stats.Mean();
+  }
+  est.sigma = stats.SampleStdDev();
+  est.variance_of_mean =
+      stats.SampleVariance() / static_cast<double>(std::max<size_t>(1,
+                                                   stats.count()));
+  est.total_samples = drawn_total;
+  est.fresh_samples = drawn_total;
+  est.retained_samples = 0;
+  est.contributing_samples = ys.size();
+  DIGEST_ASSIGN_OR_RETURN(est.value, ScaleToQueryUnits(est.mean_estimate));
+  // Hand the drawn set to a wrapping repeated-sampling estimator.
+  last_samples_ = std::move(samples);
+  last_ys_ = std::move(ys);
+  return est;
+}
+
+RepeatedSamplingEstimator::RepeatedSamplingEstimator(
+    const ContinuousQuerySpec& spec, const P2PDatabase* db,
+    SampleSource* source, SizeOracle* size_oracle, MessageMeter* meter,
+    Rng rng, EstimatorOptions options)
+    : independent_(spec, db, source, size_oracle, meter, rng.Fork(), options),
+      db_(db),
+      source_(source),
+      meter_(meter),
+      rng_(rng),
+      options_(options) {}
+
+void RepeatedSamplingEstimator::Reset() {
+  prev_samples_.clear();
+  prev_mean_estimate_ = 0.0;
+  prev_variance_ = 0.0;
+  rho_hat_ = 0.0;
+  sigma_hat_ = 0.0;
+  occasion_ = 0;
+  last_pair_y1_.clear();
+  last_pair_y2_.clear();
+}
+
+Result<double> RepeatedSamplingEstimator::AdjustedPreviousEstimate() const {
+  if (occasion_ < 2 || last_pair_y1_.size() < 3) {
+    return Status::FailedPrecondition(
+        "forward regression needs a completed occasion with at least 3 "
+        "retained pairs");
+  }
+  // Regress the previous occasion's values on the current ones — the
+  // mirror image of Table 1's reverse regression.
+  DIGEST_ASSIGN_OR_RETURN(LinearFit fit, SimpleLinearRegression(
+                                             last_pair_y2_, last_pair_y1_));
+  DIGEST_ASSIGN_OR_RETURN(
+      double rho, PearsonCorrelation(last_pair_y1_, last_pair_y2_));
+  const double rho2 = std::min(rho * rho, 0.9801);
+  const double g = static_cast<double>(last_pair_y1_.size());
+  const double sigma_sq = sigma_hat_ * sigma_hat_;
+  const double y_back = Mean(last_pair_y1_) +
+                        fit.slope * (after_update_mean_ -
+                                     Mean(last_pair_y2_));
+  const double var_back = sigma_sq * (1.0 - rho2) / g +
+                          rho2 * after_update_var_;
+  // Inverse-variance combination with the original occasion-(k−1)
+  // estimate.
+  const double w_orig =
+      before_update_var_ > 0.0 ? 1.0 / before_update_var_ : 0.0;
+  const double w_back = var_back > 0.0 ? 1.0 / var_back : 0.0;
+  double adjusted_mean;
+  if (w_orig + w_back <= 0.0) {
+    adjusted_mean = before_update_mean_;
+  } else {
+    adjusted_mean = (w_orig * before_update_mean_ + w_back * y_back) /
+                    (w_orig + w_back);
+  }
+  return independent_.ScaleToQueryUnits(adjusted_mean);
+}
+
+Result<SnapshotEstimate> RepeatedSamplingEstimator::EvaluateFirstOccasion(
+    NodeId origin) {
+  DIGEST_ASSIGN_OR_RETURN(SnapshotEstimate est,
+                          independent_.Evaluate(origin));
+  prev_samples_.clear();
+  prev_samples_.reserve(independent_.last_samples_.size());
+  for (size_t i = 0; i < independent_.last_samples_.size(); ++i) {
+    prev_samples_.push_back(Retained{independent_.last_samples_[i].ref,
+                                     independent_.last_ys_[i]});
+  }
+  prev_mean_estimate_ = est.mean_estimate;
+  prev_variance_ = est.variance_of_mean;
+  sigma_hat_ = est.sigma;
+  occasion_ = 1;
+  return est;
+}
+
+Result<SnapshotEstimate> RepeatedSamplingEstimator::Evaluate(NodeId origin) {
+  DIGEST_RETURN_IF_ERROR(independent_.EnsureInitialized());
+  if (options_.sample_size_policy == SampleSizePolicy::kHoeffding) {
+    return Status::InvalidArgument(
+        "repeated sampling plans via the CLT; use the independent "
+        "estimator for the Hoeffding policy");
+  }
+  if (independent_.spec_.query.op == AggregateOp::kMedian) {
+    // Regression estimation targets means; quantile snapshots always go
+    // through independent sampling (every occasion is a fresh draw).
+    return independent_.Evaluate(origin);
+  }
+  if (occasion_ == 0 || prev_samples_.size() < 4 || sigma_hat_ == 0.0) {
+    return EvaluateFirstOccasion(origin);
+  }
+  const double z = independent_.z_;
+  DIGEST_ASSIGN_OR_RETURN(double eps_mean, independent_.MeanEpsilon());
+
+  // Plan the occasion from the running (σ̂, ρ̂): Eq. 10 for the total,
+  // Eq. 9 (erratum-corrected; see sampling_plan.h and EXPERIMENTS.md)
+  // for the retained/fresh split.
+  DIGEST_ASSIGN_OR_RETURN(
+      RepeatedSamplingPlan plan,
+      PlanRepeatedOccasion(sigma_hat_, rho_hat_, eps_mean, z));
+  const size_t n_target = std::min(
+      std::max(plan.total, options_.pilot_samples), options_.max_samples);
+  size_t g_target = static_cast<size_t>(
+      static_cast<double>(n_target) * static_cast<double>(plan.retained) /
+      static_cast<double>(std::max<size_t>(plan.total, 1)));
+  g_target = std::min(g_target, prev_samples_.size());
+
+  // Revisit retained samples: shuffle the previous set and re-evaluate
+  // tuples in place. Deleted tuples / departed nodes are skipped and
+  // implicitly replaced by fresh samples (§IV-B2).
+  for (size_t i = prev_samples_.size(); i > 1; --i) {
+    std::swap(prev_samples_[i - 1], prev_samples_[rng_.NextIndex(i)]);
+  }
+  std::vector<double> y1g, y2g;
+  std::vector<Retained> current;  // Next occasion's candidate set.
+  y1g.reserve(g_target);
+  y2g.reserve(g_target);
+  for (const Retained& r : prev_samples_) {
+    if (y1g.size() >= g_target) break;
+    if (meter_ != nullptr) meter_->AddRefresh(options_.refresh_message_cost);
+    Result<Tuple> tuple = db_->GetTuple(r.ref);
+    if (!tuple.ok()) continue;  // Deleted or node left: always replaced.
+    Result<std::optional<double>> y2 =
+        independent_.ContributionValue(*tuple);
+    if (!y2.ok() || !y2->has_value()) {
+      // For a predicated AVG a tuple that stopped qualifying leaves the
+      // qualifying subpopulation — same treatment as a deletion.
+      continue;
+    }
+    y1g.push_back(r.y);
+    y2g.push_back(**y2);
+    current.push_back(Retained{r.ref, **y2});
+  }
+  const size_t g = y1g.size();
+
+  std::vector<double> yf;
+  std::vector<TupleRef> fresh_refs;
+  size_t fresh_drawn_total = 0;
+  auto draw_fresh = [&](size_t count) -> Status {
+    size_t guard = 0;
+    while (count > 0) {
+      if (++guard > 200) {
+        return Status::Unavailable(
+            "predicate selectivity too low: could not collect the "
+            "required qualifying samples");
+      }
+      DIGEST_ASSIGN_OR_RETURN(std::vector<TupleSample> batch,
+                              source_->DrawFresh(origin, count));
+      fresh_drawn_total += batch.size();
+      for (TupleSample& s : batch) {
+        DIGEST_ASSIGN_OR_RETURN(std::optional<double> y,
+                                independent_.ContributionValue(s.tuple));
+        if (!y.has_value()) continue;
+        yf.push_back(*y);
+        fresh_refs.push_back(s.ref);
+        --count;
+      }
+    }
+    return Status::OK();
+  };
+  const size_t f_initial =
+      n_target > g ? n_target - g : std::max<size_t>(1, n_target / 4);
+  DIGEST_RETURN_IF_ERROR(draw_fresh(f_initial));
+
+  // Estimate, then top-up fresh samples until the combined variance meets
+  // the contract (or caps are hit).
+  double combined = 0.0;
+  double combined_var = 0.0;
+  double sigma2 = 0.0;
+  double rho_sample = rho_hat_;
+  const double needed_var = (eps_mean / z) * (eps_mean / z);
+  for (size_t round = 0;; ++round) {
+    const size_t f = yf.size();
+    RunningStats all;
+    for (double y : y2g) all.Add(y);
+    for (double y : yf) all.Add(y);
+    sigma2 = all.SampleStdDev();
+    const double sigma2_sq = sigma2 * sigma2;
+
+    bool regression_ok = g >= 3;
+    double b = 0.0;
+    if (regression_ok) {
+      Result<LinearFit> fit = SimpleLinearRegression(y1g, y2g);
+      Result<double> rho = PearsonCorrelation(y1g, y2g);
+      if (fit.ok() && rho.ok()) {
+        b = fit->slope;
+        rho_sample = *rho;
+      } else {
+        regression_ok = false;
+      }
+    }
+    if (!regression_ok || f == 0) {
+      // Degenerate occasion: fall back to the plain mean of everything.
+      combined = all.Mean();
+      combined_var =
+          all.SampleVariance() / static_cast<double>(std::max<size_t>(1,
+                                                     all.count()));
+      rho_sample = rho_hat_;
+    } else {
+      const double ybar1g = Mean(y1g);
+      const double ybar2g = Mean(y2g);
+      const double ybar2f = Mean(yf);
+      const double rho_s2 = std::min(rho_sample * rho_sample, 0.9801);
+      // Table 1 (recursive form): the regression estimate leans on the
+      // previous occasion's combined estimate and inherits its variance.
+      const double y_reg = ybar2g + b * (prev_mean_estimate_ - ybar1g);
+      const double var_f = sigma2_sq / static_cast<double>(f);
+      const double var_g = sigma2_sq * (1.0 - rho_s2) / static_cast<double>(g)
+                           + rho_s2 * prev_variance_;
+      if (sigma2_sq == 0.0) {
+        combined = ybar2f;
+        combined_var = 0.0;
+      } else {
+        const double wf = var_f > 0.0 ? 1.0 / var_f : 0.0;
+        const double wg = var_g > 0.0 ? 1.0 / var_g : 0.0;
+        if (wf + wg <= 0.0) {
+          combined = all.Mean();
+          combined_var = 0.0;
+        } else {
+          combined = (wf * ybar2f + wg * y_reg) / (wf + wg);
+          combined_var = 1.0 / (wf + wg);
+        }
+      }
+    }
+    const size_t total = g + yf.size();
+    if (combined_var <= needed_var || round + 1 >= options_.max_rounds ||
+        total >= options_.max_samples || sigma2 == 0.0) {
+      break;
+    }
+    // Solve for the fresh count that brings the combined variance to the
+    // contract: 1/var_total = 1/var_g + f/σ², so
+    // f_req = σ²·(1/needed_var − 1/var_g).
+    const double rho_s2 = std::min(rho_sample * rho_sample, 0.9801);
+    const double var_g = sigma2 * sigma2 * (1.0 - rho_s2) /
+                             static_cast<double>(std::max<size_t>(1, g)) +
+                         rho_s2 * prev_variance_;
+    double inv_var_g = var_g > 0.0 ? 1.0 / var_g : 0.0;
+    double f_req = sigma2 * sigma2 * (1.0 / needed_var - inv_var_g);
+    size_t f_want = CeilToCount(f_req, yf.size() + 1,
+                                options_.max_samples - g);
+    DIGEST_RETURN_IF_ERROR(draw_fresh(f_want - yf.size()));
+  }
+
+  // Keep the pair data for forward regression before rolling state.
+  last_pair_y1_ = y1g;
+  last_pair_y2_ = y2g;
+  before_update_mean_ = prev_mean_estimate_;
+  before_update_var_ = prev_variance_;
+  after_update_mean_ = combined;
+  after_update_var_ = combined_var;
+
+  // Memorize this occasion for the next one.
+  for (size_t i = 0; i < yf.size(); ++i) {
+    current.push_back(Retained{fresh_refs[i], yf[i]});
+  }
+  prev_samples_ = std::move(current);
+  prev_mean_estimate_ = combined;
+  prev_variance_ = combined_var;
+  sigma_hat_ = sigma2;
+  const double w = options_.correlation_smoothing;
+  rho_hat_ = (1.0 - w) * rho_hat_ + w * rho_sample;
+  ++occasion_;
+
+  SnapshotEstimate est;
+  est.mean_estimate = combined;
+  est.sigma = sigma2;
+  est.variance_of_mean = combined_var;
+  est.total_samples = g + fresh_drawn_total;
+  est.fresh_samples = fresh_drawn_total;
+  est.retained_samples = g;
+  est.contributing_samples = g + yf.size();
+  DIGEST_ASSIGN_OR_RETURN(est.value,
+                          independent_.ScaleToQueryUnits(combined));
+  return est;
+}
+
+}  // namespace digest

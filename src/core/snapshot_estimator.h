@@ -1,0 +1,240 @@
+#ifndef DIGEST_CORE_SNAPSHOT_ESTIMATOR_H_
+#define DIGEST_CORE_SNAPSHOT_ESTIMATOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/query_spec.h"
+#include "db/size_oracle.h"
+#include "db/p2p_database.h"
+#include "net/message_meter.h"
+#include "numeric/rng.h"
+#include "sampling/tuple_sampler.h"
+
+namespace digest {
+
+/// Source of fresh uniform tuple samples for an estimator. Abstracts over
+/// the distributed two-stage MCMC sampler (production path) and the
+/// centralized exact sampler (tests and baselines).
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  /// Draws `n` uniform samples with replacement, originating any network
+  /// traffic at `origin`.
+  virtual Result<std::vector<TupleSample>> DrawFresh(NodeId origin,
+                                                     size_t n) = 0;
+};
+
+/// SampleSource over the two-stage MCMC tuple sampler (§III).
+class TwoStageSampleSource : public SampleSource {
+ public:
+  explicit TwoStageSampleSource(TwoStageTupleSampler* sampler)
+      : sampler_(sampler) {}
+  Result<std::vector<TupleSample>> DrawFresh(NodeId origin,
+                                             size_t n) override {
+    return sampler_->SampleBatch(origin, n);
+  }
+
+ private:
+  TwoStageTupleSampler* sampler_;
+};
+
+/// SampleSource over the centralized exact sampler.
+class ExactSampleSource : public SampleSource {
+ public:
+  explicit ExactSampleSource(ExactTupleSampler* sampler)
+      : sampler_(sampler) {}
+  Result<std::vector<TupleSample>> DrawFresh(NodeId origin,
+                                             size_t n) override {
+    (void)origin;
+    return sampler_->SampleBatch(n);
+  }
+
+ private:
+  ExactTupleSampler* sampler_;
+};
+
+/// How the per-occasion sample size is derived from (ε, p).
+enum class SampleSizePolicy {
+  /// Eq. 6's CLT size n = (z·σ̂/ε)², iterated from a pilot (the paper's
+  /// method). Needs a variance estimate; asymptotic guarantee.
+  kClt,
+  /// Distribution-free Hoeffding bound n = ln(2/(1−p))·range²/(2ε²)
+  /// (the style of guarantee snapshot-query systems like Arai et al.
+  /// use). Needs EstimatorOptions::value_range; typically much more
+  /// conservative than the CLT size but exact at any n. Supported by
+  /// the independent estimator only.
+  kHoeffding,
+};
+
+/// Tuning knobs shared by the snapshot estimators.
+struct EstimatorOptions {
+  size_t pilot_samples = 30;   ///< Minimum/pilot sample-set size.
+  size_t max_samples = 200000; ///< Hard cap per sampling occasion.
+  size_t max_rounds = 8;       ///< Sample-size iteration rounds.
+  SampleSizePolicy sample_size_policy = SampleSizePolicy::kClt;
+  /// Width of the attribute's support, required by kHoeffding (e.g.,
+  /// 150 for temperatures confined to [-50, 100] °F).
+  double value_range = 0.0;
+  /// EWMA weight of the newest correlation measurement when updating the
+  /// running ρ̂ (1.0 = use the newest only).
+  double correlation_smoothing = 0.5;
+  /// Messages charged for re-evaluating one retained sample (§VI-B2:
+  /// "negligible communication cost" — a direct contact, not a walk).
+  size_t refresh_message_cost = 1;
+};
+
+/// Outcome of one sampling occasion (one snapshot-query evaluation).
+struct SnapshotEstimate {
+  double value = 0.0;            ///< Aggregate result in query units.
+  double mean_estimate = 0.0;    ///< Per-tuple mean estimate Ŷ.
+  double sigma = 0.0;            ///< Estimated per-tuple stddev σ̂.
+  double variance_of_mean = 0.0; ///< Estimated var(Ŷ).
+  size_t total_samples = 0;      ///< Retained + fresh this occasion.
+  size_t fresh_samples = 0;      ///< Newly drawn from the network.
+  size_t retained_samples = 0;   ///< Revisited from the last occasion.
+  /// Samples that contributed to the estimate. Equal to total_samples
+  /// except for AVG queries with a WHERE clause, where drawn samples
+  /// failing the predicate cost traffic but do not contribute.
+  size_t contributing_samples = 0;
+};
+
+/// A snapshot-query evaluator: called once per sampling occasion by the
+/// engine, returns the estimate meeting the (ε, p) confidence contract.
+class SnapshotEstimator {
+ public:
+  virtual ~SnapshotEstimator() = default;
+
+  /// Evaluates the snapshot query at the current database state.
+  virtual Result<SnapshotEstimate> Evaluate(NodeId origin) = 0;
+
+  /// Forgets cross-occasion state (a fresh continuous query).
+  virtual void Reset() = 0;
+};
+
+/// Classical independent sampling (paper §IV-B1): every occasion draws a
+/// fresh uniform sample set sized by the CLT formula
+/// n = (σ̂ · z_p / ε)² (Eq. 6), iterating pilot → re-estimate σ̂ → top-up.
+class IndependentEstimator : public SnapshotEstimator {
+ public:
+  /// The expression inside `spec.query` is bound against `db->schema()`
+  /// on first use. `size_oracle` may be null for AVG queries; SUM/COUNT
+  /// fail without one. `meter` may be null.
+  IndependentEstimator(const ContinuousQuerySpec& spec, const P2PDatabase* db,
+                       SampleSource* source, SizeOracle* size_oracle,
+                       MessageMeter* meter, Rng rng,
+                       EstimatorOptions options = {});
+
+  Result<SnapshotEstimate> Evaluate(NodeId origin) override;
+  void Reset() override {}
+
+ private:
+  friend class RepeatedSamplingEstimator;
+
+  /// ε expressed in per-tuple-mean units (divides by N for SUM).
+  Result<double> MeanEpsilon() const;
+
+  /// Scales a mean estimate into query units (multiplies by N for SUM).
+  Result<double> ScaleToQueryUnits(double mean) const;
+
+  /// Maps a sampled tuple to its contribution to the per-tuple mean:
+  /// - AVG: y for qualifying tuples, nullopt (skip) otherwise — the
+  ///   conditional mean over the qualifying subpopulation.
+  /// - SUM: y·I(qualifies); COUNT: I(qualifies) — unconditional means
+  ///   scaled by N at the end, so the predicate needs no conditioning.
+  Result<std::optional<double>> ContributionValue(const Tuple& tuple) const;
+
+  ContinuousQuerySpec spec_;
+  const P2PDatabase* db_;
+  SampleSource* source_;
+  SizeOracle* size_oracle_;
+  MessageMeter* meter_;
+  Rng rng_;
+  EstimatorOptions options_;
+  Expression bound_expression_;
+  Predicate bound_where_;
+  double z_ = 0.0;  // Two-sided normal quantile for the confidence level.
+  bool initialized_ = false;
+  // The most recent occasion's sample set, exposed to a wrapping
+  // RepeatedSamplingEstimator so occasion 1 can seed the retained pool.
+  std::vector<TupleSample> last_samples_;
+  std::vector<double> last_ys_;
+
+  Status EnsureInitialized();
+  Result<double> YValue(const Tuple& tuple) const {
+    return bound_expression_.Evaluate(tuple);
+  }
+};
+
+/// Repeated sampling with regression estimation (paper §IV-B2).
+///
+/// Across occasions the estimator retains part of the previous sample
+/// set (optimal fraction g_opt = n / (1 + √(1−ρ̂²)), Eq. 9), re-evaluates
+/// the retained tuples in place (cheap), regresses current on previous
+/// values, and combines the regression estimate with the fresh-sample
+/// estimate weighted inversely by variance (Eq. 7). The occasion-k
+/// recursion follows Cochran's sampling-on-successive-occasions scheme:
+/// the regression leans on the previous occasion's *combined* estimate,
+/// whose variance enters the retained-portion variance.
+class RepeatedSamplingEstimator : public SnapshotEstimator {
+ public:
+  RepeatedSamplingEstimator(const ContinuousQuerySpec& spec,
+                            const P2PDatabase* db, SampleSource* source,
+                            SizeOracle* size_oracle, MessageMeter* meter,
+                            Rng rng, EstimatorOptions options = {});
+
+  Result<SnapshotEstimate> Evaluate(NodeId origin) override;
+  void Reset() override;
+
+  /// Current smoothed estimate of the inter-occasion correlation ρ̂.
+  double correlation_estimate() const { return rho_hat_; }
+
+  /// Forward regression (the paper's §VIII extension): a retrospectively
+  /// improved estimate of the *previous* occasion's result, in query
+  /// units. Where reverse regression uses occasion k−1 to sharpen
+  /// occasion k, this regresses the retained pairs the other way
+  /// (y_{k−1} on y_k) and combines with the previous occasion's original
+  /// estimate by inverse variance — occasion k's information flows
+  /// backward, "adjusting the previous result". Fails before the second
+  /// occasion or when the last occasion had too few retained pairs.
+  Result<double> AdjustedPreviousEstimate() const;
+
+ private:
+  struct Retained {
+    TupleRef ref;
+    double y = 0.0;  // Value at the occasion the sample was last seen.
+  };
+
+  /// First occasion: plain independent sampling, then memorize the set.
+  Result<SnapshotEstimate> EvaluateFirstOccasion(NodeId origin);
+
+  IndependentEstimator independent_;  // Reused for occasion 1 & fallbacks.
+  const P2PDatabase* db_;
+  SampleSource* source_;
+  MessageMeter* meter_;
+  Rng rng_;
+  EstimatorOptions options_;
+
+  std::vector<Retained> prev_samples_;
+  double prev_mean_estimate_ = 0.0;
+  double prev_variance_ = 0.0;
+  double rho_hat_ = 0.0;
+  double sigma_hat_ = 0.0;
+  size_t occasion_ = 0;
+
+  // State for forward regression: the retained pairs of the most recent
+  // occasion, plus the occasions' estimates on both sides of the pair.
+  std::vector<double> last_pair_y1_, last_pair_y2_;
+  double before_update_mean_ = 0.0;   // Ŷ_{k−1}.
+  double before_update_var_ = 0.0;    // var(Ŷ_{k−1}).
+  double after_update_mean_ = 0.0;    // Ŷ_k.
+  double after_update_var_ = 0.0;     // var(Ŷ_k).
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_CORE_SNAPSHOT_ESTIMATOR_H_

@@ -1,0 +1,145 @@
+#include "db/query.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace digest {
+namespace {
+
+// Scans `text` from `pos` for a case-insensitive keyword followed by a
+// word boundary. On success advances pos past the keyword.
+bool ConsumeKeyword(std::string_view text, size_t& pos,
+                    std::string_view keyword) {
+  size_t p = pos;
+  while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p]))) {
+    ++p;
+  }
+  if (p + keyword.size() > text.size()) return false;
+  if (!EqualsIgnoreCase(text.substr(p, keyword.size()), keyword)) {
+    return false;
+  }
+  const size_t after = p + keyword.size();
+  if (after < text.size()) {
+    const char c = text[after];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') return false;
+  }
+  pos = after;
+  return true;
+}
+
+void SkipSpace(std::string_view text, size_t& pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+}
+
+}  // namespace
+
+const char* AggregateOpName(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kAvg:
+      return "AVG";
+    case AggregateOp::kSum:
+      return "SUM";
+    case AggregateOp::kCount:
+      return "COUNT";
+    case AggregateOp::kMedian:
+      return "MEDIAN";
+  }
+  return "?";
+}
+
+Result<AggregateQuery> AggregateQuery::Parse(std::string_view text) {
+  size_t pos = 0;
+  if (!ConsumeKeyword(text, pos, "SELECT")) {
+    return Status::ParseError("query must begin with SELECT");
+  }
+  AggregateQuery query;
+  if (ConsumeKeyword(text, pos, "AVG")) {
+    query.op = AggregateOp::kAvg;
+  } else if (ConsumeKeyword(text, pos, "SUM")) {
+    query.op = AggregateOp::kSum;
+  } else if (ConsumeKeyword(text, pos, "COUNT")) {
+    query.op = AggregateOp::kCount;
+  } else if (ConsumeKeyword(text, pos, "MEDIAN")) {
+    query.op = AggregateOp::kMedian;
+  } else {
+    return Status::ParseError(
+        "expected aggregate op AVG, SUM, COUNT, or MEDIAN");
+  }
+  SkipSpace(text, pos);
+  if (pos >= text.size() || text[pos] != '(') {
+    return Status::ParseError("expected '(' after aggregate op");
+  }
+  ++pos;
+  // Find the matching close parenthesis.
+  size_t depth = 1;
+  const size_t expr_start = pos;
+  while (pos < text.size() && depth > 0) {
+    if (text[pos] == '(') ++depth;
+    if (text[pos] == ')') --depth;
+    ++pos;
+  }
+  if (depth != 0) {
+    return Status::ParseError("unbalanced parentheses in aggregate argument");
+  }
+  const std::string_view expr_text =
+      text.substr(expr_start, pos - 1 - expr_start);
+  const std::string_view trimmed = StripWhitespace(expr_text);
+  if (query.op == AggregateOp::kCount && trimmed == "*") {
+    query.expression = Expression::Constant(1.0);
+  } else {
+    DIGEST_ASSIGN_OR_RETURN(query.expression, Expression::Parse(trimmed));
+  }
+  if (!ConsumeKeyword(text, pos, "FROM")) {
+    return Status::ParseError("expected FROM after aggregate");
+  }
+  SkipSpace(text, pos);
+  const size_t rel_start = pos;
+  while (pos < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+          text[pos] == '_')) {
+    ++pos;
+  }
+  if (pos == rel_start) {
+    return Status::ParseError("expected relation name after FROM");
+  }
+  query.relation = std::string(text.substr(rel_start, pos - rel_start));
+  if (ConsumeKeyword(text, pos, "WHERE")) {
+    std::string_view rest = text.substr(pos);
+    // Allow one trailing semicolon after the predicate.
+    const std::string_view trimmed = StripWhitespace(rest);
+    const std::string_view pred_text =
+        (!trimmed.empty() && trimmed.back() == ';')
+            ? StripWhitespace(trimmed.substr(0, trimmed.size() - 1))
+            : trimmed;
+    if (pred_text.empty()) {
+      return Status::ParseError("empty WHERE clause");
+    }
+    DIGEST_ASSIGN_OR_RETURN(query.where, Predicate::Parse(pred_text));
+    return query;
+  }
+  SkipSpace(text, pos);
+  if (pos != text.size() && text[pos] != ';') {
+    return Status::ParseError("unexpected trailing input after relation");
+  }
+  return query;
+}
+
+std::string AggregateQuery::ToString() const {
+  std::string out = "SELECT ";
+  out += AggregateOpName(op);
+  out += "(";
+  out += expression.ToString();
+  out += ") FROM ";
+  out += relation;
+  if (!where.IsTrivial()) {
+    out += " WHERE ";
+    out += where.ToString();
+  }
+  return out;
+}
+
+}  // namespace digest

@@ -1,0 +1,48 @@
+#ifndef DIGEST_DB_QUERY_H_
+#define DIGEST_DB_QUERY_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "db/expression.h"
+#include "db/predicate.h"
+
+namespace digest {
+
+/// Aggregate operations supported by the query model. AVG/SUM/COUNT are
+/// the paper's §II basic model; MEDIAN is an extension in the §VIII
+/// "more complex aggregates" direction — unlike MIN/MAX (whose extremes
+/// uniform sampling cannot bound), quantiles admit clean sample-based
+/// guarantees via order statistics, with the confidence interval
+/// expressed in *rank* space (see PrecisionSpec).
+enum class AggregateOp { kAvg, kSum, kCount, kMedian };
+
+/// Canonical name of an aggregate op ("AVG", "SUM", "COUNT", "MEDIAN").
+const char* AggregateOpName(AggregateOp op);
+
+/// A parsed snapshot aggregate query
+/// `SELECT op(expression) FROM R [WHERE predicate]`.
+///
+/// COUNT accepts `COUNT(*)` as well as `COUNT(expression)`; in both forms
+/// it counts tuples (the expression is ignored for evaluation but must
+/// still parse). The optional WHERE clause restricts the aggregate to
+/// qualifying tuples (select predicates are the paper's §VIII extension;
+/// see DESIGN.md for the estimation semantics).
+struct AggregateQuery {
+  AggregateOp op = AggregateOp::kAvg;
+  Expression expression;
+  std::string relation;
+  Predicate where;  ///< Trivial (always-true) when no WHERE clause.
+
+  /// Parses the SQL-like text form. Accepts any amount of whitespace and
+  /// case-insensitive keywords. Fails with kParseError on anything else.
+  static Result<AggregateQuery> Parse(std::string_view text);
+
+  /// Canonical text form.
+  std::string ToString() const;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_DB_QUERY_H_

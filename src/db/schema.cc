@@ -1,0 +1,32 @@
+#include "db/schema.h"
+
+namespace digest {
+
+Result<Schema> Schema::Create(std::vector<std::string> attribute_names) {
+  if (attribute_names.empty()) {
+    return Status::InvalidArgument("schema requires at least one attribute");
+  }
+  for (size_t i = 0; i < attribute_names.size(); ++i) {
+    if (attribute_names[i].empty()) {
+      return Status::InvalidArgument("attribute names must be non-empty");
+    }
+    for (size_t j = i + 1; j < attribute_names.size(); ++j) {
+      if (attribute_names[i] == attribute_names[j]) {
+        return Status::InvalidArgument("duplicate attribute name: " +
+                                       attribute_names[i]);
+      }
+    }
+  }
+  Schema schema;
+  schema.names_ = std::move(attribute_names);
+  return schema;
+}
+
+Result<size_t> Schema::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+}  // namespace digest

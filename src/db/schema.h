@@ -1,0 +1,52 @@
+#ifndef DIGEST_DB_SCHEMA_H_
+#define DIGEST_DB_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace digest {
+
+/// Schema of the single horizontally partitioned relation R (paper §II).
+///
+/// Attributes are numeric (double) and referenced by name from query
+/// expressions; the schema maps names to dense indices so bound
+/// expressions evaluate without string lookups.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Creates a schema from attribute names. Fails on duplicates or empty
+  /// names.
+  static Result<Schema> Create(std::vector<std::string> attribute_names);
+
+  /// Number of attributes.
+  size_t NumAttributes() const { return names_.size(); }
+
+  /// Name of attribute `index` (must be < NumAttributes()).
+  const std::string& AttributeName(size_t index) const {
+    return names_[index];
+  }
+
+  /// Index of the attribute with this name; fails with kNotFound when
+  /// absent (names are case-sensitive).
+  Result<size_t> AttributeIndex(const std::string& name) const;
+
+  /// All attribute names, in index order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// A tuple of R: one double per schema attribute.
+///
+/// Tuples carry no identity themselves; stores assign ids (see
+/// local_store.h).
+using Tuple = std::vector<double>;
+
+}  // namespace digest
+
+#endif  // DIGEST_DB_SCHEMA_H_

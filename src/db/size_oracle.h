@@ -1,0 +1,41 @@
+#ifndef DIGEST_DB_SIZE_ORACLE_H_
+#define DIGEST_DB_SIZE_ORACLE_H_
+
+#include "common/result.h"
+#include "db/p2p_database.h"
+
+namespace digest {
+
+/// Provider of the relation cardinality N = |R|, needed to scale AVG
+/// estimates into SUM/COUNT results (Ŷ_sum = N·Ŷ_avg).
+///
+/// The paper's experiments evaluate AVG only, where N cancels out; SUM
+/// and COUNT additionally require a network-size estimation service,
+/// which is outside the paper's scope. This interface is the seam for
+/// plugging one in. ExactSizeOracle substitutes a ground-truth count (a
+/// documented simulation substitution, see DESIGN.md); a deployment
+/// would supply, e.g., a random-walk-based size estimator.
+class SizeOracle {
+ public:
+  virtual ~SizeOracle() = default;
+
+  /// Current estimate of |R|.
+  virtual Result<double> EstimateRelationSize() = 0;
+};
+
+/// Ground-truth size oracle backed by the simulated database.
+class ExactSizeOracle : public SizeOracle {
+ public:
+  explicit ExactSizeOracle(const P2PDatabase* db) : db_(db) {}
+
+  Result<double> EstimateRelationSize() override {
+    return static_cast<double>(db_->TotalTuples());
+  }
+
+ private:
+  const P2PDatabase* db_;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_DB_SIZE_ORACLE_H_

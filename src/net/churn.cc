@@ -1,0 +1,81 @@
+#include "net/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/topology.h"
+
+namespace digest {
+namespace {
+
+// floor(rate) events plus one more with probability frac(rate).
+size_t DrawCount(double rate, Rng& rng) {
+  if (rate <= 0.0) return 0;
+  const double whole = std::floor(rate);
+  size_t count = static_cast<size_t>(whole);
+  if (rng.NextBernoulli(rate - whole)) ++count;
+  return count;
+}
+
+}  // namespace
+
+Result<ChurnEvents> ChurnProcess::Tick(Graph& graph, Rng& rng) {
+  ChurnEvents events;
+
+  // Leaves first (a leave and a join in the same tick are independent
+  // peers). Never shrink below the configured floor.
+  const size_t leaves = DrawCount(config_.leave_rate, rng);
+  for (size_t i = 0; i < leaves; ++i) {
+    if (graph.NodeCount() <= config_.min_nodes) break;
+    DIGEST_ASSIGN_OR_RETURN(NodeId victim, graph.RandomLiveNode(rng));
+    if (victim == config_.protected_node) {
+      DIGEST_ASSIGN_OR_RETURN(victim, graph.RandomLiveNode(rng));
+      if (victim == config_.protected_node) continue;  // Skip this leave.
+    }
+    DIGEST_RETURN_IF_ERROR(graph.RemoveNode(victim));
+    events.left.push_back(victim);
+  }
+  if (!events.left.empty()) {
+    RepairConnectivity(graph, rng);
+  }
+
+  const size_t joins = DrawCount(config_.join_rate, rng);
+  for (size_t i = 0; i < joins; ++i) {
+    if (graph.NodeCount() == 0) break;
+    std::vector<NodeId> live = graph.LiveNodes();
+    NodeId fresh = graph.AddNode();
+    const size_t want =
+        std::min(config_.attach_edges == 0 ? size_t{1} : config_.attach_edges,
+                 live.size());
+    size_t made = 0;
+    size_t guard = 0;
+    while (made < want && guard < 64 * want + 64) {
+      ++guard;
+      NodeId target;
+      if (config_.preferential_attachment) {
+        // Degree-proportional pick by rejection: accept a uniform live
+        // node with probability degree/max_degree.
+        size_t max_degree = 1;
+        for (NodeId id : live) max_degree = std::max(max_degree,
+                                                     graph.Degree(id));
+        target = live[rng.NextIndex(live.size())];
+        if (!rng.NextBernoulli(static_cast<double>(graph.Degree(target)) /
+                               static_cast<double>(max_degree))) {
+          continue;
+        }
+      } else {
+        target = live[rng.NextIndex(live.size())];
+      }
+      if (graph.AddEdge(fresh, target).ok()) ++made;
+    }
+    if (made == 0) {
+      // Could not attach (degenerate small graph): fall back to the first
+      // live node to keep the overlay connected.
+      DIGEST_RETURN_IF_ERROR(graph.AddEdge(fresh, live.front()));
+    }
+    events.joined.push_back(fresh);
+  }
+  return events;
+}
+
+}  // namespace digest

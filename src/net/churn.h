@@ -1,0 +1,60 @@
+#ifndef DIGEST_NET_CHURN_H_
+#define DIGEST_NET_CHURN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "net/graph.h"
+#include "numeric/rng.h"
+
+namespace digest {
+
+/// Configuration of the node join/leave process (paper §II: nodes
+/// autonomously join and leave; the SETI@home network churns visibly,
+/// the weather network is almost stable).
+struct ChurnConfig {
+  double join_rate = 0.0;   ///< Expected joins per tick.
+  double leave_rate = 0.0;  ///< Expected leaves per tick.
+  size_t attach_edges = 2;  ///< Edges a joining node establishes.
+  /// Attach preferentially by degree (power-law growth) instead of
+  /// uniformly.
+  bool preferential_attachment = false;
+  size_t min_nodes = 3;     ///< Leaves never shrink the graph below this.
+  /// A node exempt from leaving (e.g., the querying node, which is by
+  /// definition online while its continuous query runs).
+  NodeId protected_node = kInvalidNode;
+};
+
+/// Nodes added and removed by one churn tick.
+struct ChurnEvents {
+  std::vector<NodeId> joined;
+  std::vector<NodeId> left;
+};
+
+/// Drives membership dynamics of an overlay graph, one tick at a time.
+///
+/// Counts per tick are floor(rate) plus a Bernoulli on the fractional
+/// part, so the long-run average matches the configured rate. After
+/// removals the graph's connectivity is repaired (a leaving peer's
+/// neighbors re-link), matching the standing assumption that the overlay
+/// stays connected.
+class ChurnProcess {
+ public:
+  explicit ChurnProcess(ChurnConfig config) : config_(config) {}
+
+  const ChurnConfig& config() const { return config_; }
+
+  /// Marks a node as exempt from leaving.
+  void set_protected_node(NodeId node) { config_.protected_node = node; }
+
+  /// Applies one tick of churn to `graph`. Fails only on internal
+  /// invariant violations.
+  Result<ChurnEvents> Tick(Graph& graph, Rng& rng);
+
+ private:
+  ChurnConfig config_;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_NET_CHURN_H_

@@ -1,0 +1,57 @@
+#ifndef DIGEST_NET_MESSAGE_METER_H_
+#define DIGEST_NET_MESSAGE_METER_H_
+
+#include <cstdint>
+
+namespace digest {
+
+/// Communication-cost accounting (the efficiency metric of §VI-B3).
+///
+/// Every component that sends simulated messages charges them here, by
+/// category, so benches can report both totals and breakdowns. One meter
+/// instance is shared per experiment run.
+class MessageMeter {
+ public:
+  /// One hop of a random-walk sampling agent (node-to-node forward).
+  void AddWalkHop(uint64_t n = 1) { walk_hops_ += n; }
+
+  /// One neighbor-weight probe (node i asking neighbor j for w_j when
+  /// computing Metropolis forwarding probabilities).
+  void AddWeightProbe(uint64_t n = 1) { weight_probes_ += n; }
+
+  /// Returning a sampled tuple from the sampled node to the query node.
+  void AddSampleTransfer(uint64_t n = 1) { sample_transfers_ += n; }
+
+  /// Re-evaluating a retained (repeated-sampling) sample at a known node.
+  void AddRefresh(uint64_t n = 1) { refreshes_ += n; }
+
+  /// Push-based baseline traffic (tuples/updates pushed toward the
+  /// querying node), in per-hop messages.
+  void AddPush(uint64_t n = 1) { pushes_ += n; }
+
+  uint64_t walk_hops() const { return walk_hops_; }
+  uint64_t weight_probes() const { return weight_probes_; }
+  uint64_t sample_transfers() const { return sample_transfers_; }
+  uint64_t refreshes() const { return refreshes_; }
+  uint64_t pushes() const { return pushes_; }
+
+  /// Grand total over all categories.
+  uint64_t Total() const {
+    return walk_hops_ + weight_probes_ + sample_transfers_ + refreshes_ +
+           pushes_;
+  }
+
+  /// Resets all counters to zero.
+  void Reset() { *this = MessageMeter(); }
+
+ private:
+  uint64_t walk_hops_ = 0;
+  uint64_t weight_probes_ = 0;
+  uint64_t sample_transfers_ = 0;
+  uint64_t refreshes_ = 0;
+  uint64_t pushes_ = 0;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_NET_MESSAGE_METER_H_

@@ -1,0 +1,64 @@
+#ifndef DIGEST_NET_TOPOLOGY_H_
+#define DIGEST_NET_TOPOLOGY_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "net/graph.h"
+#include "numeric/rng.h"
+
+namespace digest {
+
+/// Topology generators for the overlay substrates used in the paper's
+/// experiments (§VI-A simulates a mesh network for the weather-station
+/// workload and a power-law network for the SETI@home workload) plus a
+/// few reference topologies for testing.
+///
+/// All generators return connected, non-bipartite-after-lazification
+/// graphs (the Metropolis walk adds the ½ self-loop, so bipartite inputs
+/// such as even rings are still fine for sampling).
+
+/// Cycle over n ≥ 3 nodes.
+Result<Graph> MakeRing(size_t n);
+
+/// Complete graph over n ≥ 2 nodes.
+Result<Graph> MakeComplete(size_t n);
+
+/// rows×cols grid (4-neighborhood). `torus` wraps the borders.
+/// Requires rows ≥ 2 and cols ≥ 2.
+Result<Graph> MakeMesh(size_t rows, size_t cols, bool torus = false);
+
+/// Erdős–Rényi G(n, p) with connectivity repair: after sampling edges,
+/// components are joined with random inter-component edges so the result
+/// is always connected. Requires n ≥ 2 and p in [0, 1].
+Result<Graph> MakeErdosRenyi(size_t n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `edges_per_node` ≥ 1 existing nodes with probability proportional to
+/// degree, yielding a power-law degree distribution (the paper's generic
+/// model of unstructured P2P topologies, Theorem 4). Requires
+/// n > edges_per_node.
+Result<Graph> MakeBarabasiAlbert(size_t n, size_t edges_per_node, Rng& rng);
+
+/// Watts–Strogatz small world: a ring lattice where every node connects
+/// to its `k` nearest neighbors on each side, with each lattice edge
+/// rewired to a random endpoint with probability `beta`. β = 0 is a pure
+/// lattice, β = 1 approaches a random graph; intermediate β gives the
+/// high-clustering/short-path regime typical of social overlays.
+/// Requires n > 2k ≥ 2 and beta in [0, 1]. Connectivity is repaired
+/// after rewiring.
+Result<Graph> MakeWattsStrogatz(size_t n, size_t k, double beta, Rng& rng);
+
+/// Random d-regular graph by the pairing model with retries: every node
+/// has exactly `degree` neighbors. Requires n·degree even, degree ≥ 2,
+/// and n > degree. Connectivity is repaired if a rare disconnected
+/// pairing survives (which perturbs regularity minimally).
+Result<Graph> MakeRandomRegular(size_t n, size_t degree, Rng& rng);
+
+/// Adds random edges between the connected components of `graph` until it
+/// is connected. Returns the number of edges added.
+size_t RepairConnectivity(Graph& graph, Rng& rng);
+
+}  // namespace digest
+
+#endif  // DIGEST_NET_TOPOLOGY_H_

@@ -1,0 +1,148 @@
+#include "numeric/levmar.h"
+
+#include <cmath>
+
+#include "numeric/matrix.h"
+
+namespace digest {
+namespace {
+
+double CostOf(const std::vector<double>& residuals) {
+  double acc = 0.0;
+  for (double r : residuals) acc += r * r;
+  return 0.5 * acc;
+}
+
+}  // namespace
+
+Result<LevMarResult> LevenbergMarquardt(const ResidualFn& fn,
+                                        std::vector<double> initial,
+                                        size_t residual_count,
+                                        const LevMarOptions& options) {
+  const size_t n_params = initial.size();
+  if (n_params == 0) {
+    return Status::InvalidArgument("LM requires at least one parameter");
+  }
+  if (residual_count < n_params) {
+    return Status::InvalidArgument(
+        "LM requires at least as many residuals as parameters");
+  }
+
+  std::vector<double> params = std::move(initial);
+  std::vector<double> residuals(residual_count, 0.0);
+  fn(params, residuals);
+  double cost = CostOf(residuals);
+
+  double lambda = options.initial_lambda;
+  LevMarResult out;
+  out.iterations = 0;
+
+  std::vector<double> perturbed = params;
+  std::vector<double> res_perturbed(residual_count, 0.0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    out.iterations = iter + 1;
+    // Finite-difference Jacobian J (residual_count × n_params).
+    Matrix jac(residual_count, n_params);
+    for (size_t p = 0; p < n_params; ++p) {
+      const double h =
+          options.jacobian_eps * std::max(1.0, std::fabs(params[p]));
+      perturbed = params;
+      perturbed[p] += h;
+      fn(perturbed, res_perturbed);
+      for (size_t r = 0; r < residual_count; ++r) {
+        jac(r, p) = (res_perturbed[r] - residuals[r]) / h;
+      }
+    }
+    // Gradient g = Jᵀ r and Gauss-Newton Hessian H = Jᵀ J.
+    std::vector<double> grad(n_params, 0.0);
+    Matrix hess(n_params, n_params);
+    for (size_t r = 0; r < residual_count; ++r) {
+      for (size_t p = 0; p < n_params; ++p) {
+        grad[p] += jac(r, p) * residuals[r];
+      }
+    }
+    for (size_t p = 0; p < n_params; ++p) {
+      for (size_t q = p; q < n_params; ++q) {
+        double acc = 0.0;
+        for (size_t r = 0; r < residual_count; ++r) {
+          acc += jac(r, p) * jac(r, q);
+        }
+        hess(p, q) = acc;
+        hess(q, p) = acc;
+      }
+    }
+    double grad_inf = 0.0;
+    for (double g : grad) grad_inf = std::max(grad_inf, std::fabs(g));
+    if (grad_inf < options.gradient_tol) {
+      out.converged = true;
+      break;
+    }
+    // Inner damping loop: retry with larger lambda until a step reduces
+    // the cost or the damping overflows.
+    bool stepped = false;
+    while (lambda < 1e12) {
+      Matrix damped = hess;
+      for (size_t p = 0; p < n_params; ++p) {
+        damped(p, p) += lambda * std::max(hess(p, p), 1e-12);
+      }
+      std::vector<double> neg_grad(n_params);
+      for (size_t p = 0; p < n_params; ++p) neg_grad[p] = -grad[p];
+      Result<std::vector<double>> step = SolveLinearSystem(damped, neg_grad);
+      if (!step.ok()) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      std::vector<double> candidate = params;
+      double step_norm = 0.0;
+      double param_norm = 0.0;
+      for (size_t p = 0; p < n_params; ++p) {
+        candidate[p] += (*step)[p];
+        step_norm += (*step)[p] * (*step)[p];
+        param_norm += params[p] * params[p];
+      }
+      fn(candidate, res_perturbed);
+      const double candidate_cost = CostOf(res_perturbed);
+      if (candidate_cost < cost) {
+        params = std::move(candidate);
+        residuals = res_perturbed;
+        cost = candidate_cost;
+        lambda = std::max(lambda * options.lambda_down, 1e-12);
+        stepped = true;
+        if (step_norm <= options.step_tol * (param_norm + options.step_tol)) {
+          out.converged = true;
+        }
+        break;
+      }
+      lambda *= options.lambda_up;
+    }
+    if (!stepped || out.converged) {
+      // No productive step exists at any damping: local minimum reached.
+      out.converged = true;
+      break;
+    }
+  }
+  out.parameters = std::move(params);
+  out.final_cost = cost;
+  return out;
+}
+
+Result<LevMarResult> FitModelLevMar(
+    const std::function<double(double, const std::vector<double>&)>& model,
+    const std::vector<double>& xs, const std::vector<double>& ys,
+    std::vector<double> initial, const LevMarOptions& options) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("fit requires equal-length xs and ys");
+  }
+  const auto& x_ref = xs;
+  const auto& y_ref = ys;
+  ResidualFn fn = [&model, &x_ref, &y_ref](const std::vector<double>& params,
+                                           std::vector<double>& residuals) {
+    for (size_t i = 0; i < x_ref.size(); ++i) {
+      residuals[i] = model(x_ref[i], params) - y_ref[i];
+    }
+  };
+  return LevenbergMarquardt(fn, std::move(initial), xs.size(), options);
+}
+
+}  // namespace digest

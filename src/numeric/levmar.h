@@ -1,0 +1,58 @@
+#ifndef DIGEST_NUMERIC_LEVMAR_H_
+#define DIGEST_NUMERIC_LEVMAR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace digest {
+
+/// Options for the Levenberg–Marquardt solver.
+struct LevMarOptions {
+  size_t max_iterations = 200;    ///< Outer iteration cap.
+  double initial_lambda = 1e-3;   ///< Initial damping factor.
+  double lambda_up = 10.0;        ///< Damping multiplier on rejected steps.
+  double lambda_down = 0.1;       ///< Damping multiplier on accepted steps.
+  double gradient_tol = 1e-12;    ///< Stop when ‖JᵀR‖∞ drops below this.
+  double step_tol = 1e-12;        ///< Stop when the relative step is tiny.
+  double jacobian_eps = 1e-6;     ///< Finite-difference step for Jacobian.
+};
+
+/// Result of a Levenberg–Marquardt run.
+struct LevMarResult {
+  std::vector<double> parameters;  ///< Optimized parameter vector.
+  double final_cost = 0.0;         ///< ½·Σ residual² at the optimum.
+  size_t iterations = 0;           ///< Outer iterations performed.
+  bool converged = false;          ///< True if a tolerance triggered the stop.
+};
+
+/// A model residual function: given parameters θ, fill `residuals` with
+/// r_i(θ) (the solver minimizes ½‖r(θ)‖²). The residual count must stay
+/// constant across calls.
+using ResidualFn =
+    std::function<void(const std::vector<double>& params,
+                       std::vector<double>& residuals)>;
+
+/// Minimizes ½‖r(θ)‖² from the starting point `initial` using the
+/// Levenberg–Marquardt trust-region method with a finite-difference
+/// Jacobian (the fitting method the paper names for its Taylor-polynomial
+/// extrapolation, §IV-A).
+///
+/// Fails if `residual_count` is smaller than the parameter count or if
+/// the damped normal equations become unsolvable.
+Result<LevMarResult> LevenbergMarquardt(const ResidualFn& fn,
+                                        std::vector<double> initial,
+                                        size_t residual_count,
+                                        const LevMarOptions& options = {});
+
+/// Convenience wrapper: fits params of a scalar model y = f(x; θ) to data
+/// by LM. `model(x, params)` returns the prediction at x.
+Result<LevMarResult> FitModelLevMar(
+    const std::function<double(double, const std::vector<double>&)>& model,
+    const std::vector<double>& xs, const std::vector<double>& ys,
+    std::vector<double> initial, const LevMarOptions& options = {});
+
+}  // namespace digest
+
+#endif  // DIGEST_NUMERIC_LEVMAR_H_

@@ -1,0 +1,240 @@
+#include "numeric/matrix.h"
+
+#include <cmath>
+
+namespace digest {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::MatVec(const std::vector<double>& x) const {
+  std::vector<double> y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::VecMat(const std::vector<double>& x) const {
+  std::vector<double> y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) y[c] += xr * row[c];
+  }
+  return y;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  double worst = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+Result<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                              const std::vector<double>& b) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("SolveLinearSystem requires a square A");
+  }
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs size does not match matrix");
+  }
+  Matrix m = a;
+  std::vector<double> rhs = b;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::fabs(m(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(m(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      return Status::NumericError("singular system in SolveLinearSystem");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(m(col, c), m(pivot, c));
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    const double inv = 1.0 / m(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = m(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) m(r, c) -= factor * m(col, c);
+      rhs[r] -= factor * rhs[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t r = n; r-- > 0;) {
+    double acc = rhs[r];
+    for (size_t c = r + 1; c < n; ++c) acc -= m(r, c) * x[c];
+    x[r] = acc / m(r, r);
+  }
+  return x;
+}
+
+Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
+                                              const std::vector<double>& b) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument(
+        "least squares requires at least as many rows as columns");
+  }
+  if (b.size() != m) {
+    return Status::InvalidArgument("rhs size does not match matrix");
+  }
+  // Householder QR, transforming [A | b] in place.
+  Matrix r = a;
+  std::vector<double> rhs = b;
+  for (size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) {
+      return Status::NumericError("rank-deficient matrix in least squares");
+    }
+    const double alpha = (r(k, k) > 0.0) ? -norm : norm;
+    // Householder vector v (stored locally).
+    std::vector<double> v(m - k, 0.0);
+    v[0] = r(k, k) - alpha;
+    for (size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vtv = 0.0;
+    for (double vi : v) vtv += vi * vi;
+    if (vtv < 1e-300) continue;  // Column already triangular.
+    const double beta = 2.0 / vtv;
+    // Apply H = I - beta v vT to remaining columns and rhs.
+    for (size_t c = k; c < n; ++c) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v[i - k] * r(i, c);
+      dot *= beta;
+      for (size_t i = k; i < m; ++i) r(i, c) -= dot * v[i - k];
+    }
+    double dot = 0.0;
+    for (size_t i = k; i < m; ++i) dot += v[i - k] * rhs[i];
+    dot *= beta;
+    for (size_t i = k; i < m; ++i) rhs[i] -= dot * v[i - k];
+  }
+  // Back substitution on the upper-triangular n×n block.
+  std::vector<double> x(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double acc = rhs[row];
+    for (size_t c = row + 1; c < n; ++c) acc -= r(row, c) * x[c];
+    const double diag = r(row, row);
+    if (std::fabs(diag) < 1e-300) {
+      return Status::NumericError("rank-deficient matrix in least squares");
+    }
+    x[row] = acc / diag;
+  }
+  return x;
+}
+
+Result<double> SecondEigenvalueMagnitude(const Matrix& p,
+                                         const std::vector<double>& pi,
+                                         size_t max_iters, double tol) {
+  const size_t n = p.rows();
+  if (p.cols() != n || pi.size() != n) {
+    return Status::InvalidArgument("shape mismatch in eigenvalue analysis");
+  }
+  for (double v : pi) {
+    if (!(v > 0.0)) {
+      return Status::InvalidArgument(
+          "stationary distribution must be strictly positive");
+    }
+  }
+  // Symmetrize: S(i,j) = sqrt(pi_i/pi_j) * P(i,j). Reversibility makes S
+  // symmetric with the same eigenvalues as P.
+  Matrix s(n, n);
+  std::vector<double> sqrt_pi(n);
+  for (size_t i = 0; i < n; ++i) sqrt_pi[i] = std::sqrt(pi[i]);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      s(i, j) = sqrt_pi[i] * p(i, j) / sqrt_pi[j];
+    }
+  }
+  // Top eigenvector of S is sqrt(pi) (eigenvalue 1). Power-iterate on the
+  // orthogonal complement.
+  double norm_sqrt_pi = 0.0;
+  for (double v : sqrt_pi) norm_sqrt_pi += v * v;
+  norm_sqrt_pi = std::sqrt(norm_sqrt_pi);
+  std::vector<double> top(n);
+  for (size_t i = 0; i < n; ++i) top[i] = sqrt_pi[i] / norm_sqrt_pi;
+
+  // Deterministic starting vector with nonzero overlap in general position.
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = 1.0 + 0.37 * std::sin(static_cast<double>(i) * 1.7 + 0.3);
+  }
+  auto deflate = [&](std::vector<double>& v) {
+    double dot = 0.0;
+    for (size_t i = 0; i < n; ++i) dot += v[i] * top[i];
+    for (size_t i = 0; i < n; ++i) v[i] -= dot * top[i];
+  };
+  auto normalize = [&](std::vector<double>& v) -> double {
+    double norm = 0.0;
+    for (double vi : v) norm += vi * vi;
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (double& vi : v) vi /= norm;
+    }
+    return norm;
+  };
+  deflate(x);
+  if (normalize(x) == 0.0) {
+    // The complement is trivial (n == 1): no second eigenvalue.
+    return 0.0;
+  }
+  double lambda = 0.0;
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    std::vector<double> y = s.MatVec(x);
+    deflate(y);
+    const double norm = normalize(y);
+    if (norm == 0.0) return 0.0;  // x was in the kernel: |λ₂| ≈ 0.
+    // Rayleigh-style magnitude estimate: |λ| ≈ ‖S x‖ since x is a unit
+    // vector converging to the dominant complement eigenvector.
+    const double prev = lambda;
+    lambda = norm;
+    x = std::move(y);
+    if (iter > 10 && std::fabs(lambda - prev) < tol) {
+      return lambda;
+    }
+  }
+  return Status::NumericError("power iteration did not converge");
+}
+
+}  // namespace digest

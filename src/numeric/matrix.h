@@ -1,0 +1,79 @@
+#ifndef DIGEST_NUMERIC_MATRIX_H_
+#define DIGEST_NUMERIC_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace digest {
+
+/// Dense row-major matrix of doubles.
+///
+/// Sized for the library's needs: normal-equation solves for curve
+/// fitting (tiny systems) and spectral analysis of forwarding matrices for
+/// networks up to a few thousand nodes (test/bench scale).
+class Matrix {
+ public:
+  /// Creates a rows×cols zero matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Creates the n×n identity.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Matrix-vector product. `x.size()` must equal cols().
+  std::vector<double> MatVec(const std::vector<double>& x) const;
+
+  /// Row-vector–matrix product xᵀA. `x.size()` must equal rows().
+  std::vector<double> VecMat(const std::vector<double>& x) const;
+
+  /// Matrix product; `other.rows()` must equal cols().
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Max-abs-element difference with `other` (must be same shape).
+  double MaxAbsDiff(const Matrix& other) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves the square system A·x = b by Gaussian elimination with partial
+/// pivoting. Fails if A is not square, shapes mismatch, or A is singular
+/// to working precision.
+Result<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                              const std::vector<double>& b);
+
+/// Solves the (possibly overdetermined) least-squares problem
+/// min ‖A·x − b‖₂ via Householder QR. Requires rows ≥ cols and full
+/// column rank; fails otherwise.
+Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
+                                              const std::vector<double>& b);
+
+/// Spectral analysis of a reversible row-stochastic matrix.
+///
+/// For a Metropolis forwarding matrix P reversible w.r.t. the stationary
+/// distribution π, SecondEigenvalueMagnitude computes |λ₂| by power
+/// iteration on the symmetrized matrix S = D^{1/2} P D^{-1/2}
+/// (D = diag(π)), deflating the known top eigenvector √π.
+/// The eigengap 1 − |λ₂| governs the mixing time (Theorem 3).
+/// Fails if shapes mismatch or the iteration does not converge.
+Result<double> SecondEigenvalueMagnitude(const Matrix& p,
+                                         const std::vector<double>& pi,
+                                         size_t max_iters = 10000,
+                                         double tol = 1e-10);
+
+}  // namespace digest
+
+#endif  // DIGEST_NUMERIC_MATRIX_H_

@@ -1,0 +1,27 @@
+#ifndef DIGEST_NUMERIC_NORMAL_H_
+#define DIGEST_NUMERIC_NORMAL_H_
+
+#include "common/result.h"
+
+namespace digest {
+
+/// Standard normal density φ(x).
+double NormalPdf(double x);
+
+/// Standard normal CDF Φ(x), computed from erfc (double precision).
+double NormalCdf(double x);
+
+/// Standard normal quantile Φ⁻¹(p) for p in (0, 1), via the
+/// Acklam rational approximation refined with one Halley step
+/// (relative error below 1e-12). Fails for p outside (0, 1).
+Result<double> NormalQuantile(double p);
+
+/// The two-sided z-value z_p with Φ(z_p) = (1+p)/2 — the factor used by
+/// the CLT sample-size formula (Eq. 6 of the paper): the estimate lies
+/// within ±z_p·σ/√n of the truth with probability `p`.
+/// Fails for confidence levels outside (0, 1).
+Result<double> TwoSidedZ(double confidence);
+
+}  // namespace digest
+
+#endif  // DIGEST_NUMERIC_NORMAL_H_

@@ -1,0 +1,79 @@
+#include "numeric/polynomial.h"
+
+#include <cmath>
+
+#include "numeric/matrix.h"
+
+namespace digest {
+
+double Polynomial::Evaluate(double t) const {
+  double acc = 0.0;
+  for (size_t i = coefficients_.size(); i-- > 0;) {
+    acc = acc * t + coefficients_[i];
+  }
+  return acc;
+}
+
+Polynomial Polynomial::Derivative() const {
+  if (coefficients_.size() <= 1) return Polynomial({0.0});
+  std::vector<double> d(coefficients_.size() - 1);
+  for (size_t i = 1; i < coefficients_.size(); ++i) {
+    d[i - 1] = coefficients_[i] * static_cast<double>(i);
+  }
+  return Polynomial(std::move(d));
+}
+
+Result<Polynomial> FitPolynomialLeastSquares(const std::vector<double>& xs,
+                                             const std::vector<double>& ys,
+                                             size_t degree) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("fit requires equal-length xs and ys");
+  }
+  if (xs.size() < degree + 1) {
+    return Status::InvalidArgument(
+        "fit requires at least degree+1 points");
+  }
+  const size_t m = xs.size();
+  const size_t n = degree + 1;
+  Matrix a(m, n);
+  for (size_t r = 0; r < m; ++r) {
+    double pow = 1.0;
+    for (size_t c = 0; c < n; ++c) {
+      a(r, c) = pow;
+      pow *= xs[r];
+    }
+  }
+  DIGEST_ASSIGN_OR_RETURN(std::vector<double> coeffs,
+                          SolveLeastSquares(a, ys));
+  return Polynomial(std::move(coeffs));
+}
+
+Result<std::vector<double>> DividedDifferences(const std::vector<double>& xs,
+                                               const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument(
+        "divided differences require equal-length xs and ys");
+  }
+  if (xs.empty()) {
+    return Status::InvalidArgument("divided differences require points");
+  }
+  const size_t n = xs.size();
+  std::vector<double> table = ys;
+  std::vector<double> out;
+  out.reserve(n);
+  out.push_back(table[0]);
+  for (size_t level = 1; level < n; ++level) {
+    for (size_t i = 0; i + level < n; ++i) {
+      const double denom = xs[i + level] - xs[i];
+      if (std::fabs(denom) < 1e-300) {
+        return Status::InvalidArgument(
+            "divided differences require distinct x values");
+      }
+      table[i] = (table[i + 1] - table[i]) / denom;
+    }
+    out.push_back(table[0]);
+  }
+  return out;
+}
+
+}  // namespace digest

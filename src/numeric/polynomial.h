@@ -1,0 +1,67 @@
+#ifndef DIGEST_NUMERIC_POLYNOMIAL_H_
+#define DIGEST_NUMERIC_POLYNOMIAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace digest {
+
+/// Polynomial in one variable, coefficients in increasing-degree order:
+/// p(t) = c₀ + c₁·t + c₂·t² + …
+///
+/// Used by the extrapolation algorithm to represent the fitted Taylor
+/// polynomial of the running aggregate value (paper §IV-A).
+class Polynomial {
+ public:
+  /// Constructs the zero polynomial.
+  Polynomial() = default;
+
+  /// Constructs from coefficients c₀, c₁, …; trailing zeros are kept (the
+  /// caller controls the nominal degree).
+  explicit Polynomial(std::vector<double> coefficients)
+      : coefficients_(std::move(coefficients)) {}
+
+  /// Nominal degree (coefficients().size() - 1); 0 for the zero polynomial.
+  size_t Degree() const {
+    return coefficients_.empty() ? 0 : coefficients_.size() - 1;
+  }
+
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+  /// Evaluates p(t) by Horner's rule.
+  double Evaluate(double t) const;
+
+  /// The derivative polynomial p'(t).
+  Polynomial Derivative() const;
+
+  /// Returns p evaluated at (t - shift), i.e., the same polynomial
+  /// re-centered so that its argument is an offset from `shift`.
+  double EvaluateShifted(double t, double shift) const {
+    return Evaluate(t - shift);
+  }
+
+ private:
+  std::vector<double> coefficients_;
+};
+
+/// Fits a degree-`degree` polynomial to the points (xs[i], ys[i]) by linear
+/// least squares (QR). Requires xs.size() == ys.size() and at least
+/// degree+1 distinct points. For numerical stability, callers should
+/// center xs near zero (the extrapolator passes time offsets).
+Result<Polynomial> FitPolynomialLeastSquares(const std::vector<double>& xs,
+                                             const std::vector<double>& ys,
+                                             size_t degree);
+
+/// Newton divided differences of (xs, ys): returns coefficients
+/// f[x₀], f[x₀,x₁], …, f[x₀..x_{n-1}]. The highest-order divided
+/// difference approximates f⁽ⁿ⁾(ξ)/n!, which the extrapolator uses to
+/// estimate the Lagrange-remainder constant (paper Eq. 2).
+/// Fails on mismatched sizes, empty input, or repeated x values.
+Result<std::vector<double>> DividedDifferences(const std::vector<double>& xs,
+                                               const std::vector<double>& ys);
+
+}  // namespace digest
+
+#endif  // DIGEST_NUMERIC_POLYNOMIAL_H_

@@ -1,0 +1,115 @@
+#include "numeric/rng.h"
+
+#include <cmath>
+
+namespace digest {
+namespace {
+
+// SplitMix64, used for seeding and forking.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // All-zero state would be absorbing; SplitMix64 of any seed avoids it
+  // with overwhelming probability, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x1ULL;
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextIndex(uint64_t bound) {
+  // Lemire-style rejection sampling.
+  if (bound == 0) return 0;
+  uint64_t threshold = (-bound) % bound;
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextIndex(span));
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * mul;
+  has_spare_gaussian_ = true;
+  return u * mul;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double lambda) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return -std::log(u) / lambda;
+}
+
+size_t Rng::NextWeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return weights.size();
+  double r = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  // Floating-point slack: return last positive-weight index.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size();
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace digest

@@ -1,0 +1,137 @@
+#include "numeric/stats.h"
+
+#include <cmath>
+
+namespace digest {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+}
+
+double RunningStats::PopulationVariance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::SampleVariance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::SampleStdDev() const {
+  return std::sqrt(SampleVariance());
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double PopulationVariance(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.Add(x);
+  return s.PopulationVariance();
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.Add(x);
+  return s.SampleVariance();
+}
+
+Result<double> SampleCovariance(const std::vector<double>& xs,
+                                const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("covariance requires equal-length series");
+  }
+  if (xs.size() < 2) {
+    return Status::InvalidArgument("covariance requires at least 2 points");
+  }
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double acc = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    acc += (xs[i] - mx) * (ys[i] - my);
+  }
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+Result<double> PearsonCorrelation(const std::vector<double>& xs,
+                                  const std::vector<double>& ys) {
+  DIGEST_ASSIGN_OR_RETURN(double cov, SampleCovariance(xs, ys));
+  const double vx = SampleVariance(xs);
+  const double vy = SampleVariance(ys);
+  if (vx <= 0.0 || vy <= 0.0) {
+    return Status::NumericError("correlation undefined for constant series");
+  }
+  double rho = cov / std::sqrt(vx * vy);
+  // Clamp tiny floating-point excursions outside [-1, 1].
+  if (rho > 1.0) rho = 1.0;
+  if (rho < -1.0) rho = -1.0;
+  return rho;
+}
+
+Result<double> Autocorrelation(const std::vector<double>& xs, size_t lag) {
+  if (xs.size() <= lag) {
+    return Status::InvalidArgument("series shorter than requested lag");
+  }
+  const double m = Mean(xs);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - m) * (x - m);
+  if (denom <= 0.0) {
+    return Status::NumericError(
+        "autocorrelation undefined for constant series");
+  }
+  double num = 0.0;
+  for (size_t i = 0; i + lag < xs.size(); ++i) {
+    num += (xs[i] - m) * (xs[i + lag] - m);
+  }
+  return num / denom;
+}
+
+Result<LinearFit> SimpleLinearRegression(const std::vector<double>& xs,
+                                         const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("regression requires equal-length series");
+  }
+  if (xs.size() < 2) {
+    return Status::InvalidArgument("regression requires at least 2 points");
+  }
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  if (sxx <= 0.0) {
+    return Status::NumericError("regression undefined for constant x");
+  }
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  return fit;
+}
+
+}  // namespace digest

@@ -1,0 +1,79 @@
+#ifndef DIGEST_NUMERIC_STATS_H_
+#define DIGEST_NUMERIC_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace digest {
+
+/// Single-pass running moments (Welford's algorithm).
+///
+/// Numerically stable accumulation of count, mean, and variance; used by
+/// the estimators to avoid a second pass over sample sets.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStats& other);
+
+  /// Number of observations added.
+  size_t count() const { return count_; }
+
+  /// Sample mean; 0 when empty.
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (divide by n); 0 when fewer than 1 observation.
+  double PopulationVariance() const;
+
+  /// Sample variance (divide by n-1); 0 when fewer than 2 observations.
+  double SampleVariance() const;
+
+  /// sqrt(SampleVariance()).
+  double SampleStdDev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Mean of `xs`; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance (divide by n) of `xs`.
+double PopulationVariance(const std::vector<double>& xs);
+
+/// Sample variance (divide by n-1) of `xs`; 0 when size < 2.
+double SampleVariance(const std::vector<double>& xs);
+
+/// Sample covariance of paired `xs`, `ys` (divide by n-1).
+/// Fails if the sizes differ or size < 2.
+Result<double> SampleCovariance(const std::vector<double>& xs,
+                                const std::vector<double>& ys);
+
+/// Pearson correlation coefficient of paired `xs`, `ys` in [-1, 1].
+/// Fails if sizes differ, size < 2, or either series is constant.
+Result<double> PearsonCorrelation(const std::vector<double>& xs,
+                                  const std::vector<double>& ys);
+
+/// Lag-`lag` autocorrelation of the series `xs` (biased estimator,
+/// normalized by the overall variance). Fails if xs.size() <= lag or the
+/// series is constant.
+Result<double> Autocorrelation(const std::vector<double>& xs, size_t lag);
+
+/// Simple linear regression of y on x: returns {intercept, slope}.
+/// Fails on mismatched sizes, size < 2, or constant x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+Result<LinearFit> SimpleLinearRegression(const std::vector<double>& xs,
+                                         const std::vector<double>& ys);
+
+}  // namespace digest
+
+#endif  // DIGEST_NUMERIC_STATS_H_

@@ -1,0 +1,51 @@
+#include "sampling/random_walk.h"
+
+#include "sampling/metropolis.h"
+
+namespace digest {
+
+Status RandomWalk::Step(const Graph& graph, const WeightFn& weight, Rng& rng,
+                        MessageMeter* meter, NodeId fallback) {
+  if (!graph.HasNode(current_)) {
+    // The node hosting the agent left the network; the originator
+    // restarts the agent (one message to re-inject it).
+    if (!graph.HasNode(fallback)) {
+      return Status::Unavailable("walk origin left the network");
+    }
+    current_ = fallback;
+    if (meter != nullptr) meter->AddWalkHop();
+  }
+  // Laziness: self-loop with the configured probability, free of
+  // messages (½ in the paper, Eq. 12's prefactor).
+  if (laziness_ > 0.0 && rng.NextBernoulli(laziness_)) {
+    return Status::OK();
+  }
+  const size_t degree = graph.Degree(current_);
+  if (degree == 0) {
+    // Isolated node (transiently possible under churn): stay.
+    return Status::OK();
+  }
+  DIGEST_ASSIGN_OR_RETURN(NodeId proposal,
+                          graph.RandomNeighbor(current_, rng));
+  // Probing the neighbor's weight costs one message.
+  if (meter != nullptr) meter->AddWeightProbe();
+  const double accept =
+      MetropolisAcceptance(weight(current_), degree, weight(proposal),
+                           graph.Degree(proposal));
+  if (rng.NextBernoulli(accept)) {
+    current_ = proposal;
+    if (meter != nullptr) meter->AddWalkHop();
+  }
+  return Status::OK();
+}
+
+Status RandomWalk::Advance(const Graph& graph, const WeightFn& weight,
+                           Rng& rng, MessageMeter* meter, NodeId fallback,
+                           size_t steps) {
+  for (size_t i = 0; i < steps; ++i) {
+    DIGEST_RETURN_IF_ERROR(Step(graph, weight, rng, meter, fallback));
+  }
+  return Status::OK();
+}
+
+}  // namespace digest

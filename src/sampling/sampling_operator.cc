@@ -1,0 +1,81 @@
+#include "sampling/sampling_operator.h"
+
+#include <cmath>
+#include <utility>
+
+namespace digest {
+namespace {
+
+size_t AutoLength(size_t node_count, double factor, bool squared) {
+  const double ln_n = std::log(std::max<size_t>(node_count, 2));
+  const double raw = squared ? factor * ln_n * ln_n : factor * ln_n;
+  return static_cast<size_t>(std::ceil(std::max(raw, 1.0)));
+}
+
+}  // namespace
+
+SamplingOperator::SamplingOperator(const Graph* graph, WeightFn weight,
+                                   Rng rng, MessageMeter* meter,
+                                   SamplingOperatorOptions options)
+    : graph_(graph),
+      weight_(std::move(weight)),
+      rng_(rng),
+      meter_(meter),
+      options_(options) {}
+
+size_t SamplingOperator::EffectiveWalkLength() const {
+  if (options_.walk_length > 0) return options_.walk_length;
+  return AutoLength(graph_->NodeCount(), options_.mixing_factor,
+                    /*squared=*/true);
+}
+
+size_t SamplingOperator::EffectiveResetLength() const {
+  if (options_.reset_length > 0) return options_.reset_length;
+  return AutoLength(graph_->NodeCount(), options_.reset_factor,
+                    /*squared=*/false);
+}
+
+Result<NodeId> SamplingOperator::SampleNode(NodeId origin) {
+  DIGEST_ASSIGN_OR_RETURN(std::vector<NodeId> nodes, SampleNodes(origin, 1));
+  return nodes.front();
+}
+
+Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
+                                                          size_t n) {
+  if (graph_->NodeCount() == 0) {
+    return Status::FailedPrecondition("cannot sample an empty network");
+  }
+  NodeId fallback = origin;
+  if (!graph_->HasNode(fallback)) {
+    DIGEST_ASSIGN_OR_RETURN(fallback, graph_->RandomLiveNode(rng_));
+  }
+  std::vector<NodeId> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t steps;
+    RandomWalk* agent = nullptr;
+    if (options_.warm_walks && next_agent_ < agents_.size()) {
+      // Continue a converged agent: only the reset time is needed.
+      agent = &agents_[next_agent_];
+      steps = EffectiveResetLength();
+    } else {
+      agents_.emplace_back(fallback, options_.laziness);
+      agent = &agents_.back();
+      steps = EffectiveWalkLength();
+    }
+    ++next_agent_;
+    DIGEST_RETURN_IF_ERROR(
+        agent->Advance(*graph_, weight_, rng_, meter_, fallback, steps));
+    // The agent reports the sampled node back to the originator.
+    if (meter_ != nullptr) meter_->AddSampleTransfer();
+    out.push_back(agent->current());
+  }
+  if (!options_.warm_walks) {
+    agents_.clear();
+  }
+  // Round-robin reuse: the next batch starts over from the first agent.
+  next_agent_ = 0;
+  return out;
+}
+
+}  // namespace digest

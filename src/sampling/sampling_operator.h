@@ -1,0 +1,96 @@
+#ifndef DIGEST_SAMPLING_SAMPLING_OPERATOR_H_
+#define DIGEST_SAMPLING_SAMPLING_OPERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "net/graph.h"
+#include "net/message_meter.h"
+#include "numeric/rng.h"
+#include "sampling/random_walk.h"
+#include "sampling/weight.h"
+
+namespace digest {
+
+/// Tuning of the distributed sampling operator S.
+struct SamplingOperatorOptions {
+  /// Steps a cold agent walks before its position counts as a sample
+  /// (the mixing time). 0 selects an automatic value of
+  /// ceil(mixing_factor · ln²(N)), per Theorem 4's poly-log bound.
+  size_t walk_length = 0;
+
+  /// Steps a warm agent walks between successive samples (the reset
+  /// time, §VI-A: much shorter than the mixing time). 0 selects
+  /// ceil(reset_factor · ln(N)).
+  size_t reset_length = 0;
+
+  /// Multipliers for the automatic lengths above.
+  double mixing_factor = 4.0;
+  double reset_factor = 4.0;
+
+  /// Keep agents warm across invocations (continue the converged walk
+  /// instead of restarting), as in the paper's experimental setup. When
+  /// false every sample pays the full walk_length.
+  bool warm_walks = true;
+
+  /// Per-step self-loop probability of the walk. ½ per the paper
+  /// (aperiodicity on any graph); 0 is the non-lazy ablation, unsafe on
+  /// bipartite overlays (even rings, meshes).
+  double laziness = 0.5;
+};
+
+/// The distributed sampling operator S (paper §III, §V).
+///
+/// Given a weight function w over nodes, each invocation returns a node
+/// v drawn with probability w_v / Σ_u w_u, by running a lazy Metropolis
+/// random walk from the originating node until (approximately) mixed.
+/// Batch mode runs several agents in one call; warm agents are reused
+/// across calls so successive samples only pay the reset time.
+///
+/// The operator holds references to the graph (and through the weight
+/// function, usually the database); both must outlive it. Churn between
+/// invocations is handled: agents stranded on departed nodes restart
+/// from the origin.
+class SamplingOperator {
+ public:
+  /// `meter` may be null to skip accounting.
+  SamplingOperator(const Graph* graph, WeightFn weight, Rng rng,
+                   MessageMeter* meter,
+                   SamplingOperatorOptions options = {});
+
+  /// Draws one sample node, originating the walk at `origin`. Returning
+  /// the sampled node id to the originator costs one transfer message.
+  /// Fails if the graph is empty or the origin is dead with no live node
+  /// remaining.
+  Result<NodeId> SampleNode(NodeId origin);
+
+  /// Draws `n` sample nodes in batch mode (§VI-A): n agents with
+  /// overlapping convergence, each contributing one node.
+  Result<std::vector<NodeId>> SampleNodes(NodeId origin, size_t n);
+
+  /// Drops all warm agents (e.g., after a topology change large enough
+  /// that their positions should not be trusted).
+  void ResetAgents() { agents_.clear(); }
+
+  /// Effective cold-walk length for the current graph size.
+  size_t EffectiveWalkLength() const;
+
+  /// Effective warm-walk (reset) length for the current graph size.
+  size_t EffectiveResetLength() const;
+
+  const SamplingOperatorOptions& options() const { return options_; }
+
+ private:
+  const Graph* graph_;
+  WeightFn weight_;
+  Rng rng_;
+  MessageMeter* meter_;
+  SamplingOperatorOptions options_;
+  std::vector<RandomWalk> agents_;  // Warm agents, reused round-robin.
+  size_t next_agent_ = 0;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_SAMPLING_SAMPLING_OPERATOR_H_

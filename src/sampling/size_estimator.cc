@@ -1,0 +1,66 @@
+#include "sampling/size_estimator.h"
+
+#include <unordered_map>
+
+namespace digest {
+
+Result<CollisionSizeEstimator::Estimate>
+CollisionSizeEstimator::ComputeEstimate() {
+  std::unordered_map<NodeId, size_t> counts;
+  size_t samples = 0;
+  size_t collisions = 0;
+  double content_sum = 0.0;
+  size_t batch = options_.initial_samples;
+  while (true) {
+    // Collision counting requires (near-)independent samples: a warm
+    // agent's successive positions are correlated across batches, which
+    // inflates self-collisions and biases |V|^ low. Dropping the warm
+    // pool makes every batch a set of fresh, fully mixed walkers
+    // (collisions *within* a batch come from distinct agents).
+    op_->ResetAgents();
+    DIGEST_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                            op_->SampleNodes(origin_, batch));
+    for (NodeId v : nodes) {
+      size_t& k = counts[v];
+      collisions += k;  // C(k+1, 2) − C(k, 2) = k new colliding pairs.
+      ++k;
+      content_sum += static_cast<double>(db_->ContentSize(v));
+    }
+    samples += nodes.size();
+    if (collisions >= options_.collision_target) break;
+    if (samples >= options_.max_samples) {
+      if (collisions == 0) {
+        return Status::Unavailable(
+            "no sample collisions observed: network too large for the "
+            "configured sample budget");
+      }
+      break;  // Use what we have, at higher variance.
+    }
+    batch = samples;  // Double the sample count each round.
+  }
+  Estimate est;
+  const double m = static_cast<double>(samples);
+  est.nodes = m * (m - 1.0) / (2.0 * static_cast<double>(collisions));
+  est.tuples = est.nodes * (content_sum / m);
+  est.samples_used = samples;
+  return est;
+}
+
+Result<double> CollisionSizeEstimator::EstimateNetworkSize() {
+  DIGEST_ASSIGN_OR_RETURN(Estimate est, ComputeEstimate());
+  return est.nodes;
+}
+
+Result<double> CollisionSizeEstimator::EstimateRelationSize() {
+  if (has_estimate_ && options_.refresh_period > 0 &&
+      calls_since_estimate_ < options_.refresh_period) {
+    ++calls_since_estimate_;
+    return cached_.tuples;
+  }
+  DIGEST_ASSIGN_OR_RETURN(cached_, ComputeEstimate());
+  has_estimate_ = true;
+  calls_since_estimate_ = 1;
+  return cached_.tuples;
+}
+
+}  // namespace digest

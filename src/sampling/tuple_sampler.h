@@ -1,0 +1,86 @@
+#ifndef DIGEST_SAMPLING_TUPLE_SAMPLER_H_
+#define DIGEST_SAMPLING_TUPLE_SAMPLER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "db/p2p_database.h"
+#include "net/message_meter.h"
+#include "numeric/rng.h"
+#include "sampling/sampling_operator.h"
+
+namespace digest {
+
+/// A drawn sample: the tuple value plus the reference needed to revisit
+/// it (repeated sampling retains samples across occasions and
+/// re-evaluates them in place, §IV-B2).
+struct TupleSample {
+  TupleRef ref;
+  Tuple tuple;
+};
+
+/// Uniform tuple sampling from R by the two-stage scheme of §III:
+/// stage 1 draws a node via the sampling operator S with the
+/// content-size weight w_v = m_v; stage 2 draws a tuple uniformly from
+/// the sampled node's local store. The product distribution is uniform
+/// over all tuples of R.
+///
+/// Holds references to the database and operator; both must outlive it.
+class TwoStageTupleSampler {
+ public:
+  TwoStageTupleSampler(const P2PDatabase* db, SamplingOperator* op, Rng rng)
+      : db_(db), op_(op), rng_(rng) {}
+
+  /// Draws one uniform tuple sample, originating walks at `origin`.
+  /// Fails when the relation is empty.
+  Result<TupleSample> Sample(NodeId origin);
+
+  /// Draws `n` samples (with replacement) in batch mode.
+  Result<std::vector<TupleSample>> SampleBatch(NodeId origin, size_t n);
+
+ private:
+  const P2PDatabase* db_;
+  SamplingOperator* op_;
+  Rng rng_;
+};
+
+/// Cluster sampling (§III discusses and rejects it for Digest): stage 1
+/// draws a node uniformly via S, and *all* tuples of the node are taken
+/// as a batch. Provided as a comparator; with intra-node correlation it
+/// yields visibly worse estimates (see tests and bench ablation).
+class ClusterSampler {
+ public:
+  ClusterSampler(const P2PDatabase* db, SamplingOperator* op)
+      : db_(db), op_(op) {}
+
+  /// Draws the full content of one uniformly sampled node.
+  Result<std::vector<TupleSample>> SampleCluster(NodeId origin);
+
+ private:
+  const P2PDatabase* db_;
+  SamplingOperator* op_;
+};
+
+/// Centralized uniform tuple sampler with global knowledge — the
+/// "optimal sampling" comparator the paper measures S against. Same
+/// interface, zero walk cost: one transfer message per sample.
+class ExactTupleSampler {
+ public:
+  ExactTupleSampler(const P2PDatabase* db, Rng rng, MessageMeter* meter)
+      : db_(db), rng_(rng), meter_(meter) {}
+
+  /// Draws one exactly uniform tuple sample. Fails when R is empty.
+  Result<TupleSample> Sample();
+
+  /// Draws `n` samples with replacement.
+  Result<std::vector<TupleSample>> SampleBatch(size_t n);
+
+ private:
+  const P2PDatabase* db_;
+  Rng rng_;
+  MessageMeter* meter_;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_SAMPLING_TUPLE_SAMPLER_H_

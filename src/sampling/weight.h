@@ -1,0 +1,38 @@
+#ifndef DIGEST_SAMPLING_WEIGHT_H_
+#define DIGEST_SAMPLING_WEIGHT_H_
+
+#include <functional>
+
+#include "db/p2p_database.h"
+#include "net/graph.h"
+
+namespace digest {
+
+/// Generic node weight function w (paper §III): maps a node to a
+/// non-negative, not necessarily normalized weight computed from the
+/// node's *local* properties. The sampling operator draws node v with
+/// probability w_v / Σ_u w_u.
+using WeightFn = std::function<double(NodeId)>;
+
+/// w₁: every node weighs 1 (uniform node sampling).
+inline WeightFn UniformWeight() {
+  return [](NodeId) { return 1.0; };
+}
+
+/// w₂: each node weighted by its content size m_v — the weight function
+/// Digest uses for two-stage uniform tuple sampling (§III). The database
+/// reference must outlive the returned function.
+inline WeightFn ContentSizeWeight(const P2PDatabase& db) {
+  return [&db](NodeId node) { return static_cast<double>(db.ContentSize(node)); };
+}
+
+/// Node weighted by its overlay degree (an example of a nonuniform
+/// topological weight; exercised in tests and the sampling survey
+/// example). The graph reference must outlive the returned function.
+inline WeightFn DegreeWeight(const Graph& graph) {
+  return [&graph](NodeId node) { return static_cast<double>(graph.Degree(node)); };
+}
+
+}  // namespace digest
+
+#endif  // DIGEST_SAMPLING_WEIGHT_H_

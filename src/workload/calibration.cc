@@ -1,0 +1,74 @@
+#include "workload/calibration.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "numeric/stats.h"
+
+namespace digest {
+namespace {
+
+using ValueMap = std::map<std::pair<NodeId, LocalTupleId>, double>;
+
+// Snapshot of every tuple's first attribute, keyed by its reference.
+ValueMap SnapshotValues(const P2PDatabase& db) {
+  ValueMap out;
+  for (NodeId node : db.Nodes()) {
+    Result<const LocalStore*> store = db.StoreAt(node);
+    if (!store.ok()) continue;
+    (*store)->ForEach([&](LocalTupleId id, const Tuple& tuple) {
+      if (!tuple.empty()) out[{node, id}] = tuple[0];
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DatasetStatistics> MeasureWorkloadStatistics(Workload& workload,
+                                                    size_t ticks) {
+  if (ticks < 2) {
+    return Status::InvalidArgument("calibration needs at least 2 ticks");
+  }
+  DatasetStatistics out;
+  ValueMap prev = SnapshotValues(workload.db());
+
+  std::vector<double> lag_x, lag_y;
+  RunningStats sigma_acc;
+  for (size_t t = 0; t < ticks; ++t) {
+    DIGEST_RETURN_IF_ERROR(workload.Advance());
+    ValueMap cur = SnapshotValues(workload.db());
+    // Pool lag-1 pairs over tuples alive across the tick boundary.
+    size_t survivors = 0;
+    for (const auto& [key, value] : cur) {
+      auto it = prev.find(key);
+      if (it != prev.end()) {
+        lag_x.push_back(it->second);
+        lag_y.push_back(value);
+        ++survivors;
+        if (value != it->second) ++out.updates;
+      } else {
+        ++out.joins;
+        ++out.updates;  // Insertion is a modification of R.
+      }
+    }
+    out.leaves += prev.size() - survivors;
+    // Cross-sectional dispersion at this tick.
+    RunningStats tick_stats;
+    for (const auto& [key, value] : cur) {
+      (void)key;
+      tick_stats.Add(value);
+    }
+    sigma_acc.Add(tick_stats.SampleStdDev());
+    prev = std::move(cur);
+  }
+  DIGEST_ASSIGN_OR_RETURN(out.rho, PearsonCorrelation(lag_x, lag_y));
+  out.sigma = sigma_acc.Mean();
+  out.tuples_end = workload.db().TotalTuples();
+  out.nodes_end = workload.graph().NodeCount();
+  return out;
+}
+
+}  // namespace digest

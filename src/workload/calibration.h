@@ -1,0 +1,37 @@
+#ifndef DIGEST_WORKLOAD_CALIBRATION_H_
+#define DIGEST_WORKLOAD_CALIBRATION_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "workload/workload.h"
+
+namespace digest {
+
+/// Measured dataset statistics, comparable to Table II of the paper.
+struct DatasetStatistics {
+  /// Pooled lag-1 per-tuple correlation ρ: correlation between each
+  /// tuple's value at tick t and tick t+1, pooled over all tuples and
+  /// ticks (only tuples alive in both ticks contribute).
+  double rho = 0.0;
+
+  /// Time-averaged cross-sectional dispersion σ: the standard deviation
+  /// of tuple values at a tick, averaged over ticks (the σ entering the
+  /// CLT sample-size formula).
+  double sigma = 0.0;
+
+  size_t tuples_end = 0;     ///< |R| at the end of the window.
+  size_t nodes_end = 0;      ///< Live nodes at the end of the window.
+  size_t updates = 0;        ///< Tuple-value modifications observed.
+  size_t joins = 0;          ///< Tuples inserted during the window.
+  size_t leaves = 0;         ///< Tuples deleted during the window.
+};
+
+/// Advances `workload` by `ticks` and measures its statistics. Consumes
+/// the workload's ticks (run it on a fresh instance).
+Result<DatasetStatistics> MeasureWorkloadStatistics(Workload& workload,
+                                                    size_t ticks);
+
+}  // namespace digest
+
+#endif  // DIGEST_WORKLOAD_CALIBRATION_H_

@@ -1,0 +1,78 @@
+#include "workload/csv_export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace digest {
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+void WriteCell(std::FILE* f, const std::string& cell) {
+  if (!NeedsQuoting(cell)) {
+    std::fputs(cell.c_str(), f);
+    return;
+  }
+  std::fputc('"', f);
+  for (char c : cell) {
+    if (c == '"') std::fputc('"', f);
+    std::fputc(c, f);
+  }
+  std::fputc('"', f);
+}
+
+}  // namespace
+
+Status WriteRunResultCsv(const RunResult& result, const std::string& path) {
+  if (result.reported.size() != result.truth.size()) {
+    return Status::InvalidArgument("run result series are not aligned");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  std::fputs("tick,reported,truth,abs_error\n", f);
+  for (size_t t = 0; t < result.reported.size(); ++t) {
+    std::fprintf(f, "%zu,%.10g,%.10g,%.10g\n", t, result.reported[t],
+                 result.truth[t],
+                 std::fabs(result.reported[t] - result.truth[t]));
+  }
+  if (std::fclose(f) != 0) {
+    return Status::Unavailable("error closing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status WriteTableCsv(const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows,
+                     const std::string& path) {
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV table needs a header");
+  }
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) {
+      return Status::InvalidArgument("ragged CSV row");
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  auto write_row = [f](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) std::fputc(',', f);
+      WriteCell(f, row[i]);
+    }
+    std::fputc('\n', f);
+  };
+  write_row(header);
+  for (const auto& row : rows) write_row(row);
+  if (std::fclose(f) != 0) {
+    return Status::Unavailable("error closing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace digest

@@ -1,0 +1,25 @@
+#ifndef DIGEST_WORKLOAD_CSV_EXPORT_H_
+#define DIGEST_WORKLOAD_CSV_EXPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "workload/experiment.h"
+
+namespace digest {
+
+/// Writes a RunResult's tick-aligned series to a CSV file with header
+/// `tick,reported,truth,abs_error` — the format the plotting scripts of
+/// a typical reproduction pipeline consume. Overwrites `path`.
+Status WriteRunResultCsv(const RunResult& result, const std::string& path);
+
+/// Writes an arbitrary rectangular table (header + rows) as CSV. Cells
+/// are quoted only when they contain commas or quotes. Fails on ragged
+/// rows or I/O errors.
+Status WriteTableCsv(const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows,
+                     const std::string& path);
+
+}  // namespace digest
+
+#endif  // DIGEST_WORKLOAD_CSV_EXPORT_H_

@@ -1,0 +1,94 @@
+#include "workload/experiment.h"
+
+#include "baselines/push_all.h"
+#include "numeric/rng.h"
+
+namespace digest {
+
+Result<RunResult> RunEngineExperiment(Workload& workload,
+                                      const ContinuousQuerySpec& spec,
+                                      const DigestEngineOptions& options,
+                                      size_t ticks, uint64_t seed) {
+  Rng rng(seed);
+  DIGEST_ASSIGN_OR_RETURN(NodeId querying_node,
+                          workload.graph().RandomLiveNode(rng));
+  workload.ProtectNode(querying_node);
+
+  RunResult out;
+  DIGEST_ASSIGN_OR_RETURN(
+      std::unique_ptr<DigestEngine> engine,
+      DigestEngine::Create(&workload.graph(), &workload.db(), spec,
+                           querying_node, rng.Fork(), &out.meter, options));
+  out.reported.reserve(ticks);
+  out.truth.reserve(ticks);
+  for (size_t t = 0; t < ticks; ++t) {
+    DIGEST_RETURN_IF_ERROR(workload.Advance());
+    DIGEST_ASSIGN_OR_RETURN(double truth,
+                            workload.db().ExactAggregate(spec.query));
+    DIGEST_ASSIGN_OR_RETURN(EngineTickResult tick,
+                            engine->Tick(workload.now()));
+    out.truth.push_back(truth);
+    out.reported.push_back(tick.reported_value);
+  }
+  out.stats = engine->stats();
+  out.correlation_estimate = engine->correlation_estimate();
+  DIGEST_ASSIGN_OR_RETURN(
+      out.precision,
+      EvaluatePrecision(out.reported, out.truth, spec.precision));
+  return out;
+}
+
+Result<RunResult> RunPushAllExperiment(Workload& workload,
+                                       const ContinuousQuerySpec& spec,
+                                       size_t ticks, uint64_t seed) {
+  Rng rng(seed);
+  DIGEST_ASSIGN_OR_RETURN(NodeId querying_node,
+                          workload.graph().RandomLiveNode(rng));
+  workload.ProtectNode(querying_node);
+
+  RunResult out;
+  PushAllBaseline baseline(&workload.graph(), &workload.db(), spec.query,
+                           querying_node, &out.meter);
+  for (size_t t = 0; t < ticks; ++t) {
+    DIGEST_RETURN_IF_ERROR(workload.Advance());
+    DIGEST_ASSIGN_OR_RETURN(double value, baseline.Tick());
+    out.truth.push_back(value);  // Push-all is exact.
+    out.reported.push_back(value);
+  }
+  DIGEST_ASSIGN_OR_RETURN(
+      out.precision,
+      EvaluatePrecision(out.reported, out.truth, spec.precision));
+  return out;
+}
+
+Result<RunResult> RunFilterExperiment(Workload& workload,
+                                      const ContinuousQuerySpec& spec,
+                                      size_t ticks, uint64_t seed,
+                                      OlstonFilterOptions filter_options) {
+  Rng rng(seed);
+  DIGEST_ASSIGN_OR_RETURN(NodeId querying_node,
+                          workload.graph().RandomLiveNode(rng));
+  workload.ProtectNode(querying_node);
+
+  RunResult out;
+  // §VI-B3 sets the filter precision interval so that H − L < 2ε,
+  // matching Digest's confidence interval.
+  OlstonFilterBaseline baseline(&workload.graph(), &workload.db(),
+                                spec.query, querying_node,
+                                spec.precision.epsilon, &out.meter,
+                                filter_options);
+  for (size_t t = 0; t < ticks; ++t) {
+    DIGEST_RETURN_IF_ERROR(workload.Advance());
+    DIGEST_ASSIGN_OR_RETURN(double value, baseline.Tick());
+    DIGEST_ASSIGN_OR_RETURN(double truth,
+                            workload.db().ExactAggregate(spec.query));
+    out.truth.push_back(truth);
+    out.reported.push_back(value);
+  }
+  DIGEST_ASSIGN_OR_RETURN(
+      out.precision,
+      EvaluatePrecision(out.reported, out.truth, spec.precision));
+  return out;
+}
+
+}  // namespace digest

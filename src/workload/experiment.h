@@ -1,0 +1,46 @@
+#ifndef DIGEST_WORKLOAD_EXPERIMENT_H_
+#define DIGEST_WORKLOAD_EXPERIMENT_H_
+
+#include <vector>
+
+#include "baselines/olston_filter.h"
+#include "common/result.h"
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "net/message_meter.h"
+#include "workload/workload.h"
+
+namespace digest {
+
+/// Outcome of driving one query-answering configuration over a workload.
+struct RunResult {
+  EngineStats stats;                ///< Zeroed for push baselines.
+  MessageMeter meter;               ///< Communication-cost breakdown.
+  std::vector<double> reported;     ///< X̂[t], tick-aligned.
+  std::vector<double> truth;        ///< Oracle X[t], tick-aligned.
+  PrecisionReport precision;        ///< reported vs truth.
+  double correlation_estimate = 0;  ///< ρ̂ at the end (RPT engines).
+};
+
+/// Runs a Digest engine configuration over `ticks` ticks of `workload`.
+/// A querying node is drawn with `seed`; the workload is consumed (pass
+/// a fresh instance per run — identical seeds give identical data).
+Result<RunResult> RunEngineExperiment(Workload& workload,
+                                      const ContinuousQuerySpec& spec,
+                                      const DigestEngineOptions& options,
+                                      size_t ticks, uint64_t seed);
+
+/// Runs the ALL+ALL push-everything baseline (exact results).
+Result<RunResult> RunPushAllExperiment(Workload& workload,
+                                       const ContinuousQuerySpec& spec,
+                                       size_t ticks, uint64_t seed);
+
+/// Runs the ALL+FILTER adaptive-filter baseline.
+Result<RunResult> RunFilterExperiment(Workload& workload,
+                                      const ContinuousQuerySpec& spec,
+                                      size_t ticks, uint64_t seed,
+                                      OlstonFilterOptions filter_options = {});
+
+}  // namespace digest
+
+#endif  // DIGEST_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,109 @@
+#include "workload/memory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/topology.h"
+
+namespace digest {
+
+Result<std::unique_ptr<MemoryWorkload>> MemoryWorkload::Create(
+    MemoryConfig config) {
+  if (config.num_units == 0 || config.num_nodes <= config.attach_edges) {
+    return Status::InvalidArgument(
+        "memory workload needs units and more nodes than attach_edges");
+  }
+  std::unique_ptr<MemoryWorkload> w(new MemoryWorkload(config));
+  DIGEST_ASSIGN_OR_RETURN(
+      w->graph_, MakeBarabasiAlbert(config.num_nodes, config.attach_edges,
+                                    w->rng_));
+  DIGEST_ASSIGN_OR_RETURN(Schema schema, Schema::Create({"memory"}));
+  w->db_ = std::make_unique<P2PDatabase>(schema);
+  std::vector<NodeId> nodes = w->graph_.LiveNodes();
+  for (NodeId node : nodes) {
+    DIGEST_RETURN_IF_ERROR(w->db_->AddNode(node));
+  }
+  // Every node hosts at least one computing unit; the surplus lands on
+  // random nodes (clusters with several units, §VI-A).
+  for (size_t i = 0; i < config.num_units; ++i) {
+    const NodeId node = i < nodes.size()
+                            ? nodes[i]
+                            : nodes[w->rng_.NextIndex(nodes.size())];
+    DIGEST_RETURN_IF_ERROR(w->SpawnUnit(node));
+  }
+  return w;
+}
+
+double MemoryWorkload::DrawLevel(double capacity) {
+  // Free levels are drawn from a common distribution (independent of the
+  // unit's exact capacity) so the cross-unit level spread matches the
+  // calibration in MemoryConfig; clamped into the feasible range.
+  const double level =
+      rng_.NextGaussian(config_.level_mean, config_.level_stddev);
+  return std::clamp(level, 0.0, capacity);
+}
+
+Status MemoryWorkload::SpawnUnit(NodeId node) {
+  Unit unit;
+  unit.capacity = std::max(
+      4.0, rng_.NextGaussian(config_.capacity_mean, config_.capacity_stddev));
+  unit.level = DrawLevel(unit.capacity);
+  unit.value = unit.level;
+  DIGEST_ASSIGN_OR_RETURN(LocalStore * store, db_->StoreAt(node));
+  const double stored =
+      std::clamp(unit.value + common_load_, 0.0, unit.capacity);
+  const LocalTupleId local = store->Insert(Tuple{stored});
+  unit.ref = TupleRef{node, local};
+  units_.push_back(unit);
+  return Status::OK();
+}
+
+Status MemoryWorkload::Advance() {
+  ++now_;
+  const double ar = config_.common_load_ar;
+  common_load_ =
+      ar * common_load_ +
+      rng_.NextGaussian(0.0, config_.common_load_stddev *
+                                 std::sqrt(std::max(1.0 - ar * ar, 1e-9)));
+
+  // Membership churn: leaving peers take their units (tuple deletions),
+  // joining peers bring fresh ones (insertions).
+  DIGEST_ASSIGN_OR_RETURN(ChurnEvents events, churn_.Tick(graph_, rng_));
+  for (NodeId gone : events.left) {
+    DIGEST_RETURN_IF_ERROR(db_->RemoveNode(gone));
+    units_.erase(std::remove_if(units_.begin(), units_.end(),
+                                [gone](const Unit& u) {
+                                  return u.ref.node == gone;
+                                }),
+                 units_.end());
+  }
+  const size_t avg_units_per_node =
+      std::max<size_t>(1, config_.num_units / config_.num_nodes);
+  for (NodeId fresh : events.joined) {
+    DIGEST_RETURN_IF_ERROR(db_->AddNode(fresh));
+    for (size_t i = 0; i < avg_units_per_node; ++i) {
+      DIGEST_RETURN_IF_ERROR(SpawnUnit(fresh));
+    }
+  }
+
+  // Value evolution: mean-reverting jitter with occasional task
+  // start/stop jumps that re-target the free level.
+  for (Unit& unit : units_) {
+    if (rng_.NextBernoulli(config_.jump_probability)) {
+      unit.level = DrawLevel(unit.capacity);
+    }
+    const double pulled =
+        unit.level +
+        config_.ar_coefficient * (unit.value - unit.level) +
+        rng_.NextGaussian(0.0, config_.noise_stddev);
+    unit.value = std::clamp(pulled, 0.0, unit.capacity);
+    const double stored =
+        std::clamp(unit.value + common_load_, 0.0, unit.capacity);
+    DIGEST_ASSIGN_OR_RETURN(LocalStore * store, db_->StoreAt(unit.ref.node));
+    DIGEST_RETURN_IF_ERROR(
+        store->UpdateAttribute(unit.ref.local, 0, stored));
+  }
+  return Status::OK();
+}
+
+}  // namespace digest

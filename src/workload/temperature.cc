@@ -1,0 +1,86 @@
+#include "workload/temperature.h"
+
+#include <cmath>
+
+#include "net/topology.h"
+
+namespace digest {
+
+Result<std::unique_ptr<TemperatureWorkload>> TemperatureWorkload::Create(
+    TemperatureConfig config) {
+  if (config.num_units == 0 || config.num_nodes < 4) {
+    return Status::InvalidArgument(
+        "temperature workload needs units and at least 4 nodes");
+  }
+  std::unique_ptr<TemperatureWorkload> w(new TemperatureWorkload(config));
+  // Start the shared weather front at its stationary distribution.
+  w->regional_ = w->rng_.NextGaussian(0.0, config.regional_stddev);
+
+  // Mesh overlay sized as close to num_nodes as a rectangle allows
+  // (§VI-A simulates the weather network with a mesh topology).
+  const size_t rows = static_cast<size_t>(
+      std::floor(std::sqrt(static_cast<double>(config.num_nodes))));
+  const size_t cols = (config.num_nodes + rows - 1) / rows;
+  DIGEST_ASSIGN_OR_RETURN(w->graph_, MakeMesh(rows, cols));
+
+  DIGEST_ASSIGN_OR_RETURN(Schema schema, Schema::Create({"temperature"}));
+  w->db_ = std::make_unique<P2PDatabase>(schema);
+  std::vector<NodeId> nodes = w->graph_.LiveNodes();
+  for (NodeId node : nodes) {
+    DIGEST_RETURN_IF_ERROR(w->db_->AddNode(node));
+  }
+
+  // Units are placed on uniformly random stations, so content sizes m_v
+  // vary (binomially) around num_units / num_nodes.
+  w->units_.reserve(config.num_units);
+  for (size_t u = 0; u < config.num_units; ++u) {
+    Unit unit;
+    unit.base = w->rng_.NextGaussian(config.base_mean, config.base_stddev);
+    unit.season_phase = w->rng_.NextDouble() * 2.0 * M_PI;
+    unit.diurnal_phase = w->rng_.NextBernoulli(0.5) ? 0.0 : M_PI;
+    // Start the AR(1) noise at its stationary distribution.
+    const double a = config.ar_coefficient;
+    const double stationary_sd =
+        config.noise_stddev / std::sqrt(std::max(1.0 - a * a, 1e-9));
+    unit.noise = w->rng_.NextGaussian(0.0, stationary_sd);
+
+    const NodeId node = nodes[w->rng_.NextIndex(nodes.size())];
+    DIGEST_ASSIGN_OR_RETURN(LocalStore * store, w->db_->StoreAt(node));
+    const double v = w->UnitValue(unit, 0);
+    const LocalTupleId local = store->Insert(Tuple{v});
+    unit.ref = TupleRef{node, local};
+    w->units_.push_back(unit);
+  }
+  return w;
+}
+
+double TemperatureWorkload::UnitValue(const Unit& unit, int64_t t) const {
+  const double td = static_cast<double>(t);
+  const double seasonal =
+      config_.seasonal_amplitude *
+      std::sin(2.0 * M_PI * td / config_.seasonal_period + unit.season_phase);
+  // With 12-hour ticks the diurnal cycle aliases to an alternating
+  // offset: cos(π·t + phase) = ±(−1)^t flips sign every tick.
+  const double diurnal =
+      config_.diurnal_amplitude * std::cos(M_PI * td + unit.diurnal_phase);
+  return unit.base + seasonal + diurnal + unit.noise + regional_;
+}
+
+Status TemperatureWorkload::Advance() {
+  ++now_;
+  const double ar = config_.regional_ar;
+  regional_ = ar * regional_ +
+              rng_.NextGaussian(0.0, config_.regional_stddev *
+                                         std::sqrt(std::max(
+                                             1.0 - ar * ar, 1e-9)));
+  for (Unit& unit : units_) {
+    unit.noise = config_.ar_coefficient * unit.noise +
+                 rng_.NextGaussian(0.0, config_.noise_stddev);
+    const double v = UnitValue(unit, now_);
+    DIGEST_ASSIGN_OR_RETURN(LocalStore * store, db_->StoreAt(unit.ref.node));
+    DIGEST_RETURN_IF_ERROR(store->UpdateAttribute(unit.ref.local, 0, v));
+  }
+  return Status::OK();
+}
+
+}  // namespace digest

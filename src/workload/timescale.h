@@ -1,0 +1,65 @@
+#ifndef DIGEST_WORKLOAD_TIMESCALE_H_
+#define DIGEST_WORKLOAD_TIMESCALE_H_
+
+#include <cstddef>
+
+#include "core/snapshot_estimator.h"
+#include "workload/workload.h"
+
+namespace digest {
+
+/// Breaks the snapshot assumption (§II assumes the database is static
+/// during a sampling occasion; §VIII #3 asks what happens when the
+/// time-scale of data changes is comparable to the sampling time).
+///
+/// This SampleSource decorator advances the underlying workload by one
+/// tick after every `draws_per_advance` fresh samples, so the estimator
+/// reads a *moving* population mid-occasion. With draws_per_advance far
+/// above the per-occasion sample count the wrapper is inert; as it
+/// approaches 1, each occasion smears over many data versions and the
+/// estimate converges to a time-average rather than a snapshot —
+/// `bench_timescale` quantifies the degradation.
+class InterleavingSampleSource : public SampleSource {
+ public:
+  /// Neither pointer is owned; both must outlive the source.
+  InterleavingSampleSource(SampleSource* inner, Workload* workload,
+                           size_t draws_per_advance)
+      : inner_(inner),
+        workload_(workload),
+        draws_per_advance_(draws_per_advance == 0 ? 1
+                                                  : draws_per_advance) {}
+
+  Result<std::vector<TupleSample>> DrawFresh(NodeId origin,
+                                             size_t n) override {
+    std::vector<TupleSample> out;
+    out.reserve(n);
+    while (out.size() < n) {
+      const size_t quota = draws_per_advance_ - pending_draws_;
+      const size_t chunk = std::min(n - out.size(), quota);
+      DIGEST_ASSIGN_OR_RETURN(std::vector<TupleSample> batch,
+                              inner_->DrawFresh(origin, chunk));
+      pending_draws_ += batch.size();
+      for (TupleSample& s : batch) out.push_back(std::move(s));
+      if (pending_draws_ >= draws_per_advance_) {
+        DIGEST_RETURN_IF_ERROR(workload_->Advance());
+        ++mid_occasion_advances_;
+        pending_draws_ = 0;
+      }
+    }
+    return out;
+  }
+
+  /// Ticks the world advanced from inside sampling occasions.
+  size_t mid_occasion_advances() const { return mid_occasion_advances_; }
+
+ private:
+  SampleSource* inner_;
+  Workload* workload_;
+  size_t draws_per_advance_;
+  size_t pending_draws_ = 0;
+  size_t mid_occasion_advances_ = 0;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_WORKLOAD_TIMESCALE_H_

@@ -1,0 +1,246 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "net/topology.h"
+
+namespace digest {
+
+Result<Trace> Trace::FromRecords(std::vector<TraceRecord> records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     if (a.tick != b.tick) return a.tick < b.tick;
+                     return a.unit < b.unit;
+                   });
+  std::set<uint64_t> live;
+  std::set<uint64_t> dead;
+  for (const TraceRecord& r : records) {
+    if (r.tick < 0) {
+      return Status::InvalidArgument("trace ticks must be >= 0");
+    }
+    if (r.deleted) {
+      if (!live.count(r.unit)) {
+        return Status::InvalidArgument(
+            "trace deletes unit " + std::to_string(r.unit) +
+            " that is not live");
+      }
+      live.erase(r.unit);
+      dead.insert(r.unit);
+    } else {
+      if (dead.count(r.unit)) {
+        return Status::InvalidArgument(
+            "trace updates deleted unit " + std::to_string(r.unit) +
+            " (re-use a fresh unit id instead)");
+      }
+      if (!std::isfinite(r.value)) {
+        return Status::InvalidArgument("trace values must be finite");
+      }
+      live.insert(r.unit);
+    }
+  }
+  Trace trace;
+  trace.records_ = std::move(records);
+  return trace;
+}
+
+Result<Trace> Trace::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::Unavailable("cannot open trace '" + path + "'");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("empty trace file");
+  }
+  if (line != "tick,unit,value,deleted") {
+    return Status::ParseError("unexpected trace header: " + line);
+  }
+  std::vector<TraceRecord> records;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    TraceRecord r;
+    long long tick = 0;
+    unsigned long long unit = 0;
+    double value = 0.0;
+    int deleted = 0;
+    if (std::sscanf(line.c_str(), "%lld,%llu,%lf,%d", &tick, &unit, &value,
+                    &deleted) != 4) {
+      return Status::ParseError("malformed trace line " +
+                                std::to_string(line_no) + ": " + line);
+    }
+    r.tick = tick;
+    r.unit = unit;
+    r.value = value;
+    r.deleted = deleted != 0;
+    records.push_back(r);
+  }
+  return FromRecords(std::move(records));
+}
+
+Status Trace::SaveCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  std::fputs("tick,unit,value,deleted\n", f);
+  for (const TraceRecord& r : records_) {
+    std::fprintf(f, "%lld,%llu,%.10g,%d\n",
+                 static_cast<long long>(r.tick),
+                 static_cast<unsigned long long>(r.unit), r.value,
+                 r.deleted ? 1 : 0);
+  }
+  if (std::fclose(f) != 0) {
+    return Status::Unavailable("error closing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+int64_t Trace::max_tick() const {
+  return records_.empty() ? 0 : records_.back().tick;
+}
+
+size_t Trace::num_units() const {
+  std::set<uint64_t> units;
+  for (const TraceRecord& r : records_) units.insert(r.unit);
+  return units.size();
+}
+
+Result<Trace> RecordWorkload(Workload& workload, size_t ticks) {
+  // Dense unit ids for (node, local-id) pairs; a re-created tuple gets a
+  // fresh unit id (satisfying the trace's no-update-after-delete rule).
+  std::map<std::pair<NodeId, LocalTupleId>, uint64_t> unit_of;
+  uint64_t next_unit = 0;
+  std::vector<TraceRecord> records;
+
+  auto snapshot = [&](int64_t tick,
+                      std::map<std::pair<NodeId, LocalTupleId>, double>&
+                          current) {
+    current.clear();
+    for (NodeId node : workload.db().Nodes()) {
+      Result<const LocalStore*> store =
+          static_cast<const P2PDatabase&>(workload.db()).StoreAt(node);
+      if (!store.ok()) continue;
+      (*store)->ForEach([&](LocalTupleId id, const Tuple& tuple) {
+        if (!tuple.empty()) current[{node, id}] = tuple[0];
+      });
+    }
+    (void)tick;
+  };
+
+  std::map<std::pair<NodeId, LocalTupleId>, double> prev, cur;
+  snapshot(0, prev);
+  for (const auto& [key, value] : prev) {
+    unit_of[key] = next_unit;
+    records.push_back(TraceRecord{0, next_unit, value, false});
+    ++next_unit;
+  }
+  for (size_t t = 1; t <= ticks; ++t) {
+    DIGEST_RETURN_IF_ERROR(workload.Advance());
+    snapshot(static_cast<int64_t>(t), cur);
+    // Deletions: in prev, not in cur.
+    for (const auto& [key, value] : prev) {
+      (void)value;
+      if (!cur.count(key)) {
+        records.push_back(TraceRecord{static_cast<int64_t>(t),
+                                      unit_of[key], 0.0, true});
+        unit_of.erase(key);
+      }
+    }
+    // Insertions and updates.
+    for (const auto& [key, value] : cur) {
+      auto it = unit_of.find(key);
+      if (it == unit_of.end()) {
+        unit_of[key] = next_unit;
+        records.push_back(
+            TraceRecord{static_cast<int64_t>(t), next_unit, value, false});
+        ++next_unit;
+      } else if (prev[key] != value) {
+        records.push_back(TraceRecord{static_cast<int64_t>(t), it->second,
+                                      value, false});
+      }
+    }
+    prev = std::move(cur);
+  }
+  return Trace::FromRecords(std::move(records));
+}
+
+Result<std::unique_ptr<TraceWorkload>> TraceWorkload::Create(
+    Trace trace, TraceWorkloadConfig config) {
+  if (config.num_nodes < 4) {
+    return Status::InvalidArgument("trace replay needs at least 4 nodes");
+  }
+  std::unique_ptr<TraceWorkload> w(
+      new TraceWorkload(std::move(trace), std::move(config)));
+  w->placement_rng_ = Rng(w->config_.seed);
+  switch (w->config_.topology) {
+    case TraceTopology::kMesh: {
+      const size_t rows = static_cast<size_t>(
+          std::floor(std::sqrt(static_cast<double>(w->config_.num_nodes))));
+      DIGEST_ASSIGN_OR_RETURN(
+          w->graph_,
+          MakeMesh(rows, (w->config_.num_nodes + rows - 1) / rows));
+      break;
+    }
+    case TraceTopology::kPowerLaw:
+      DIGEST_ASSIGN_OR_RETURN(
+          w->graph_,
+          MakeBarabasiAlbert(w->config_.num_nodes, 3, w->placement_rng_));
+      break;
+  }
+  DIGEST_ASSIGN_OR_RETURN(Schema schema,
+                          Schema::Create({w->config_.attribute}));
+  w->db_ = std::make_unique<P2PDatabase>(schema);
+  w->nodes_ = w->graph_.LiveNodes();
+  for (NodeId node : w->nodes_) {
+    DIGEST_RETURN_IF_ERROR(w->db_->AddNode(node));
+  }
+  // Apply the initial state (tick 0 records).
+  DIGEST_RETURN_IF_ERROR(w->ApplyTick(0));
+  return w;
+}
+
+Status TraceWorkload::ApplyTick(int64_t tick) {
+  const auto& records = trace_.records();
+  while (cursor_ < records.size() && records[cursor_].tick == tick) {
+    const TraceRecord& r = records[cursor_];
+    ++cursor_;
+    auto it = unit_refs_.find(r.unit);
+    if (r.deleted) {
+      if (it == unit_refs_.end()) {
+        return Status::Internal("trace deletes unknown unit");
+      }
+      DIGEST_ASSIGN_OR_RETURN(LocalStore * store,
+                              db_->StoreAt(it->second.node));
+      DIGEST_RETURN_IF_ERROR(store->Erase(it->second.local));
+      unit_refs_.erase(it);
+      continue;
+    }
+    if (it == unit_refs_.end()) {
+      // Insertion: place the unit on a random node.
+      const NodeId node = nodes_[placement_rng_.NextIndex(nodes_.size())];
+      DIGEST_ASSIGN_OR_RETURN(LocalStore * store, db_->StoreAt(node));
+      const LocalTupleId local = store->Insert(Tuple{r.value});
+      unit_refs_[r.unit] = TupleRef{node, local};
+    } else {
+      DIGEST_ASSIGN_OR_RETURN(LocalStore * store,
+                              db_->StoreAt(it->second.node));
+      DIGEST_RETURN_IF_ERROR(
+          store->UpdateAttribute(it->second.local, 0, r.value));
+    }
+  }
+  return Status::OK();
+}
+
+Status TraceWorkload::Advance() {
+  ++now_;
+  return ApplyTick(now_);
+}
+
+}  // namespace digest

@@ -1,0 +1,117 @@
+#ifndef DIGEST_WORKLOAD_TRACE_H_
+#define DIGEST_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "numeric/rng.h"
+#include "workload/workload.h"
+
+namespace digest {
+
+/// One row of a dataset trace, in the paper's dataset format (§VI-A):
+/// "each tuple records the current value of the attribute at a
+/// particular time at a particular unit", with a unit's first record
+/// acting as an insertion and a `deleted` record as its removal.
+struct TraceRecord {
+  int64_t tick = 0;      ///< Time of the modification (0 = initial state).
+  uint64_t unit = 0;     ///< Stable unit (sensor/computing-unit) id.
+  double value = 0.0;    ///< New attribute value (ignored when deleted).
+  bool deleted = false;  ///< True: the unit disappears at this tick.
+};
+
+/// An immutable, tick-ordered dataset trace. This is the bridge for
+/// *real* datasets: record a synthetic workload to a file, or load a
+/// file prepared from actual measurements (CSV: `tick,unit,value,
+/// deleted`), and replay it as a Workload.
+class Trace {
+ public:
+  /// Builds a trace from records; sorts by (tick, unit) and validates
+  /// (no negative ticks, no updates to never-inserted units, no updates
+  /// after deletion).
+  static Result<Trace> FromRecords(std::vector<TraceRecord> records);
+
+  /// Loads the CSV form (header `tick,unit,value,deleted` then rows).
+  static Result<Trace> LoadCsv(const std::string& path);
+
+  /// Writes the CSV form. Overwrites `path`.
+  Status SaveCsv(const std::string& path) const;
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// Largest tick in the trace (0 for an initial-state-only trace).
+  int64_t max_tick() const;
+
+  /// Number of distinct units ever seen.
+  size_t num_units() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Records `ticks` ticks of a live workload into a Trace (tick 0 holds
+/// the initial state). Unit ids are synthesized densely; a tuple deleted
+/// and re-created counts as a fresh unit. Consumes the workload's ticks.
+Result<Trace> RecordWorkload(Workload& workload, size_t ticks);
+
+/// Overlay shape for trace replay.
+enum class TraceTopology { kMesh, kPowerLaw };
+
+/// Configuration of a trace replay.
+struct TraceWorkloadConfig {
+  size_t num_nodes = 64;
+  TraceTopology topology = TraceTopology::kPowerLaw;
+  uint64_t seed = 1;          ///< Unit→node placement (and topology).
+  std::string attribute = "value";
+};
+
+/// Replays a Trace as a Workload: units are placed on uniformly random
+/// nodes of a generated overlay, and every Advance() applies the next
+/// tick's insertions/updates/deletions. Membership of the *overlay* is
+/// static (the trace carries data dynamics; pair with MemoryWorkload for
+/// overlay churn experiments).
+class TraceWorkload : public Workload {
+ public:
+  static Result<std::unique_ptr<TraceWorkload>> Create(
+      Trace trace, TraceWorkloadConfig config);
+
+  Graph& graph() override { return graph_; }
+  const Graph& graph() const override { return graph_; }
+  P2PDatabase& db() override { return *db_; }
+  const P2PDatabase& db() const override { return *db_; }
+
+  /// Applies the records of tick now()+1. Advancing past max_tick() is
+  /// allowed and leaves the data unchanged (a quiescent tail).
+  Status Advance() override;
+
+  int64_t now() const override { return now_; }
+  const char* attribute() const override {
+    return config_.attribute.c_str();
+  }
+
+ private:
+  TraceWorkload(Trace trace, TraceWorkloadConfig config)
+      : trace_(std::move(trace)), config_(std::move(config)) {}
+
+  /// Applies all records with the given tick, starting at cursor_.
+  Status ApplyTick(int64_t tick);
+
+  Trace trace_;
+  TraceWorkloadConfig config_;
+  Graph graph_;
+  std::unique_ptr<P2PDatabase> db_;
+  Rng placement_rng_{0};
+  std::vector<NodeId> nodes_;  // Live overlay nodes (static).
+  // unit -> current location; absent = not live.
+  std::map<uint64_t, TupleRef> unit_refs_;
+  size_t cursor_ = 0;  // Next unapplied record.
+  int64_t now_ = 0;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_WORKLOAD_TRACE_H_

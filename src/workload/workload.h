@@ -1,0 +1,51 @@
+#ifndef DIGEST_WORKLOAD_WORKLOAD_H_
+#define DIGEST_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "db/p2p_database.h"
+#include "net/graph.h"
+
+namespace digest {
+
+/// A simulated peer-to-peer database workload: an overlay graph, the
+/// partitioned relation living on it, and a per-tick data-evolution
+/// process (value updates; for churning workloads also node join/leave
+/// with tuple insertion/deletion).
+///
+/// The two concrete workloads mirror the paper's datasets (Table II):
+/// TemperatureWorkload (JPL/NASA weather stations, mesh overlay, stable
+/// membership) and MemoryWorkload (SETI@home available memory, power-law
+/// overlay, churning membership). Both are synthetic generators
+/// calibrated to the table's (ρ, σ) — see DESIGN.md's substitution notes.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// The overlay. Mutable because churny workloads rewire it.
+  virtual Graph& graph() = 0;
+  virtual const Graph& graph() const = 0;
+
+  /// The partitioned relation.
+  virtual P2PDatabase& db() = 0;
+  virtual const P2PDatabase& db() const = 0;
+
+  /// Advances the data (and membership) by one tick.
+  virtual Status Advance() = 0;
+
+  /// Ticks advanced so far.
+  virtual int64_t now() const = 0;
+
+  /// Name of the single measured attribute ("temperature" / "memory").
+  virtual const char* attribute() const = 0;
+
+  /// Exempts `node` from any membership churn (the querying node stays
+  /// online while its continuous query runs). Default: no-op for
+  /// churn-free workloads.
+  virtual void ProtectNode(NodeId node) { (void)node; }
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,125 @@
+#include "net/churn.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace digest {
+namespace {
+
+TEST(ChurnTest, ZeroRatesDoNothing) {
+  Rng rng(1);
+  Result<Graph> g = MakeRing(10);
+  ASSERT_TRUE(g.ok());
+  ChurnProcess churn(ChurnConfig{});
+  for (int i = 0; i < 20; ++i) {
+    Result<ChurnEvents> events = churn.Tick(*g, rng);
+    ASSERT_TRUE(events.ok());
+    EXPECT_TRUE(events->joined.empty());
+    EXPECT_TRUE(events->left.empty());
+  }
+  EXPECT_EQ(g->NodeCount(), 10u);
+}
+
+TEST(ChurnTest, JoinRateGrowsNetwork) {
+  Rng rng(2);
+  Result<Graph> g = MakeRing(10);
+  ASSERT_TRUE(g.ok());
+  ChurnConfig config;
+  config.join_rate = 2.0;
+  ChurnProcess churn(config);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(churn.Tick(*g, rng).ok());
+  }
+  EXPECT_EQ(g->NodeCount(), 10u + 100u);
+  EXPECT_TRUE(g->IsConnected());
+}
+
+TEST(ChurnTest, FractionalRatesAverageOut) {
+  Rng rng(3);
+  Result<Graph> g = MakeRing(10);
+  ASSERT_TRUE(g.ok());
+  ChurnConfig config;
+  config.join_rate = 0.25;
+  ChurnProcess churn(config);
+  size_t joins = 0;
+  for (int i = 0; i < 4000; ++i) {
+    Result<ChurnEvents> events = churn.Tick(*g, rng);
+    ASSERT_TRUE(events.ok());
+    joins += events->joined.size();
+  }
+  EXPECT_NEAR(static_cast<double>(joins), 1000.0, 100.0);
+}
+
+TEST(ChurnTest, BalancedChurnKeepsConnectivityAndRoughSize) {
+  Rng rng(4);
+  Result<Graph> g = MakeRing(50);
+  ASSERT_TRUE(g.ok());
+  ChurnConfig config;
+  config.join_rate = 1.0;
+  config.leave_rate = 1.0;
+  config.attach_edges = 2;
+  ChurnProcess churn(config);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(churn.Tick(*g, rng).ok());
+    ASSERT_TRUE(g->IsConnected()) << "disconnected at tick " << i;
+  }
+  EXPECT_GT(g->NodeCount(), 20u);
+  EXPECT_LT(g->NodeCount(), 120u);
+}
+
+TEST(ChurnTest, MinNodesFloorHolds) {
+  Rng rng(5);
+  Result<Graph> g = MakeRing(6);
+  ASSERT_TRUE(g.ok());
+  ChurnConfig config;
+  config.leave_rate = 3.0;
+  config.min_nodes = 4;
+  ChurnProcess churn(config);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(churn.Tick(*g, rng).ok());
+  }
+  EXPECT_EQ(g->NodeCount(), 4u);
+}
+
+TEST(ChurnTest, ProtectedNodeNeverLeaves) {
+  Rng rng(6);
+  Result<Graph> g = MakeRing(30);
+  ASSERT_TRUE(g.ok());
+  ChurnConfig config;
+  config.join_rate = 1.0;
+  config.leave_rate = 1.5;
+  config.min_nodes = 3;
+  config.protected_node = 7;
+  ChurnProcess churn(config);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(churn.Tick(*g, rng).ok());
+    ASSERT_TRUE(g->HasNode(7)) << "protected node left at tick " << i;
+  }
+}
+
+TEST(ChurnTest, PreferentialAttachmentFavorsHubs) {
+  Rng rng(7);
+  // Star + ring: node 0 is a hub.
+  Result<Graph> g = MakeRing(20);
+  ASSERT_TRUE(g.ok());
+  for (NodeId i = 2; i < 19; ++i) {
+    if (!g->HasEdge(0, i)) {
+      ASSERT_TRUE(g->AddEdge(0, i).ok());
+    }
+  }
+  const size_t hub_degree_before = g->Degree(0);
+  ChurnConfig config;
+  config.join_rate = 5.0;
+  config.attach_edges = 1;
+  config.preferential_attachment = true;
+  ChurnProcess churn(config);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(churn.Tick(*g, rng).ok());
+  }
+  // The hub should capture far more than a 1/n share of ~300 new edges.
+  EXPECT_GT(g->Degree(0), hub_degree_before + 30);
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,75 @@
+#include "workload/csv_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace digest {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CsvExportTest, RunResultSeries) {
+  RunResult result;
+  result.reported = {1.0, 2.5};
+  result.truth = {1.5, 2.5};
+  const std::string path = TempPath("run.csv");
+  ASSERT_TRUE(WriteRunResultCsv(result, path).ok());
+  const std::string content = Slurp(path);
+  EXPECT_EQ(content,
+            "tick,reported,truth,abs_error\n"
+            "0,1,1.5,0.5\n"
+            "1,2.5,2.5,0\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvExportTest, RunResultRejectsMisaligned) {
+  RunResult result;
+  result.reported = {1.0};
+  result.truth = {1.0, 2.0};
+  EXPECT_FALSE(WriteRunResultCsv(result, TempPath("bad.csv")).ok());
+}
+
+TEST(CsvExportTest, RejectsUnwritablePath) {
+  RunResult result;
+  result.reported = {1.0};
+  result.truth = {1.0};
+  EXPECT_EQ(
+      WriteRunResultCsv(result, "/nonexistent-dir/x.csv").code(),
+      StatusCode::kUnavailable);
+}
+
+TEST(CsvExportTest, TableWithQuoting) {
+  const std::string path = TempPath("table.csv");
+  ASSERT_TRUE(WriteTableCsv({"name", "note"},
+                            {{"plain", "hello"},
+                             {"with,comma", "with\"quote"}},
+                            path)
+                  .ok());
+  const std::string content = Slurp(path);
+  EXPECT_EQ(content,
+            "name,note\n"
+            "plain,hello\n"
+            "\"with,comma\",\"with\"\"quote\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvExportTest, TableValidation) {
+  EXPECT_FALSE(WriteTableCsv({}, {}, TempPath("t.csv")).ok());
+  EXPECT_FALSE(
+      WriteTableCsv({"a", "b"}, {{"only-one"}}, TempPath("t.csv")).ok());
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,168 @@
+// Integration tests: the full experiment harness driving Digest engines
+// and baselines over the synthetic workloads — the same code path the
+// benchmark binaries use to regenerate the paper's figures, at reduced
+// scale.
+#include "workload/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/memory.h"
+#include "workload/temperature.h"
+
+namespace digest {
+namespace {
+
+TemperatureConfig TinyTemperature() {
+  TemperatureConfig config;
+  config.num_units = 400;
+  config.num_nodes = 36;
+  return config;
+}
+
+MemoryConfig TinyMemory() {
+  MemoryConfig config;
+  config.num_units = 150;
+  config.num_nodes = 80;
+  config.join_rate = 0.4;
+  config.leave_rate = 0.4;
+  return config;
+}
+
+ContinuousQuerySpec TempSpec(double delta, double epsilon) {
+  return ContinuousQuerySpec::Create("SELECT AVG(temperature) FROM R",
+                                     PrecisionSpec{delta, epsilon, 0.95})
+      .value();
+}
+
+DigestEngineOptions Options(SchedulerKind s, EstimatorKind e,
+                            SamplerKind sampler = SamplerKind::kExactCentral) {
+  DigestEngineOptions options;
+  options.scheduler = s;
+  options.estimator = e;
+  options.sampler = sampler;
+  options.sampling_options.walk_length = 60;
+  options.sampling_options.reset_length = 12;
+  return options;
+}
+
+TEST(ExperimentTest, EngineRunProducesAlignedSeries) {
+  auto w = TemperatureWorkload::Create(TinyTemperature()).value();
+  Result<RunResult> run = RunEngineExperiment(
+      *w, TempSpec(2.0, 2.0),
+      Options(SchedulerKind::kPred, EstimatorKind::kRepeated), 100, 1);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->reported.size(), 100u);
+  EXPECT_EQ(run->truth.size(), 100u);
+  EXPECT_GT(run->stats.snapshots, 0u);
+  EXPECT_GT(run->stats.total_samples, 0u);
+  EXPECT_EQ(run->precision.ticks, 100u);
+}
+
+TEST(ExperimentTest, PredExecutesFewerSnapshotsThanAll) {
+  // The Fig. 4-a effect at test scale.
+  auto w_all = TemperatureWorkload::Create(TinyTemperature()).value();
+  auto w_pred = TemperatureWorkload::Create(TinyTemperature()).value();
+  const ContinuousQuerySpec spec = TempSpec(/*delta=*/8.0, 2.0);
+  Result<RunResult> all = RunEngineExperiment(
+      *w_all, spec, Options(SchedulerKind::kAll, EstimatorKind::kIndependent),
+      120, 2);
+  Result<RunResult> pred = RunEngineExperiment(
+      *w_pred, spec,
+      Options(SchedulerKind::kPred, EstimatorKind::kIndependent), 120, 2);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(all->stats.snapshots, 120u);
+  EXPECT_LT(pred->stats.snapshots, all->stats.snapshots);
+}
+
+TEST(ExperimentTest, RepeatedUsesFewerFreshSamplesThanIndependent) {
+  // The Fig. 4-b / 5-a effect at test scale.
+  auto w_indep = TemperatureWorkload::Create(TinyTemperature()).value();
+  auto w_rpt = TemperatureWorkload::Create(TinyTemperature()).value();
+  const ContinuousQuerySpec spec = TempSpec(/*delta=*/0.0, 1.5);
+  Result<RunResult> indep = RunEngineExperiment(
+      *w_indep, spec,
+      Options(SchedulerKind::kAll, EstimatorKind::kIndependent), 60, 3);
+  Result<RunResult> rpt = RunEngineExperiment(
+      *w_rpt, spec, Options(SchedulerKind::kAll, EstimatorKind::kRepeated),
+      60, 3);
+  ASSERT_TRUE(indep.ok());
+  ASSERT_TRUE(rpt.ok());
+  EXPECT_LT(rpt->stats.total_samples, indep->stats.total_samples);
+  EXPECT_LT(rpt->stats.fresh_samples, indep->stats.fresh_samples);
+  EXPECT_GT(rpt->correlation_estimate, 0.3);
+}
+
+TEST(ExperimentTest, EnginePrecisionHolds) {
+  auto w = TemperatureWorkload::Create(TinyTemperature()).value();
+  Result<RunResult> run = RunEngineExperiment(
+      *w, TempSpec(2.0, 1.0),
+      Options(SchedulerKind::kPred, EstimatorKind::kRepeated), 150, 4);
+  ASSERT_TRUE(run.ok());
+  // Within delta+epsilon on the vast majority of ticks (the prediction
+  // can lag a tick or two occasionally).
+  EXPECT_GT(run->precision.within_tolerance_fraction, 0.85);
+}
+
+TEST(ExperimentTest, PushAllIsExactButExpensive) {
+  auto w_push = TemperatureWorkload::Create(TinyTemperature()).value();
+  auto w_digest = TemperatureWorkload::Create(TinyTemperature()).value();
+  const ContinuousQuerySpec spec = TempSpec(2.0, 2.0);
+  Result<RunResult> push = RunPushAllExperiment(*w_push, spec, 60, 5);
+  ASSERT_TRUE(push.ok());
+  EXPECT_DOUBLE_EQ(push->precision.max_abs_error, 0.0);
+
+  Result<RunResult> digest = RunEngineExperiment(
+      *w_digest, spec,
+      Options(SchedulerKind::kPred, EstimatorKind::kRepeated,
+              SamplerKind::kTwoStageMcmc),
+      60, 5);
+  ASSERT_TRUE(digest.ok());
+  // Fig. 5-b shape: Digest beats push-everything by a wide margin.
+  EXPECT_LT(digest->meter.Total(), push->meter.Total() / 4);
+}
+
+TEST(ExperimentTest, FilterBaselineIsBetweenDigestAndPushAll) {
+  auto w_filter = TemperatureWorkload::Create(TinyTemperature()).value();
+  auto w_push = TemperatureWorkload::Create(TinyTemperature()).value();
+  const ContinuousQuerySpec spec = TempSpec(2.0, 2.0);
+  Result<RunResult> filter = RunFilterExperiment(*w_filter, spec, 60, 6);
+  Result<RunResult> push = RunPushAllExperiment(*w_push, spec, 60, 6);
+  ASSERT_TRUE(filter.ok()) << filter.status();
+  ASSERT_TRUE(push.ok());
+  EXPECT_LT(filter->meter.Total(), push->meter.Total());
+  EXPECT_GT(filter->precision.within_tolerance_fraction, 0.9);
+}
+
+TEST(ExperimentTest, MemoryWorkloadUnderChurnEndToEnd) {
+  auto w = MemoryWorkload::Create(TinyMemory()).value();
+  ContinuousQuerySpec spec =
+      ContinuousQuerySpec::Create("SELECT AVG(memory) FROM R",
+                                  PrecisionSpec{3.0, 3.0, 0.95})
+          .value();
+  Result<RunResult> run = RunEngineExperiment(
+      *w, spec,
+      Options(SchedulerKind::kPred, EstimatorKind::kRepeated,
+              SamplerKind::kTwoStageMcmc),
+      80, 7);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_GT(run->stats.snapshots, 0u);
+  EXPECT_GT(run->precision.within_tolerance_fraction, 0.6);
+}
+
+TEST(ExperimentTest, SameSeedSameResult) {
+  auto a = TemperatureWorkload::Create(TinyTemperature()).value();
+  auto b = TemperatureWorkload::Create(TinyTemperature()).value();
+  const ContinuousQuerySpec spec = TempSpec(2.0, 2.0);
+  const DigestEngineOptions options =
+      Options(SchedulerKind::kPred, EstimatorKind::kRepeated);
+  Result<RunResult> r1 = RunEngineExperiment(*a, spec, options, 50, 11);
+  Result<RunResult> r2 = RunEngineExperiment(*b, spec, options, 50, 11);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->stats.total_samples, r2->stats.total_samples);
+  EXPECT_EQ(r1->reported, r2->reported);
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,150 @@
+// Randomized round-trip tests of the expression and predicate grammars:
+// generate random ASTs, print them, reparse, and check the reparsed tree
+// evaluates identically on random tuples. Deterministic (seeded).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "db/expression.h"
+#include "db/predicate.h"
+#include "numeric/rng.h"
+
+namespace digest {
+namespace {
+
+const char* kAttrs[] = {"a", "b", "c", "d"};
+
+Schema TestSchema() {
+  return Schema::Create({"a", "b", "c", "d"}).value();
+}
+
+// Random arithmetic expression text of bounded depth.
+std::string RandomArith(Rng& rng, int depth) {
+  if (depth <= 0 || rng.NextBernoulli(0.3)) {
+    if (rng.NextBernoulli(0.5)) {
+      return kAttrs[rng.NextIndex(4)];
+    }
+    char buf[32];
+    // Small positive constants keep divisions finite in most trees.
+    std::snprintf(buf, sizeof(buf), "%.3f", 0.5 + rng.NextDouble() * 9.5);
+    return buf;
+  }
+  const uint64_t pick = rng.NextIndex(5);
+  if (pick == 4) {
+    return "-(" + RandomArith(rng, depth - 1) + ")";
+  }
+  static const char* kOps[] = {" + ", " - ", " * ", " / "};
+  return "(" + RandomArith(rng, depth - 1) + kOps[pick] +
+         RandomArith(rng, depth - 1) + ")";
+}
+
+// Random predicate text of bounded depth.
+std::string RandomPredicate(Rng& rng, int depth) {
+  if (depth <= 0 || rng.NextBernoulli(0.4)) {
+    static const char* kCmps[] = {" < ", " <= ", " > ", " >= ", " = ",
+                                  " != "};
+    return RandomArith(rng, 2) + kCmps[rng.NextIndex(6)] +
+           RandomArith(rng, 2);
+  }
+  const uint64_t pick = rng.NextIndex(3);
+  if (pick == 0) {
+    return "NOT (" + RandomPredicate(rng, depth - 1) + ")";
+  }
+  const char* op = pick == 1 ? " AND " : " OR ";
+  return "(" + RandomPredicate(rng, depth - 1) + op +
+         RandomPredicate(rng, depth - 1) + ")";
+}
+
+Tuple RandomTuple(Rng& rng) {
+  return Tuple{rng.NextGaussian(5.0, 3.0), rng.NextGaussian(5.0, 3.0),
+               rng.NextGaussian(5.0, 3.0), rng.NextGaussian(5.0, 3.0)};
+}
+
+class ExpressionRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExpressionRoundTrip, PrintedFormEvaluatesIdentically) {
+  Rng rng(GetParam());
+  Schema schema = TestSchema();
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string text = RandomArith(rng, 4);
+    Result<Expression> parsed = Expression::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status();
+    Result<Expression> reparsed = Expression::Parse(parsed->ToString());
+    ASSERT_TRUE(reparsed.ok()) << parsed->ToString();
+    ASSERT_TRUE(parsed->Bind(schema).ok());
+    ASSERT_TRUE(reparsed->Bind(schema).ok());
+    for (int probe = 0; probe < 5; ++probe) {
+      const Tuple t = RandomTuple(rng);
+      Result<double> v1 = parsed->Evaluate(t);
+      Result<double> v2 = reparsed->Evaluate(t);
+      ASSERT_EQ(v1.ok(), v2.ok()) << text;
+      if (v1.ok()) {
+        // Identical trees must produce bit-identical results.
+        ASSERT_EQ(*v1, *v2) << text;
+        ASSERT_TRUE(std::isfinite(*v1));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpressionRoundTrip,
+                         ::testing::Values(3, 11, 2024));
+
+class PredicateRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PredicateRoundTrip, PrintedFormEvaluatesIdentically) {
+  Rng rng(GetParam());
+  Schema schema = TestSchema();
+  for (int trial = 0; trial < 150; ++trial) {
+    const std::string text = RandomPredicate(rng, 3);
+    Result<Predicate> parsed = Predicate::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status();
+    Result<Predicate> reparsed = Predicate::Parse(parsed->ToString());
+    ASSERT_TRUE(reparsed.ok()) << parsed->ToString();
+    ASSERT_TRUE(parsed->Bind(schema).ok());
+    ASSERT_TRUE(reparsed->Bind(schema).ok());
+    for (int probe = 0; probe < 5; ++probe) {
+      const Tuple t = RandomTuple(rng);
+      Result<bool> v1 = parsed->Evaluate(t);
+      Result<bool> v2 = reparsed->Evaluate(t);
+      ASSERT_EQ(v1.ok(), v2.ok()) << text;
+      if (v1.ok()) {
+        ASSERT_EQ(*v1, *v2) << text;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateRoundTrip,
+                         ::testing::Values(5, 13, 4096));
+
+TEST(ExpressionFuzzTest, GarbageInputsNeverCrash) {
+  Rng rng(777);
+  const std::string alphabet = "abc123+-*/()<>=!&| .";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text;
+    const size_t len = rng.NextIndex(24);
+    for (size_t i = 0; i < len; ++i) {
+      text += alphabet[rng.NextIndex(alphabet.size())];
+    }
+    // Must never crash; any Status outcome is fine.
+    Result<Expression> e = Expression::Parse(text);
+    Result<Predicate> p = Predicate::Parse(text);
+    if (e.ok()) {
+      Schema schema = TestSchema();
+      if (e->Bind(schema).ok()) {
+        (void)e->Evaluate(RandomTuple(rng));
+      }
+    }
+    if (p.ok()) {
+      Schema schema = TestSchema();
+      if (p->Bind(schema).ok()) {
+        (void)p->Evaluate(RandomTuple(rng));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,193 @@
+#include "core/extrapolator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace digest {
+namespace {
+
+TEST(ExtrapolatorTest, BootstrapIsContinuousQuerying) {
+  ExtrapolatorOptions options;
+  options.history_points = 4;
+  Extrapolator ex(options);
+  EXPECT_FALSE(ex.Bootstrapped());
+  EXPECT_FALSE(ex.PredictNextSnapshotTime(1.0).ok());  // No data at all.
+  ASSERT_TRUE(ex.AddObservation(0, 10.0).ok());
+  EXPECT_FALSE(ex.Bootstrapped());
+  // Under-populated history: predict the very next tick.
+  EXPECT_EQ(ex.PredictNextSnapshotTime(1.0).value(), 1);
+  ASSERT_TRUE(ex.AddObservation(1, 10.5).ok());
+  ASSERT_TRUE(ex.AddObservation(2, 11.0).ok());
+  EXPECT_EQ(ex.PredictNextSnapshotTime(1.0).value(), 3);
+  ASSERT_TRUE(ex.AddObservation(3, 11.5).ok());
+  EXPECT_TRUE(ex.Bootstrapped());
+}
+
+TEST(ExtrapolatorTest, RejectsNonIncreasingTicks) {
+  Extrapolator ex;
+  ASSERT_TRUE(ex.AddObservation(5, 1.0).ok());
+  EXPECT_FALSE(ex.AddObservation(5, 2.0).ok());
+  EXPECT_FALSE(ex.AddObservation(4, 2.0).ok());
+  EXPECT_TRUE(ex.AddObservation(6, 2.0).ok());
+}
+
+TEST(ExtrapolatorTest, RejectsNegativeDelta) {
+  Extrapolator ex;
+  ASSERT_TRUE(ex.AddObservation(0, 1.0).ok());
+  EXPECT_FALSE(ex.PredictNextSnapshotTime(-1.0).ok());
+}
+
+TEST(ExtrapolatorTest, ZeroDeltaIsContinuous) {
+  ExtrapolatorOptions options;
+  options.history_points = 2;
+  Extrapolator ex(options);
+  ASSERT_TRUE(ex.AddObservation(0, 1.0).ok());
+  ASSERT_TRUE(ex.AddObservation(1, 2.0).ok());
+  EXPECT_EQ(ex.PredictNextSnapshotTime(0.0).value(), 2);
+}
+
+TEST(ExtrapolatorTest, LinearTrendPredictsCrossingTime) {
+  // X grows by 1 per tick; with delta = 5 the next snapshot should land
+  // roughly 5 ticks out (remainder shrinks it at most slightly).
+  ExtrapolatorOptions options;
+  options.history_points = 2;  // Degree-1 Taylor polynomial.
+  Extrapolator ex(options);
+  for (int t = 0; t <= 4; ++t) {
+    ASSERT_TRUE(ex.AddObservation(t, 100.0 + t).ok());
+  }
+  Result<int64_t> next = ex.PredictNextSnapshotTime(5.0);
+  ASSERT_TRUE(next.ok());
+  EXPECT_GE(*next, 4 + 4);
+  EXPECT_LE(*next, 4 + 6);
+}
+
+TEST(ExtrapolatorTest, SteeperSlopeMeansEarlierSnapshot) {
+  ExtrapolatorOptions options;
+  options.history_points = 2;
+  Extrapolator slow(options), fast(options);
+  for (int t = 0; t <= 3; ++t) {
+    ASSERT_TRUE(slow.AddObservation(t, 0.5 * t).ok());
+    ASSERT_TRUE(fast.AddObservation(t, 4.0 * t).ok());
+  }
+  const int64_t next_slow = slow.PredictNextSnapshotTime(8.0).value();
+  const int64_t next_fast = fast.PredictNextSnapshotTime(8.0).value();
+  EXPECT_GT(next_slow, next_fast);
+}
+
+TEST(ExtrapolatorTest, FlatlineSkipsToMaxSkip) {
+  ExtrapolatorOptions options;
+  options.history_points = 3;
+  options.max_skip = 32;
+  Extrapolator ex(options);
+  for (int t = 0; t < 6; ++t) {
+    ASSERT_TRUE(ex.AddObservation(t, 42.0).ok());
+  }
+  EXPECT_EQ(ex.PredictNextSnapshotTime(10.0).value(), 5 + 32);
+}
+
+TEST(ExtrapolatorTest, QuadraticSeriesFitsWithDegreeTwo) {
+  // X(t) = t^2: with history 3 (degree 2) the fit is exact, so the
+  // predicted crossing matches the analytic drift t_last^2 -> (t_last+s)^2.
+  ExtrapolatorOptions options;
+  options.history_points = 3;
+  Extrapolator ex(options);
+  for (int t = 0; t <= 5; ++t) {
+    ASSERT_TRUE(ex.AddObservation(t, static_cast<double>(t * t)).ok());
+  }
+  // Drift from t=5: (5+s)^2 - 25 = 10s + s^2 > 20 -> s = 2.
+  Result<int64_t> next = ex.PredictNextSnapshotTime(20.0);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 7);
+}
+
+TEST(ExtrapolatorTest, LevMarAndLeastSquaresAgree) {
+  // Polynomial fitting is a linear problem: both fitting backends must
+  // produce the same schedule (the paper's LM choice is about robustness,
+  // not a different optimum).
+  for (int degree_points = 2; degree_points <= 4; ++degree_points) {
+    ExtrapolatorOptions lm_options;
+    lm_options.history_points = static_cast<size_t>(degree_points);
+    lm_options.use_levmar = true;
+    ExtrapolatorOptions ls_options = lm_options;
+    ls_options.use_levmar = false;
+    Extrapolator lm(lm_options), ls(ls_options);
+    for (int t = 0; t < 8; ++t) {
+      const double x = 3.0 + 0.8 * t - 0.05 * t * t;
+      ASSERT_TRUE(lm.AddObservation(t, x).ok());
+      ASSERT_TRUE(ls.AddObservation(t, x).ok());
+    }
+    EXPECT_EQ(lm.PredictNextSnapshotTime(2.0).value(),
+              ls.PredictNextSnapshotTime(2.0).value())
+        << "history=" << degree_points;
+  }
+}
+
+TEST(ExtrapolatorTest, RemainderInflationIsConservative) {
+  ExtrapolatorOptions loose;
+  loose.history_points = 3;
+  loose.remainder_inflation = 1.0;
+  ExtrapolatorOptions tight = loose;
+  tight.remainder_inflation = 50.0;
+  Extrapolator a(loose), b(tight);
+  for (int t = 0; t < 6; ++t) {
+    const double x = std::sin(0.3 * t) * 10.0;
+    ASSERT_TRUE(a.AddObservation(t, x).ok());
+    ASSERT_TRUE(b.AddObservation(t, x).ok());
+  }
+  EXPECT_LE(b.PredictNextSnapshotTime(4.0).value(),
+            a.PredictNextSnapshotTime(4.0).value());
+}
+
+TEST(ExtrapolatorTest, ExtrapolatedValueTracksTrend) {
+  ExtrapolatorOptions options;
+  options.history_points = 2;
+  Extrapolator ex(options);
+  EXPECT_FALSE(ex.ExtrapolatedValue(0).ok());
+  ASSERT_TRUE(ex.AddObservation(0, 10.0).ok());
+  // Bootstrapping: hold the last value.
+  EXPECT_DOUBLE_EQ(ex.ExtrapolatedValue(5).value(), 10.0);
+  ASSERT_TRUE(ex.AddObservation(1, 12.0).ok());
+  EXPECT_NEAR(ex.ExtrapolatedValue(3).value(), 16.0, 1e-6);
+}
+
+TEST(ExtrapolatorTest, ResetForgetsHistory) {
+  Extrapolator ex;
+  for (int t = 0; t < 6; ++t) {
+    ASSERT_TRUE(ex.AddObservation(t, 1.0 * t).ok());
+  }
+  EXPECT_TRUE(ex.Bootstrapped());
+  ex.Reset();
+  EXPECT_FALSE(ex.Bootstrapped());
+  EXPECT_TRUE(ex.AddObservation(0, 5.0).ok());  // Ticks restart.
+}
+
+// Property: for a linear series the predicted gap scales inversely with
+// the slope, across PRED-k depths.
+class PredKLinearScaling : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PredKLinearScaling, GapInverselyProportionalToSlope) {
+  const size_t k = GetParam();
+  ExtrapolatorOptions options;
+  options.history_points = k;
+  options.max_skip = 1000;
+  Extrapolator ex(options);
+  const double slope = 0.25;
+  for (int t = 0; t < 10; ++t) {
+    ASSERT_TRUE(ex.AddObservation(t, slope * t).ok());
+  }
+  const double delta = 6.0;
+  Result<int64_t> next = ex.PredictNextSnapshotTime(delta);
+  ASSERT_TRUE(next.ok());
+  const int64_t gap = *next - 9;
+  // Ideal gap is delta/slope = 24; the remainder bound can only shorten
+  // it, and for exact linear data it is ~0 for k >= 2.
+  EXPECT_GE(gap, 20);
+  EXPECT_LE(gap, 25);
+}
+
+INSTANTIATE_TEST_SUITE_P(HistoryDepths, PredKLinearScaling,
+                         ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace digest

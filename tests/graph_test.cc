@@ -1,0 +1,166 @@
+#include "net/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace digest {
+namespace {
+
+TEST(GraphTest, AddNodesAssignsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.AddNode(), 0u);
+  EXPECT_EQ(g.AddNode(), 1u);
+  EXPECT_EQ(g.NodeCount(), 2u);
+  EXPECT_TRUE(g.HasNode(0));
+  EXPECT_TRUE(g.HasNode(1));
+  EXPECT_FALSE(g.HasNode(2));
+}
+
+TEST(GraphTest, EdgesAreUndirected) {
+  Graph g;
+  g.AddNode();
+  g.AddNode();
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST(GraphTest, RejectsSelfLoopsAndDuplicates) {
+  Graph g;
+  g.AddNode();
+  g.AddNode();
+  EXPECT_EQ(g.AddEdge(0, 0).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.AddEdge(0, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddEdge(1, 0).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kNotFound);
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g;
+  g.AddNode();
+  g.AddNode();
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.EdgeCount(), 0u);
+  EXPECT_EQ(g.RemoveEdge(0, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(GraphTest, RemoveNodeDetachesEdgesAndKeepsIdsStable) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode();
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_TRUE(g.RemoveNode(1).ok());
+  EXPECT_FALSE(g.HasNode(1));
+  EXPECT_EQ(g.NodeCount(), 3u);
+  EXPECT_EQ(g.EdgeCount(), 1u);
+  EXPECT_EQ(g.Degree(0), 0u);
+  EXPECT_EQ(g.Degree(2), 1u);
+  EXPECT_EQ(g.RemoveNode(1).code(), StatusCode::kNotFound);
+  // New nodes never reuse the dead id.
+  EXPECT_EQ(g.AddNode(), 4u);
+}
+
+TEST(GraphTest, LiveNodesAscending) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode();
+  ASSERT_TRUE(g.RemoveNode(2).ok());
+  std::vector<NodeId> live = g.LiveNodes();
+  EXPECT_EQ(live, (std::vector<NodeId>{0, 1, 3, 4}));
+}
+
+TEST(GraphTest, NeighborsReflectsMutations) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.AddNode();
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  std::vector<NodeId> nbs = g.Neighbors(0);
+  std::sort(nbs.begin(), nbs.end());
+  EXPECT_EQ(nbs, (std::vector<NodeId>{1, 2}));
+  EXPECT_TRUE(g.Neighbors(9).empty());
+}
+
+TEST(GraphTest, RandomLiveNodeOnlyReturnsLive) {
+  Graph g;
+  for (int i = 0; i < 10; ++i) g.AddNode();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(g.RemoveNode(i * 2).ok());
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    Result<NodeId> pick = g.RandomLiveNode(rng);
+    ASSERT_TRUE(pick.ok());
+    EXPECT_TRUE(g.HasNode(*pick));
+  }
+}
+
+TEST(GraphTest, RandomLiveNodeFailsOnEmpty) {
+  Graph g;
+  Rng rng(3);
+  EXPECT_FALSE(g.RandomLiveNode(rng).ok());
+}
+
+TEST(GraphTest, RandomNeighborUniform) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode();
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 30000; ++i) {
+    Result<NodeId> nb = g.RandomNeighbor(0, rng);
+    ASSERT_TRUE(nb.ok());
+    ++counts[*nb];
+  }
+  EXPECT_EQ(counts[0], 0);
+  for (int i = 1; i < 4; ++i) EXPECT_NEAR(counts[i], 10000, 600);
+}
+
+TEST(GraphTest, RandomNeighborFailsForIsolatedOrDead) {
+  Graph g;
+  g.AddNode();
+  Rng rng(5);
+  EXPECT_EQ(g.RandomNeighbor(0, rng).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(g.RandomNeighbor(7, rng).status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphTest, ConnectivityDetection) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode();
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  EXPECT_FALSE(g.IsConnected());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.IsConnected());
+  Graph empty;
+  EXPECT_TRUE(empty.IsConnected());
+}
+
+TEST(GraphTest, BfsDistancesOnPath) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode();
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(g.AddEdge(i, i + 1).ok());
+  Result<std::vector<int>> dist = g.BfsDistances(0);
+  ASSERT_TRUE(dist.ok());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ((*dist)[i], i);
+}
+
+TEST(GraphTest, BfsMarksUnreachable) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.AddNode();
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  Result<std::vector<int>> dist = g.BfsDistances(0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ((*dist)[2], -1);
+  EXPECT_FALSE(g.BfsDistances(9).ok());
+}
+
+}  // namespace
+}  // namespace digest

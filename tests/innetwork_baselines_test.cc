@@ -1,0 +1,202 @@
+// Tests of the in-network aggregation comparators from §VII: push-sum
+// gossip and TAG-style tree aggregation (including the churn fragility
+// the paper criticizes trees for).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/push_sum.h"
+#include "baselines/tree_aggregation.h"
+#include "net/topology.h"
+
+namespace digest {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  std::unique_ptr<P2PDatabase> db;
+
+  explicit Fixture(size_t nodes, uint64_t seed = 3) {
+    Rng topo(seed);
+    graph = MakeBarabasiAlbert(nodes, 3, topo).value();
+    db = std::make_unique<P2PDatabase>(Schema::Create({"v"}).value());
+    Rng data(seed + 1);
+    for (NodeId node : graph.LiveNodes()) {
+      EXPECT_TRUE(db->AddNode(node).ok());
+      const size_t count = 1 + data.NextIndex(4);
+      for (size_t i = 0; i < count; ++i) {
+        db->StoreAt(node).value()->Insert({data.NextGaussian(20.0, 5.0)});
+      }
+    }
+  }
+
+  double Truth(const AggregateQuery& q) const {
+    return db->ExactAggregate(q).value();
+  }
+};
+
+AggregateQuery Query(const char* text) {
+  return AggregateQuery::Parse(text).value();
+}
+
+TEST(PushSumTest, ConvergesToAvg) {
+  Fixture f(40);
+  AggregateQuery q = Query("SELECT AVG(v) FROM R");
+  PushSumAggregator gossip(&f.graph, f.db.get(), q, 0, nullptr, Rng(4));
+  Result<PushSumResult> r = gossip.Run();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->converged);
+  EXPECT_NEAR(r->value, f.Truth(q), 0.05 * std::fabs(f.Truth(q)));
+}
+
+TEST(PushSumTest, ConvergesToSumAndCount) {
+  Fixture f(30);
+  for (const char* text :
+       {"SELECT SUM(v) FROM R", "SELECT COUNT(*) FROM R"}) {
+    AggregateQuery q = Query(text);
+    PushSumAggregator gossip(&f.graph, f.db.get(), q, 2, nullptr, Rng(5));
+    Result<PushSumResult> r = gossip.Run();
+    ASSERT_TRUE(r.ok()) << text;
+    EXPECT_NEAR(r->value, f.Truth(q), 0.05 * std::fabs(f.Truth(q)))
+        << text;
+  }
+}
+
+TEST(PushSumTest, HonorsWhereClause) {
+  Fixture f(30);
+  AggregateQuery q = Query("SELECT AVG(v) FROM R WHERE v > 20");
+  PushSumAggregator gossip(&f.graph, f.db.get(), q, 0, nullptr, Rng(6));
+  Result<PushSumResult> r = gossip.Run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->value, f.Truth(q), 0.05 * f.Truth(q));
+}
+
+TEST(PushSumTest, CostScalesWithNetworkSize) {
+  // The paper's critique: O(N) messages per round regardless of who
+  // asks.
+  MessageMeter small_meter, large_meter;
+  {
+    Fixture f(20);
+    PushSumAggregator g(&f.graph, f.db.get(), Query("SELECT AVG(v) FROM R"),
+                        0, &small_meter, Rng(7));
+    ASSERT_TRUE(g.Run().ok());
+  }
+  {
+    Fixture f(200);
+    PushSumAggregator g(&f.graph, f.db.get(), Query("SELECT AVG(v) FROM R"),
+                        0, &large_meter, Rng(8));
+    ASSERT_TRUE(g.Run().ok());
+  }
+  EXPECT_GT(large_meter.Total(), 4 * small_meter.Total());
+}
+
+TEST(PushSumTest, FailsOnDeadQuerier) {
+  Fixture f(10);
+  ASSERT_TRUE(f.graph.RemoveNode(3).ok());
+  PushSumAggregator gossip(&f.graph, f.db.get(),
+                           Query("SELECT AVG(v) FROM R"), 3, nullptr,
+                           Rng(9));
+  EXPECT_FALSE(gossip.Run().ok());
+}
+
+TEST(TreeAggregationTest, ExactOnStaticNetwork) {
+  Fixture f(50);
+  AggregateQuery q = Query("SELECT AVG(v) FROM R");
+  MessageMeter meter;
+  TreeAggregator tree(&f.graph, f.db.get(), q, 0, &meter);
+  Result<TreeAggregationResult> r = tree.Tick();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->rebuilt);
+  EXPECT_DOUBLE_EQ(r->value, f.Truth(q));
+  EXPECT_EQ(r->lost_tuples, 0u);
+  EXPECT_EQ(r->covered_tuples, f.db->TotalTuples());
+  EXPECT_GT(meter.Total(), 0u);
+}
+
+TEST(TreeAggregationTest, SumCountAndWhere) {
+  Fixture f(30);
+  for (const char* text :
+       {"SELECT SUM(v) FROM R", "SELECT COUNT(*) FROM R",
+        "SELECT AVG(v) FROM R WHERE v > 20"}) {
+    AggregateQuery q = Query(text);
+    TreeAggregator tree(&f.graph, f.db.get(), q, 1, nullptr);
+    Result<TreeAggregationResult> r = tree.Tick();
+    ASSERT_TRUE(r.ok()) << text;
+    EXPECT_DOUBLE_EQ(r->value, f.Truth(q)) << text;
+  }
+}
+
+TEST(TreeAggregationTest, ChurnOrphansSubtrees) {
+  // The §VII critique in vivo: after nodes leave between rebuilds, the
+  // stale tree silently drops the orphaned subtrees' tuples.
+  Fixture f(60);
+  AggregateQuery q = Query("SELECT COUNT(*) FROM R");
+  TreeAggregationOptions options;
+  options.rebuild_period = 1000;  // Never rebuild during the test.
+  TreeAggregator tree(&f.graph, f.db.get(), q, 0, nullptr, options);
+  Result<TreeAggregationResult> before = tree.Tick();
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->lost_tuples, 0u);
+
+  // Remove a handful of (non-root) nodes; their subtrees go dark even
+  // though the *database* still has other live content.
+  Rng rng(10);
+  size_t removed = 0;
+  for (NodeId victim : f.graph.LiveNodes()) {
+    if (victim == 0 || removed >= 6) continue;
+    if (rng.NextBernoulli(0.3)) {
+      ASSERT_TRUE(f.graph.RemoveNode(victim).ok());
+      ASSERT_TRUE(f.db->RemoveNode(victim).ok());
+      ++removed;
+    }
+  }
+  ASSERT_GT(removed, 0u);
+  Result<TreeAggregationResult> after = tree.Tick();
+  ASSERT_TRUE(after.ok());
+  const double truth_now = f.Truth(q);
+  // The stale tree undercounts (or at best matches when no orphan had
+  // surviving descendants).
+  EXPECT_LE(after->value, truth_now);
+  // A rebuild restores exactness.
+  tree.InvalidateTree();
+  Result<TreeAggregationResult> rebuilt = tree.Tick();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(rebuilt->rebuilt);
+  EXPECT_DOUBLE_EQ(rebuilt->value, truth_now);
+  EXPECT_EQ(rebuilt->lost_tuples, 0u);
+}
+
+TEST(TreeAggregationTest, LostTuplesAreAccounted) {
+  Fixture f(40);
+  AggregateQuery q = Query("SELECT COUNT(*) FROM R");
+  TreeAggregationOptions options;
+  options.rebuild_period = 1000;
+  TreeAggregator tree(&f.graph, f.db.get(), q, 0, nullptr, options);
+  ASSERT_TRUE(tree.Tick().ok());
+  // Kill one high-degree hub (likely to orphan others).
+  NodeId hub = 1;
+  size_t best = 0;
+  for (NodeId id : f.graph.LiveNodes()) {
+    if (id != 0 && f.graph.Degree(id) > best) {
+      best = f.graph.Degree(id);
+      hub = id;
+    }
+  }
+  ASSERT_TRUE(f.graph.RemoveNode(hub).ok());
+  ASSERT_TRUE(f.db->RemoveNode(hub).ok());
+  Result<TreeAggregationResult> r = tree.Tick();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->covered_tuples + r->lost_tuples, f.db->TotalTuples());
+}
+
+TEST(TreeAggregationTest, FailsOnDeadRoot) {
+  Fixture f(10);
+  ASSERT_TRUE(f.graph.RemoveNode(2).ok());
+  ASSERT_TRUE(f.db->RemoveNode(2).ok());
+  TreeAggregator tree(&f.graph, f.db.get(), Query("SELECT AVG(v) FROM R"),
+                      2, nullptr);
+  EXPECT_FALSE(tree.Tick().ok());
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,97 @@
+// Whole-system integration: the features added across the repository
+// working together in one scenario — trace-recorded data replayed on a
+// fresh overlay, a DigestNode running AVG-with-WHERE, SUM (sampled size
+// oracle), and MEDIAN queries concurrently over shared MCMC sampling,
+// all verified against the oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/digest_node.h"
+#include "workload/memory.h"
+#include "workload/trace.h"
+
+namespace digest {
+namespace {
+
+TEST(FullIntegrationTest, TraceReplayMultiQueryNode) {
+  // 1. Record a churning MEMORY workload into a trace.
+  MemoryConfig source_config;
+  source_config.num_units = 250;
+  source_config.num_nodes = 120;
+  auto source = MemoryWorkload::Create(source_config).value();
+  Trace trace = RecordWorkload(*source, 60).value();
+
+  // 2. Replay it on a different overlay.
+  TraceWorkloadConfig replay_config;
+  replay_config.num_nodes = 80;
+  replay_config.attribute = "memory";
+  replay_config.topology = TraceTopology::kPowerLaw;
+  auto workload = TraceWorkload::Create(trace, replay_config).value();
+
+  // 3. One peer, three concurrent continuous queries.
+  MessageMeter meter;
+  DigestEngineOptions options;
+  options.scheduler = SchedulerKind::kAll;
+  options.estimator = EstimatorKind::kRepeated;
+  options.sampler = SamplerKind::kTwoStageMcmc;
+  options.sampling_options.walk_length = 60;
+  options.sampling_options.reset_length = 15;
+  Rng rng(9);
+  const NodeId self = workload->graph().RandomLiveNode(rng).value();
+  auto node = DigestNode::Create(&workload->graph(), &workload->db(), self,
+                                 rng.Fork(), &meter, options)
+                  .value();
+
+  const QueryId avg_q =
+      node->IssueQuery(
+              ContinuousQuerySpec::Create(
+                  "SELECT AVG(memory) FROM R WHERE memory BETWEEN 5 AND 60",
+                  PrecisionSpec{1.0, 2.0, 0.95})
+                  .value())
+          .value();
+  DigestEngineOptions sum_options = options;
+  sum_options.size_oracle = SizeOracleKind::kSampled;
+  sum_options.size_estimator_options.collision_target = 60;
+  const QueryId sum_q =
+      node->IssueQuery(ContinuousQuerySpec::Create(
+                           "SELECT SUM(memory) FROM R",
+                           PrecisionSpec{100.0, 600.0, 0.95})
+                           .value(),
+                       sum_options)
+          .value();
+  const QueryId med_q =
+      node->IssueQuery(ContinuousQuerySpec::Create(
+                           "SELECT MEDIAN(memory) FROM R",
+                           PrecisionSpec{1.0, 0.06, 0.95})
+                           .value())
+          .value();
+  ASSERT_EQ(node->active_queries(), 3u);
+
+  // 4. Drive the replay; every query must stay near its oracle.
+  int avg_ok = 0, sum_ok = 0, med_ok = 0;
+  const int ticks = 40;
+  for (int t = 1; t <= ticks; ++t) {
+    ASSERT_TRUE(workload->Advance().ok());
+    auto results = node->Tick(t);
+    ASSERT_TRUE(results.ok()) << results.status();
+    for (const auto& [id, tick] : *results) {
+      if (!tick.has_result) continue;
+      const auto* engine = node->engine(id).value();
+      const double truth =
+          workload->db().ExactAggregate(engine->spec().query).value();
+      const double err = std::fabs(tick.reported_value - truth);
+      if (id == avg_q && err <= 4.0) ++avg_ok;
+      if (id == sum_q && err <= 0.35 * truth) ++sum_ok;
+      if (id == med_q && err <= 0.25 * truth) ++med_ok;
+    }
+  }
+  EXPECT_GE(avg_ok, ticks * 3 / 4);
+  EXPECT_GE(sum_ok, ticks * 3 / 4);
+  EXPECT_GE(med_ok, ticks * 3 / 4);
+  EXPECT_GT(meter.walk_hops(), 0u);
+  EXPECT_GT(meter.refreshes(), 0u);  // RPT retained samples in play.
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,126 @@
+#include "numeric/levmar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "numeric/rng.h"
+
+namespace digest {
+namespace {
+
+TEST(LevMarTest, FitsLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 + 0.5 * i);
+  }
+  auto model = [](double x, const std::vector<double>& p) {
+    return p[0] + p[1] * x;
+  };
+  Result<LevMarResult> fit = FitModelLevMar(model, xs, ys, {0.0, 0.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->parameters[0], 2.0, 1e-6);
+  EXPECT_NEAR(fit->parameters[1], 0.5, 1e-6);
+  EXPECT_LT(fit->final_cost, 1e-10);
+}
+
+TEST(LevMarTest, FitsCubicPolynomial) {
+  std::vector<double> xs, ys;
+  for (int i = -5; i <= 5; ++i) {
+    const double x = 0.4 * i;
+    xs.push_back(x);
+    ys.push_back(1.0 - 2.0 * x + 0.3 * x * x + 0.1 * x * x * x);
+  }
+  auto model = [](double x, const std::vector<double>& p) {
+    double acc = 0.0;
+    for (size_t i = p.size(); i-- > 0;) acc = acc * x + p[i];
+    return acc;
+  };
+  Result<LevMarResult> fit =
+      FitModelLevMar(model, xs, ys, {0.0, 0.0, 0.0, 0.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->parameters[0], 1.0, 1e-5);
+  EXPECT_NEAR(fit->parameters[1], -2.0, 1e-5);
+  EXPECT_NEAR(fit->parameters[2], 0.3, 1e-5);
+  EXPECT_NEAR(fit->parameters[3], 0.1, 1e-5);
+}
+
+TEST(LevMarTest, FitsNonlinearExponentialModel) {
+  // y = a * exp(b x): genuinely nonlinear in parameters.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    const double x = 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(3.0 * std::exp(-1.5 * x));
+  }
+  auto model = [](double x, const std::vector<double>& p) {
+    return p[0] * std::exp(p[1] * x);
+  };
+  Result<LevMarResult> fit = FitModelLevMar(model, xs, ys, {1.0, 0.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->parameters[0], 3.0, 1e-4);
+  EXPECT_NEAR(fit->parameters[1], -1.5, 1e-4);
+}
+
+TEST(LevMarTest, NoisyDataStillConverges) {
+  Rng rng(2024);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = 0.05 * i;
+    xs.push_back(x);
+    ys.push_back(4.0 + 1.2 * x + rng.NextGaussian(0.0, 0.05));
+  }
+  auto model = [](double x, const std::vector<double>& p) {
+    return p[0] + p[1] * x;
+  };
+  Result<LevMarResult> fit = FitModelLevMar(model, xs, ys, {0.0, 0.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->parameters[0], 4.0, 0.05);
+  EXPECT_NEAR(fit->parameters[1], 1.2, 0.02);
+}
+
+TEST(LevMarTest, RosenbrockStyleResidualsConverge) {
+  // Classic LM stress: residuals r1 = 10(y - x^2), r2 = 1 - x.
+  ResidualFn fn = [](const std::vector<double>& p,
+                     std::vector<double>& r) {
+    r[0] = 10.0 * (p[1] - p[0] * p[0]);
+    r[1] = 1.0 - p[0];
+  };
+  LevMarOptions options;
+  options.max_iterations = 500;
+  Result<LevMarResult> fit =
+      LevenbergMarquardt(fn, {-1.2, 1.0}, 2, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->parameters[0], 1.0, 1e-4);
+  EXPECT_NEAR(fit->parameters[1], 1.0, 1e-4);
+}
+
+TEST(LevMarTest, RejectsUnderdeterminedProblems) {
+  ResidualFn fn = [](const std::vector<double>&, std::vector<double>& r) {
+    r[0] = 0.0;
+  };
+  EXPECT_FALSE(LevenbergMarquardt(fn, {1.0, 2.0}, 1).ok());
+  EXPECT_FALSE(LevenbergMarquardt(fn, {}, 1).ok());
+}
+
+TEST(LevMarTest, MismatchedDataFails) {
+  auto model = [](double, const std::vector<double>&) { return 0.0; };
+  EXPECT_FALSE(FitModelLevMar(model, {1.0, 2.0}, {1.0}, {0.0}).ok());
+}
+
+TEST(LevMarTest, AlreadyOptimalStopsImmediately) {
+  std::vector<double> xs = {0.0, 1.0, 2.0};
+  std::vector<double> ys = {1.0, 2.0, 3.0};
+  auto model = [](double x, const std::vector<double>& p) {
+    return p[0] + p[1] * x;
+  };
+  Result<LevMarResult> fit = FitModelLevMar(model, xs, ys, {1.0, 1.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit->converged);
+  EXPECT_LE(fit->iterations, 3u);
+}
+
+}  // namespace
+}  // namespace digest

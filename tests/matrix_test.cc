@@ -1,0 +1,205 @@
+#include "numeric/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace digest {
+namespace {
+
+TEST(MatrixTest, IdentityAndAccess) {
+  Matrix m = Matrix::Identity(3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 0.0);
+  m(0, 1) = 5.0;
+  EXPECT_EQ(m(0, 1), 5.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  std::vector<double> y = m.MatVec({1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(MatrixTest, VecMatIsTransposeProduct) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  std::vector<double> y = m.VecMat({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 7.0);   // 1*1 + 2*3
+  EXPECT_DOUBLE_EQ(y[1], 10.0);  // 1*2 + 2*4
+}
+
+TEST(MatrixTest, MatMulAgainstIdentity) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  Matrix p = m.MatMul(Matrix::Identity(2));
+  EXPECT_EQ(p.MaxAbsDiff(m), 0.0);
+}
+
+TEST(MatrixTest, TransposedTwiceIsIdentityOp) {
+  Matrix m(2, 3);
+  m(0, 2) = 7.0;
+  m(1, 0) = -2.0;
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t(2, 0), 7.0);
+  EXPECT_EQ(t.Transposed().MaxAbsDiff(m), 0.0);
+}
+
+TEST(SolveTest, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  Result<std::vector<double>> x = SolveLinearSystem(a, {5.0, 10.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveTest, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  Result<std::vector<double>> x = SolveLinearSystem(a, {2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveTest, SingularSystemFails) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}).ok());
+}
+
+TEST(SolveTest, ShapeMismatchFails) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}).ok());
+  Matrix b(2, 2);
+  EXPECT_FALSE(SolveLinearSystem(b, {1.0}).ok());
+}
+
+TEST(LeastSquaresTest, ExactSystemIsInterpolated) {
+  // Square, well-conditioned: least squares == solve.
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  Result<std::vector<double>> x = SolveLeastSquares(a, {3.0, 5.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, OverdeterminedMinimizesResidual) {
+  // Fit y = c0 + c1 x to 4 points of y = 1 + 2x with one outlier-free
+  // exact structure -> recovers exactly.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  const double xs[] = {0.0, 1.0, 2.0, 3.0};
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = xs[i];
+    b[i] = 1.0 + 2.0 * xs[i];
+  }
+  Result<std::vector<double>> x = SolveLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, ResidualIsOrthogonalToColumns) {
+  Matrix a(5, 2);
+  std::vector<double> b = {1.0, -2.0, 0.5, 4.0, 3.0};
+  for (int i = 0; i < 5; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = static_cast<double>(i * i);
+  }
+  Result<std::vector<double>> x = SolveLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  std::vector<double> residual = a.MatVec(*x);
+  for (int i = 0; i < 5; ++i) residual[i] -= b[i];
+  // A^T r == 0 characterizes the least-squares solution.
+  std::vector<double> atr = a.VecMat(residual);
+  EXPECT_NEAR(atr[0], 0.0, 1e-9);
+  EXPECT_NEAR(atr[1], 0.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, UnderdeterminedFails) {
+  Matrix a(1, 2);
+  EXPECT_FALSE(SolveLeastSquares(a, {1.0}).ok());
+}
+
+TEST(LeastSquaresTest, RankDeficientFails) {
+  Matrix a(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = 2.0;  // Column 2 = 2 * column 1.
+  }
+  EXPECT_FALSE(SolveLeastSquares(a, {1.0, 2.0, 3.0}).ok());
+}
+
+TEST(EigenTest, TwoStateChainSecondEigenvalue) {
+  // P = [[1-a, a], [b, 1-b]] has eigenvalues 1 and 1-a-b.
+  const double alpha = 0.3, beta = 0.2;
+  Matrix p(2, 2);
+  p(0, 0) = 1 - alpha;
+  p(0, 1) = alpha;
+  p(1, 0) = beta;
+  p(1, 1) = 1 - beta;
+  const std::vector<double> pi = {beta / (alpha + beta),
+                                  alpha / (alpha + beta)};
+  Result<double> l2 = SecondEigenvalueMagnitude(p, pi);
+  ASSERT_TRUE(l2.ok());
+  EXPECT_NEAR(*l2, 1.0 - alpha - beta, 1e-8);
+}
+
+TEST(EigenTest, LazyUniformCompleteChain) {
+  // Lazy walk on K_n with uniform target: P = 1/2 I + 1/2 (J-I)/(n-1).
+  // Second eigenvalue is 1/2 - 1/(2(n-1)).
+  const size_t n = 5;
+  Matrix p(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      p(i, j) = (i == j) ? 0.5 : 0.5 / static_cast<double>(n - 1);
+    }
+  }
+  const std::vector<double> pi(n, 1.0 / n);
+  Result<double> l2 = SecondEigenvalueMagnitude(p, pi);
+  ASSERT_TRUE(l2.ok());
+  EXPECT_NEAR(*l2, 0.5 - 0.5 / static_cast<double>(n - 1), 1e-8);
+}
+
+TEST(EigenTest, RejectsNonPositivePi) {
+  Matrix p = Matrix::Identity(2);
+  EXPECT_FALSE(SecondEigenvalueMagnitude(p, {1.0, 0.0}).ok());
+  EXPECT_FALSE(SecondEigenvalueMagnitude(p, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,65 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace digest {
+namespace {
+
+PrecisionSpec Spec(double delta, double epsilon) {
+  return PrecisionSpec{delta, epsilon, 0.95};
+}
+
+TEST(MetricsTest, PerfectSeries) {
+  const std::vector<double> series = {1.0, 2.0, 3.0};
+  Result<PrecisionReport> r = EvaluatePrecision(series, series, Spec(1, 1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->mean_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(r->max_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(r->within_tolerance_fraction, 1.0);
+  EXPECT_EQ(r->ticks, 3u);
+}
+
+TEST(MetricsTest, KnownErrors) {
+  const std::vector<double> reported = {1.0, 2.0, 10.0};
+  const std::vector<double> truth = {1.5, 2.0, 4.0};
+  Result<PrecisionReport> r =
+      EvaluatePrecision(reported, truth, Spec(1.0, 1.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->mean_abs_error, (0.5 + 0.0 + 6.0) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r->max_abs_error, 6.0);
+  // Tolerance = delta + epsilon = 2: first two ticks qualify.
+  EXPECT_NEAR(r->within_tolerance_fraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, RejectsBadInput) {
+  EXPECT_FALSE(EvaluatePrecision({}, {}, Spec(1, 1)).ok());
+  EXPECT_FALSE(EvaluatePrecision({1.0}, {1.0, 2.0}, Spec(1, 1)).ok());
+  PrecisionSpec bad = Spec(1, 1);
+  bad.confidence = 0.0;
+  EXPECT_FALSE(EvaluatePrecision({1.0}, {1.0}, bad).ok());
+}
+
+TEST(PrecisionSpecTest, Validation) {
+  EXPECT_TRUE((PrecisionSpec{0.0, 1.0, 0.5}).Validate().ok());
+  EXPECT_FALSE((PrecisionSpec{-1.0, 1.0, 0.5}).Validate().ok());
+  EXPECT_FALSE((PrecisionSpec{0.0, 0.0, 0.5}).Validate().ok());
+  EXPECT_FALSE((PrecisionSpec{0.0, 1.0, 0.0}).Validate().ok());
+  EXPECT_FALSE((PrecisionSpec{0.0, 1.0, 1.0}).Validate().ok());
+}
+
+TEST(ContinuousQuerySpecTest, CreateParsesAndValidates) {
+  Result<ContinuousQuerySpec> spec = ContinuousQuerySpec::Create(
+      "SELECT AVG(temperature) FROM R", PrecisionSpec{2.0, 1.0, 0.95});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->query.op, AggregateOp::kAvg);
+  EXPECT_NE(spec->ToString().find("delta=2"), std::string::npos);
+  EXPECT_FALSE(ContinuousQuerySpec::Create(
+                   "SELECT MAX(a) FROM R", PrecisionSpec{1, 1, 0.95})
+                   .ok());
+  EXPECT_FALSE(ContinuousQuerySpec::Create(
+                   "SELECT AVG(a) FROM R", PrecisionSpec{1, -1, 0.95})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,170 @@
+// Model-based randomized tests: long random operation sequences applied
+// simultaneously to the production data structures and to trivially
+// correct reference models, checking equivalence after every step.
+// Deterministic (seeded) so failures reproduce.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "db/local_store.h"
+#include "net/graph.h"
+#include "numeric/rng.h"
+
+namespace digest {
+namespace {
+
+// ---------------------------------------------------------------------
+// Graph vs adjacency-set reference model.
+// ---------------------------------------------------------------------
+
+class GraphModel {
+ public:
+  NodeId AddNode() {
+    const NodeId id = next_id_++;
+    live_.insert(id);
+    return id;
+  }
+  bool RemoveNode(NodeId id) {
+    if (!live_.count(id)) return false;
+    live_.erase(id);
+    for (auto it = edges_.begin(); it != edges_.end();) {
+      if (it->first == id || it->second == id) {
+        it = edges_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return true;
+  }
+  bool AddEdge(NodeId a, NodeId b) {
+    if (a == b || !live_.count(a) || !live_.count(b)) return false;
+    return edges_.insert(Norm(a, b)).second;
+  }
+  bool RemoveEdge(NodeId a, NodeId b) { return edges_.erase(Norm(a, b)); }
+  bool HasEdge(NodeId a, NodeId b) const {
+    return edges_.count(Norm(a, b)) > 0;
+  }
+  size_t Degree(NodeId id) const {
+    size_t d = 0;
+    for (const auto& e : edges_) {
+      if (e.first == id || e.second == id) ++d;
+    }
+    return d;
+  }
+  const std::set<NodeId>& live() const { return live_; }
+  size_t edge_count() const { return edges_.size(); }
+
+ private:
+  static std::pair<NodeId, NodeId> Norm(NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+  NodeId next_id_ = 0;
+  std::set<NodeId> live_;
+  std::set<std::pair<NodeId, NodeId>> edges_;
+};
+
+class GraphFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  Graph graph;
+  GraphModel model;
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t op = rng.NextIndex(10);
+    const NodeId bound =
+        static_cast<NodeId>(std::max<uint64_t>(graph.NextId() + 2, 4));
+    const NodeId a = static_cast<NodeId>(rng.NextIndex(bound));
+    const NodeId b = static_cast<NodeId>(rng.NextIndex(bound));
+    if (op < 2) {
+      EXPECT_EQ(graph.AddNode(), model.AddNode());
+    } else if (op < 3) {
+      EXPECT_EQ(graph.RemoveNode(a).ok(), model.RemoveNode(a));
+    } else if (op < 7) {
+      EXPECT_EQ(graph.AddEdge(a, b).ok(), model.AddEdge(a, b));
+    } else {
+      EXPECT_EQ(graph.RemoveEdge(a, b).ok(), model.RemoveEdge(a, b) > 0);
+    }
+    // Invariants after every step.
+    ASSERT_EQ(graph.NodeCount(), model.live().size()) << "step " << step;
+    ASSERT_EQ(graph.EdgeCount(), model.edge_count()) << "step " << step;
+    // Spot-check a few random entities.
+    for (int probe = 0; probe < 4; ++probe) {
+      const NodeId x = static_cast<NodeId>(rng.NextIndex(bound));
+      const NodeId y = static_cast<NodeId>(rng.NextIndex(bound));
+      ASSERT_EQ(graph.HasNode(x), model.live().count(x) > 0);
+      ASSERT_EQ(graph.HasEdge(x, y), model.HasEdge(x, y));
+      if (model.live().count(x)) {
+        ASSERT_EQ(graph.Degree(x), model.Degree(x));
+      }
+    }
+  }
+  EXPECT_EQ(graph.LiveNodes(),
+            std::vector<NodeId>(model.live().begin(), model.live().end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+// ---------------------------------------------------------------------
+// LocalStore vs std::map reference model.
+// ---------------------------------------------------------------------
+
+class StoreFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  LocalStore store;
+  std::map<LocalTupleId, Tuple> model;
+  LocalTupleId id_bound = 4;
+  for (int step = 0; step < 5000; ++step) {
+    const uint64_t op = rng.NextIndex(10);
+    const LocalTupleId target = rng.NextIndex(id_bound);
+    if (op < 3) {
+      Tuple t = {rng.NextDouble(), rng.NextDouble()};
+      const LocalTupleId id = store.Insert(t);
+      ASSERT_TRUE(model.emplace(id, std::move(t)).second)
+          << "id reuse at step " << step;
+      id_bound = id + 2;
+    } else if (op < 5) {
+      Tuple t = {rng.NextDouble()};
+      const bool expect = model.count(target) > 0;
+      ASSERT_EQ(store.Update(target, t).ok(), expect);
+      if (expect) model[target] = std::move(t);
+    } else if (op < 6) {
+      const bool expect = model.count(target) > 0 &&
+                          !model[target].empty();
+      const double v = rng.NextDouble();
+      const bool ok = store.UpdateAttribute(target, 0, v).ok();
+      ASSERT_EQ(ok, expect);
+      if (expect) model[target][0] = v;
+    } else if (op < 8) {
+      ASSERT_EQ(store.Erase(target).ok(), model.erase(target) > 0);
+    } else {
+      Result<Tuple> got = store.Get(target);
+      auto it = model.find(target);
+      ASSERT_EQ(got.ok(), it != model.end());
+      if (got.ok()) {
+        ASSERT_EQ(*got, it->second);
+      }
+    }
+    ASSERT_EQ(store.Size(), model.size()) << "step " << step;
+  }
+  // Final sweep: every model entry is present and equal.
+  for (const auto& [id, tuple] : model) {
+    Result<Tuple> got = store.Get(id);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, tuple);
+  }
+  // ForEach visits exactly the model's keys.
+  std::set<LocalTupleId> visited;
+  store.ForEach([&](LocalTupleId id, const Tuple&) { visited.insert(id); });
+  EXPECT_EQ(visited.size(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreFuzz,
+                         ::testing::Values(2, 17, 404, 31337));
+
+}  // namespace
+}  // namespace digest

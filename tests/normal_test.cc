@@ -1,0 +1,94 @@
+#include "numeric/normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace digest {
+namespace {
+
+TEST(NormalTest, PdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-14);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-15);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalTest, CdfIsMonotone) {
+  double prev = 0.0;
+  for (double x = -6.0; x <= 6.0; x += 0.05) {
+    const double c = NormalCdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  Result<double> q = NormalQuantile(0.975);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(*q, 1.959963984540054, 1e-10);
+  q = NormalQuantile(0.5);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(*q, 0.0, 1e-12);
+  q = NormalQuantile(0.1);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(*q, -1.2815515655446004, 1e-10);
+}
+
+TEST(NormalTest, QuantileRejectsOutOfRange) {
+  EXPECT_FALSE(NormalQuantile(0.0).ok());
+  EXPECT_FALSE(NormalQuantile(1.0).ok());
+  EXPECT_FALSE(NormalQuantile(-0.1).ok());
+  EXPECT_FALSE(NormalQuantile(1.1).ok());
+}
+
+TEST(NormalTest, TwoSidedZKnownValues) {
+  Result<double> z = TwoSidedZ(0.95);
+  ASSERT_TRUE(z.ok());
+  EXPECT_NEAR(*z, 1.959963984540054, 1e-9);
+  z = TwoSidedZ(0.99);
+  ASSERT_TRUE(z.ok());
+  EXPECT_NEAR(*z, 2.5758293035489004, 1e-9);
+  EXPECT_FALSE(TwoSidedZ(0.0).ok());
+  EXPECT_FALSE(TwoSidedZ(1.0).ok());
+}
+
+// Property: Φ(Φ⁻¹(p)) = p across the whole open interval, including the
+// extreme tails the Acklam low-p branch covers.
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  Result<double> q = NormalQuantile(p);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(NormalCdf(*q), p, 1e-11) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantileRoundTrip,
+    ::testing::Values(1e-10, 1e-6, 1e-3, 0.01, 0.023, 0.1, 0.25, 0.5, 0.75,
+                      0.9, 0.975, 0.99, 0.999, 1.0 - 1e-6, 1.0 - 1e-10));
+
+// Property: quantile is antisymmetric, Φ⁻¹(1−p) = −Φ⁻¹(p).
+class QuantileSymmetry : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSymmetry, Antisymmetric) {
+  const double p = GetParam();
+  Result<double> a = NormalQuantile(p);
+  Result<double> b = NormalQuantile(1.0 - p);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(*a, -*b, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileSymmetry,
+                         ::testing::Values(1e-8, 1e-4, 0.05, 0.2, 0.4));
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,131 @@
+// Randomized property tests for the numeric substrate: solvers checked
+// against defining identities on random well-conditioned inputs, and
+// spectral analysis checked on random reversible chains. Deterministic
+// (seeded).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/topology.h"
+#include "numeric/matrix.h"
+#include "numeric/polynomial.h"
+#include "numeric/rng.h"
+#include "sampling/metropolis.h"
+
+namespace digest {
+namespace {
+
+Matrix RandomDiagonallyDominant(size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    double off = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      a(r, c) = rng.NextGaussian();
+      off += std::fabs(a(r, c));
+    }
+    a(r, r) = off + 1.0 + rng.NextDouble();  // Guarantees invertibility.
+  }
+  return a;
+}
+
+class SolverProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverProperty, SolveSatisfiesSystem) {
+  Rng rng(GetParam());
+  for (size_t n : {2, 5, 11, 23}) {
+    Matrix a = RandomDiagonallyDominant(n, rng);
+    std::vector<double> b(n);
+    for (double& v : b) v = rng.NextGaussian(0.0, 3.0);
+    Result<std::vector<double>> x = SolveLinearSystem(a, b);
+    ASSERT_TRUE(x.ok()) << "n=" << n;
+    std::vector<double> ax = a.MatVec(*x);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(ax[i], b[i], 1e-8) << "n=" << n << " row " << i;
+    }
+  }
+}
+
+TEST_P(SolverProperty, LeastSquaresResidualOrthogonality) {
+  Rng rng(GetParam() + 1);
+  for (auto [m, n] : {std::pair<size_t, size_t>{6, 2},
+                      {12, 4},
+                      {30, 7}}) {
+    Matrix a(m, n);
+    for (size_t r = 0; r < m; ++r) {
+      for (size_t c = 0; c < n; ++c) a(r, c) = rng.NextGaussian();
+    }
+    std::vector<double> b(m);
+    for (double& v : b) v = rng.NextGaussian();
+    Result<std::vector<double>> x = SolveLeastSquares(a, b);
+    ASSERT_TRUE(x.ok());
+    std::vector<double> r = a.MatVec(*x);
+    for (size_t i = 0; i < m; ++i) r[i] -= b[i];
+    std::vector<double> atr = a.VecMat(r);
+    for (size_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(atr[c], 0.0, 1e-8) << m << "x" << n << " col " << c;
+    }
+  }
+}
+
+TEST_P(SolverProperty, PolynomialInterpolationIsExact) {
+  Rng rng(GetParam() + 2);
+  for (size_t degree : {1, 2, 3, 5}) {
+    std::vector<double> coeffs(degree + 1);
+    for (double& c : coeffs) c = rng.NextGaussian();
+    Polynomial truth(coeffs);
+    std::vector<double> xs, ys;
+    for (size_t i = 0; i <= degree; ++i) {
+      // Distinct, moderately spread abscissae.
+      const double x = static_cast<double>(i) - 0.5 * degree +
+                       0.1 * rng.NextDouble();
+      xs.push_back(x);
+      ys.push_back(truth.Evaluate(x));
+    }
+    Result<Polynomial> fit = FitPolynomialLeastSquares(xs, ys, degree);
+    ASSERT_TRUE(fit.ok()) << "degree " << degree;
+    for (double probe : {-1.5, 0.3, 2.2}) {
+      EXPECT_NEAR(fit->Evaluate(probe), truth.Evaluate(probe), 1e-6)
+          << "degree " << degree;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProperty,
+                         ::testing::Values(10, 77, 5150));
+
+class SpectralProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpectralProperty, EigenvalueIsInvariantUnderPowers) {
+  // |λ₂(P²)| = |λ₂(P)|² for reversible chains — a strong consistency
+  // check on the deflated power iteration.
+  Rng rng(GetParam());
+  Graph g = MakeErdosRenyi(14, 0.35, rng).value();
+  WeightFn weight = [](NodeId v) { return 1.0 + (v % 3); };
+  ForwardingMatrix fm = BuildForwardingMatrix(g, weight).value();
+  const double l2 = SecondEigenvalueMagnitude(fm.p, fm.pi).value();
+  Matrix p2 = fm.p.MatMul(fm.p);
+  const double l2_sq = SecondEigenvalueMagnitude(p2, fm.pi).value();
+  EXPECT_NEAR(l2_sq, l2 * l2, 1e-6);
+}
+
+TEST_P(SpectralProperty, MixingObeysEigengapBound) {
+  Rng rng(GetParam() + 3);
+  Graph g = MakeBarabasiAlbert(14, 2, rng).value();
+  ForwardingMatrix fm =
+      BuildForwardingMatrix(g, UniformWeight()).value();
+  const double l2 = SecondEigenvalueMagnitude(fm.p, fm.pi).value();
+  double pi_min = 1.0;
+  for (double p : fm.pi) pi_min = std::min(pi_min, p);
+  for (double gamma : {0.1, 0.01}) {
+    const size_t tau = MixingTime(fm, gamma).value();
+    const double bound = std::log(1.0 / (pi_min * gamma)) / (1.0 - l2);
+    EXPECT_LE(static_cast<double>(tau), bound + 1.0) << "gamma " << gamma;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpectralProperty,
+                         ::testing::Values(21, 84, 333));
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,125 @@
+#include "numeric/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace digest {
+namespace {
+
+TEST(PolynomialTest, EvaluateHorner) {
+  // p(t) = 1 + 2t + 3t^2
+  Polynomial p({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(p.Evaluate(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Evaluate(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(p.Evaluate(2.0), 17.0);
+  EXPECT_DOUBLE_EQ(p.Evaluate(-1.0), 2.0);
+}
+
+TEST(PolynomialTest, ZeroPolynomial) {
+  Polynomial p;
+  EXPECT_EQ(p.Degree(), 0u);
+  EXPECT_DOUBLE_EQ(p.Evaluate(17.0), 0.0);
+}
+
+TEST(PolynomialTest, Derivative) {
+  Polynomial p({1.0, 2.0, 3.0, 4.0});  // 1 + 2t + 3t^2 + 4t^3
+  Polynomial d = p.Derivative();       // 2 + 6t + 12t^2
+  ASSERT_EQ(d.coefficients().size(), 3u);
+  EXPECT_DOUBLE_EQ(d.coefficients()[0], 2.0);
+  EXPECT_DOUBLE_EQ(d.coefficients()[1], 6.0);
+  EXPECT_DOUBLE_EQ(d.coefficients()[2], 12.0);
+  EXPECT_DOUBLE_EQ(Polynomial({5.0}).Derivative().Evaluate(3.0), 0.0);
+}
+
+TEST(PolynomialTest, EvaluateShifted) {
+  Polynomial p({0.0, 1.0});  // p(s) = s
+  EXPECT_DOUBLE_EQ(p.EvaluateShifted(10.0, 7.0), 3.0);
+}
+
+TEST(FitTest, ExactInterpolationOfQuadratic) {
+  // Through 3 points a degree-2 fit is interpolation.
+  const std::vector<double> xs = {-1.0, 0.0, 1.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.0 - x + 0.5 * x * x);
+  Result<Polynomial> fit = FitPolynomialLeastSquares(xs, ys, 2);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients()[0], 2.0, 1e-10);
+  EXPECT_NEAR(fit->coefficients()[1], -1.0, 1e-10);
+  EXPECT_NEAR(fit->coefficients()[2], 0.5, 1e-10);
+}
+
+TEST(FitTest, OverdeterminedSmoothsNoise) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    const double x = -2.0 + 0.08 * i;
+    xs.push_back(x);
+    // Alternating tiny perturbation around a line.
+    ys.push_back(1.0 + 3.0 * x + ((i % 2 == 0) ? 1e-3 : -1e-3));
+  }
+  Result<Polynomial> fit = FitPolynomialLeastSquares(xs, ys, 1);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients()[0], 1.0, 1e-3);
+  EXPECT_NEAR(fit->coefficients()[1], 3.0, 1e-3);
+}
+
+TEST(FitTest, RejectsTooFewPoints) {
+  EXPECT_FALSE(FitPolynomialLeastSquares({1.0, 2.0}, {1.0, 2.0}, 2).ok());
+  EXPECT_FALSE(FitPolynomialLeastSquares({1.0}, {1.0, 2.0}, 0).ok());
+}
+
+TEST(DividedDifferencesTest, LinearFunction) {
+  // f(x) = 3x + 1: f[x0] = f(x0), f[x0,x1] = 3, higher orders = 0.
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 4.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x + 1.0);
+  Result<std::vector<double>> dd = DividedDifferences(xs, ys);
+  ASSERT_TRUE(dd.ok());
+  ASSERT_EQ(dd->size(), 4u);
+  EXPECT_NEAR((*dd)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*dd)[1], 3.0, 1e-12);
+  EXPECT_NEAR((*dd)[2], 0.0, 1e-12);
+  EXPECT_NEAR((*dd)[3], 0.0, 1e-12);
+}
+
+TEST(DividedDifferencesTest, HighestOrderApproximatesDerivativeOverFactorial) {
+  // For f(x) = x^3 the order-3 divided difference equals f'''/3! = 1
+  // exactly, independent of the grid.
+  const std::vector<double> xs = {-0.5, 0.3, 1.1, 2.7};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(x * x * x);
+  Result<std::vector<double>> dd = DividedDifferences(xs, ys);
+  ASSERT_TRUE(dd.ok());
+  EXPECT_NEAR(dd->back(), 1.0, 1e-10);
+}
+
+TEST(DividedDifferencesTest, NewtonFormReconstructsValues) {
+  // The Newton-form polynomial built from the divided differences must
+  // interpolate the original points.
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, -1.0, 4.0, 2.0};
+  Result<std::vector<double>> dd = DividedDifferences(xs, ys);
+  ASSERT_TRUE(dd.ok());
+  auto newton = [&](double x) {
+    double acc = 0.0;
+    double basis = 1.0;
+    for (size_t i = 0; i < dd->size(); ++i) {
+      acc += (*dd)[i] * basis;
+      basis *= (x - xs[i]);
+    }
+    return acc;
+  };
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(newton(xs[i]), ys[i], 1e-10);
+  }
+}
+
+TEST(DividedDifferencesTest, RejectsRepeatedAbscissae) {
+  EXPECT_FALSE(DividedDifferences({1.0, 1.0}, {2.0, 3.0}).ok());
+  EXPECT_FALSE(DividedDifferences({}, {}).ok());
+  EXPECT_FALSE(DividedDifferences({1.0}, {1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,121 @@
+// Tests of the BETWEEN / IN predicate sugar (desugared onto the core
+// comparison and boolean nodes).
+#include <gtest/gtest.h>
+
+#include "db/predicate.h"
+#include "db/query.h"
+
+namespace digest {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Create({"cpu", "memory", "storage", "bandwidth"}).value();
+}
+
+bool Eval(const std::string& text, const Tuple& tuple) {
+  Result<Predicate> pred = Predicate::Parse(text);
+  EXPECT_TRUE(pred.ok()) << text << ": " << pred.status();
+  if (!pred.ok()) return false;
+  Schema schema = TestSchema();
+  EXPECT_TRUE(pred->Bind(schema).ok());
+  Result<bool> v = pred->Evaluate(tuple);
+  EXPECT_TRUE(v.ok()) << v.status();
+  return v.value_or(false);
+}
+
+TEST(BetweenTest, InclusiveBounds) {
+  const Tuple t = {4.0, 8.0, 16.0, 2.0};
+  EXPECT_TRUE(Eval("cpu BETWEEN 2 AND 6", t));
+  EXPECT_TRUE(Eval("cpu BETWEEN 4 AND 4", t));
+  EXPECT_FALSE(Eval("cpu BETWEEN 5 AND 9", t));
+  EXPECT_FALSE(Eval("cpu BETWEEN 1 AND 3", t));
+}
+
+TEST(BetweenTest, ArithmeticBounds) {
+  const Tuple t = {4.0, 8.0, 16.0, 2.0};
+  EXPECT_TRUE(Eval("memory BETWEEN cpu AND storage", t));
+  EXPECT_TRUE(Eval("cpu + bandwidth BETWEEN 5 AND memory - 1", t));
+}
+
+TEST(BetweenTest, AndAfterBetweenIsConjunction) {
+  const Tuple t = {4.0, 8.0, 16.0, 2.0};
+  // The first AND binds to BETWEEN, the second is boolean conjunction.
+  EXPECT_TRUE(Eval("cpu BETWEEN 2 AND 6 AND memory > 5", t));
+  EXPECT_FALSE(Eval("cpu BETWEEN 2 AND 6 AND memory > 50", t));
+}
+
+TEST(BetweenTest, ParseErrors) {
+  EXPECT_FALSE(Predicate::Parse("cpu BETWEEN 2").ok());
+  EXPECT_FALSE(Predicate::Parse("cpu BETWEEN 2 OR 3").ok());
+  EXPECT_FALSE(Predicate::Parse("cpu BETWEEN AND 3").ok());
+}
+
+TEST(InTest, MatchesListMembers) {
+  const Tuple t = {4.0, 8.0, 16.0, 2.0};
+  EXPECT_TRUE(Eval("cpu IN (1, 4, 9)", t));
+  EXPECT_FALSE(Eval("cpu IN (1, 5, 9)", t));
+  EXPECT_TRUE(Eval("cpu IN (4)", t));
+  EXPECT_TRUE(Eval("memory IN (cpu * 2, 99)", t));
+}
+
+TEST(InTest, NotIn) {
+  const Tuple t = {4.0, 8.0, 16.0, 2.0};
+  EXPECT_FALSE(Eval("cpu NOT IN (1, 4, 9)", t));
+  EXPECT_TRUE(Eval("cpu NOT IN (1, 5, 9)", t));
+  // Prefix NOT on an IN comparison still works.
+  EXPECT_TRUE(Eval("NOT cpu IN (1, 5, 9)", t));
+}
+
+TEST(InTest, CombinesWithConnectives) {
+  const Tuple t = {4.0, 8.0, 16.0, 2.0};
+  EXPECT_TRUE(Eval("cpu IN (3, 4) AND memory IN (8, 9)", t));
+  EXPECT_TRUE(Eval("cpu IN (9) OR bandwidth BETWEEN 1 AND 3", t));
+}
+
+TEST(InTest, ParseErrors) {
+  EXPECT_FALSE(Predicate::Parse("cpu IN").ok());
+  EXPECT_FALSE(Predicate::Parse("cpu IN ()").ok());
+  EXPECT_FALSE(Predicate::Parse("cpu IN (1,").ok());
+  EXPECT_FALSE(Predicate::Parse("cpu IN (1 2)").ok());
+  EXPECT_FALSE(Predicate::Parse("cpu NOT (1)").ok());
+}
+
+TEST(SugarTest, RoundTripsThroughToString) {
+  for (const char* text :
+       {"cpu BETWEEN 2 AND 6", "cpu IN (1, 4, 9)",
+        "memory NOT IN (2, 3) AND cpu BETWEEN 0 AND 10"}) {
+    Result<Predicate> pred = Predicate::Parse(text);
+    ASSERT_TRUE(pred.ok()) << text;
+    Result<Predicate> reparsed = Predicate::Parse(pred->ToString());
+    ASSERT_TRUE(reparsed.ok()) << pred->ToString();
+    Schema schema = TestSchema();
+    ASSERT_TRUE(pred->Bind(schema).ok());
+    ASSERT_TRUE(reparsed->Bind(schema).ok());
+    for (double cpu : {0.0, 4.0, 20.0}) {
+      const Tuple t = {cpu, 2.5, 0.0, 0.0};
+      EXPECT_EQ(pred->Evaluate(t).value(), reparsed->Evaluate(t).value())
+          << text << " at cpu=" << cpu;
+    }
+  }
+}
+
+TEST(SugarTest, WorksInWhereClauses) {
+  Result<AggregateQuery> q = AggregateQuery::Parse(
+      "SELECT AVG(memory) FROM R WHERE cpu BETWEEN 2 AND 6 AND "
+      "bandwidth NOT IN (0, 99)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_FALSE(q->where.IsTrivial());
+}
+
+TEST(SugarTest, IdentifiersPrefixedWithKeywordsStillParse) {
+  // "inbound"/"betweenX" must not be eaten as keywords.
+  Result<Predicate> p = Predicate::Parse("inbound > 1");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->attributes()[0], "inbound");
+  p = Predicate::Parse("between_calls < 2");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->attributes()[0], "between_calls");
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,91 @@
+#include "db/query.h"
+
+#include <gtest/gtest.h>
+
+namespace digest {
+namespace {
+
+TEST(QueryTest, ParsesAvg) {
+  Result<AggregateQuery> q = AggregateQuery::Parse("SELECT AVG(a) FROM R");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->op, AggregateOp::kAvg);
+  EXPECT_EQ(q->relation, "R");
+  ASSERT_EQ(q->expression.attributes().size(), 1u);
+  EXPECT_EQ(q->expression.attributes()[0], "a");
+}
+
+TEST(QueryTest, ParsesPaperExample) {
+  // §II's running example.
+  Result<AggregateQuery> q =
+      AggregateQuery::Parse("SELECT SUM(memory + storage) FROM R");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->op, AggregateOp::kSum);
+  ASSERT_EQ(q->expression.attributes().size(), 2u);
+}
+
+TEST(QueryTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(AggregateQuery::Parse("select avg(x) from r").ok());
+  EXPECT_TRUE(AggregateQuery::Parse("SeLeCt SuM(x) FrOm R").ok());
+}
+
+TEST(QueryTest, CountStar) {
+  Result<AggregateQuery> q = AggregateQuery::Parse("SELECT COUNT(*) FROM R");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->op, AggregateOp::kCount);
+  Result<double> v = q->expression.Evaluate({});
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 1.0);
+}
+
+TEST(QueryTest, CountExpression) {
+  Result<AggregateQuery> q = AggregateQuery::Parse("SELECT COUNT(x) FROM R");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->op, AggregateOp::kCount);
+}
+
+TEST(QueryTest, NestedParenthesesInExpression) {
+  Result<AggregateQuery> q =
+      AggregateQuery::Parse("SELECT AVG((a + b) * (c - d)) FROM R");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->expression.attributes().size(), 4u);
+}
+
+TEST(QueryTest, TrailingSemicolonAndWhitespace) {
+  EXPECT_TRUE(AggregateQuery::Parse("  SELECT AVG(a) FROM R;  ").ok());
+  EXPECT_TRUE(AggregateQuery::Parse("SELECT AVG(a)\nFROM\nR").ok());
+}
+
+TEST(QueryTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(AggregateQuery::Parse("").ok());
+  EXPECT_FALSE(AggregateQuery::Parse("AVG(a) FROM R").ok());
+  EXPECT_FALSE(AggregateQuery::Parse("SELECT MIN(a) FROM R").ok());
+  EXPECT_FALSE(AggregateQuery::Parse("SELECT AVG a FROM R").ok());
+  EXPECT_FALSE(AggregateQuery::Parse("SELECT AVG(a FROM R").ok());
+  EXPECT_FALSE(AggregateQuery::Parse("SELECT AVG(a)").ok());
+  EXPECT_FALSE(AggregateQuery::Parse("SELECT AVG(a) FROM").ok());
+  EXPECT_FALSE(AggregateQuery::Parse("SELECT AVG(a) FROM R extra").ok());
+  EXPECT_FALSE(AggregateQuery::Parse("SELECT AVG() FROM R").ok());
+  EXPECT_FALSE(AggregateQuery::Parse("SELECTAVG(a) FROM R").ok());
+  EXPECT_EQ(AggregateQuery::Parse("bogus").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(QueryTest, AggregateOpNames) {
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kAvg), "AVG");
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kSum), "SUM");
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kCount), "COUNT");
+}
+
+TEST(QueryTest, ToStringRoundTrips) {
+  Result<AggregateQuery> q =
+      AggregateQuery::Parse("select sum( memory + storage ) from Pool");
+  ASSERT_TRUE(q.ok());
+  const std::string text = q->ToString();
+  Result<AggregateQuery> reparsed = AggregateQuery::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed->op, q->op);
+  EXPECT_EQ(reparsed->relation, "Pool");
+}
+
+}  // namespace
+}  // namespace digest

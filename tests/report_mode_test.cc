@@ -1,0 +1,134 @@
+// Tests of the between-occasion reporting modes (§II: hold vs
+// interpolation/extrapolation of X̂[t]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "net/topology.h"
+
+namespace digest {
+namespace {
+
+// Linear-drift database (same shape as engine_test's fixture).
+class DriftingDatabase {
+ public:
+  DriftingDatabase(size_t tuples_per_node, double slope, uint64_t seed)
+      : slope_(slope), rng_(seed) {
+    graph = MakeComplete(4).value();
+    db = std::make_unique<P2PDatabase>(Schema::Create({"v"}).value());
+    for (NodeId node : graph.LiveNodes()) {
+      EXPECT_TRUE(db->AddNode(node).ok());
+      for (size_t i = 0; i < tuples_per_node; ++i) {
+        const LocalTupleId id = db->StoreAt(node).value()->Insert(
+            {rng_.NextGaussian(100.0, 2.0)});
+        refs_.push_back(TupleRef{node, id});
+      }
+    }
+  }
+
+  void Advance() {
+    for (const TupleRef& ref : refs_) {
+      const double v = db->GetTuple(ref).value()[0];
+      EXPECT_TRUE(db->StoreAt(ref.node)
+                      .value()
+                      ->UpdateAttribute(ref.local, 0, v + slope_)
+                      .ok());
+    }
+  }
+
+  double TrueAvg() const {
+    AggregateQuery q = AggregateQuery::Parse("SELECT AVG(v) FROM R").value();
+    return db->ExactAggregate(q).value();
+  }
+
+  Graph graph;
+  std::unique_ptr<P2PDatabase> db;
+
+ private:
+  std::vector<TupleRef> refs_;
+  double slope_;
+  Rng rng_;
+};
+
+DigestEngineOptions Options(ReportMode mode) {
+  DigestEngineOptions options;
+  options.scheduler = SchedulerKind::kPred;
+  options.estimator = EstimatorKind::kIndependent;
+  options.sampler = SamplerKind::kExactCentral;
+  options.report_mode = mode;
+  return options;
+}
+
+ContinuousQuerySpec Spec() {
+  return ContinuousQuerySpec::Create("SELECT AVG(v) FROM R",
+                                     PrecisionSpec{3.0, 0.3, 0.95})
+      .value();
+}
+
+TEST(ReportModeTest, HoldKeepsValueConstantBetweenOccasions) {
+  DriftingDatabase data(100, 0.5, 1);
+  auto engine = DigestEngine::Create(&data.graph, data.db.get(), Spec(), 0,
+                                     Rng(2), nullptr,
+                                     Options(ReportMode::kHold))
+                    .value();
+  double last_snapshot_value = 0.0;
+  for (int t = 1; t <= 40; ++t) {
+    data.Advance();
+    EngineTickResult r = engine->Tick(t).value();
+    if (r.snapshot_executed) {
+      last_snapshot_value = r.reported_value;
+    } else if (r.has_result) {
+      EXPECT_DOUBLE_EQ(r.reported_value, last_snapshot_value);
+    }
+  }
+}
+
+TEST(ReportModeTest, ExtrapolateTracksLinearDriftBetweenOccasions) {
+  // With hold, per-tick error between occasions grows to ~delta; with
+  // extrapolation the fitted line tracks the drift, so the mean error
+  // across all ticks should be clearly lower.
+  auto run = [&](ReportMode mode) {
+    DriftingDatabase data(100, 0.5, 3);
+    auto engine = DigestEngine::Create(&data.graph, data.db.get(), Spec(),
+                                       0, Rng(4), nullptr, Options(mode))
+                      .value();
+    double total_err = 0.0;
+    int ticks = 0;
+    for (int t = 1; t <= 60; ++t) {
+      data.Advance();
+      EngineTickResult r = engine->Tick(t).value();
+      if (r.has_result) {
+        total_err += std::fabs(r.reported_value - data.TrueAvg());
+        ++ticks;
+      }
+    }
+    return total_err / ticks;
+  };
+  const double hold_err = run(ReportMode::kHold);
+  const double extrapolate_err = run(ReportMode::kExtrapolate);
+  EXPECT_LT(extrapolate_err, 0.7 * hold_err);
+}
+
+TEST(ReportModeTest, ExtrapolationDoesNotChangeEfficiencyCounters) {
+  auto run = [&](ReportMode mode, EngineStats& stats) {
+    DriftingDatabase data(100, 0.5, 5);
+    auto engine = DigestEngine::Create(&data.graph, data.db.get(), Spec(),
+                                       0, Rng(6), nullptr, Options(mode))
+                      .value();
+    for (int t = 1; t <= 40; ++t) {
+      data.Advance();
+      ASSERT_TRUE(engine->Tick(t).ok());
+    }
+    stats = engine->stats();
+  };
+  EngineStats hold_stats, extrapolate_stats;
+  run(ReportMode::kHold, hold_stats);
+  run(ReportMode::kExtrapolate, extrapolate_stats);
+  EXPECT_EQ(hold_stats.snapshots, extrapolate_stats.snapshots);
+  EXPECT_EQ(hold_stats.total_samples, extrapolate_stats.total_samples);
+  EXPECT_EQ(hold_stats.result_updates, extrapolate_stats.result_updates);
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,186 @@
+#include "numeric/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace digest {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextIndexRespectsBound) {
+  Rng rng(11);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const uint64_t x = rng.NextIndex(7);
+    ASSERT_LT(x, 7u);
+    ++counts[x];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);  // ~5 sigma of binomial noise.
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = rng.NextInt(-3, 3);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParameters) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(31);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, WeightedIndexProportions) {
+  Rng rng(37);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const size_t idx = rng.NextWeightedIndex(weights);
+    ASSERT_LT(idx, 4u);
+    ++counts[idx];
+  }
+  EXPECT_EQ(counts[2], 0);  // Zero weight never picked.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.6, 0.01);
+}
+
+TEST(RngTest, WeightedIndexAllZeroReturnsSize) {
+  Rng rng(41);
+  EXPECT_EQ(rng.NextWeightedIndex({0.0, 0.0}), 2u);
+  EXPECT_EQ(rng.NextWeightedIndex({}), 0u);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentButDeterministic) {
+  Rng a(99);
+  Rng fork1 = a.Fork();
+  Rng b(99);
+  Rng fork2 = b.Fork();
+  // Same parent seed -> same fork.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fork1.NextU64(), fork2.NextU64());
+  }
+  // Fork differs from parent stream.
+  Rng c(99);
+  Rng fork3 = c.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c.NextU64() == fork3.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+// Property sweep: uniformity of NextIndex across several bounds.
+class RngIndexUniformity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngIndexUniformity, ChiSquareWithinBounds) {
+  const uint64_t bound = GetParam();
+  Rng rng(bound * 7919 + 1);
+  const int n = 20000 * static_cast<int>(bound);
+  std::vector<int> counts(bound, 0);
+  for (int i = 0; i < n; ++i) ++counts[rng.NextIndex(bound)];
+  const double expected = static_cast<double>(n) / bound;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // Very generous: P(chi2 > 3*df) is negligible for these df.
+  EXPECT_LT(chi2, 3.0 * bound + 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngIndexUniformity,
+                         ::testing::Values(2, 3, 5, 10, 17));
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,50 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace digest {
+namespace {
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("\t a b \n"), "a b");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, SplitAndTrim) {
+  auto pieces = SplitAndTrim("a, b , c", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto pieces = SplitAndTrim("a,,b", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[1], "");
+}
+
+TEST(StringsTest, SplitSinglePiece) {
+  auto pieces = SplitAndTrim("only", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "only");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("AvG", "aVg"));
+  EXPECT_FALSE(EqualsIgnoreCase("SUM", "SU"));
+  EXPECT_FALSE(EqualsIgnoreCase("SUM", "AVG"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringsTest, ToUpperAscii) {
+  EXPECT_EQ(ToUpperAscii("select avg(x)"), "SELECT AVG(X)");
+  EXPECT_EQ(ToUpperAscii("123_ab"), "123_AB");
+}
+
+}  // namespace
+}  // namespace digest

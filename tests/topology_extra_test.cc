@@ -1,0 +1,126 @@
+// Tests for the extended topology generators (Watts–Strogatz small
+// world, random regular) and their interaction with the sampling
+// operator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/topology.h"
+#include "sampling/metropolis.h"
+
+namespace digest {
+namespace {
+
+TEST(WattsStrogatzTest, ZeroBetaIsPureLattice) {
+  Rng rng(1);
+  Result<Graph> g = MakeWattsStrogatz(20, 2, 0.0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NodeCount(), 20u);
+  EXPECT_EQ(g->EdgeCount(), 40u);  // n * k.
+  for (NodeId id : g->LiveNodes()) EXPECT_EQ(g->Degree(id), 4u);
+  EXPECT_TRUE(g->IsConnected());
+  // Lattice structure: i adjacent to i±1, i±2.
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(0, 2));
+  EXPECT_TRUE(g->HasEdge(0, 19));
+  EXPECT_TRUE(g->HasEdge(0, 18));
+  EXPECT_FALSE(g->HasEdge(0, 3));
+}
+
+TEST(WattsStrogatzTest, RewiringShortensPaths) {
+  Rng rng(2);
+  Result<Graph> lattice = MakeWattsStrogatz(200, 2, 0.0, rng);
+  Result<Graph> small_world = MakeWattsStrogatz(200, 2, 0.2, rng);
+  ASSERT_TRUE(lattice.ok());
+  ASSERT_TRUE(small_world.ok());
+  auto mean_distance = [](const Graph& g) {
+    std::vector<int> dist = g.BfsDistances(0).value();
+    double sum = 0.0;
+    size_t count = 0;
+    for (NodeId id : g.LiveNodes()) {
+      if (dist[id] > 0) {
+        sum += dist[id];
+        ++count;
+      }
+    }
+    return sum / static_cast<double>(count);
+  };
+  EXPECT_LT(mean_distance(*small_world), 0.6 * mean_distance(*lattice));
+}
+
+TEST(WattsStrogatzTest, EdgeCountPreservedByRewiring) {
+  Rng rng(3);
+  Result<Graph> g = MakeWattsStrogatz(100, 3, 0.5, rng);
+  ASSERT_TRUE(g.ok());
+  // Rewiring moves edges, never creates or destroys them (up to the
+  // rare connectivity repair).
+  EXPECT_NEAR(static_cast<double>(g->EdgeCount()), 300.0, 3.0);
+  EXPECT_TRUE(g->IsConnected());
+}
+
+TEST(WattsStrogatzTest, RejectsBadParameters) {
+  Rng rng(4);
+  EXPECT_FALSE(MakeWattsStrogatz(4, 2, 0.1, rng).ok());
+  EXPECT_FALSE(MakeWattsStrogatz(10, 0, 0.1, rng).ok());
+  EXPECT_FALSE(MakeWattsStrogatz(10, 2, 1.5, rng).ok());
+  EXPECT_FALSE(MakeWattsStrogatz(10, 2, -0.1, rng).ok());
+}
+
+TEST(RandomRegularTest, ExactDegrees) {
+  Rng rng(5);
+  Result<Graph> g = MakeRandomRegular(50, 4, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NodeCount(), 50u);
+  EXPECT_TRUE(g->IsConnected());
+  size_t regular = 0;
+  for (NodeId id : g->LiveNodes()) {
+    if (g->Degree(id) == 4u) ++regular;
+  }
+  // Connectivity repair may perturb a couple of nodes at most.
+  EXPECT_GE(regular, 48u);
+}
+
+TEST(RandomRegularTest, RejectsBadParameters) {
+  Rng rng(6);
+  EXPECT_FALSE(MakeRandomRegular(5, 3, rng).ok());   // n*d odd.
+  EXPECT_FALSE(MakeRandomRegular(4, 1, rng).ok());   // degree < 2.
+  EXPECT_FALSE(MakeRandomRegular(3, 4, rng).ok());   // n <= degree.
+}
+
+TEST(RandomRegularTest, DifferentSeedsDifferentGraphs) {
+  Rng a(7), b(8);
+  Result<Graph> ga = MakeRandomRegular(30, 3, a);
+  Result<Graph> gb = MakeRandomRegular(30, 3, b);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(gb.ok());
+  size_t differing = 0;
+  for (NodeId i = 0; i < 30; ++i) {
+    for (NodeId j = static_cast<NodeId>(i + 1); j < 30; ++j) {
+      if (ga->HasEdge(i, j) != gb->HasEdge(i, j)) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 10u);
+}
+
+// The Metropolis machinery must work on the new topologies too.
+class NewTopologySampling : public ::testing::TestWithParam<int> {};
+
+TEST_P(NewTopologySampling, StationarityHolds) {
+  Rng rng(100 + GetParam());
+  Result<Graph> g = (GetParam() % 2 == 0)
+                        ? MakeWattsStrogatz(24, 2, 0.3, rng)
+                        : MakeRandomRegular(24, 4, rng);
+  ASSERT_TRUE(g.ok());
+  WeightFn weight = [](NodeId v) { return 1.0 + (v % 3); };
+  Result<ForwardingMatrix> fm = BuildForwardingMatrix(*g, weight);
+  ASSERT_TRUE(fm.ok());
+  std::vector<double> pi_p = fm->p.VecMat(fm->pi);
+  for (size_t i = 0; i < pi_p.size(); ++i) {
+    EXPECT_NEAR(pi_p[i], fm->pi[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, NewTopologySampling, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,143 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace digest {
+namespace {
+
+TEST(TopologyTest, RingProperties) {
+  Result<Graph> g = MakeRing(8);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NodeCount(), 8u);
+  EXPECT_EQ(g->EdgeCount(), 8u);
+  for (NodeId id : g->LiveNodes()) EXPECT_EQ(g->Degree(id), 2u);
+  EXPECT_TRUE(g->IsConnected());
+  EXPECT_FALSE(MakeRing(2).ok());
+}
+
+TEST(TopologyTest, CompleteProperties) {
+  Result<Graph> g = MakeComplete(6);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NodeCount(), 6u);
+  EXPECT_EQ(g->EdgeCount(), 15u);
+  for (NodeId id : g->LiveNodes()) EXPECT_EQ(g->Degree(id), 5u);
+  EXPECT_FALSE(MakeComplete(1).ok());
+}
+
+TEST(TopologyTest, MeshProperties) {
+  Result<Graph> g = MakeMesh(3, 4);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NodeCount(), 12u);
+  // Grid edges: r*(c-1) + (r-1)*c = 3*3 + 2*4 = 17.
+  EXPECT_EQ(g->EdgeCount(), 17u);
+  EXPECT_TRUE(g->IsConnected());
+  // Corner degree 2, edge degree 3, interior degree 4.
+  EXPECT_EQ(g->Degree(0), 2u);
+  EXPECT_EQ(g->Degree(1), 3u);
+  EXPECT_EQ(g->Degree(5), 4u);
+  EXPECT_FALSE(MakeMesh(1, 5).ok());
+}
+
+TEST(TopologyTest, TorusMeshIsRegular) {
+  Result<Graph> g = MakeMesh(4, 5, /*torus=*/true);
+  ASSERT_TRUE(g.ok());
+  for (NodeId id : g->LiveNodes()) EXPECT_EQ(g->Degree(id), 4u);
+  EXPECT_EQ(g->EdgeCount(), 2u * 20u);
+}
+
+TEST(TopologyTest, ErdosRenyiIsAlwaysConnected) {
+  Rng rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    Result<Graph> g = MakeErdosRenyi(40, 0.02, rng);  // Sparse: needs repair.
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->NodeCount(), 40u);
+    EXPECT_TRUE(g->IsConnected());
+  }
+  EXPECT_FALSE(MakeErdosRenyi(40, 1.5, rng).ok());
+  EXPECT_FALSE(MakeErdosRenyi(1, 0.5, rng).ok());
+}
+
+TEST(TopologyTest, ErdosRenyiDenseEdgeCount) {
+  Rng rng(7);
+  Result<Graph> g = MakeErdosRenyi(50, 0.5, rng);
+  ASSERT_TRUE(g.ok());
+  const double expected = 0.5 * 50 * 49 / 2;
+  EXPECT_NEAR(static_cast<double>(g->EdgeCount()), expected, 120.0);
+}
+
+TEST(TopologyTest, BarabasiAlbertBasics) {
+  Rng rng(11);
+  Result<Graph> g = MakeBarabasiAlbert(200, 3, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NodeCount(), 200u);
+  EXPECT_TRUE(g->IsConnected());
+  // Each non-seed node adds exactly m edges.
+  const size_t seed_edges = 3 * 4 / 2;
+  EXPECT_EQ(g->EdgeCount(), seed_edges + (200 - 4) * 3);
+  for (NodeId id : g->LiveNodes()) EXPECT_GE(g->Degree(id), 3u);
+  EXPECT_FALSE(MakeBarabasiAlbert(3, 3, rng).ok());
+  EXPECT_FALSE(MakeBarabasiAlbert(10, 0, rng).ok());
+}
+
+TEST(TopologyTest, BarabasiAlbertIsHeavyTailed) {
+  Rng rng(13);
+  Result<Graph> g = MakeBarabasiAlbert(600, 2, rng);
+  ASSERT_TRUE(g.ok());
+  size_t max_degree = 0;
+  size_t at_minimum = 0;
+  for (NodeId id : g->LiveNodes()) {
+    max_degree = std::max(max_degree, g->Degree(id));
+    if (g->Degree(id) <= 3) ++at_minimum;
+  }
+  // Hubs far above the minimum degree, most nodes near it: the power-law
+  // signature (vs. an ER graph where degrees concentrate).
+  EXPECT_GT(max_degree, 30u);
+  EXPECT_GT(at_minimum, 600u / 3);
+}
+
+TEST(TopologyTest, RepairConnectivityJoinsComponents) {
+  Graph g;
+  for (int i = 0; i < 6; ++i) g.AddNode();
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_TRUE(g.AddEdge(4, 5).ok());
+  Rng rng(17);
+  const size_t added = RepairConnectivity(g, rng);
+  EXPECT_EQ(added, 2u);
+  EXPECT_TRUE(g.IsConnected());
+  // Idempotent on a connected graph.
+  EXPECT_EQ(RepairConnectivity(g, rng), 0u);
+}
+
+// Property sweep: every generator yields a connected graph whose live
+// node count matches the request, across sizes.
+struct GeneratorCase {
+  const char* name;
+  size_t n;
+};
+
+class GeneratorConnectivity : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GeneratorConnectivity, AllGeneratorsConnected) {
+  const size_t n = GetParam();
+  Rng rng(n);
+  Result<Graph> ring = MakeRing(n);
+  ASSERT_TRUE(ring.ok());
+  EXPECT_TRUE(ring->IsConnected());
+  Result<Graph> ba = MakeBarabasiAlbert(n, 2, rng);
+  ASSERT_TRUE(ba.ok());
+  EXPECT_TRUE(ba->IsConnected());
+  EXPECT_EQ(ba->NodeCount(), n);
+  Result<Graph> er = MakeErdosRenyi(n, 3.0 / static_cast<double>(n), rng);
+  ASSERT_TRUE(er.ok());
+  EXPECT_TRUE(er->IsConnected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorConnectivity,
+                         ::testing::Values(8, 16, 64, 128, 350));
+
+}  // namespace
+}  // namespace digest

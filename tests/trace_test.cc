@@ -1,0 +1,148 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "workload/calibration.h"
+#include "workload/memory.h"
+#include "workload/temperature.h"
+
+namespace digest {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceTest, FromRecordsSortsAndValidates) {
+  Result<Trace> trace = Trace::FromRecords({
+      {2, 1, 5.0, false},
+      {0, 1, 1.0, false},
+      {1, 1, 3.0, false},
+  });
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->records().size(), 3u);
+  EXPECT_EQ(trace->records()[0].tick, 0);
+  EXPECT_EQ(trace->records()[2].tick, 2);
+  EXPECT_EQ(trace->max_tick(), 2);
+  EXPECT_EQ(trace->num_units(), 1u);
+}
+
+TEST(TraceTest, RejectsInvalidSequences) {
+  // Delete of a never-inserted unit.
+  EXPECT_FALSE(Trace::FromRecords({{0, 1, 0.0, true}}).ok());
+  // Update after delete.
+  EXPECT_FALSE(Trace::FromRecords({{0, 1, 1.0, false},
+                                   {1, 1, 0.0, true},
+                                   {2, 1, 2.0, false}})
+                   .ok());
+  // Negative tick.
+  EXPECT_FALSE(Trace::FromRecords({{-1, 1, 1.0, false}}).ok());
+  // Non-finite value.
+  EXPECT_FALSE(
+      Trace::FromRecords({{0, 1, std::nan(""), false}}).ok());
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  Trace original = Trace::FromRecords({{0, 0, 1.25, false},
+                                       {0, 1, -3.5, false},
+                                       {1, 0, 2.0, false},
+                                       {2, 1, 0.0, true}})
+                       .value();
+  const std::string path = TempPath("trace.csv");
+  ASSERT_TRUE(original.SaveCsv(path).ok());
+  Result<Trace> loaded = Trace::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->records().size(), original.records().size());
+  for (size_t i = 0; i < original.records().size(); ++i) {
+    EXPECT_EQ(loaded->records()[i].tick, original.records()[i].tick);
+    EXPECT_EQ(loaded->records()[i].unit, original.records()[i].unit);
+    EXPECT_EQ(loaded->records()[i].value, original.records()[i].value);
+    EXPECT_EQ(loaded->records()[i].deleted, original.records()[i].deleted);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadRejectsMalformedFiles) {
+  const std::string path = TempPath("bad_trace.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("wrong,header\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(Trace::LoadCsv(path).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("tick,unit,value,deleted\nnot-a-number,0,1,0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(Trace::LoadCsv(path).ok());
+  EXPECT_FALSE(Trace::LoadCsv("/does/not/exist.csv").ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ReplayReproducesAggregateSeries) {
+  // Record a temperature workload, replay the trace, and check the
+  // oracle AVG series matches tick for tick.
+  TemperatureConfig config;
+  config.num_units = 300;
+  config.num_nodes = 25;
+  auto original = TemperatureWorkload::Create(config).value();
+  AggregateQuery q =
+      AggregateQuery::Parse("SELECT AVG(temperature) FROM R").value();
+  // Capture the series while recording.
+  auto source = TemperatureWorkload::Create(config).value();
+  std::vector<double> expected;
+  for (int t = 0; t < 30; ++t) {
+    ASSERT_TRUE(source->Advance().ok());
+    expected.push_back(source->db().ExactAggregate(q).value());
+  }
+  Trace trace = RecordWorkload(*original, 30).value();
+  EXPECT_EQ(trace.max_tick(), 30);
+  EXPECT_EQ(trace.num_units(), 300u);
+
+  TraceWorkloadConfig replay_config;
+  replay_config.num_nodes = 25;
+  replay_config.attribute = "temperature";
+  replay_config.topology = TraceTopology::kMesh;
+  auto replay = TraceWorkload::Create(trace, replay_config).value();
+  EXPECT_EQ(replay->db().TotalTuples(), 300u);
+  for (int t = 0; t < 30; ++t) {
+    ASSERT_TRUE(replay->Advance().ok());
+    EXPECT_NEAR(replay->db().ExactAggregate(q).value(), expected[t], 1e-9)
+        << "tick " << t;
+  }
+  // Past the end of the trace the data is quiescent.
+  const double last = replay->db().ExactAggregate(q).value();
+  ASSERT_TRUE(replay->Advance().ok());
+  EXPECT_DOUBLE_EQ(replay->db().ExactAggregate(q).value(), last);
+}
+
+TEST(TraceTest, ReplayCarriesChurnAsInsertsAndDeletes) {
+  MemoryConfig config;
+  config.num_units = 120;
+  config.num_nodes = 70;
+  auto original = MemoryWorkload::Create(config).value();
+  Trace trace = RecordWorkload(*original, 40).value();
+
+  TraceWorkloadConfig replay_config;
+  replay_config.num_nodes = 50;  // Different overlay is fine.
+  replay_config.attribute = "memory";
+  auto replay = TraceWorkload::Create(trace, replay_config).value();
+  Result<DatasetStatistics> stats = MeasureWorkloadStatistics(*replay, 40);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->joins, 0u);   // SETI@home churn shows up in the data.
+  EXPECT_GT(stats->leaves, 0u);
+}
+
+TEST(TraceTest, ReplayValidation) {
+  Trace trace = Trace::FromRecords({{0, 0, 1.0, false}}).value();
+  TraceWorkloadConfig config;
+  config.num_nodes = 2;
+  EXPECT_FALSE(TraceWorkload::Create(trace, config).ok());
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,170 @@
+#include "sampling/tuple_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/topology.h"
+
+namespace digest {
+namespace {
+
+// A small database with deliberately skewed content sizes: node i holds
+// i+1 tuples whose single attribute encodes a unique tuple index.
+struct Fixture {
+  Graph graph;
+  std::unique_ptr<P2PDatabase> db;
+  size_t total_tuples = 0;
+
+  explicit Fixture(size_t nodes) {
+    graph = MakeComplete(nodes).value();
+    db = std::make_unique<P2PDatabase>(Schema::Create({"v"}).value());
+    double next_value = 0.0;
+    for (NodeId node : graph.LiveNodes()) {
+      EXPECT_TRUE(db->AddNode(node).ok());
+      for (size_t i = 0; i <= node; ++i) {
+        db->StoreAt(node).value()->Insert({next_value});
+        next_value += 1.0;
+        ++total_tuples;
+      }
+    }
+  }
+};
+
+TEST(TwoStageSamplerTest, SamplesComeFromTheDatabase) {
+  Fixture f(6);
+  SamplingOperator op(&f.graph, ContentSizeWeight(*f.db), Rng(1), nullptr);
+  TwoStageTupleSampler sampler(f.db.get(), &op, Rng(2));
+  Result<std::vector<TupleSample>> batch = sampler.SampleBatch(0, 40);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 40u);
+  for (const TupleSample& s : *batch) {
+    Result<Tuple> stored = f.db->GetTuple(s.ref);
+    ASSERT_TRUE(stored.ok());
+    EXPECT_EQ(*stored, s.tuple);
+  }
+}
+
+TEST(TwoStageSamplerTest, EmptyRelationFails) {
+  Graph g = MakeComplete(3).value();
+  P2PDatabase db(Schema::Create({"v"}).value());
+  for (NodeId node : g.LiveNodes()) ASSERT_TRUE(db.AddNode(node).ok());
+  SamplingOperator op(&g, ContentSizeWeight(db), Rng(3), nullptr);
+  TwoStageTupleSampler sampler(&db, &op, Rng(4));
+  EXPECT_EQ(sampler.Sample(0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TwoStageSamplerTest, TupleDistributionIsUniform) {
+  // Two-stage sampling with the content-size weight must be uniform over
+  // *tuples* even though node content sizes range from 1 to 6.
+  Fixture f(6);
+  SamplingOperatorOptions options;
+  options.walk_length = 200;
+  options.reset_length = 60;
+  SamplingOperator op(&f.graph, ContentSizeWeight(*f.db), Rng(5), nullptr,
+                      options);
+  TwoStageTupleSampler sampler(f.db.get(), &op, Rng(6));
+
+  const int n = 42000;
+  std::map<double, int> counts;
+  Result<std::vector<TupleSample>> batch = sampler.SampleBatch(0, n);
+  ASSERT_TRUE(batch.ok());
+  for (const TupleSample& s : *batch) counts[s.tuple[0]] += 1;
+
+  const double expected = static_cast<double>(n) / f.total_tuples;
+  ASSERT_EQ(f.total_tuples, 21u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, expected, expected * 0.25)
+        << "tuple value " << value;
+  }
+}
+
+TEST(ExactSamplerTest, UniformOverTuples) {
+  Fixture f(6);
+  MessageMeter meter;
+  ExactTupleSampler sampler(f.db.get(), Rng(7), &meter);
+  const int n = 42000;
+  std::map<double, int> counts;
+  Result<std::vector<TupleSample>> batch = sampler.SampleBatch(n);
+  ASSERT_TRUE(batch.ok());
+  for (const TupleSample& s : *batch) counts[s.tuple[0]] += 1;
+  const double expected = static_cast<double>(n) / f.total_tuples;
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, expected, expected * 0.2) << "tuple " << value;
+  }
+  EXPECT_EQ(meter.sample_transfers(), static_cast<uint64_t>(n));
+  EXPECT_EQ(meter.walk_hops(), 0u);  // Centralized: no walking.
+}
+
+TEST(ExactSamplerTest, EmptyRelationFails) {
+  Graph g = MakeComplete(3).value();
+  P2PDatabase db(Schema::Create({"v"}).value());
+  for (NodeId node : g.LiveNodes()) ASSERT_TRUE(db.AddNode(node).ok());
+  ExactTupleSampler sampler(&db, Rng(8), nullptr);
+  EXPECT_FALSE(sampler.Sample().ok());
+}
+
+TEST(ClusterSamplerTest, ReturnsWholeNodeContent) {
+  Fixture f(5);
+  // Uniform node weight: classic cluster sampling.
+  SamplingOperator op(&f.graph, UniformWeight(), Rng(9), nullptr);
+  ClusterSampler sampler(f.db.get(), &op);
+  Result<std::vector<TupleSample>> cluster = sampler.SampleCluster(0);
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_FALSE(cluster->empty());
+  const NodeId node = cluster->front().ref.node;
+  EXPECT_EQ(cluster->size(), f.db->ContentSize(node));
+  for (const TupleSample& s : *cluster) EXPECT_EQ(s.ref.node, node);
+}
+
+TEST(ClusterSamplerTest, ClusterEstimateIsWorseUnderIntraNodeCorrelation) {
+  // Build a database where values cluster per node (high intra-node
+  // correlation, as §III argues for P2P content). Cluster-sample means
+  // should scatter far more than equal-size two-stage samples.
+  Graph g = MakeComplete(8).value();
+  P2PDatabase db(Schema::Create({"v"}).value());
+  Rng data_rng(10);
+  for (NodeId node : g.LiveNodes()) {
+    ASSERT_TRUE(db.AddNode(node).ok());
+    const double node_level = static_cast<double>(node) * 10.0;
+    for (int i = 0; i < 8; ++i) {
+      db.StoreAt(node).value()->Insert(
+          {node_level + data_rng.NextGaussian(0.0, 0.5)});
+    }
+  }
+  AggregateQuery q = AggregateQuery::Parse("SELECT AVG(v) FROM R").value();
+  const double truth = db.ExactAggregate(q).value();
+
+  SamplingOperatorOptions options;
+  options.walk_length = 60;
+  SamplingOperator uniform_op(&g, UniformWeight(), Rng(11), nullptr,
+                              options);
+  SamplingOperator content_op(&g, ContentSizeWeight(db), Rng(12), nullptr,
+                              options);
+  ClusterSampler cluster(&db, &uniform_op);
+  TwoStageTupleSampler two_stage(&db, &content_op, Rng(13));
+
+  auto mean_of = [](const std::vector<TupleSample>& samples) {
+    double acc = 0.0;
+    for (const TupleSample& s : samples) acc += s.tuple[0];
+    return acc / static_cast<double>(samples.size());
+  };
+  double cluster_sq_err = 0.0;
+  double two_stage_sq_err = 0.0;
+  const int trials = 120;
+  for (int i = 0; i < trials; ++i) {
+    Result<std::vector<TupleSample>> c = cluster.SampleCluster(0);
+    ASSERT_TRUE(c.ok());
+    const double ce = mean_of(*c) - truth;
+    cluster_sq_err += ce * ce;
+    Result<std::vector<TupleSample>> t = two_stage.SampleBatch(0, c->size());
+    ASSERT_TRUE(t.ok());
+    const double te = mean_of(*t) - truth;
+    two_stage_sq_err += te * te;
+  }
+  EXPECT_GT(cluster_sq_err, 3.0 * two_stage_sq_err);
+}
+
+}  // namespace
+}  // namespace digest

@@ -1,0 +1,170 @@
+#include "workload/calibration.h"
+#include "workload/memory.h"
+#include "workload/temperature.h"
+
+#include <gtest/gtest.h>
+
+namespace digest {
+namespace {
+
+TemperatureConfig SmallTemperature() {
+  TemperatureConfig config;
+  config.num_units = 800;
+  config.num_nodes = 53;
+  config.ticks = 200;
+  return config;
+}
+
+MemoryConfig SmallMemory() {
+  MemoryConfig config;
+  config.num_units = 200;
+  config.num_nodes = 120;
+  config.ticks = 128;
+  return config;
+}
+
+TEST(TemperatureWorkloadTest, CreateMatchesConfig) {
+  auto w = TemperatureWorkload::Create(SmallTemperature());
+  ASSERT_TRUE(w.ok());
+  EXPECT_GE((*w)->graph().NodeCount(), 53u);
+  EXPECT_EQ((*w)->db().TotalTuples(), 800u);
+  EXPECT_TRUE((*w)->graph().IsConnected());
+  EXPECT_STREQ((*w)->attribute(), "temperature");
+  EXPECT_EQ((*w)->now(), 0);
+}
+
+TEST(TemperatureWorkloadTest, RejectsBadConfig) {
+  TemperatureConfig config;
+  config.num_units = 0;
+  EXPECT_FALSE(TemperatureWorkload::Create(config).ok());
+  config = TemperatureConfig();
+  config.num_nodes = 2;
+  EXPECT_FALSE(TemperatureWorkload::Create(config).ok());
+}
+
+TEST(TemperatureWorkloadTest, AdvanceUpdatesEveryTuple) {
+  auto w = TemperatureWorkload::Create(SmallTemperature()).value();
+  AggregateQuery q =
+      AggregateQuery::Parse("SELECT AVG(temperature) FROM R").value();
+  const double before = w->db().ExactAggregate(q).value();
+  ASSERT_TRUE(w->Advance().ok());
+  EXPECT_EQ(w->now(), 1);
+  const double after = w->db().ExactAggregate(q).value();
+  EXPECT_NE(before, after);
+  // Stable membership: node and tuple counts never change.
+  EXPECT_EQ(w->db().TotalTuples(), 800u);
+}
+
+TEST(TemperatureWorkloadTest, DeterministicBySeed) {
+  auto a = TemperatureWorkload::Create(SmallTemperature()).value();
+  auto b = TemperatureWorkload::Create(SmallTemperature()).value();
+  AggregateQuery q =
+      AggregateQuery::Parse("SELECT AVG(temperature) FROM R").value();
+  for (int t = 0; t < 10; ++t) {
+    ASSERT_TRUE(a->Advance().ok());
+    ASSERT_TRUE(b->Advance().ok());
+    EXPECT_DOUBLE_EQ(a->db().ExactAggregate(q).value(),
+                     b->db().ExactAggregate(q).value());
+  }
+}
+
+TEST(TemperatureWorkloadTest, CalibrationNearTableII) {
+  // ρ ≈ 0.89, σ ≈ 8 per Table II. The synthetic generator is calibrated;
+  // accept a band around the targets.
+  auto w = TemperatureWorkload::Create(SmallTemperature()).value();
+  Result<DatasetStatistics> stats = MeasureWorkloadStatistics(*w, 150);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->rho, 0.89, 0.06);
+  EXPECT_NEAR(stats->sigma, 8.0, 1.5);
+  EXPECT_EQ(stats->joins, 0u);
+  EXPECT_EQ(stats->leaves, 0u);
+  EXPECT_GT(stats->updates, 0u);
+}
+
+TEST(MemoryWorkloadTest, CreateMatchesConfig) {
+  auto w = MemoryWorkload::Create(SmallMemory());
+  ASSERT_TRUE(w.ok()) << w.status();
+  EXPECT_EQ((*w)->graph().NodeCount(), 120u);
+  EXPECT_GE((*w)->db().TotalTuples(), 200u);
+  EXPECT_TRUE((*w)->graph().IsConnected());
+  EXPECT_STREQ((*w)->attribute(), "memory");
+}
+
+TEST(MemoryWorkloadTest, RejectsBadConfig) {
+  MemoryConfig config;
+  config.num_nodes = 2;
+  config.attach_edges = 3;
+  EXPECT_FALSE(MemoryWorkload::Create(config).ok());
+}
+
+TEST(MemoryWorkloadTest, ChurnChangesMembership) {
+  auto w = MemoryWorkload::Create(SmallMemory()).value();
+  for (int t = 0; t < 64; ++t) {
+    ASSERT_TRUE(w->Advance().ok());
+    ASSERT_TRUE(w->graph().IsConnected());
+    // Database membership mirrors graph membership.
+    for (NodeId node : w->db().Nodes()) {
+      EXPECT_TRUE(w->graph().HasNode(node));
+    }
+  }
+  Result<DatasetStatistics> stats = MeasureWorkloadStatistics(*w, 64);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->joins, 0u);
+  EXPECT_GT(stats->leaves, 0u);
+}
+
+TEST(MemoryWorkloadTest, ProtectNodeSurvivesChurn) {
+  MemoryConfig config = SmallMemory();
+  config.leave_rate = 3.0;
+  config.join_rate = 3.0;
+  auto w = MemoryWorkload::Create(config).value();
+  const NodeId protected_node = w->graph().LiveNodes().front();
+  w->ProtectNode(protected_node);
+  for (int t = 0; t < 100; ++t) {
+    ASSERT_TRUE(w->Advance().ok());
+    ASSERT_TRUE(w->graph().HasNode(protected_node));
+  }
+}
+
+TEST(MemoryWorkloadTest, ValuesStayWithinCapacity) {
+  auto w = MemoryWorkload::Create(SmallMemory()).value();
+  for (int t = 0; t < 30; ++t) ASSERT_TRUE(w->Advance().ok());
+  for (NodeId node : w->db().Nodes()) {
+    w->db().StoreAt(node).value()->ForEach(
+        [](LocalTupleId, const Tuple& tuple) {
+          EXPECT_GE(tuple[0], 0.0);
+          EXPECT_LT(tuple[0], 200.0);  // Far below any sane capacity cap.
+        });
+  }
+}
+
+TEST(MemoryWorkloadTest, CalibrationNearTableII) {
+  // ρ ≈ 0.68, σ ≈ 10 per Table II.
+  auto w = MemoryWorkload::Create(SmallMemory()).value();
+  Result<DatasetStatistics> stats = MeasureWorkloadStatistics(*w, 100);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->rho, 0.68, 0.10);
+  EXPECT_NEAR(stats->sigma, 10.0, 2.5);
+}
+
+TEST(MemoryWorkloadTest, LowerCorrelationThanTemperature) {
+  // The paper attributes RPT's larger gains on TEMPERATURE to its higher
+  // ρ and lower churn; the generators must preserve that ordering.
+  auto temp = TemperatureWorkload::Create(SmallTemperature()).value();
+  auto mem = MemoryWorkload::Create(SmallMemory()).value();
+  Result<DatasetStatistics> ts = MeasureWorkloadStatistics(*temp, 100);
+  Result<DatasetStatistics> ms = MeasureWorkloadStatistics(*mem, 100);
+  ASSERT_TRUE(ts.ok());
+  ASSERT_TRUE(ms.ok());
+  EXPECT_GT(ts->rho, ms->rho);
+  EXPECT_EQ(ts->leaves, 0u);
+  EXPECT_GT(ms->leaves, 0u);
+}
+
+TEST(CalibrationTest, RejectsTooFewTicks) {
+  auto w = TemperatureWorkload::Create(SmallTemperature()).value();
+  EXPECT_FALSE(MeasureWorkloadStatistics(*w, 1).ok());
+}
+
+}  // namespace
+}  // namespace digest
