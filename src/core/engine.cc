@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -50,6 +51,7 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
         engine->sampling_operator_ = std::make_unique<SamplingOperator>(
             graph, ContentSizeWeight(*db), rng.Fork(), meter,
             options.sampling_options);
+        engine->sampling_operator_->SetFaultPlan(options.fault_plan);
         op = engine->sampling_operator_.get();
       }
       engine->two_stage_sampler_ =
@@ -76,6 +78,7 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
       engine->uniform_operator_ = std::make_unique<SamplingOperator>(
           graph, UniformWeight(), rng.Fork(), meter,
           options.sampling_options);
+      engine->uniform_operator_->SetFaultPlan(options.fault_plan);
       engine->size_oracle_ = std::make_unique<CollisionSizeEstimator>(
           db, engine->uniform_operator_.get(), querying_node,
           options.size_estimator_options);
@@ -127,6 +130,7 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
   EngineTickResult out;
   out.reported_value = reported_value_;
   out.has_result = has_result_;
+  out.ci_halfwidth = last_ci_halfwidth_;
   if (has_result_ && t < next_snapshot_tick_) {
     // Between sampling occasions the result holds (§II: X̂[t] = X̂[t_u]),
     // or is presented via the scheduling fit's extrapolation.
@@ -138,15 +142,49 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
   }
 
   // This tick is a sampling occasion: evaluate the snapshot query.
-  DIGEST_ASSIGN_OR_RETURN(SnapshotEstimate est,
-                          estimator_->Evaluate(querying_node_));
+  SnapshotEstimate est;
+  Result<SnapshotEstimate> fresh = estimator_->Evaluate(querying_node_);
+  if (fresh.ok()) {
+    est = *fresh;
+  } else if (fresh.status().code() == StatusCode::kUnavailable) {
+    // Fresh sampling could not complete (hop budget timed out under
+    // faults, or the overlay is transiently unreachable). Degrade
+    // instead of failing the tick: fall back to the retained pool, and
+    // failing that hold the previous result under a widening interval.
+    Result<SnapshotEstimate> degraded =
+        estimator_->EvaluateDegraded(querying_node_);
+    if (degraded.ok()) {
+      est = *degraded;
+      est.degraded = true;
+    } else if (has_result_) {
+      ++stats_.degraded_ticks;
+      out.degraded = true;
+      // Every consecutive failed snapshot doubles the uncertainty band:
+      // the answer is stale and nothing bounds the drift accumulated
+      // while the network is unreachable.
+      last_ci_halfwidth_ =
+          2.0 * std::max(last_ci_halfwidth_, spec_.precision.epsilon);
+      out.ci_halfwidth = last_ci_halfwidth_;
+      next_snapshot_tick_ = t + 1;  // Retry promptly.
+      return out;
+    } else {
+      // No previous result to hold: the query cannot answer yet.
+      return fresh.status();
+    }
+  } else {
+    return fresh.status();
+  }
   ++stats_.snapshots;
   stats_.total_samples += est.total_samples;
   stats_.fresh_samples += est.fresh_samples;
   stats_.retained_samples += est.retained_samples;
+  if (est.degraded) ++stats_.degraded_ticks;
   out.snapshot_executed = true;
+  out.degraded = est.degraded;
 
-  DIGEST_RETURN_IF_ERROR(extrapolator_.AddObservation(t, est.value));
+  if (!est.degraded) {
+    DIGEST_RETURN_IF_ERROR(extrapolator_.AddObservation(t, est.value));
+  }
 
   // Resolution semantics: report only moves of at least δ.
   if (!has_result_ ||
@@ -158,6 +196,21 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
   }
   out.reported_value = reported_value_;
   out.has_result = true;
+
+  // Healthy occasions meet the (ε, p) contract; degraded occasions
+  // report their honest, wider interval (never narrower than ε).
+  last_ci_halfwidth_ =
+      est.degraded ? std::max(spec_.precision.epsilon, est.ci_halfwidth)
+                   : spec_.precision.epsilon;
+  out.ci_halfwidth = last_ci_halfwidth_;
+
+  if (est.degraded) {
+    // A degraded occasion never feeds the scheduling fit; retry a full
+    // snapshot at the next tick.
+    next_snapshot_tick_ = t + 1;
+    last_gap_ = 1;
+    return out;
+  }
 
   // Schedule the next sampling occasion.
   switch (options_.scheduler) {

@@ -10,6 +10,7 @@
 #include "db/size_oracle.h"
 #include "core/snapshot_estimator.h"
 #include "db/p2p_database.h"
+#include "net/fault_plan.h"
 #include "net/graph.h"
 #include "net/message_meter.h"
 #include "numeric/rng.h"
@@ -76,6 +77,14 @@ struct DigestEngineOptions {
   /// more snapshots near crossings. See DESIGN.md (ablations) and
   /// bench_fig4a --strict.
   bool strict_resolution = false;
+
+  /// Optional fault-injection plan (not owned; must outlive the engine).
+  /// Wired into the sampling operators the engine creates, so walks run
+  /// under the plan's message loss / stalls / drops and the engine
+  /// degrades gracefully when sampling times out. Callers passing a
+  /// shared operator via CreateWithOperator attach the plan to that
+  /// operator themselves.
+  FaultPlan* fault_plan = nullptr;
 };
 
 /// What one engine tick did.
@@ -84,6 +93,14 @@ struct EngineTickResult {
   bool result_updated = false;     ///< The reported result moved (Δ ≥ δ).
   double reported_value = 0.0;     ///< Current running result X̂[t].
   bool has_result = false;         ///< False until the first snapshot.
+  /// True when this tick's answer is degraded: fresh sampling timed out
+  /// under faults and the engine fell back to retained samples (or, as
+  /// a last resort, held the previous result).
+  bool degraded = false;
+  /// Half-width of the reported confidence interval in query units.
+  /// ε on healthy ticks (the contract); wider on degraded ticks, and
+  /// growing while consecutive snapshots keep failing.
+  double ci_halfwidth = 0.0;
 };
 
 /// Cumulative efficiency counters (the paper's metrics).
@@ -94,6 +111,7 @@ struct EngineStats {
   size_t total_samples = 0;    ///< Retained + fresh (Fig. 4-b, 5-a).
   size_t fresh_samples = 0;    ///< Network-drawn samples.
   size_t retained_samples = 0; ///< Re-evaluated in place.
+  size_t degraded_ticks = 0;   ///< Ticks answered via degraded fallback.
 };
 
 /// The Digest query-answering engine (paper §III): one instance runs at
@@ -176,6 +194,7 @@ class DigestEngine {
 
   EngineStats stats_;
   double reported_value_ = 0.0;
+  double last_ci_halfwidth_ = 0.0;  // Reported CI; widens while degraded.
   bool has_result_ = false;
   int64_t next_snapshot_tick_ = INT64_MIN;
   int64_t last_tick_ = INT64_MIN;

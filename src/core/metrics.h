@@ -28,6 +28,15 @@ Result<PrecisionReport> EvaluatePrecision(
     const std::vector<double>& reported, const std::vector<double>& truth,
     const PrecisionSpec& precision);
 
+/// Like EvaluatePrecision, but with a per-tick confidence half-width
+/// series instead of the uniform ε — the widened contract a fault-run
+/// engine reports (EngineTickResult::ci_halfwidth). Tick i is within
+/// tolerance iff |X̂[i] − X[i]| ≤ max(ε, ci[i]) + δ. All three series
+/// must be tick-aligned and non-empty.
+Result<PrecisionReport> EvaluatePrecisionWidened(
+    const std::vector<double>& reported, const std::vector<double>& truth,
+    const std::vector<double>& ci_halfwidths, const PrecisionSpec& precision);
+
 }  // namespace digest
 
 #endif  // DIGEST_CORE_METRICS_H_

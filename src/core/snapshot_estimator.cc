@@ -213,6 +213,14 @@ Result<SnapshotEstimate> IndependentEstimator::Evaluate(NodeId origin) {
   est.retained_samples = 0;
   est.contributing_samples = ys.size();
   DIGEST_ASSIGN_OR_RETURN(est.value, ScaleToQueryUnits(est.mean_estimate));
+  if (spec_.query.op == AggregateOp::kMedian) {
+    // The DKW bound delivers the rank-tolerance contract directly.
+    est.ci_halfwidth = spec_.precision.epsilon;
+  } else {
+    DIGEST_ASSIGN_OR_RETURN(
+        est.ci_halfwidth,
+        ScaleToQueryUnits(z_ * std::sqrt(est.variance_of_mean)));
+  }
   // Hand the drawn set to a wrapping repeated-sampling estimator.
   last_samples_ = std::move(samples);
   last_ys_ = std::move(ys);
@@ -490,6 +498,65 @@ Result<SnapshotEstimate> RepeatedSamplingEstimator::Evaluate(NodeId origin) {
   est.contributing_samples = g + yf.size();
   DIGEST_ASSIGN_OR_RETURN(est.value,
                           independent_.ScaleToQueryUnits(combined));
+  DIGEST_ASSIGN_OR_RETURN(
+      est.ci_halfwidth,
+      independent_.ScaleToQueryUnits(z * std::sqrt(combined_var)));
+  return est;
+}
+
+Result<SnapshotEstimate> RepeatedSamplingEstimator::EvaluateDegraded(
+    NodeId origin) {
+  (void)origin;  // Refreshes are direct contacts; no walks originate.
+  DIGEST_RETURN_IF_ERROR(independent_.EnsureInitialized());
+  if (occasion_ == 0 || prev_samples_.empty()) {
+    return Status::Unavailable(
+        "degraded evaluation needs a completed occasion with retained "
+        "samples");
+  }
+  // Re-evaluate the retained pool in place. Deleted tuples, departed
+  // nodes, and tuples that left the qualifying subpopulation drop out.
+  std::vector<Retained> survivors;
+  survivors.reserve(prev_samples_.size());
+  RunningStats stats;
+  for (const Retained& r : prev_samples_) {
+    if (meter_ != nullptr) meter_->AddRefresh(options_.refresh_message_cost);
+    Result<Tuple> tuple = db_->GetTuple(r.ref);
+    if (!tuple.ok()) continue;
+    Result<std::optional<double>> y = independent_.ContributionValue(*tuple);
+    if (!y.ok() || !y->has_value()) continue;
+    survivors.push_back(Retained{r.ref, **y});
+    stats.Add(**y);
+  }
+  if (stats.count() < 2) {
+    return Status::Unavailable(
+        "retained pool no longer reachable; cannot degrade");
+  }
+  const double mean = stats.Mean();
+  const double var =
+      stats.SampleVariance() / static_cast<double>(stats.count());
+  SnapshotEstimate est;
+  est.mean_estimate = mean;
+  est.sigma = stats.SampleStdDev();
+  est.variance_of_mean = var;
+  est.total_samples = survivors.size();
+  est.fresh_samples = 0;
+  est.retained_samples = survivors.size();
+  est.contributing_samples = survivors.size();
+  est.degraded = true;
+  DIGEST_ASSIGN_OR_RETURN(est.value, independent_.ScaleToQueryUnits(mean));
+  // The retained pool is smaller than a planned occasion and stale as a
+  // sample of the *current* population: report the honest CLT interval
+  // widened by the configured factor.
+  DIGEST_ASSIGN_OR_RETURN(
+      est.ci_halfwidth,
+      independent_.ScaleToQueryUnits(options_.degraded_widening *
+                                     independent_.z_ * std::sqrt(var)));
+  // Roll the refreshed values forward so the next healthy occasion's
+  // regression pairs against up-to-date retained values.
+  prev_samples_ = std::move(survivors);
+  prev_mean_estimate_ = mean;
+  prev_variance_ = var;
+  sigma_hat_ = est.sigma;
   return est;
 }
 

@@ -86,6 +86,11 @@ struct EstimatorOptions {
   /// Messages charged for re-evaluating one retained sample (§VI-B2:
   /// "negligible communication cost" — a direct contact, not a walk).
   size_t refresh_message_cost = 1;
+  /// Multiplier applied to the confidence half-width of a *degraded*
+  /// estimate (EvaluateDegraded): the retained pool is a stale sample of
+  /// the population, so its nominal CLT interval is honest only after
+  /// widening for the unmodeled drift since it was drawn.
+  double degraded_widening = 2.0;
 };
 
 /// Outcome of one sampling occasion (one snapshot-query evaluation).
@@ -101,6 +106,14 @@ struct SnapshotEstimate {
   /// except for AVG queries with a WHERE clause, where drawn samples
   /// failing the predicate cost traffic but do not contribute.
   size_t contributing_samples = 0;
+  /// Half-width of the reported confidence interval in query units
+  /// (z·√var, scaled by N for SUM/COUNT; ε for MEDIAN's rank bound).
+  /// On healthy occasions this is at most ≈ ε by construction; degraded
+  /// occasions report the honest, wider interval.
+  double ci_halfwidth = 0.0;
+  /// True when the estimate came from the degraded fallback path
+  /// (retained samples only, no fresh network draws).
+  bool degraded = false;
 };
 
 /// A snapshot-query evaluator: called once per sampling occasion by the
@@ -111,6 +124,17 @@ class SnapshotEstimator {
 
   /// Evaluates the snapshot query at the current database state.
   virtual Result<SnapshotEstimate> Evaluate(NodeId origin) = 0;
+
+  /// Degraded fallback when Evaluate could not complete (e.g. the
+  /// sampling hop budget timed out under faults): produce a best-effort
+  /// estimate from state that needs no fresh network samples, with an
+  /// honestly widened confidence interval. Default: no fallback exists
+  /// (kUnavailable); the repeated-sampling estimator falls back to its
+  /// retained pool.
+  virtual Result<SnapshotEstimate> EvaluateDegraded(NodeId origin) {
+    (void)origin;
+    return Status::Unavailable("estimator has no degraded fallback");
+  }
 
   /// Forgets cross-occasion state (a fresh continuous query).
   virtual void Reset() = 0;
@@ -188,6 +212,16 @@ class RepeatedSamplingEstimator : public SnapshotEstimator {
                             Rng rng, EstimatorOptions options = {});
 
   Result<SnapshotEstimate> Evaluate(NodeId origin) override;
+
+  /// Degraded occasion (graceful degradation under faults): re-evaluate
+  /// the retained pool in place — direct contacts, no walks — and
+  /// report its mean with a confidence interval widened by
+  /// EstimatorOptions::degraded_widening. The refreshed values roll
+  /// into the retained pool so the next healthy occasion's regression
+  /// stays coherent. Fails before the first occasion or when fewer than
+  /// two retained tuples are still reachable.
+  Result<SnapshotEstimate> EvaluateDegraded(NodeId origin) override;
+
   void Reset() override;
 
   /// Current smoothed estimate of the inter-occasion correlation ρ̂.

@@ -1,0 +1,129 @@
+#include "net/fault_plan.h"
+
+#include <algorithm>
+#include <string>
+
+namespace digest {
+namespace {
+
+// SplitMix64: the finalizer used to derive per-edge and per-node static
+// fault properties from the plan seed. A pure function, so static
+// properties can be queried in any order without consuming plan state.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from a hash value.
+double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kEdgeSalt = 0x45444745u;   // "EDGE"
+constexpr uint64_t kStallSalt = 0x5354414cu;  // "STAL"
+
+Status ValidateProbability(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be a probability in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultPlanConfig::Validate() const {
+  DIGEST_RETURN_IF_ERROR(ValidateProbability(message_loss, "message_loss"));
+  DIGEST_RETURN_IF_ERROR(ValidateProbability(edge_spread, "edge_spread"));
+  DIGEST_RETURN_IF_ERROR(ValidateProbability(agent_drop, "agent_drop"));
+  DIGEST_RETURN_IF_ERROR(ValidateProbability(stale_probe, "stale_probe"));
+  DIGEST_RETURN_IF_ERROR(
+      ValidateProbability(stall_fraction, "stall_fraction"));
+  if (stale_noise < 0.0) {
+    return Status::InvalidArgument("stale_noise must be >= 0");
+  }
+  if (stall_fraction > 0.0) {
+    if (stall_every <= 0 || stall_length <= 0) {
+      return Status::InvalidArgument(
+          "stall windows need positive stall_every and stall_length");
+    }
+    if (stall_length >= stall_every) {
+      return Status::InvalidArgument(
+          "stall_length must be shorter than stall_every (a node that "
+          "never wakes up is churn, not a stall)");
+    }
+  }
+  return Status::OK();
+}
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  if (backoff_base < 1) {
+    return Status::InvalidArgument("backoff_base must be >= 1");
+  }
+  if (!(hop_budget_factor >= 1.0)) {
+    return Status::InvalidArgument("hop_budget_factor must be >= 1");
+  }
+  return Status::OK();
+}
+
+FaultPlan::FaultPlan(FaultPlanConfig config, uint64_t seed)
+    : config_(config), seed_(seed), rng_(Mix64(seed ^ 0xfa17fa17fa17fa17ULL)) {}
+
+double FaultPlan::EdgeLossRate(NodeId a, NodeId b) const {
+  if (config_.message_loss <= 0.0) return 0.0;
+  if (config_.edge_spread <= 0.0) return config_.message_loss;
+  const uint64_t lo = static_cast<uint64_t>(std::min(a, b));
+  const uint64_t hi = static_cast<uint64_t>(std::max(a, b));
+  const uint64_t h = Mix64(seed_ ^ Mix64((hi << 32) | lo) ^ kEdgeSalt);
+  const double u = 2.0 * HashToUnit(h) - 1.0;  // [-1, 1)
+  const double rate = config_.message_loss * (1.0 + config_.edge_spread * u);
+  return std::clamp(rate, 0.0, 1.0);
+}
+
+bool FaultPlan::LoseMessage(NodeId from, NodeId to) {
+  const double rate = EdgeLossRate(from, to);
+  if (rate <= 0.0) return false;
+  if (!rng_.NextBernoulli(rate)) return false;
+  ++losses_injected_;
+  return true;
+}
+
+bool FaultPlan::DropAgent() {
+  if (config_.agent_drop <= 0.0) return false;
+  if (!rng_.NextBernoulli(config_.agent_drop)) return false;
+  ++drops_injected_;
+  return true;
+}
+
+bool FaultPlan::StaleProbe() {
+  if (config_.stale_probe <= 0.0) return false;
+  if (!rng_.NextBernoulli(config_.stale_probe)) return false;
+  ++stale_injected_;
+  return true;
+}
+
+double FaultPlan::DistortWeight(double weight) {
+  const double u = 2.0 * rng_.NextDouble() - 1.0;
+  return std::max(0.0, weight * (1.0 + config_.stale_noise * u));
+}
+
+bool FaultPlan::IsBlackholed(NodeId node) const {
+  if (config_.stall_fraction <= 0.0) return false;
+  const uint64_t h = Mix64(seed_ ^ Mix64(node) ^ kStallSalt);
+  if (HashToUnit(h) >= config_.stall_fraction) return false;
+  // The node stalls: its window recurs every stall_every ticks at a
+  // per-node phase, covering stall_length consecutive ticks.
+  const int64_t phase =
+      static_cast<int64_t>(Mix64(h) % static_cast<uint64_t>(
+                                          config_.stall_every));
+  int64_t offset = (now_ - phase) % config_.stall_every;
+  if (offset < 0) offset += config_.stall_every;
+  return offset < config_.stall_length;
+}
+
+}  // namespace digest

@@ -1,0 +1,146 @@
+#ifndef DIGEST_NET_FAULT_PLAN_H_
+#define DIGEST_NET_FAULT_PLAN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "net/graph.h"
+#include "numeric/rng.h"
+
+namespace digest {
+
+/// Rates and shapes of the injected faults. All probabilities are in
+/// [0, 1]; a default-constructed config injects nothing.
+struct FaultPlanConfig {
+  /// Base probability that any single message transmission is lost.
+  double message_loss = 0.0;
+
+  /// Per-edge heterogeneity in [0, 1]: the loss rate of a concrete edge
+  /// (a, b) is message_loss · (1 + edge_spread·u) with u drawn once per
+  /// edge from [-1, 1] (deterministically from the plan seed), clamped
+  /// into [0, 1]. 0 gives every edge the base rate.
+  double edge_spread = 0.0;
+
+  /// Probability that a walk agent is lost in transit on any single hop
+  /// (the hosting message is delivered but the agent state is not
+  /// recoverable; the originator re-injects it from the origin).
+  double agent_drop = 0.0;
+
+  /// Probability that a weight probe is answered from a stale cache
+  /// instead of the neighbor's current state.
+  double stale_probe = 0.0;
+
+  /// Maximum relative distortion of a stale weight: a stale probe
+  /// reports w·(1 + stale_noise·u) with u uniform in [-1, 1], floored
+  /// at 0.
+  double stale_noise = 0.5;
+
+  /// Fraction of nodes that periodically stall (blackhole): a stalled
+  /// node receives messages but never answers or forwards.
+  double stall_fraction = 0.0;
+
+  /// A stalling node blackholes for `stall_length` consecutive ticks out
+  /// of every `stall_every` ticks, at a per-node deterministic phase.
+  int64_t stall_every = 64;
+  int64_t stall_length = 8;
+
+  /// Validates ranges (probabilities in [0,1], window lengths coherent).
+  Status Validate() const;
+};
+
+/// Deterministic, seed-driven fault schedule for the simulated overlay
+/// (the failure modes an unstructured P2P network actually exhibits:
+/// message loss, stalled peers, stale state, lost walk agents — on top
+/// of the whole-node churn modeled by net/churn.h).
+///
+/// All randomness is drawn from a private xoshiro stream seeded at
+/// construction, so a run with a FaultPlan is exactly reproducible from
+/// (config, seed) and — crucially — the plan never consumes randomness
+/// from the simulation's own generators: attaching a plan with all rates
+/// zero is bit-identical to running without one.
+///
+/// Static properties (per-edge loss rates, which nodes stall and when)
+/// are pure hash functions of the seed, so they can be queried in any
+/// order without perturbing the schedule.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig config, uint64_t seed);
+
+  const FaultPlanConfig& config() const { return config_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Scenario dials: rates may be changed mid-run (e.g. a loss burst);
+  /// the draw stream itself stays deterministic.
+  void set_message_loss(double p) { config_.message_loss = p; }
+  void set_agent_drop(double p) { config_.agent_drop = p; }
+  void set_stale_probe(double p) { config_.stale_probe = p; }
+
+  /// Advances the plan's clock; stall windows are evaluated against it.
+  void set_now(int64_t t) { now_ = t; }
+  int64_t now() const { return now_; }
+
+  /// Draws whether one transmission over edge (from, to) is lost.
+  /// Counts toward losses_injected() when true.
+  bool LoseMessage(NodeId from, NodeId to);
+
+  /// Deterministic loss rate of edge {a, b} (symmetric; no draw).
+  double EdgeLossRate(NodeId a, NodeId b) const;
+
+  /// Draws whether a hopping agent is lost in transit.
+  bool DropAgent();
+
+  /// Draws whether a weight probe is answered stale.
+  bool StaleProbe();
+
+  /// Distorts a stale weight by the configured relative noise (>= 0).
+  double DistortWeight(double weight);
+
+  /// True iff `node` is inside one of its blackhole windows at now().
+  /// Pure function of (seed, node, now).
+  bool IsBlackholed(NodeId node) const;
+
+  /// Injection counters, for tests and benches that reconcile meter
+  /// accounting against the schedule.
+  uint64_t losses_injected() const { return losses_injected_; }
+  uint64_t drops_injected() const { return drops_injected_; }
+  uint64_t stale_injected() const { return stale_injected_; }
+
+ private:
+  FaultPlanConfig config_;
+  uint64_t seed_;
+  Rng rng_;
+  int64_t now_ = 0;
+  uint64_t losses_injected_ = 0;
+  uint64_t drops_injected_ = 0;
+  uint64_t stale_injected_ = 0;
+};
+
+/// Retransmission/backoff policy for messages sent under a FaultPlan,
+/// and the per-batch budget that bounds how long a sampling call may
+/// keep retrying before it times out with a degraded status.
+struct RetryPolicy {
+  /// Total send attempts per message (1 = no retries).
+  size_t max_attempts = 4;
+
+  /// Budget units charged for the k-th retransmission:
+  /// backoff_base · 2^(k−1) — the deterministic exponential-backoff
+  /// delay, expressed in hop-budget units.
+  size_t backoff_base = 1;
+
+  /// A batch of walks planned to take S hops may spend at most
+  /// ceil(hop_budget_factor · S) budget units (hops + backoff delays)
+  /// before the sampling call gives up with kUnavailable.
+  double hop_budget_factor = 8.0;
+
+  /// Deterministic backoff cost of the k-th retransmission (k >= 1).
+  size_t BackoffCost(size_t k) const {
+    const size_t shift = k > 0 ? (k - 1 < 20 ? k - 1 : 20) : 0;
+    return backoff_base << shift;
+  }
+
+  Status Validate() const;
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_NET_FAULT_PLAN_H_

@@ -10,46 +10,95 @@ namespace digest {
 /// Every component that sends simulated messages charges them here, by
 /// category, so benches can report both totals and breakdowns. One meter
 /// instance is shared per experiment run.
+///
+/// Under fault injection (net/fault_plan.h) three robustness categories
+/// join the original five: retries (retransmissions after a lost
+/// message), agent restarts (re-injecting a walk agent lost in
+/// transit), and losses. Losses annotate sends that were already counted
+/// in another category (the first transmission of a probe is charged as
+/// a probe whether or not it arrives), so Total() deliberately excludes
+/// them — including them would double-count bandwidth.
 class MessageMeter {
  public:
   /// One hop of a random-walk sampling agent (node-to-node forward).
-  void AddWalkHop(uint64_t n = 1) { walk_hops_ += n; }
+  void AddWalkHop(uint64_t n = 1) { walk_hops_ = SatAdd(walk_hops_, n); }
 
   /// One neighbor-weight probe (node i asking neighbor j for w_j when
   /// computing Metropolis forwarding probabilities).
-  void AddWeightProbe(uint64_t n = 1) { weight_probes_ += n; }
+  void AddWeightProbe(uint64_t n = 1) {
+    weight_probes_ = SatAdd(weight_probes_, n);
+  }
 
   /// Returning a sampled tuple from the sampled node to the query node.
-  void AddSampleTransfer(uint64_t n = 1) { sample_transfers_ += n; }
+  void AddSampleTransfer(uint64_t n = 1) {
+    sample_transfers_ = SatAdd(sample_transfers_, n);
+  }
 
   /// Re-evaluating a retained (repeated-sampling) sample at a known node.
-  void AddRefresh(uint64_t n = 1) { refreshes_ += n; }
+  void AddRefresh(uint64_t n = 1) { refreshes_ = SatAdd(refreshes_, n); }
 
   /// Push-based baseline traffic (tuples/updates pushed toward the
   /// querying node), in per-hop messages.
-  void AddPush(uint64_t n = 1) { pushes_ += n; }
+  void AddPush(uint64_t n = 1) { pushes_ = SatAdd(pushes_, n); }
+
+  /// Retransmission of a message whose previous attempt was lost.
+  void AddRetry(uint64_t n = 1) { retries_ = SatAdd(retries_, n); }
+
+  /// Re-injection of a walk agent lost in transit.
+  void AddAgentRestart(uint64_t n = 1) {
+    agent_restarts_ = SatAdd(agent_restarts_, n);
+  }
+
+  /// Annotates a transmission (already charged elsewhere) as lost.
+  void AddLoss(uint64_t n = 1) { losses_ = SatAdd(losses_, n); }
 
   uint64_t walk_hops() const { return walk_hops_; }
   uint64_t weight_probes() const { return weight_probes_; }
   uint64_t sample_transfers() const { return sample_transfers_; }
   uint64_t refreshes() const { return refreshes_; }
   uint64_t pushes() const { return pushes_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t agent_restarts() const { return agent_restarts_; }
+  uint64_t losses() const { return losses_; }
 
-  /// Grand total over all categories.
+  /// Grand total over all send categories (losses excluded — they
+  /// annotate sends already counted). Saturates at UINT64_MAX instead of
+  /// wrapping.
   uint64_t Total() const {
-    return walk_hops_ + weight_probes_ + sample_transfers_ + refreshes_ +
-           pushes_;
+    uint64_t total = walk_hops_;
+    total = SatAdd(total, weight_probes_);
+    total = SatAdd(total, sample_transfers_);
+    total = SatAdd(total, refreshes_);
+    total = SatAdd(total, pushes_);
+    total = SatAdd(total, retries_);
+    total = SatAdd(total, agent_restarts_);
+    return total;
   }
+
+  /// Messages attributable to fault recovery (the robustness overhead a
+  /// bench reports next to the base cost).
+  uint64_t FaultOverhead() const { return SatAdd(retries_, agent_restarts_); }
 
   /// Resets all counters to zero.
   void Reset() { *this = MessageMeter(); }
 
  private:
+  static uint64_t SatAdd(uint64_t a, uint64_t b) {
+    uint64_t sum = 0;
+    if (__builtin_add_overflow(a, b, &sum)) {
+      return ~static_cast<uint64_t>(0);
+    }
+    return sum;
+  }
+
   uint64_t walk_hops_ = 0;
   uint64_t weight_probes_ = 0;
   uint64_t sample_transfers_ = 0;
   uint64_t refreshes_ = 0;
   uint64_t pushes_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t agent_restarts_ = 0;
+  uint64_t losses_ = 0;
 };
 
 }  // namespace digest

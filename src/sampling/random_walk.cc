@@ -3,9 +3,42 @@
 #include "sampling/metropolis.h"
 
 namespace digest {
+namespace {
+
+// Delivers one message over (from, to) under faults, retransmitting
+// with exponential backoff. The first transmission is pre-charged by
+// the caller in its own meter category (probe/hop); this helper charges
+// only the recovery traffic: one retry message per retransmission, plus
+// the backoff delay in budget units. Returns false when the message is
+// abandoned after RetryPolicy::max_attempts sends (or the receiver is
+// blackholed and every send goes unanswered).
+bool TryDeliver(FaultPlan& faults, const RetryPolicy& retry, NodeId from,
+                NodeId to, MessageMeter* meter, WalkTelemetry* telemetry) {
+  const bool blackholed = faults.IsBlackholed(to);
+  for (size_t attempt = 1;; ++attempt) {
+    const bool lost = blackholed || faults.LoseMessage(from, to);
+    if (!lost) return true;
+    if (meter != nullptr) meter->AddLoss();
+    if (telemetry != nullptr) ++telemetry->losses;
+    if (attempt >= retry.max_attempts) return false;
+    // Retransmit after the deterministic backoff delay.
+    if (meter != nullptr) meter->AddRetry();
+    if (telemetry != nullptr) {
+      ++telemetry->retries;
+      telemetry->attempts += retry.BackoffCost(attempt);
+    }
+  }
+}
+
+}  // namespace
 
 Status RandomWalk::Step(const Graph& graph, const WeightFn& weight, Rng& rng,
-                        MessageMeter* meter, NodeId fallback) {
+                        MessageMeter* meter, NodeId fallback,
+                        FaultPlan* faults, const RetryPolicy* retry,
+                        WalkTelemetry* telemetry) {
+  static const RetryPolicy kDefaultRetry;
+  if (faults != nullptr && retry == nullptr) retry = &kDefaultRetry;
+  if (telemetry != nullptr) ++telemetry->attempts;
   if (!graph.HasNode(current_)) {
     // The node hosting the agent left the network; the originator
     // restarts the agent (one message to re-inject it).
@@ -14,6 +47,11 @@ Status RandomWalk::Step(const Graph& graph, const WeightFn& weight, Rng& rng,
     }
     current_ = fallback;
     if (meter != nullptr) meter->AddWalkHop();
+  }
+  if (faults != nullptr && faults->IsBlackholed(current_)) {
+    // The host is stalled: the agent is frozen until the node wakes up.
+    if (telemetry != nullptr) ++telemetry->stalled_steps;
+    return Status::OK();
   }
   // Laziness: self-loop with the configured probability, free of
   // messages (½ in the paper, Eq. 12's prefactor).
@@ -27,14 +65,52 @@ Status RandomWalk::Step(const Graph& graph, const WeightFn& weight, Rng& rng,
   }
   DIGEST_ASSIGN_OR_RETURN(NodeId proposal,
                           graph.RandomNeighbor(current_, rng));
-  // Probing the neighbor's weight costs one message.
+  // Probing the neighbor's weight costs one message (charged whether or
+  // not the transmission survives — the sender pays for the send).
   if (meter != nullptr) meter->AddWeightProbe();
-  const double accept =
-      MetropolisAcceptance(weight(current_), degree, weight(proposal),
-                           graph.Degree(proposal));
+  if (faults != nullptr &&
+      !TryDeliver(*faults, *retry, current_, proposal, meter, telemetry)) {
+    // Probe never answered within the retry budget: abandon the
+    // transition, the agent stays put.
+    if (telemetry != nullptr) ++telemetry->abandoned;
+    return Status::OK();
+  }
+  double proposal_weight = weight(proposal);
+  if (faults != nullptr && faults->StaleProbe()) {
+    // The probe was answered from a stale cache: the acceptance test
+    // sees a distorted weight. The chain's target distribution bends
+    // accordingly — degradation the widened intervals account for.
+    proposal_weight = faults->DistortWeight(proposal_weight);
+    if (telemetry != nullptr) ++telemetry->stale_probes;
+  }
+  const double accept = MetropolisAcceptance(weight(current_), degree,
+                                             proposal_weight,
+                                             graph.Degree(proposal));
   if (rng.NextBernoulli(accept)) {
-    current_ = proposal;
     if (meter != nullptr) meter->AddWalkHop();
+    if (faults != nullptr) {
+      if (!TryDeliver(*faults, *retry, current_, proposal, meter,
+                      telemetry)) {
+        // Forward message abandoned: the agent never left.
+        if (telemetry != nullptr) ++telemetry->abandoned;
+        return Status::OK();
+      }
+      if (faults->DropAgent()) {
+        // Delivered, but the agent state was lost in transit. The
+        // originator re-injects the agent from the origin — the same
+        // recovery as a churn-stranded agent, except the walk must
+        // re-mix (the caller extends its remaining steps).
+        if (meter != nullptr) meter->AddAgentRestart();
+        if (telemetry != nullptr) ++telemetry->drops;
+        if (!graph.HasNode(fallback)) {
+          return Status::Unavailable(
+              "dropped agent's origin left the network");
+        }
+        current_ = fallback;
+        return Status::OK();
+      }
+    }
+    current_ = proposal;
   }
   return Status::OK();
 }

@@ -1,13 +1,30 @@
 #ifndef DIGEST_SAMPLING_RANDOM_WALK_H_
 #define DIGEST_SAMPLING_RANDOM_WALK_H_
 
+#include <cstdint>
+
 #include "common/result.h"
+#include "net/fault_plan.h"
 #include "net/graph.h"
 #include "net/message_meter.h"
 #include "numeric/rng.h"
 #include "sampling/weight.h"
 
 namespace digest {
+
+/// Per-call accounting of a fault-injected walk, accumulated across
+/// Steps. `attempts` is the budget currency: one unit per attempted
+/// transition plus the deterministic backoff cost of every
+/// retransmission — the quantity a SamplingOperator's hop budget bounds.
+struct WalkTelemetry {
+  uint64_t attempts = 0;       ///< Budget units consumed.
+  uint64_t retries = 0;        ///< Retransmissions after a lost message.
+  uint64_t losses = 0;         ///< Transmissions lost in transit.
+  uint64_t drops = 0;          ///< Agents lost and re-injected at origin.
+  uint64_t abandoned = 0;      ///< Transitions given up after retry budget.
+  uint64_t stale_probes = 0;   ///< Probes answered with stale weights.
+  uint64_t stalled_steps = 0;  ///< Steps frozen on a blackholed host.
+};
 
 /// A sampling agent: a lazy Metropolis random walk over the overlay
 /// (paper §V). One Step is:
@@ -20,6 +37,16 @@ namespace digest {
 ///
 /// The walk survives churn: if the current node disappears from the
 /// graph, the next Step restarts from the given fallback node.
+///
+/// Under an attached FaultPlan the same transition is subject to message
+/// loss (probes and hops are retransmitted with exponential backoff up
+/// to RetryPolicy::max_attempts, then abandoned), stalled peers (a
+/// blackholed host freezes the agent; a blackholed neighbor never
+/// answers probes), stale weight probes (the acceptance test sees a
+/// distorted weight), and agent drops (the agent is lost in transit and
+/// restarts from the fallback node, like a churn-stranded agent). All
+/// fault randomness comes from the plan's own stream, so a plan with all
+/// rates zero leaves the walk bit-identical to the fault-free path.
 class RandomWalk {
  public:
   /// Starts a walk at `origin`. `laziness` is the per-step self-loop
@@ -35,10 +62,16 @@ class RandomWalk {
 
   /// Executes one (lazy) Metropolis transition. `meter` may be null (no
   /// accounting). Fails if both the current node and `fallback` are dead.
+  /// `faults`, `retry`, and `telemetry` may be null for the clean path;
+  /// with faults attached, `retry` governs retransmissions and
+  /// `telemetry` (if given) accumulates the fault accounting.
   Status Step(const Graph& graph, const WeightFn& weight, Rng& rng,
-              MessageMeter* meter, NodeId fallback);
+              MessageMeter* meter, NodeId fallback,
+              FaultPlan* faults = nullptr, const RetryPolicy* retry = nullptr,
+              WalkTelemetry* telemetry = nullptr);
 
-  /// Executes `steps` transitions.
+  /// Executes `steps` transitions (clean path only; fault-aware loops
+  /// live in SamplingOperator, which owns the hop budget).
   Status Advance(const Graph& graph, const WeightFn& weight, Rng& rng,
                  MessageMeter* meter, NodeId fallback, size_t steps);
 

@@ -1,5 +1,6 @@
 #include "sampling/sampling_operator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -49,6 +50,25 @@ Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
   if (!graph_->HasNode(fallback)) {
     DIGEST_ASSIGN_OR_RETURN(fallback, graph_->RandomLiveNode(rng_));
   }
+  last_telemetry_ = WalkTelemetry();
+  // Batch attempt budget, provisioned up front: a batch planned to take
+  // S hops total may spend at most ceil(hop_budget_factor · S) attempt
+  // units (hops, retries, and backoff delays) before it times out. The
+  // budget is pooled across the whole batch so one unlucky agent (e.g.
+  // repeatedly dropped mid-walk) can borrow slack from the others.
+  uint64_t budget = 0;
+  if (faults_ != nullptr) {
+    const size_t warm_pool =
+        options_.warm_walks && agents_.size() > next_agent_
+            ? agents_.size() - next_agent_
+            : 0;
+    const size_t warm = std::min(n, warm_pool);
+    const uint64_t planned =
+        static_cast<uint64_t>(warm) * EffectiveResetLength() +
+        static_cast<uint64_t>(n - warm) * EffectiveWalkLength();
+    budget = static_cast<uint64_t>(std::ceil(
+        options_.retry.hop_budget_factor * static_cast<double>(planned)));
+  }
   std::vector<NodeId> out;
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -64,8 +84,35 @@ Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
       steps = EffectiveWalkLength();
     }
     ++next_agent_;
-    DIGEST_RETURN_IF_ERROR(
-        agent->Advance(*graph_, weight_, rng_, meter_, fallback, steps));
+    if (faults_ == nullptr) {
+      DIGEST_RETURN_IF_ERROR(
+          agent->Advance(*graph_, weight_, rng_, meter_, fallback, steps));
+    } else {
+      size_t remaining = steps;
+      while (remaining > 0) {
+        if (last_telemetry_.attempts >= budget) {
+          // Hop budget exhausted: the overlay is too lossy/stalled to
+          // finish this batch in time. Reset the round-robin cursor so
+          // the next call starts clean, and report a timeout the caller
+          // can degrade on.
+          next_agent_ = 0;
+          return Status::Unavailable(
+              "sampling hop budget exhausted under faults (walk timeout)");
+        }
+        const uint64_t drops_before = last_telemetry_.drops;
+        DIGEST_RETURN_IF_ERROR(agent->Step(*graph_, weight_, rng_, meter_,
+                                           fallback, faults_,
+                                           &options_.retry,
+                                           &last_telemetry_));
+        if (last_telemetry_.drops > drops_before) {
+          // The agent was lost in transit and re-injected at the
+          // origin: it must re-mix from cold before its position counts.
+          remaining = EffectiveWalkLength();
+        } else {
+          --remaining;
+        }
+      }
+    }
     // The agent reports the sampled node back to the originator.
     if (meter_ != nullptr) meter_->AddSampleTransfer();
     out.push_back(agent->current());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "net/fault_plan.h"
 #include "net/graph.h"
 #include "net/message_meter.h"
 #include "numeric/rng.h"
@@ -38,6 +39,10 @@ struct SamplingOperatorOptions {
   /// (aperiodicity on any graph); 0 is the non-lazy ablation, unsafe on
   /// bipartite overlays (even rings, meshes).
   double laziness = 0.5;
+
+  /// Retransmission/backoff policy and hop-budget timeout applied when a
+  /// FaultPlan is attached (ignored otherwise).
+  RetryPolicy retry;
 };
 
 /// The distributed sampling operator S (paper §III, §V).
@@ -52,12 +57,28 @@ struct SamplingOperatorOptions {
 /// function, usually the database); both must outlive it. Churn between
 /// invocations is handled: agents stranded on departed nodes restart
 /// from the origin.
+///
+/// With a FaultPlan attached (SetFaultPlan), walks run under injected
+/// message loss, stalls, stale probes, and agent drops. Lost messages
+/// are retransmitted per options.retry; an agent dropped in transit is
+/// re-injected at the origin and walks a full cold mixing length again.
+/// Each batch may spend at most retry.hop_budget_factor times its
+/// planned hop count (retries and backoff delays included); when the
+/// budget runs out mid-batch, SampleNodes fails with kUnavailable — the
+/// caller (e.g. DigestEngine) degrades gracefully instead of blocking
+/// forever on an unreachable overlay.
 class SamplingOperator {
  public:
   /// `meter` may be null to skip accounting.
   SamplingOperator(const Graph* graph, WeightFn weight, Rng rng,
                    MessageMeter* meter,
                    SamplingOperatorOptions options = {});
+
+  /// Attaches (or detaches, with nullptr) a fault-injection plan. The
+  /// plan is not owned and must outlive the operator. A plan with all
+  /// rates zero leaves every draw bit-identical to no plan.
+  void SetFaultPlan(FaultPlan* faults) { faults_ = faults; }
+  FaultPlan* fault_plan() const { return faults_; }
 
   /// Draws one sample node, originating the walk at `origin`. Returning
   /// the sampled node id to the originator costs one transfer message.
@@ -66,7 +87,8 @@ class SamplingOperator {
   Result<NodeId> SampleNode(NodeId origin);
 
   /// Draws `n` sample nodes in batch mode (§VI-A): n agents with
-  /// overlapping convergence, each contributing one node.
+  /// overlapping convergence, each contributing one node. Under faults,
+  /// fails with kUnavailable when the batch hop budget times out.
   Result<std::vector<NodeId>> SampleNodes(NodeId origin, size_t n);
 
   /// Drops all warm agents (e.g., after a topology change large enough
@@ -79,6 +101,10 @@ class SamplingOperator {
   /// Effective warm-walk (reset) length for the current graph size.
   size_t EffectiveResetLength() const;
 
+  /// Fault accounting of the most recent SampleNodes call (zeroed when
+  /// no fault plan is attached).
+  const WalkTelemetry& last_telemetry() const { return last_telemetry_; }
+
   const SamplingOperatorOptions& options() const { return options_; }
 
  private:
@@ -87,6 +113,8 @@ class SamplingOperator {
   Rng rng_;
   MessageMeter* meter_;
   SamplingOperatorOptions options_;
+  FaultPlan* faults_ = nullptr;
+  WalkTelemetry last_telemetry_;
   std::vector<RandomWalk> agents_;  // Warm agents, reused round-robin.
   size_t next_agent_ = 0;
 };

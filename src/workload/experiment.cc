@@ -21,20 +21,30 @@ Result<RunResult> RunEngineExperiment(Workload& workload,
                            querying_node, rng.Fork(), &out.meter, options));
   out.reported.reserve(ticks);
   out.truth.reserve(ticks);
+  out.ci_halfwidths.reserve(ticks);
   for (size_t t = 0; t < ticks; ++t) {
     DIGEST_RETURN_IF_ERROR(workload.Advance());
+    if (options.fault_plan != nullptr) {
+      options.fault_plan->set_now(workload.now());
+    }
     DIGEST_ASSIGN_OR_RETURN(double truth,
                             workload.db().ExactAggregate(spec.query));
     DIGEST_ASSIGN_OR_RETURN(EngineTickResult tick,
                             engine->Tick(workload.now()));
     out.truth.push_back(truth);
     out.reported.push_back(tick.reported_value);
+    out.ci_halfwidths.push_back(tick.ci_halfwidth);
+    if (tick.degraded) ++out.degraded_ticks;
   }
   out.stats = engine->stats();
   out.correlation_estimate = engine->correlation_estimate();
   DIGEST_ASSIGN_OR_RETURN(
       out.precision,
       EvaluatePrecision(out.reported, out.truth, spec.precision));
+  DIGEST_ASSIGN_OR_RETURN(
+      out.widened_precision,
+      EvaluatePrecisionWidened(out.reported, out.truth, out.ci_halfwidths,
+                               spec.precision));
   return out;
 }
 

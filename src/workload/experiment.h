@@ -18,13 +18,20 @@ struct RunResult {
   MessageMeter meter;               ///< Communication-cost breakdown.
   std::vector<double> reported;     ///< X̂[t], tick-aligned.
   std::vector<double> truth;        ///< Oracle X[t], tick-aligned.
-  PrecisionReport precision;        ///< reported vs truth.
+  std::vector<double> ci_halfwidths;///< Reported CI half-widths (engine runs).
+  PrecisionReport precision;        ///< reported vs truth, uniform ε.
+  /// reported vs truth under the per-tick widened contract
+  /// (max(ε, ci[t]) + δ) — what a fault-injected run promises.
+  PrecisionReport widened_precision;
+  size_t degraded_ticks = 0;        ///< Ticks answered degraded.
   double correlation_estimate = 0;  ///< ρ̂ at the end (RPT engines).
 };
 
 /// Runs a Digest engine configuration over `ticks` ticks of `workload`.
 /// A querying node is drawn with `seed`; the workload is consumed (pass
 /// a fresh instance per run — identical seeds give identical data).
+/// If options.fault_plan is set, the plan's clock is advanced in step
+/// with the workload so stall windows track simulation time.
 Result<RunResult> RunEngineExperiment(Workload& workload,
                                       const ContinuousQuerySpec& spec,
                                       const DigestEngineOptions& options,

@@ -1,0 +1,229 @@
+// Property tests for the deterministic fault-injection layer: a zero-
+// rate plan is bit-identical to no plan, and identical seeds reproduce
+// identical fault schedules.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fault_plan.h"
+#include "net/topology.h"
+#include "sampling/sampling_operator.h"
+#include "workload/experiment.h"
+#include "workload/memory.h"
+
+namespace digest {
+namespace {
+
+FaultPlanConfig ActiveConfig() {
+  FaultPlanConfig config;
+  config.message_loss = 0.3;
+  config.edge_spread = 0.5;
+  config.agent_drop = 0.1;
+  config.stale_probe = 0.2;
+  config.stall_fraction = 0.3;
+  config.stall_every = 16;
+  config.stall_length = 4;
+  return config;
+}
+
+TEST(FaultPlanTest, ConfigValidation) {
+  EXPECT_TRUE(FaultPlanConfig{}.Validate().ok());
+  EXPECT_TRUE(ActiveConfig().Validate().ok());
+
+  FaultPlanConfig bad = ActiveConfig();
+  bad.message_loss = -0.1;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = ActiveConfig();
+  bad.message_loss = 1.5;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = ActiveConfig();
+  bad.edge_spread = 2.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = ActiveConfig();
+  bad.stale_noise = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = ActiveConfig();
+  bad.stall_length = bad.stall_every;  // Never wakes up: that's churn.
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = ActiveConfig();
+  bad.stall_every = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(FaultPlanTest, RetryPolicyValidation) {
+  EXPECT_TRUE(RetryPolicy{}.Validate().ok());
+  RetryPolicy bad;
+  bad.max_attempts = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = RetryPolicy{};
+  bad.backoff_base = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = RetryPolicy{};
+  bad.hop_budget_factor = 0.5;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(FaultPlanTest, ZeroRatePlanLeavesOperatorBitIdentical) {
+  Rng topo(11);
+  const Graph graph = MakeBarabasiAlbert(80, 3, topo).value();
+  SamplingOperatorOptions options;
+  options.walk_length = 40;
+  options.reset_length = 10;
+
+  MessageMeter clean_meter;
+  SamplingOperator clean(&graph, DegreeWeight(graph), Rng(42), &clean_meter,
+                         options);
+  MessageMeter faulty_meter;
+  SamplingOperator faulty(&graph, DegreeWeight(graph), Rng(42), &faulty_meter,
+                          options);
+  FaultPlan zero_plan(FaultPlanConfig{}, /*seed=*/7);
+  faulty.SetFaultPlan(&zero_plan);
+
+  for (int batch = 0; batch < 3; ++batch) {
+    const std::vector<NodeId> a = clean.SampleNodes(0, 25).value();
+    const std::vector<NodeId> b = faulty.SampleNodes(0, 25).value();
+    EXPECT_EQ(a, b) << "batch " << batch;
+  }
+  EXPECT_EQ(clean_meter.walk_hops(), faulty_meter.walk_hops());
+  EXPECT_EQ(clean_meter.weight_probes(), faulty_meter.weight_probes());
+  EXPECT_EQ(clean_meter.sample_transfers(), faulty_meter.sample_transfers());
+  EXPECT_EQ(clean_meter.Total(), faulty_meter.Total());
+  EXPECT_EQ(faulty_meter.retries(), 0u);
+  EXPECT_EQ(faulty_meter.losses(), 0u);
+  EXPECT_EQ(faulty_meter.agent_restarts(), 0u);
+  EXPECT_EQ(zero_plan.losses_injected(), 0u);
+  EXPECT_EQ(zero_plan.drops_injected(), 0u);
+}
+
+TEST(FaultPlanTest, ZeroRatePlanLeavesEngineEstimatesBitIdentical) {
+  MemoryConfig config;
+  config.num_units = 150;
+  config.num_nodes = 100;
+  auto clean_workload = MemoryWorkload::Create(config).value();
+  auto faulty_workload = MemoryWorkload::Create(config).value();
+  const ContinuousQuerySpec spec =
+      ContinuousQuerySpec::Create("SELECT AVG(memory) FROM R",
+                                  PrecisionSpec{2.0, 2.0, 0.95})
+          .value();
+  DigestEngineOptions options;
+  options.sampler = SamplerKind::kTwoStageMcmc;
+  options.sampling_options.walk_length = 40;
+  options.sampling_options.reset_length = 10;
+
+  RunResult clean =
+      RunEngineExperiment(*clean_workload, spec, options, 60, 5).value();
+
+  FaultPlan zero_plan(FaultPlanConfig{}, /*seed=*/99);
+  options.fault_plan = &zero_plan;
+  RunResult faulty =
+      RunEngineExperiment(*faulty_workload, spec, options, 60, 5).value();
+
+  // Same samples, same meter counts, same engine estimates as seed
+  // behavior — exact double equality, not approximate.
+  EXPECT_EQ(clean.reported, faulty.reported);
+  EXPECT_EQ(clean.truth, faulty.truth);
+  EXPECT_EQ(clean.meter.Total(), faulty.meter.Total());
+  EXPECT_EQ(clean.meter.walk_hops(), faulty.meter.walk_hops());
+  EXPECT_EQ(clean.meter.weight_probes(), faulty.meter.weight_probes());
+  EXPECT_EQ(clean.stats.snapshots, faulty.stats.snapshots);
+  EXPECT_EQ(clean.stats.total_samples, faulty.stats.total_samples);
+  EXPECT_EQ(clean.stats.fresh_samples, faulty.stats.fresh_samples);
+  EXPECT_EQ(faulty.stats.degraded_ticks, 0u);
+  EXPECT_EQ(faulty.degraded_ticks, 0u);
+}
+
+TEST(FaultPlanTest, IdenticalSeedsReproduceIdenticalSchedules) {
+  FaultPlan a(ActiveConfig(), 1234);
+  FaultPlan b(ActiveConfig(), 1234);
+  for (int64_t t = 0; t < 8; ++t) {
+    a.set_now(t);
+    b.set_now(t);
+    for (NodeId node = 0; node < 64; ++node) {
+      EXPECT_EQ(a.IsBlackholed(node), b.IsBlackholed(node))
+          << "t=" << t << " node=" << node;
+    }
+    for (uint32_t k = 0; k < 200; ++k) {
+      const NodeId from = k % 50;
+      const NodeId to = (k * 7 + 1) % 50;
+      EXPECT_EQ(a.LoseMessage(from, to), b.LoseMessage(from, to));
+      EXPECT_EQ(a.DropAgent(), b.DropAgent());
+      EXPECT_EQ(a.StaleProbe(), b.StaleProbe());
+    }
+  }
+  EXPECT_EQ(a.losses_injected(), b.losses_injected());
+  EXPECT_EQ(a.drops_injected(), b.drops_injected());
+  EXPECT_EQ(a.stale_injected(), b.stale_injected());
+  EXPECT_GT(a.losses_injected(), 0u);  // The schedule is non-trivial.
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiverge) {
+  FaultPlan a(ActiveConfig(), 1);
+  FaultPlan b(ActiveConfig(), 2);
+  bool diverged = false;
+  for (uint32_t k = 0; k < 500 && !diverged; ++k) {
+    diverged = a.LoseMessage(k % 30, (k + 1) % 30) !=
+               b.LoseMessage(k % 30, (k + 1) % 30);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultPlanTest, EdgeLossRatesAreDeterministicSymmetricAndBounded) {
+  FaultPlanConfig config;
+  config.message_loss = 0.2;
+  config.edge_spread = 0.8;
+  const FaultPlan plan(config, 77);
+  const FaultPlan twin(config, 77);
+  for (NodeId a = 0; a < 20; ++a) {
+    for (NodeId b = a + 1; b < 20; ++b) {
+      const double rate = plan.EdgeLossRate(a, b);
+      EXPECT_EQ(rate, plan.EdgeLossRate(b, a));      // Symmetric.
+      EXPECT_EQ(rate, plan.EdgeLossRate(a, b));      // No state consumed.
+      EXPECT_EQ(rate, twin.EdgeLossRate(a, b));      // Seed-determined.
+      EXPECT_GE(rate, 0.2 * (1.0 - 0.8) - 1e-12);
+      EXPECT_LE(rate, 0.2 * (1.0 + 0.8) + 1e-12);
+    }
+  }
+  // Heterogeneity is real: not all edges share one rate.
+  EXPECT_NE(plan.EdgeLossRate(0, 1), plan.EdgeLossRate(2, 3));
+}
+
+TEST(FaultPlanTest, BlackholeWindowsMatchConfiguredShape) {
+  FaultPlanConfig config;
+  config.stall_fraction = 1.0;  // Every node stalls somewhere.
+  config.stall_every = 10;
+  config.stall_length = 3;
+  FaultPlan plan(config, 5);
+  for (NodeId node = 0; node < 32; ++node) {
+    int stalled = 0;
+    for (int64_t t = 0; t < 10; ++t) {
+      plan.set_now(t);
+      if (plan.IsBlackholed(node)) ++stalled;
+    }
+    EXPECT_EQ(stalled, 3) << "node " << node;
+  }
+  // With stall_fraction 0 nothing ever stalls.
+  FaultPlan quiet(FaultPlanConfig{}, 5);
+  for (int64_t t = 0; t < 10; ++t) {
+    quiet.set_now(t);
+    for (NodeId node = 0; node < 32; ++node) {
+      EXPECT_FALSE(quiet.IsBlackholed(node));
+    }
+  }
+}
+
+TEST(FaultPlanTest, StaleWeightDistortionIsBoundedAndNonNegative) {
+  FaultPlanConfig config;
+  config.stale_probe = 1.0;
+  config.stale_noise = 0.5;
+  FaultPlan plan(config, 3);
+  for (int i = 0; i < 200; ++i) {
+    const double distorted = plan.DistortWeight(10.0);
+    EXPECT_GE(distorted, 5.0 - 1e-9);
+    EXPECT_LE(distorted, 15.0 + 1e-9);
+  }
+  const double still_zero = plan.DistortWeight(0.0);
+  EXPECT_EQ(still_zero, 0.0);
+}
+
+}  // namespace
+}  // namespace digest

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
+#include "net/message_meter.h"
+
 namespace digest {
 namespace {
 
@@ -45,6 +49,87 @@ TEST(PrecisionSpecTest, Validation) {
   EXPECT_FALSE((PrecisionSpec{0.0, 0.0, 0.5}).Validate().ok());
   EXPECT_FALSE((PrecisionSpec{0.0, 1.0, 0.0}).Validate().ok());
   EXPECT_FALSE((PrecisionSpec{0.0, 1.0, 1.0}).Validate().ok());
+}
+
+TEST(MetricsTest, WidenedContractUsesPerTickIntervals) {
+  const std::vector<double> reported = {1.0, 2.0, 10.0};
+  const std::vector<double> truth = {1.5, 2.0, 4.0};
+  // Plain contract (δ=1, ε=1 → tolerance 2): last tick misses by 6.
+  Result<PrecisionReport> plain =
+      EvaluatePrecision(reported, truth, Spec(1.0, 1.0));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NEAR(plain->within_tolerance_fraction, 2.0 / 3.0, 1e-12);
+  // Widened: the last tick was answered degraded with ci = 5, so its
+  // tolerance is max(ε, 5) + δ = 6 and the miss becomes a hit.
+  Result<PrecisionReport> widened = EvaluatePrecisionWidened(
+      reported, truth, {1.0, 1.0, 5.0}, Spec(1.0, 1.0));
+  ASSERT_TRUE(widened.ok());
+  EXPECT_DOUBLE_EQ(widened->within_tolerance_fraction, 1.0);
+  // With all-ε intervals the widened contract reduces to the plain one.
+  Result<PrecisionReport> same = EvaluatePrecisionWidened(
+      reported, truth, {1.0, 1.0, 1.0}, Spec(1.0, 1.0));
+  ASSERT_TRUE(same.ok());
+  EXPECT_DOUBLE_EQ(same->within_tolerance_fraction,
+                   plain->within_tolerance_fraction);
+  // Misaligned ci series is rejected.
+  EXPECT_FALSE(
+      EvaluatePrecisionWidened(reported, truth, {1.0}, Spec(1, 1)).ok());
+}
+
+TEST(MessageMeterTest, TotalCoversSendCategoriesButNotLosses) {
+  MessageMeter meter;
+  meter.AddWalkHop(3);
+  meter.AddWeightProbe(5);
+  meter.AddSampleTransfer(7);
+  meter.AddRefresh(11);
+  meter.AddPush(13);
+  meter.AddRetry(17);
+  meter.AddAgentRestart(19);
+  meter.AddLoss(23);  // Annotation only: already charged elsewhere.
+  EXPECT_EQ(meter.Total(), 3u + 5u + 7u + 11u + 13u + 17u + 19u);
+  EXPECT_EQ(meter.losses(), 23u);
+  EXPECT_EQ(meter.FaultOverhead(), 17u + 19u);
+}
+
+TEST(MessageMeterTest, TotalSaturatesInsteadOfWrapping) {
+  MessageMeter meter;
+  meter.AddWalkHop(UINT64_MAX);
+  meter.AddPush(1);
+  // Before the fix this wrapped to 0; now it pins at the ceiling.
+  EXPECT_EQ(meter.Total(), UINT64_MAX);
+  meter.AddRetry(100);
+  EXPECT_EQ(meter.Total(), UINT64_MAX);
+}
+
+TEST(MessageMeterTest, CategoryCountersSaturateIndividually) {
+  MessageMeter meter;
+  meter.AddRetry(UINT64_MAX);
+  meter.AddRetry(5);
+  EXPECT_EQ(meter.retries(), UINT64_MAX);
+  meter.AddAgentRestart(UINT64_MAX);
+  EXPECT_EQ(meter.FaultOverhead(), UINT64_MAX);
+}
+
+TEST(MessageMeterTest, ResetZeroesEveryCategory) {
+  MessageMeter meter;
+  meter.AddWalkHop(2);
+  meter.AddWeightProbe(2);
+  meter.AddSampleTransfer(2);
+  meter.AddRefresh(2);
+  meter.AddPush(2);
+  meter.AddRetry(2);
+  meter.AddAgentRestart(2);
+  meter.AddLoss(2);
+  meter.Reset();
+  EXPECT_EQ(meter.Total(), 0u);
+  EXPECT_EQ(meter.walk_hops(), 0u);
+  EXPECT_EQ(meter.weight_probes(), 0u);
+  EXPECT_EQ(meter.sample_transfers(), 0u);
+  EXPECT_EQ(meter.refreshes(), 0u);
+  EXPECT_EQ(meter.pushes(), 0u);
+  EXPECT_EQ(meter.retries(), 0u);
+  EXPECT_EQ(meter.agent_restarts(), 0u);
+  EXPECT_EQ(meter.losses(), 0u);
 }
 
 TEST(ContinuousQuerySpecTest, CreateParsesAndValidates) {

@@ -1,0 +1,260 @@
+// Unit tests for the retry/timeout/backoff policy: budget exhaustion
+// surfaces as a degraded status (never a crash), the backoff sequence is
+// deterministic, and meter retry counters reconcile exactly against the
+// injected losses.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.h"
+#include "net/fault_plan.h"
+#include "net/message_meter.h"
+#include "net/topology.h"
+#include "sampling/sampling_operator.h"
+#include "sampling/weight.h"
+#include "workload/memory.h"
+
+namespace digest {
+namespace {
+
+MemoryConfig SmallMemoryConfig() {
+  MemoryConfig config;
+  config.num_units = 120;
+  config.num_nodes = 80;
+  config.join_rate = 0.0;   // No churn: isolate the injected faults.
+  config.leave_rate = 0.0;
+  return config;
+}
+
+TEST(RetryBackoffTest, BackoffSequenceIsDeterministicAndCapped) {
+  RetryPolicy policy;
+  policy.backoff_base = 2;
+  EXPECT_EQ(policy.BackoffCost(1), 2u);
+  EXPECT_EQ(policy.BackoffCost(2), 4u);
+  EXPECT_EQ(policy.BackoffCost(3), 8u);
+  EXPECT_EQ(policy.BackoffCost(10), static_cast<size_t>(2) << 9);
+  // The shift saturates at 20 so the cost cannot overflow.
+  EXPECT_EQ(policy.BackoffCost(21), static_cast<size_t>(2) << 20);
+  EXPECT_EQ(policy.BackoffCost(40), static_cast<size_t>(2) << 20);
+  // Same policy, same inputs, same costs — no hidden state.
+  RetryPolicy twin;
+  twin.backoff_base = 2;
+  for (size_t k = 1; k < 32; ++k) {
+    EXPECT_EQ(policy.BackoffCost(k), twin.BackoffCost(k));
+  }
+}
+
+TEST(RetryBackoffTest, BudgetExhaustionReturnsUnavailableNotCrash) {
+  const Graph graph = MakeComplete(12).value();
+  SamplingOperatorOptions options;
+  options.walk_length = 16;
+  options.reset_length = 4;
+  options.laziness = 0.0;  // Every step probes: deterministic exhaustion.
+  options.retry.max_attempts = 3;
+  options.retry.hop_budget_factor = 1.0;
+  MessageMeter meter;
+  SamplingOperator op(&graph, DegreeWeight(graph), Rng(9), &meter, options);
+  FaultPlanConfig config;
+  config.message_loss = 1.0;
+  FaultPlan plan(config, 13);
+  op.SetFaultPlan(&plan);
+
+  Result<std::vector<NodeId>> res = op.SampleNodes(0, 4);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(op.last_telemetry().abandoned, 0u);
+  EXPECT_GT(meter.losses(), 0u);
+
+  // A second call degrades the same way rather than wedging.
+  Result<std::vector<NodeId>> again = op.SampleNodes(0, 4);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kUnavailable);
+
+  // Healing the network lets the same operator instance succeed.
+  plan.set_message_loss(0.0);
+  Result<std::vector<NodeId>> healed = op.SampleNodes(0, 4);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed->size(), 4u);
+  EXPECT_EQ(op.last_telemetry().abandoned, 0u);
+}
+
+TEST(RetryBackoffTest, MeterRetriesMatchInjectedLossesExactly) {
+  Rng topo(4);
+  const Graph graph = MakeBarabasiAlbert(60, 3, topo).value();
+  SamplingOperatorOptions options;
+  options.walk_length = 30;
+  options.reset_length = 8;
+  options.retry.max_attempts = 100;  // Deep retries: nothing abandoned.
+  options.retry.hop_budget_factor = 64.0;
+  MessageMeter meter;
+  SamplingOperator op(&graph, DegreeWeight(graph), Rng(31), &meter, options);
+  FaultPlanConfig config;
+  config.message_loss = 0.25;
+  config.edge_spread = 0.5;
+  FaultPlan plan(config, 17);
+  op.SetFaultPlan(&plan);
+
+  Result<std::vector<NodeId>> res = op.SampleNodes(0, 20);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->size(), 20u);
+  EXPECT_GT(plan.losses_injected(), 0u);
+  // Every injected loss is annotated once in the meter and answered by
+  // exactly one retransmission (attempts never run out at this depth),
+  // so all three counters agree exactly.
+  EXPECT_EQ(meter.losses(), plan.losses_injected());
+  EXPECT_EQ(meter.retries(), plan.losses_injected());
+  EXPECT_EQ(op.last_telemetry().retries, meter.retries());
+  EXPECT_EQ(op.last_telemetry().losses, meter.losses());
+  EXPECT_EQ(op.last_telemetry().abandoned, 0u);
+  EXPECT_EQ(meter.FaultOverhead(), meter.retries());
+}
+
+TEST(RetryBackoffTest, TotalAgentDropTimesOutWithRestartsAccounted) {
+  const Graph graph = MakeComplete(10).value();
+  SamplingOperatorOptions options;
+  options.walk_length = 12;
+  options.reset_length = 4;
+  options.retry.hop_budget_factor = 4.0;
+  MessageMeter meter;
+  SamplingOperator op(&graph, DegreeWeight(graph), Rng(8), &meter, options);
+  FaultPlanConfig config;
+  config.agent_drop = 1.0;  // Every completed hop loses the agent.
+  FaultPlan plan(config, 23);
+  op.SetFaultPlan(&plan);
+
+  Result<std::vector<NodeId>> res = op.SampleNodes(0, 3);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(op.last_telemetry().drops, 0u);
+  EXPECT_GT(meter.agent_restarts(), 0u);
+  EXPECT_EQ(meter.agent_restarts(), plan.drops_injected());
+}
+
+TEST(RetryBackoffTest, RepeatedEstimatorDegradesAndRecovers) {
+  auto workload = MemoryWorkload::Create(SmallMemoryConfig()).value();
+  const ContinuousQuerySpec spec =
+      ContinuousQuerySpec::Create("SELECT AVG(memory) FROM R",
+                                  PrecisionSpec{1.0, 2.0, 0.9})
+          .value();
+  FaultPlan plan(FaultPlanConfig{}, 21);
+  DigestEngineOptions options;
+  options.scheduler = SchedulerKind::kAll;
+  options.estimator = EstimatorKind::kRepeated;
+  options.sampling_options.walk_length = 20;
+  options.sampling_options.reset_length = 6;
+  options.sampling_options.retry.hop_budget_factor = 2.0;
+  options.fault_plan = &plan;
+  MessageMeter meter;
+  Rng rng(3);
+  const NodeId origin = workload->graph().RandomLiveNode(rng).value();
+  workload->ProtectNode(origin);
+  auto engine = DigestEngine::Create(&workload->graph(), &workload->db(),
+                                     spec, origin, rng.Fork(), &meter,
+                                     options)
+                    .value();
+
+  // Healthy warm-up: several occasions so the retained pool exists.
+  EngineTickResult last;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(workload->Advance().ok());
+    plan.set_now(workload->now());
+    Result<EngineTickResult> tick = engine->Tick(workload->now());
+    ASSERT_TRUE(tick.ok());
+    last = *tick;
+  }
+  EXPECT_TRUE(last.has_result);
+  EXPECT_FALSE(last.degraded);
+  EXPECT_DOUBLE_EQ(last.ci_halfwidth, spec.precision.epsilon);
+  EXPECT_EQ(engine->stats().degraded_ticks, 0u);
+
+  // Sever the network: every transmission is lost, fresh sampling times
+  // out, and the engine answers from the retained pool with an honest,
+  // widened interval instead of failing the tick.
+  plan.set_message_loss(1.0);
+  ASSERT_TRUE(workload->Advance().ok());
+  plan.set_now(workload->now());
+  Result<EngineTickResult> degraded = engine->Tick(workload->now());
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_TRUE(degraded->has_result);
+  EXPECT_GE(degraded->ci_halfwidth, spec.precision.epsilon);
+  EXPECT_EQ(engine->stats().degraded_ticks, 1u);
+
+  // Heal: the next tick samples fresh again under the contract ε.
+  plan.set_message_loss(0.0);
+  ASSERT_TRUE(workload->Advance().ok());
+  plan.set_now(workload->now());
+  Result<EngineTickResult> healed = engine->Tick(workload->now());
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed->degraded);
+  EXPECT_DOUBLE_EQ(healed->ci_halfwidth, spec.precision.epsilon);
+}
+
+TEST(RetryBackoffTest, IndependentEstimatorHoldsWithDoublingInterval) {
+  auto workload = MemoryWorkload::Create(SmallMemoryConfig()).value();
+  const ContinuousQuerySpec spec =
+      ContinuousQuerySpec::Create("SELECT AVG(memory) FROM R",
+                                  PrecisionSpec{1.0, 2.0, 0.9})
+          .value();
+  FaultPlan plan(FaultPlanConfig{}, 37);
+  DigestEngineOptions options;
+  options.scheduler = SchedulerKind::kAll;
+  options.estimator = EstimatorKind::kIndependent;
+  options.sampling_options.walk_length = 20;
+  options.sampling_options.reset_length = 6;
+  options.sampling_options.retry.hop_budget_factor = 2.0;
+  options.fault_plan = &plan;
+  MessageMeter meter;
+  Rng rng(6);
+  const NodeId origin = workload->graph().RandomLiveNode(rng).value();
+  workload->ProtectNode(origin);
+  auto engine = DigestEngine::Create(&workload->graph(), &workload->db(),
+                                     spec, origin, rng.Fork(), &meter,
+                                     options)
+                    .value();
+
+  double healthy_value = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(workload->Advance().ok());
+    plan.set_now(workload->now());
+    Result<EngineTickResult> tick = engine->Tick(workload->now());
+    ASSERT_TRUE(tick.ok());
+    healthy_value = tick->reported_value;
+  }
+
+  // INDEP has no retained pool: under total loss the engine holds the
+  // previous result and doubles the uncertainty band every failed
+  // snapshot, rather than crashing or blocking.
+  const double epsilon = spec.precision.epsilon;
+  plan.set_message_loss(1.0);
+  ASSERT_TRUE(workload->Advance().ok());
+  plan.set_now(workload->now());
+  Result<EngineTickResult> first = engine->Tick(workload->now());
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->degraded);
+  EXPECT_FALSE(first->snapshot_executed);
+  EXPECT_DOUBLE_EQ(first->reported_value, healthy_value);
+  EXPECT_DOUBLE_EQ(first->ci_halfwidth, 2.0 * epsilon);
+
+  ASSERT_TRUE(workload->Advance().ok());
+  plan.set_now(workload->now());
+  Result<EngineTickResult> second = engine->Tick(workload->now());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->degraded);
+  EXPECT_DOUBLE_EQ(second->reported_value, healthy_value);
+  EXPECT_DOUBLE_EQ(second->ci_halfwidth, 4.0 * epsilon);
+  EXPECT_EQ(engine->stats().degraded_ticks, 2u);
+
+  // Recovery snaps the interval back to the contract ε.
+  plan.set_message_loss(0.0);
+  ASSERT_TRUE(workload->Advance().ok());
+  plan.set_now(workload->now());
+  Result<EngineTickResult> healed = engine->Tick(workload->now());
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed->degraded);
+  EXPECT_TRUE(healed->snapshot_executed);
+  EXPECT_DOUBLE_EQ(healed->ci_halfwidth, epsilon);
+}
+
+}  // namespace
+}  // namespace digest
