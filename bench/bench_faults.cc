@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "obs/bridge.h"
 #include "core/engine.h"
 #include "net/fault_plan.h"
 #include "workload/experiment.h"
@@ -22,6 +23,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  ObsSession obs(args);
   std::printf("=== Robustness under injected faults (fault plan sweep) ===\n");
   std::printf(
       "MEMORY workload (churning membership), ALL+RPT engine, AVG query\n"
@@ -74,8 +76,13 @@ int Run(int argc, char** argv) {
       // what is being measured.
       options.sampling_options.walk_length = 60;
       options.sampling_options.reset_length = 15;
+      options.tracer = obs.tracer();
+      options.registry = obs.registry();
+      const std::string run_label = "loss=" + Fmt("%.0f%%", 100.0 * loss) +
+                                    " drop=" + Fmt("%.0f%%", 100.0 * drop);
       RunResult run = UnwrapOrDie(
-          RunEngineExperiment(*workload, spec, options, ticks, args.seed),
+          RunEngineExperiment(*workload, spec, options, ticks, args.seed,
+                              run_label),
           "run");
 
       const double overhead =
@@ -128,6 +135,14 @@ int Run(int argc, char** argv) {
     options.sampling_options.walk_length = 60;
     options.sampling_options.reset_length = 15;
     options.sampling_options.retry.hop_budget_factor = factor;
+    options.tracer = obs.tracer();
+    options.registry = obs.registry();
+    const std::string run_label = "budget " + Fmt("%.0fx", factor);
+    if (obs::Tracing(obs.tracer())) {
+      obs.tracer()->set_now(workload->now());
+      obs.tracer()->Emit(obs::RunBeginEvent{run_label});
+    }
+    plan.SetTracer(obs.tracer());
 
     Rng rng(args.seed);
     const NodeId querying =
@@ -166,6 +181,8 @@ int Run(int argc, char** argv) {
         {Fmt("%.0fx", factor), FmtInt(engine->stats().degraded_ticks),
          FmtInt(meter.Total()), Fmt("%.3f", plain.mean_abs_error),
          Fmt("%.1f%%", 100.0 * widened.within_tolerance_fraction)});
+    ExportToRegistry(engine->stats(), obs.registry(), run_label);
+    obs::BridgeMessageMeter(meter, obs.registry());
   }
   degraded_table.Print();
   std::printf(
@@ -174,6 +191,7 @@ int Run(int argc, char** argv) {
       "answer from the retained pool with an honestly widened interval —\n"
       "so coverage under the widened contract stays high while the message\n"
       "overhead grows smoothly with the injected fault rates.\n");
+  obs.Finish();
   return 0;
 }
 

@@ -46,6 +46,7 @@ struct DatasetSpec {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  ObsSession obs(args);
   std::printf("=== Figure 4-b: samples per snapshot vs epsilon ===\n");
   std::printf("delta/sigma=1 p=0.95 scale=%.2f\n\n", args.scale);
 
@@ -84,9 +85,14 @@ int Run(int argc, char** argv) {
         // A small pilot keeps the CLT-sized sample count visible across
         // the whole epsilon sweep instead of clipping at the floor.
         options.estimator_options.pilot_samples = 10;
+        options.tracer = obs.tracer();
+        options.registry = obs.registry();
+        const std::string run_label =
+            std::string(ds.name) + (k == 0 ? " INDEP" : " RPT") +
+            " eps=" + Fmt("%.3f", epsilon);
         RunResult run = UnwrapOrDie(
             RunEngineExperiment(*workload, spec, options, ds.ticks,
-                                args.seed),
+                                args.seed, run_label),
             ds.name);
         per_snapshot[k] =
             static_cast<double>(run.stats.total_samples) /
@@ -103,6 +109,7 @@ int Run(int argc, char** argv) {
                 improvement_sum / eps_over_sigma.size(),
                 std::string(ds.name) == "TEMPERATURE" ? "1.63" : "1.21");
   }
+  obs.Finish();
   return 0;
 }
 

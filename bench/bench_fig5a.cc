@@ -37,6 +37,7 @@ std::unique_ptr<Workload> MakeWorkload(const std::string& dataset,
 
 int Run(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  ObsSession obs(args);
   std::printf("=== Figure 5-a: total samples per configuration ===\n");
   std::printf("delta/sigma=1 epsilon/sigma=0.25 p=0.95 scale=%.2f\n\n",
               args.scale);
@@ -84,9 +85,12 @@ int Run(int argc, char** argv) {
       options.estimator = combo.estimator;
       options.sampler = SamplerKind::kExactCentral;
       options.extrapolator.history_points = 3;  // PRED-3.
+      options.tracer = obs.tracer();
+      options.registry = obs.registry();
       RunResult run = UnwrapOrDie(
           RunEngineExperiment(*workload, spec, options, ds.ticks,
-                              args.seed),
+                              args.seed,
+                              std::string(ds.name) + " " + combo.name),
           combo.name);
       if (naive_samples == 0) naive_samples = run.stats.total_samples;
       const double gain =
@@ -104,6 +108,7 @@ int Run(int argc, char** argv) {
   std::printf(
       "paper: Digest (PRED3+RPT) up to ~320%% better than ALL+INDEP on "
       "TEMPERATURE.\n");
+  obs.Finish();
   return 0;
 }
 

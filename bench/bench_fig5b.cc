@@ -43,6 +43,7 @@ std::unique_ptr<Workload> MakeWorkload(const std::string& dataset,
 
 int Run(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  ObsSession obs(args);
   std::printf("=== Figure 5-b: total communication cost (messages) ===\n");
   std::printf("delta/sigma=1 epsilon/sigma=0.25 p=0.95 scale=%.2f\n\n",
               args.scale);
@@ -88,9 +89,12 @@ int Run(int argc, char** argv) {
       options.extrapolator.history_points = 3;
       options.sampling_options.walk_length = ds.walk_length;
       options.sampling_options.reset_length = ds.reset_length;
+      options.tracer = obs.tracer();
+      options.registry = obs.registry();
       RunResult run = UnwrapOrDie(
           RunEngineExperiment(*workload, spec, options, ds.ticks,
-                              args.seed),
+                              args.seed,
+                              std::string(ds.name) + " " + name),
           name);
       const uint64_t messages = run.meter.Total();
       const double per_sample =
@@ -134,6 +138,7 @@ int Run(int argc, char** argv) {
       "paper: Digest > 1 order of magnitude cheaper than ALL+FILTER and\n"
       "~2 orders cheaper than ALL+ALL; avg messages/sample ~= 65 (mesh) "
       "and 43 (power-law).\n");
+  obs.Finish();
   return 0;
 }
 

@@ -47,6 +47,7 @@ Network MakeNetwork(size_t nodes, Rng& rng, bool mesh) {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  RejectObservabilityFlags(args, "bench_innetwork");
   Rng rng(args.seed);
   AggregateQuery query =
       UnwrapOrDie(AggregateQuery::Parse("SELECT AVG(v) FROM R"), "query");

@@ -24,6 +24,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  RejectObservabilityFlags(args, "bench_mixing");
   Rng rng(args.seed);
 
   std::printf("=== Sampling operator validation (paper Section V) ===\n\n");

@@ -16,6 +16,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  RejectObservabilityFlags(args, "bench_multiquery");
   std::printf("=== Multi-query runtime: cost vs concurrent queries ===\n");
   const size_t ticks = args.quick ? 20 : 60;
   std::printf("TEMPERATURE workload, %zu ticks, AVG queries with "

@@ -19,6 +19,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  RejectObservabilityFlags(args, "bench_size_estimator");
   Rng rng(args.seed);
 
   std::printf("=== Collision size estimator: accuracy vs cost ===\n\n");

@@ -17,6 +17,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  RejectObservabilityFlags(args, "bench_table2");
   std::printf("=== Table II: parameters of the datasets ===\n");
   std::printf("(scale=%.2f of the paper's workload sizes, seed=%llu)\n\n",
               args.scale, static_cast<unsigned long long>(args.seed));

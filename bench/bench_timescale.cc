@@ -23,6 +23,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  RejectObservabilityFlags(args, "bench_timescale");
   std::printf("=== Snapshot-assumption stress (paper §VIII #3) ===\n");
   std::printf("independent AVG estimator, epsilon=1 p=0.95; the workload "
               "advances every k draws\n\n");

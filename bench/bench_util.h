@@ -14,6 +14,9 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace digest {
 namespace bench {
@@ -23,6 +26,9 @@ struct BenchArgs {
   double scale = 0.25;  ///< Workload-size multiplier vs the paper.
   uint64_t seed = 1;    ///< Master seed for the run.
   bool quick = false;   ///< Cut sweeps down for smoke runs.
+  std::string trace_path;        ///< --trace=F: Chrome trace_event JSON.
+  std::string trace_jsonl_path;  ///< --trace-jsonl=F: JSON Lines events.
+  std::string metrics_path;      ///< --metrics=F: registry dump (JSON).
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -33,19 +39,37 @@ struct BenchArgs {
         args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
       } else if (std::strcmp(argv[i], "--quick") == 0) {
         args.quick = true;
+      } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+        args.trace_path = argv[i] + 8;
+      } else if (std::strncmp(argv[i], "--trace-jsonl=", 14) == 0) {
+        args.trace_jsonl_path = argv[i] + 14;
+      } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+        args.metrics_path = argv[i] + 10;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
-            "usage: %s [--scale=F] [--seed=N] [--quick]\n"
-            "  --scale=F  workload size multiplier vs the paper "
+            "usage: %s [--scale=F] [--seed=N] [--quick] [--trace=F] "
+            "[--trace-jsonl=F] [--metrics=F]\n"
+            "  --scale=F        workload size multiplier vs the paper "
             "(default 0.25; 1.0 = paper scale)\n"
-            "  --seed=N   master RNG seed (default 1)\n"
-            "  --quick    shorten sweeps for smoke testing\n",
+            "  --seed=N         master RNG seed (default 1)\n"
+            "  --quick          shorten sweeps for smoke testing\n"
+            "  --trace=F        write a Chrome trace_event file "
+            "(Perfetto-loadable)\n"
+            "  --trace-jsonl=F  write the structured event trace as "
+            "JSON Lines\n"
+            "  --metrics=F      write the metrics registry as JSON and "
+            "print a summary table\n",
             argv[0]);
         std::exit(0);
       }
     }
     if (args.scale <= 0.0) args.scale = 0.25;
     return args;
+  }
+
+  bool ObservabilityRequested() const {
+    return !trace_path.empty() || !trace_jsonl_path.empty() ||
+           !metrics_path.empty();
   }
 
   size_t Scaled(size_t paper_value, size_t minimum) const {
@@ -60,6 +84,64 @@ inline void CheckOk(const Status& status, const char* what) {
   if (!status.ok()) {
     std::fprintf(stderr, "FATAL in %s: %s\n", what,
                  status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Observability plumbing for a bench run, driven by the --trace /
+/// --trace-jsonl / --metrics flags. When none is given, tracer() and
+/// registry() return nullptr and the instrumented code takes its null
+/// fast path — the run is bit-identical to an uninstrumented binary.
+/// Call Finish() after the sweep to write the requested files and print
+/// the end-of-run summary table.
+class ObsSession {
+ public:
+  explicit ObsSession(const BenchArgs& args)
+      : args_(args), enabled_(args.ObservabilityRequested()) {}
+
+  obs::Tracer* tracer() { return enabled_ ? &tracer_ : nullptr; }
+  obs::Registry* registry() { return enabled_ ? &registry_ : nullptr; }
+  bool enabled() const { return enabled_; }
+
+  void Finish() {
+    if (!enabled_) return;
+    if (!args_.trace_path.empty()) {
+      CheckOk(obs::WriteChromeTrace(tracer_.events(), args_.trace_path),
+              "--trace");
+      std::printf("\nwrote Chrome trace (%zu events) to %s\n",
+                  tracer_.events().size(), args_.trace_path.c_str());
+    }
+    if (!args_.trace_jsonl_path.empty()) {
+      CheckOk(obs::WriteJsonLines(tracer_.events(), args_.trace_jsonl_path),
+              "--trace-jsonl");
+      std::printf("wrote JSONL trace (%zu events) to %s\n",
+                  tracer_.events().size(),
+                  args_.trace_jsonl_path.c_str());
+    }
+    if (!args_.metrics_path.empty()) {
+      CheckOk(registry_.WriteJson(args_.metrics_path), "--metrics");
+      std::printf("wrote metrics registry to %s\n",
+                  args_.metrics_path.c_str());
+      std::printf("\n%s", obs::RenderSummary(registry_).c_str());
+    }
+  }
+
+ private:
+  BenchArgs args_;
+  bool enabled_;
+  obs::MemoryTracer tracer_;
+  obs::Registry registry_;
+};
+
+/// For benches with nothing to trace (no engine runs): fail fast with a
+/// clear message instead of silently ignoring a requested export.
+inline void RejectObservabilityFlags(const BenchArgs& args,
+                                     const char* binary) {
+  if (args.ObservabilityRequested()) {
+    std::fprintf(stderr,
+                 "%s: --trace/--trace-jsonl/--metrics are not supported "
+                 "by this bench (no engine runs to trace)\n",
+                 binary);
     std::exit(1);
   }
 }

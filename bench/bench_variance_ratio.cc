@@ -86,6 +86,7 @@ double RepeatedEstimate(const Population& pop, size_t n, size_t g,
 
 int Run(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  RejectObservabilityFlags(args, "bench_variance_ratio");
   Rng rng(args.seed);
   const size_t population = 50000;
   const size_t n = 200;

@@ -4,9 +4,37 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sampling/size_estimator.h"
 
 namespace digest {
+
+void ExportToRegistry(const EngineStats& stats, obs::Registry* registry,
+                      const std::string& run_label) {
+  if (registry == nullptr) return;
+  const obs::LabelSet labels =
+      run_label.empty() ? obs::LabelSet{}
+                        : obs::LabelSet{{"run", run_label}};
+  const std::pair<const char*, size_t> fields[] = {
+      {"engine.ticks", stats.ticks},
+      {"engine.snapshots", stats.snapshots},
+      {"engine.result_updates", stats.result_updates},
+      {"engine.total_samples", stats.total_samples},
+      {"engine.fresh_samples", stats.fresh_samples},
+      {"engine.retained_samples", stats.retained_samples},
+      {"engine.degraded_ticks", stats.degraded_ticks},
+  };
+  for (const auto& [name, value] : fields) {
+    obs::Counter* counter = registry->GetCounter(name, labels);
+    const uint64_t target = static_cast<uint64_t>(value);
+    // Counters are monotone: raise to the cumulative stats value, so
+    // repeated bridging of growing stats is idempotent per value.
+    if (target > counter->value()) {
+      counter->Increment(target - counter->value());
+    }
+  }
+}
 
 DigestEngine::DigestEngine(const Graph* graph, const P2PDatabase* db,
                            ContinuousQuerySpec spec, NodeId querying_node,
@@ -40,6 +68,12 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
     return Status::InvalidArgument(
         "a shared sampling operator requires the two-stage MCMC sampler");
   }
+  // One sink for the whole stack: the engine-level tracer flows into the
+  // estimator (explicit estimator_options.tracer wins when set) and into
+  // every operator the engine builds.
+  if (options.estimator_options.tracer == nullptr) {
+    options.estimator_options.tracer = options.tracer;
+  }
   std::unique_ptr<DigestEngine> engine(new DigestEngine(
       graph, db, std::move(spec), querying_node, meter, options));
 
@@ -52,6 +86,8 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
             graph, ContentSizeWeight(*db), rng.Fork(), meter,
             options.sampling_options);
         engine->sampling_operator_->SetFaultPlan(options.fault_plan);
+        engine->sampling_operator_->SetObservability(options.tracer,
+                                                     options.registry);
         op = engine->sampling_operator_.get();
       }
       engine->two_stage_sampler_ =
@@ -79,6 +115,8 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
           graph, UniformWeight(), rng.Fork(), meter,
           options.sampling_options);
       engine->uniform_operator_->SetFaultPlan(options.fault_plan);
+      engine->uniform_operator_->SetObservability(options.tracer,
+                                                  options.registry);
       engine->size_oracle_ = std::make_unique<CollisionSizeEstimator>(
           db, engine->uniform_operator_.get(), querying_node,
           options.size_estimator_options);
@@ -127,6 +165,21 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
   last_tick_ = t;
   ++stats_.ticks;
 
+  // The engine owns the tracer's simulated clock: everything emitted
+  // below (including by the estimator and sampler during Evaluate) is
+  // stamped with this tick.
+  if (options_.tracer != nullptr) options_.tracer->set_now(t);
+  // Every return path closes the tick with one TickEvent — the span the
+  // Chrome exporter nests same-tick walk/estimator events under.
+  const auto emit_tick = [this](const EngineTickResult& r) {
+    if (obs::Tracing(options_.tracer)) {
+      options_.tracer->Emit(obs::TickEvent{r.snapshot_executed, r.degraded,
+                                           r.result_updated,
+                                           r.reported_value,
+                                           r.ci_halfwidth});
+    }
+  };
+
   EngineTickResult out;
   out.reported_value = reported_value_;
   out.has_result = has_result_;
@@ -138,6 +191,10 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
       Result<double> value = extrapolator_.ExtrapolatedValue(t);
       if (value.ok()) out.reported_value = *value;
     }
+    if (obs::Tracing(options_.tracer)) {
+      options_.tracer->Emit(obs::SnapshotSkippedEvent{next_snapshot_tick_});
+    }
+    emit_tick(out);
     return out;
   }
 
@@ -156,16 +213,28 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
     if (degraded.ok()) {
       est = *degraded;
       est.degraded = true;
+      if (obs::Tracing(options_.tracer)) {
+        options_.tracer->Emit(
+            obs::DegradedFallbackEvent{/*retained_pool=*/true});
+      }
     } else if (has_result_) {
       ++stats_.degraded_ticks;
       out.degraded = true;
       // Every consecutive failed snapshot doubles the uncertainty band:
       // the answer is stale and nothing bounds the drift accumulated
       // while the network is unreachable.
+      const double ci_before = last_ci_halfwidth_;
       last_ci_halfwidth_ =
           2.0 * std::max(last_ci_halfwidth_, spec_.precision.epsilon);
       out.ci_halfwidth = last_ci_halfwidth_;
       next_snapshot_tick_ = t + 1;  // Retry promptly.
+      if (obs::Tracing(options_.tracer)) {
+        options_.tracer->Emit(
+            obs::DegradedFallbackEvent{/*retained_pool=*/false});
+        options_.tracer->Emit(
+            obs::CiWidenedEvent{ci_before, last_ci_halfwidth_});
+      }
+      emit_tick(out);
       return out;
     } else {
       // No previous result to hold: the query cannot answer yet.
@@ -181,6 +250,21 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
   if (est.degraded) ++stats_.degraded_ticks;
   out.snapshot_executed = true;
   out.degraded = est.degraded;
+  if (obs::Tracing(options_.tracer)) {
+    options_.tracer->Emit(obs::SnapshotEvent{
+        est.value, est.ci_halfwidth,
+        static_cast<uint64_t>(est.total_samples),
+        static_cast<uint64_t>(est.fresh_samples),
+        static_cast<uint64_t>(est.retained_samples), est.degraded});
+  }
+  if (options_.registry != nullptr) {
+    options_.registry
+        ->GetHistogram("engine.snapshot.samples",
+                       obs::ExponentialBuckets(1.0, 2.0, 20))
+        ->Observe(static_cast<double>(est.total_samples));
+    options_.registry->GetGauge("engine.rho_hat")
+        ->Set(correlation_estimate());
+  }
 
   if (!est.degraded) {
     DIGEST_RETURN_IF_ERROR(extrapolator_.AddObservation(t, est.value));
@@ -209,6 +293,7 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
     // snapshot at the next tick.
     next_snapshot_tick_ = t + 1;
     last_gap_ = 1;
+    emit_tick(out);
     return out;
   }
 
@@ -244,9 +329,27 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
       }
       if (next_snapshot_tick_ <= t) next_snapshot_tick_ = t + 1;
       last_gap_ = next_snapshot_tick_ - t;
+      if (obs::Tracing(options_.tracer)) {
+        // Drift the fit predicts over the chosen gap. Pure function of
+        // the fitted polynomial — tracing consumes no RNG.
+        double drift = 0.0;
+        Result<double> at_next =
+            extrapolator_.ExtrapolatedValue(next_snapshot_tick_);
+        Result<double> at_now = extrapolator_.ExtrapolatedValue(t);
+        if (at_next.ok() && at_now.ok()) drift = *at_next - *at_now;
+        const int64_t order =
+            extrapolator_.Bootstrapped()
+                ? static_cast<int64_t>(
+                      options_.extrapolator.history_points) - 1
+                : 0;
+        options_.tracer->Emit(obs::GapPredictedEvent{
+            last_gap_, next_snapshot_tick_, order, drift,
+            options_.strict_resolution});
+      }
       break;
     }
   }
+  emit_tick(out);
   return out;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/result.h"
 #include "core/extrapolator.h"
@@ -19,6 +20,10 @@
 #include "sampling/tuple_sampler.h"
 
 namespace digest {
+namespace obs {
+class Registry;
+class Tracer;
+}  // namespace obs
 
 /// Snapshot scheduling policy: ALL executes a snapshot query at every
 /// tick; PRED uses the extrapolation algorithm (§IV-A) to skip ticks the
@@ -85,6 +90,21 @@ struct DigestEngineOptions {
   /// shared operator via CreateWithOperator attach the plan to that
   /// operator themselves.
   FaultPlan* fault_plan = nullptr;
+
+  /// Optional structured event tracer (not owned; must outlive the
+  /// engine; null disables). Create forwards it into the estimator and
+  /// the operators it builds, so one sink receives the whole stack's
+  /// events: per-tick TickEvents, PRED gap predictions, snapshot
+  /// execute/skip, sample-budget plans, CI widening, walk-batch
+  /// lifecycle. The engine drives the tracer's simulated clock
+  /// (set_now per Tick). Pure observation — estimates, RNG streams, and
+  /// MessageMeter totals are bit-identical with or without a tracer.
+  obs::Tracer* tracer = nullptr;
+
+  /// Optional metrics registry (not owned; null disables). Receives the
+  /// sampler's histograms/counters plus per-snapshot sample-count and
+  /// ρ̂ instruments from the engine. Same purity contract as `tracer`.
+  obs::Registry* registry = nullptr;
 };
 
 /// What one engine tick did.
@@ -113,6 +133,14 @@ struct EngineStats {
   size_t retained_samples = 0; ///< Re-evaluated in place.
   size_t degraded_ticks = 0;   ///< Ticks answered via degraded fallback.
 };
+
+/// Publishes cumulative EngineStats counters into `registry` under the
+/// `engine.*` namespace (engine.ticks, engine.snapshots, ...), tagged
+/// with an optional `run` label. Counters are monotone, so the bridge
+/// *sets* each counter to the stats value via delta — call it once per
+/// run (or repeatedly with growing stats). Null registry is a no-op.
+void ExportToRegistry(const EngineStats& stats, obs::Registry* registry,
+                      const std::string& run_label = "");
 
 /// The Digest query-answering engine (paper §III): one instance runs at
 /// the querying node and drives one continuous aggregate query over the

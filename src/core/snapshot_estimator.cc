@@ -6,6 +6,7 @@
 #include "core/sampling_plan.h"
 #include "numeric/normal.h"
 #include "numeric/stats.h"
+#include "obs/tracer.h"
 
 namespace digest {
 namespace {
@@ -224,6 +225,13 @@ Result<SnapshotEstimate> IndependentEstimator::Evaluate(NodeId origin) {
   // Hand the drawn set to a wrapping repeated-sampling estimator.
   last_samples_ = std::move(samples);
   last_ys_ = std::move(ys);
+  if (obs::Tracing(options_.tracer)) {
+    // INDEP sizes iteratively from the pilot, so the realized draw count
+    // *is* the budget the CLT formula settled on.
+    options_.tracer->Emit(obs::SampleBudgetEvent{
+        /*repeated=*/false, /*rho_hat=*/0.0, est.sigma,
+        static_cast<uint64_t>(drawn_total), /*planned_retained=*/0});
+  }
   return est;
 }
 
@@ -331,6 +339,11 @@ Result<SnapshotEstimate> RepeatedSamplingEstimator::Evaluate(NodeId origin) {
       static_cast<double>(n_target) * static_cast<double>(plan.retained) /
       static_cast<double>(std::max<size_t>(plan.total, 1)));
   g_target = std::min(g_target, prev_samples_.size());
+  if (obs::Tracing(options_.tracer)) {
+    options_.tracer->Emit(obs::SampleBudgetEvent{
+        /*repeated=*/true, rho_hat_, sigma_hat_,
+        static_cast<uint64_t>(n_target), static_cast<uint64_t>(g_target)});
+  }
 
   // Revisit retained samples: shuffle the previous set and re-evaluate
   // tuples in place. Deleted tuples / departed nodes are skipped and

@@ -15,6 +15,9 @@
 #include "sampling/tuple_sampler.h"
 
 namespace digest {
+namespace obs {
+class Tracer;
+}  // namespace obs
 
 /// Source of fresh uniform tuple samples for an estimator. Abstracts over
 /// the distributed two-stage MCMC sampler (production path) and the
@@ -91,6 +94,11 @@ struct EstimatorOptions {
   /// the population, so its nominal CLT interval is honest only after
   /// widening for the unmodeled drift since it was drawn.
   double degraded_widening = 2.0;
+  /// Optional structured event sink (not owned; null disables). Each
+  /// occasion emits one SampleBudgetEvent describing the planned split
+  /// (RPT retained/fresh with ρ̂, or INDEP's CLT size). Pure
+  /// observation: estimates and RNG streams are unchanged by tracing.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Outcome of one sampling occasion (one snapshot-query evaluation).

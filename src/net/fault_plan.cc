@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/tracer.h"
+
 namespace digest {
 namespace {
 
@@ -90,6 +92,9 @@ bool FaultPlan::LoseMessage(NodeId from, NodeId to) {
   if (rate <= 0.0) return false;
   if (!rng_.NextBernoulli(rate)) return false;
   ++losses_injected_;
+  if (obs::Tracing(tracer_)) {
+    tracer_->Emit(obs::FaultLossEvent{from, to});
+  }
   return true;
 }
 

@@ -8,6 +8,9 @@
 #include "numeric/rng.h"
 
 namespace digest {
+namespace obs {
+class Tracer;
+}  // namespace obs
 
 /// Rates and shapes of the injected faults. All probabilities are in
 /// [0, 1]; a default-constructed config injects nothing.
@@ -79,6 +82,13 @@ class FaultPlan {
   void set_now(int64_t t) { now_ = t; }
   int64_t now() const { return now_; }
 
+  /// Attaches (or detaches, with nullptr) a structured event tracer:
+  /// each injected message loss emits an obs::FaultLossEvent. Not owned;
+  /// must outlive the plan. Observation only — the draw stream is
+  /// untouched, so a traced run injects the identical fault schedule.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
   /// Draws whether one transmission over edge (from, to) is lost.
   /// Counts toward losses_injected() when true.
   bool LoseMessage(NodeId from, NodeId to);
@@ -109,6 +119,7 @@ class FaultPlan {
   FaultPlanConfig config_;
   uint64_t seed_;
   Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
   int64_t now_ = 0;
   uint64_t losses_injected_ = 0;
   uint64_t drops_injected_ = 0;

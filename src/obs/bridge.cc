@@ -1,0 +1,26 @@
+#include "obs/bridge.h"
+
+namespace digest {
+namespace obs {
+
+void BridgeMessageMeter(const MessageMeter& meter, Registry* registry) {
+  if (registry == nullptr) return;
+  auto add = [&](const char* category, uint64_t value) {
+    registry->GetCounter("net.messages", {{"category", category}})
+        ->Increment(value);
+  };
+  add("walk_hop", meter.walk_hops());
+  add("weight_probe", meter.weight_probes());
+  add("sample_transfer", meter.sample_transfers());
+  add("refresh", meter.refreshes());
+  add("push", meter.pushes());
+  add("retry", meter.retries());
+  add("agent_restart", meter.agent_restarts());
+  add("loss", meter.losses());
+  registry->GetCounter("net.messages_total")->Increment(meter.Total());
+  registry->GetCounter("net.fault_overhead")
+      ->Increment(meter.FaultOverhead());
+}
+
+}  // namespace obs
+}  // namespace digest

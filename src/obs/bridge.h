@@ -1,0 +1,25 @@
+#ifndef DIGEST_OBS_BRIDGE_H_
+#define DIGEST_OBS_BRIDGE_H_
+
+#include "net/message_meter.h"
+#include "obs/metrics.h"
+
+namespace digest {
+namespace obs {
+
+// Bridges the pre-existing ad-hoc instrumentation into the registry so
+// message categories appear alongside the obs-native metrics under one
+// naming scheme. (The EngineStats bridge lives with EngineStats in
+// core/engine.h — core depends on obs, not the other way around.)
+
+/// Mirrors every MessageMeter category into `net.messages{category=…}`
+/// counters plus the derived `net.messages_total` /
+/// `net.fault_overhead` counters. Increments (never overwrites), so
+/// bridging several meters into one registry accumulates, matching
+/// counter semantics.
+void BridgeMessageMeter(const MessageMeter& meter, Registry* registry);
+
+}  // namespace obs
+}  // namespace digest
+
+#endif  // DIGEST_OBS_BRIDGE_H_

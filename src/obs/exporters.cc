@@ -1,0 +1,322 @@
+#include "obs/exporters.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace digest {
+namespace obs {
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string Num(uint64_t v) { return std::to_string(v); }
+std::string Num(int64_t v) { return std::to_string(v); }
+
+void Field(std::string* out, const char* key, const std::string& value,
+           bool quote = false) {
+  out->push_back(',');
+  out->push_back('"');
+  out->append(key);
+  out->append("\":");
+  if (quote) {
+    out->push_back('"');
+    for (char c : value) {
+      if (c == '"' || c == '\\') out->push_back('\\');
+      out->push_back(c);
+    }
+    out->push_back('"');
+  } else {
+    out->append(value);
+  }
+}
+
+void Field(std::string* out, const char* key, bool value) {
+  // Explicit std::string: a bare string literal would convert
+  // pointer-to-bool and re-select this overload forever.
+  Field(out, key, std::string(value ? "true" : "false"));
+}
+
+/// Serializes the payload-specific fields of one event.
+struct JsonFields {
+  std::string* out;
+
+  void operator()(const RunBeginEvent& e) const {
+    Field(out, "label", e.label, /*quote=*/true);
+  }
+  void operator()(const TickEvent& e) const {
+    Field(out, "snapshot_executed", e.snapshot_executed);
+    Field(out, "degraded", e.degraded);
+    Field(out, "result_updated", e.result_updated);
+    Field(out, "reported", Num(e.reported));
+    Field(out, "ci_halfwidth", Num(e.ci_halfwidth));
+  }
+  void operator()(const GapPredictedEvent& e) const {
+    Field(out, "gap", Num(e.gap));
+    Field(out, "next_tick", Num(e.next_tick));
+    Field(out, "poly_order", Num(e.poly_order));
+    Field(out, "predicted_drift", Num(e.predicted_drift));
+    Field(out, "strict", e.strict);
+  }
+  void operator()(const SnapshotEvent& e) const {
+    Field(out, "value", Num(e.value));
+    Field(out, "ci_halfwidth", Num(e.ci_halfwidth));
+    Field(out, "total_samples", Num(e.total_samples));
+    Field(out, "fresh_samples", Num(e.fresh_samples));
+    Field(out, "retained_samples", Num(e.retained_samples));
+    Field(out, "degraded", e.degraded);
+  }
+  void operator()(const SnapshotSkippedEvent& e) const {
+    Field(out, "next_snapshot_tick", Num(e.next_snapshot_tick));
+  }
+  void operator()(const SampleBudgetEvent& e) const {
+    Field(out, "repeated", e.repeated);
+    Field(out, "rho_hat", Num(e.rho_hat));
+    Field(out, "sigma_hat", Num(e.sigma_hat));
+    Field(out, "planned_total", Num(e.planned_total));
+    Field(out, "planned_retained", Num(e.planned_retained));
+  }
+  void operator()(const CiWidenedEvent& e) const {
+    Field(out, "from", Num(e.from));
+    Field(out, "to", Num(e.to));
+  }
+  void operator()(const DegradedFallbackEvent& e) const {
+    Field(out, "retained_pool", e.retained_pool);
+  }
+  void operator()(const WalkBatchEvent& e) const {
+    Field(out, "agents", Num(e.agents));
+    Field(out, "warm", Num(e.warm));
+    Field(out, "cold_steps", Num(e.cold_steps));
+    Field(out, "warm_steps", Num(e.warm_steps));
+    Field(out, "budget", Num(e.budget));
+  }
+  void operator()(const WalkBatchDoneEvent& e) const {
+    Field(out, "samples", Num(e.samples));
+    Field(out, "attempts", Num(e.attempts));
+    Field(out, "retries", Num(e.retries));
+    Field(out, "losses", Num(e.losses));
+    Field(out, "drops", Num(e.drops));
+    Field(out, "stalled_steps", Num(e.stalled_steps));
+  }
+  void operator()(const HopBudgetExhaustedEvent& e) const {
+    Field(out, "attempts", Num(e.attempts));
+    Field(out, "budget", Num(e.budget));
+  }
+  void operator()(const AgentRestartEvent& e) const {
+    Field(out, "agent_index", Num(e.agent_index));
+  }
+  void operator()(const FaultLossEvent& e) const {
+    Field(out, "from", Num(e.from));
+    Field(out, "to", Num(e.to));
+  }
+  void operator()(const FaultStallEvent& e) const {
+    Field(out, "stalled_steps", Num(e.stalled_steps));
+  }
+};
+
+/// Which Chrome phase an event renders as: engine ticks are spans;
+/// sampler-level activity renders as nested slices; engine decisions as
+/// thread-scoped instants.
+enum class ChromeShape { kTickSpan, kNestedSlice, kInstant };
+
+ChromeShape ShapeOf(const EventPayload& payload) {
+  if (std::holds_alternative<TickEvent>(payload)) {
+    return ChromeShape::kTickSpan;
+  }
+  if (std::holds_alternative<WalkBatchEvent>(payload) ||
+      std::holds_alternative<WalkBatchDoneEvent>(payload) ||
+      std::holds_alternative<HopBudgetExhaustedEvent>(payload) ||
+      std::holds_alternative<AgentRestartEvent>(payload) ||
+      std::holds_alternative<FaultLossEvent>(payload) ||
+      std::holds_alternative<FaultStallEvent>(payload)) {
+    return ChromeShape::kNestedSlice;
+  }
+  return ChromeShape::kInstant;
+}
+
+void AppendChromeArgs(std::string* out, const TraceEvent& event) {
+  out->append("\"args\":{\"seq\":");
+  out->append(std::to_string(event.seq));
+  std::string fields;
+  std::visit(JsonFields{&fields}, event.payload);
+  out->append(fields);  // Leading commas already in place.
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string EventToJsonLine(const TraceEvent& event) {
+  std::string out = "{\"seq\":";
+  out += std::to_string(event.seq);
+  out += ",\"t\":";
+  out += std::to_string(event.sim_time);
+  out += ",\"event\":\"";
+  out += EventName(event.payload);
+  out += "\"";
+  std::visit(JsonFields{&out}, event.payload);
+  out += "}";
+  return out;
+}
+
+std::string RenderJsonLines(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& event : events) {
+    out += EventToJsonLine(event);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string RenderChromeTrace(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(obj);
+  };
+
+  // Each RunBeginEvent opens a new Chrome "process"; events before the
+  // first marker share pid 1.
+  int pid = 1;
+  bool named_default = false;
+  // Sub-tick placement: the i-th non-tick event of a (pid, sim_time)
+  // pair sits at ts = t·1000 + 10·(i+1) µs, inside the tick's
+  // [t·1000, t·1000+1000) span, in seq order. Deterministic by
+  // construction.
+  std::map<std::pair<int, int64_t>, int> slot;
+
+  for (const TraceEvent& event : events) {
+    if (const auto* run = std::get_if<RunBeginEvent>(&event.payload)) {
+      pid = named_default || pid > 1 ? pid + 1 : pid;
+      named_default = true;
+      std::string meta = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+      meta += std::to_string(pid);
+      meta += ",\"tid\":1,\"args\":{\"name\":\"";
+      for (char c : run->label) {
+        if (c == '"' || c == '\\') meta.push_back('\\');
+        meta.push_back(c);
+      }
+      meta += "\"}}";
+      emit(meta);
+      continue;
+    }
+    const ChromeShape shape = ShapeOf(event.payload);
+    const int64_t base_ts = event.sim_time * 1000;
+    std::string obj = "{\"name\":\"";
+    obj += EventName(event.payload);
+    obj += "\",\"cat\":\"digest\",\"pid\":";
+    obj += std::to_string(pid);
+    obj += ",\"tid\":1,";
+    switch (shape) {
+      case ChromeShape::kTickSpan: {
+        obj += "\"ph\":\"X\",\"ts\":";
+        obj += std::to_string(base_ts);
+        obj += ",\"dur\":1000,";
+        break;
+      }
+      case ChromeShape::kNestedSlice:
+      case ChromeShape::kInstant: {
+        int& idx = slot[{pid, event.sim_time}];
+        const int64_t ts = base_ts + 10 * std::min(idx + 1, 98);
+        ++idx;
+        if (shape == ChromeShape::kNestedSlice) {
+          obj += "\"ph\":\"X\",\"ts\":";
+          obj += std::to_string(ts);
+          obj += ",\"dur\":8,";
+        } else {
+          obj += "\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+          obj += std::to_string(ts);
+          obj += ",";
+        }
+        break;
+      }
+    }
+    AppendChromeArgs(&obj, event);
+    obj.push_back('}');
+    emit(obj);
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  if (std::fclose(f) != 0) {
+    return Status::Unavailable("error closing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status WriteJsonLines(const std::vector<TraceEvent>& events,
+                      const std::string& path) {
+  return WriteFile(path, RenderJsonLines(events));
+}
+
+Status WriteChromeTrace(const std::vector<TraceEvent>& events,
+                        const std::string& path) {
+  return WriteFile(path, RenderChromeTrace(events));
+}
+
+std::string RenderSummary(const Registry& registry) {
+  std::string out;
+  auto section = [&](const char* title) {
+    out += "== ";
+    out += title;
+    out += " ==\n";
+  };
+  auto rows = [&](std::vector<std::pair<std::string, std::string>> kv) {
+    size_t width = 0;
+    for (const auto& [k, v] : kv) width = std::max(width, k.size());
+    for (const auto& [k, v] : kv) {
+      out += "  ";
+      out += k;
+      out.append(width - k.size() + 2, ' ');
+      out += v;
+      out.push_back('\n');
+    }
+  };
+  if (!registry.counters().empty()) {
+    section("counters");
+    std::vector<std::pair<std::string, std::string>> kv;
+    for (const auto& [key, counter] : registry.counters()) {
+      kv.emplace_back(key, std::to_string(counter->value()));
+    }
+    rows(std::move(kv));
+  }
+  if (!registry.gauges().empty()) {
+    section("gauges");
+    std::vector<std::pair<std::string, std::string>> kv;
+    for (const auto& [key, gauge] : registry.gauges()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", gauge->value());
+      kv.emplace_back(key, buf);
+    }
+    rows(std::move(kv));
+  }
+  if (!registry.histograms().empty()) {
+    section("histograms");
+    std::vector<std::pair<std::string, std::string>> kv;
+    for (const auto& [key, hist] : registry.histograms()) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "count=%llu mean=%.6g sum=%.6g",
+                    static_cast<unsigned long long>(hist->count()),
+                    hist->Mean(), hist->sum());
+      kv.emplace_back(key, buf);
+    }
+    rows(std::move(kv));
+  }
+  if (out.empty()) out = "(registry is empty)\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace digest

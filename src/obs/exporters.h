@@ -1,0 +1,49 @@
+#ifndef DIGEST_OBS_EXPORTERS_H_
+#define DIGEST_OBS_EXPORTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace digest {
+namespace obs {
+
+// Trace/metric exporters. All output is a pure function of the recorded
+// events (simulated time + sequence numbers, fixed "%.17g" float
+// formatting, deterministic ordering), so two same-seed runs export
+// byte-identical files — asserted by tests/obs_determinism_test.cc.
+
+/// One event as a single-line JSON object: `{"seq":N,"t":N,"event":
+/// "<name>", ...payload fields}`. See docs/OBSERVABILITY.md for the
+/// per-event schema; tools/check_trace.py validates it.
+std::string EventToJsonLine(const TraceEvent& event);
+
+/// The whole trace in JSON Lines form (one EventToJsonLine per line).
+std::string RenderJsonLines(const std::vector<TraceEvent>& events);
+
+/// The whole trace in Chrome trace_event format (a JSON object with a
+/// `traceEvents` array), loadable in Perfetto / chrome://tracing:
+/// each RunBeginEvent opens a new process; engine ticks are rendered as
+/// 1 ms spans at ts = sim_time * 1000 µs with walk/fault events nested
+/// under the tick they occurred in.
+std::string RenderChromeTrace(const std::vector<TraceEvent>& events);
+
+/// Writes `content` to `path` (the render helpers above produce it).
+Status WriteFile(const std::string& path, const std::string& content);
+
+Status WriteJsonLines(const std::vector<TraceEvent>& events,
+                      const std::string& path);
+Status WriteChromeTrace(const std::vector<TraceEvent>& events,
+                        const std::string& path);
+
+/// Human-readable end-of-run summary of a registry: aligned tables of
+/// counters, gauges, and histogram digests.
+std::string RenderSummary(const Registry& registry);
+
+}  // namespace obs
+}  // namespace digest
+
+#endif  // DIGEST_OBS_EXPORTERS_H_

@@ -1,0 +1,48 @@
+#include "obs/tracer.h"
+
+namespace digest {
+namespace obs {
+
+namespace {
+
+struct NameVisitor {
+  const char* operator()(const RunBeginEvent&) const { return "run_begin"; }
+  const char* operator()(const TickEvent&) const { return "tick"; }
+  const char* operator()(const GapPredictedEvent&) const {
+    return "gap_predicted";
+  }
+  const char* operator()(const SnapshotEvent&) const { return "snapshot"; }
+  const char* operator()(const SnapshotSkippedEvent&) const {
+    return "snapshot_skipped";
+  }
+  const char* operator()(const SampleBudgetEvent&) const {
+    return "sample_budget";
+  }
+  const char* operator()(const CiWidenedEvent&) const { return "ci_widened"; }
+  const char* operator()(const DegradedFallbackEvent&) const {
+    return "degraded_fallback";
+  }
+  const char* operator()(const WalkBatchEvent&) const { return "walk_batch"; }
+  const char* operator()(const WalkBatchDoneEvent&) const {
+    return "walk_batch_done";
+  }
+  const char* operator()(const HopBudgetExhaustedEvent&) const {
+    return "hop_budget_exhausted";
+  }
+  const char* operator()(const AgentRestartEvent&) const {
+    return "agent_restart";
+  }
+  const char* operator()(const FaultLossEvent&) const { return "fault_loss"; }
+  const char* operator()(const FaultStallEvent&) const {
+    return "fault_stall";
+  }
+};
+
+}  // namespace
+
+const char* EventName(const EventPayload& payload) {
+  return std::visit(NameVisitor{}, payload);
+}
+
+}  // namespace obs
+}  // namespace digest

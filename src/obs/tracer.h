@@ -1,0 +1,213 @@
+#ifndef DIGEST_OBS_TRACER_H_
+#define DIGEST_OBS_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace digest {
+namespace obs {
+
+// Typed trace records for the engine's and sampler's load-bearing
+// decisions (the span-style tracing approximate engines use to attribute
+// error and cost to pipeline stages). Every record is stamped with the
+// *simulated* time and a monotone sequence number — never wall clock —
+// so traces are bit-reproducible across runs with the same seed.
+
+/// Start of a logical run (one engine/experiment). Exporters map each
+/// run to its own process so several runs coexist in one trace file.
+struct RunBeginEvent {
+  std::string label;
+};
+
+/// One engine tick (emitted once per Tick, after the tick's work). The
+/// Chrome exporter renders these as the engine-tick spans under which
+/// same-tick walk events nest.
+struct TickEvent {
+  bool snapshot_executed = false;
+  bool degraded = false;
+  bool result_updated = false;
+  double reported = 0.0;
+  double ci_halfwidth = 0.0;
+};
+
+/// PRED's gap choice: the fitted polynomial order, the chosen gap, and
+/// the drift the fit predicts at the scheduled tick (§IV-A, Eq. 4).
+struct GapPredictedEvent {
+  int64_t gap = 0;
+  int64_t next_tick = 0;
+  int64_t poly_order = 0;
+  double predicted_drift = 0.0;
+  bool strict = false;
+};
+
+/// A sampling occasion ran (fresh or degraded-fallback).
+struct SnapshotEvent {
+  double value = 0.0;
+  double ci_halfwidth = 0.0;
+  uint64_t total_samples = 0;
+  uint64_t fresh_samples = 0;
+  uint64_t retained_samples = 0;
+  bool degraded = false;
+};
+
+/// A tick the scheduler skipped (held/extrapolated result).
+struct SnapshotSkippedEvent {
+  int64_t next_snapshot_tick = 0;
+};
+
+/// The estimator's sample-budget plan for one occasion: RPT (repeated)
+/// vs INDEP, with the running correlation ρ̂ driving the RPT split.
+struct SampleBudgetEvent {
+  bool repeated = false;
+  double rho_hat = 0.0;
+  double sigma_hat = 0.0;
+  uint64_t planned_total = 0;
+  uint64_t planned_retained = 0;
+};
+
+/// The engine widened the reported confidence interval (consecutive
+/// failed snapshots under faults).
+struct CiWidenedEvent {
+  double from = 0.0;
+  double to = 0.0;
+};
+
+/// Transition into a degraded answer: retained-pool fallback
+/// (retained_pool = true) or holding the previous result (false).
+struct DegradedFallbackEvent {
+  bool retained_pool = false;
+};
+
+/// A batch of walk agents launched by the sampling operator.
+struct WalkBatchEvent {
+  uint64_t agents = 0;
+  uint64_t warm = 0;
+  uint64_t cold_steps = 0;
+  uint64_t warm_steps = 0;
+  uint64_t budget = 0;  ///< Attempt budget (0 = no fault plan).
+};
+
+/// Batch completion summary (telemetry totals for the batch).
+struct WalkBatchDoneEvent {
+  uint64_t samples = 0;
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t losses = 0;
+  uint64_t drops = 0;
+  uint64_t stalled_steps = 0;
+};
+
+/// The batch's pooled hop budget ran out: the sampling call times out
+/// and the engine degrades.
+struct HopBudgetExhaustedEvent {
+  uint64_t attempts = 0;
+  uint64_t budget = 0;
+};
+
+/// A walk agent was lost in transit and re-injected at the origin.
+struct AgentRestartEvent {
+  uint64_t agent_index = 0;
+};
+
+/// The fault plan lost one message transmission on edge (from, to).
+struct FaultLossEvent {
+  uint64_t from = 0;
+  uint64_t to = 0;
+};
+
+/// Walk steps frozen on blackholed (stalled) hosts during one batch.
+struct FaultStallEvent {
+  uint64_t stalled_steps = 0;
+};
+
+using EventPayload =
+    std::variant<RunBeginEvent, TickEvent, GapPredictedEvent, SnapshotEvent,
+                 SnapshotSkippedEvent, SampleBudgetEvent, CiWidenedEvent,
+                 DegradedFallbackEvent, WalkBatchEvent, WalkBatchDoneEvent,
+                 HopBudgetExhaustedEvent, AgentRestartEvent, FaultLossEvent,
+                 FaultStallEvent>;
+
+/// Stable lower-snake-case name of a payload's event type (the `event`
+/// field of the JSONL schema; see docs/OBSERVABILITY.md).
+const char* EventName(const EventPayload& payload);
+
+/// One emitted record: payload plus the deterministic stamps.
+struct TraceEvent {
+  uint64_t seq = 0;       ///< Monotone per tracer, from 0.
+  int64_t sim_time = 0;   ///< Simulated tick at emission (tracer clock).
+  EventPayload payload;
+};
+
+/// Structured event sink. Components hold a `Tracer*` that may be null
+/// (the fast path: no tracing code runs at all); a non-null tracer whose
+/// enabled() is false drops events before payload recording (NullTracer).
+///
+/// The tracer carries the simulated clock: the engine (or experiment
+/// driver) calls set_now(t) once per tick and every component's Emit is
+/// stamped with that time, so lower layers need no clock plumbing.
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+
+  /// False selects the null fast path: Emit drops the event unrecorded.
+  virtual bool enabled() const = 0;
+
+  /// Records `payload` stamped (seq, now). No-op when !enabled().
+  void Emit(EventPayload payload) {
+    if (!enabled()) return;
+    Record(TraceEvent{seq_++, now_, std::move(payload)});
+  }
+
+  /// Advances the simulated clock used to stamp events.
+  void set_now(int64_t t) { now_ = t; }
+  int64_t now() const { return now_; }
+
+  /// Events recorded so far (the next seq to be assigned).
+  uint64_t events_emitted() const { return seq_; }
+
+ protected:
+  virtual void Record(TraceEvent event) = 0;
+
+ private:
+  uint64_t seq_ = 0;
+  int64_t now_ = 0;
+};
+
+/// Accepts and discards everything; attaching it is behaviorally
+/// identical to passing a null tracer pointer.
+class NullTracer : public Tracer {
+ public:
+  bool enabled() const override { return false; }
+
+ protected:
+  void Record(TraceEvent) override {}
+};
+
+/// Collects events in memory for the exporters and tests.
+class MemoryTracer : public Tracer {
+ public:
+  bool enabled() const override { return true; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+ protected:
+  void Record(TraceEvent event) override {
+    events_.push_back(std::move(event));
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// True when `tracer` is non-null and recording — guard for emission
+/// sites whose payload is costly to assemble.
+inline bool Tracing(const Tracer* tracer) {
+  return tracer != nullptr && tracer->enabled();
+}
+
+}  // namespace obs
+}  // namespace digest
+
+#endif  // DIGEST_OBS_TRACER_H_

@@ -26,6 +26,7 @@ bool TryDeliver(FaultPlan& faults, const RetryPolicy& retry, NodeId from,
     if (telemetry != nullptr) {
       ++telemetry->retries;
       telemetry->attempts += retry.BackoffCost(attempt);
+      telemetry->backoff_units += retry.BackoffCost(attempt);
     }
   }
 }
@@ -68,6 +69,7 @@ Status RandomWalk::Step(const Graph& graph, const WeightFn& weight, Rng& rng,
   // Probing the neighbor's weight costs one message (charged whether or
   // not the transmission survives — the sender pays for the send).
   if (meter != nullptr) meter->AddWeightProbe();
+  if (telemetry != nullptr) ++telemetry->proposals;
   if (faults != nullptr &&
       !TryDeliver(*faults, *retry, current_, proposal, meter, telemetry)) {
     // Probe never answered within the retry budget: abandon the
@@ -88,6 +90,7 @@ Status RandomWalk::Step(const Graph& graph, const WeightFn& weight, Rng& rng,
                                              graph.Degree(proposal));
   if (rng.NextBernoulli(accept)) {
     if (meter != nullptr) meter->AddWalkHop();
+    if (telemetry != nullptr) ++telemetry->accepted;
     if (faults != nullptr) {
       if (!TryDeliver(*faults, *retry, current_, proposal, meter,
                       telemetry)) {
@@ -117,9 +120,11 @@ Status RandomWalk::Step(const Graph& graph, const WeightFn& weight, Rng& rng,
 
 Status RandomWalk::Advance(const Graph& graph, const WeightFn& weight,
                            Rng& rng, MessageMeter* meter, NodeId fallback,
-                           size_t steps) {
+                           size_t steps, WalkTelemetry* telemetry) {
   for (size_t i = 0; i < steps; ++i) {
-    DIGEST_RETURN_IF_ERROR(Step(graph, weight, rng, meter, fallback));
+    DIGEST_RETURN_IF_ERROR(Step(graph, weight, rng, meter, fallback,
+                                /*faults=*/nullptr, /*retry=*/nullptr,
+                                telemetry));
   }
   return Status::OK();
 }

@@ -12,10 +12,11 @@
 
 namespace digest {
 
-/// Per-call accounting of a fault-injected walk, accumulated across
-/// Steps. `attempts` is the budget currency: one unit per attempted
-/// transition plus the deterministic backoff cost of every
-/// retransmission — the quantity a SamplingOperator's hop budget bounds.
+/// Per-call accounting of a walk, accumulated across Steps (fault-free
+/// walks populate it too, for observability). `attempts` is the budget
+/// currency: one unit per attempted transition plus the deterministic
+/// backoff cost of every retransmission — the quantity a
+/// SamplingOperator's hop budget bounds.
 struct WalkTelemetry {
   uint64_t attempts = 0;       ///< Budget units consumed.
   uint64_t retries = 0;        ///< Retransmissions after a lost message.
@@ -24,6 +25,9 @@ struct WalkTelemetry {
   uint64_t abandoned = 0;      ///< Transitions given up after retry budget.
   uint64_t stale_probes = 0;   ///< Probes answered with stale weights.
   uint64_t stalled_steps = 0;  ///< Steps frozen on a blackholed host.
+  uint64_t proposals = 0;      ///< Metropolis moves proposed (probes sent).
+  uint64_t accepted = 0;       ///< Proposals the acceptance test took.
+  uint64_t backoff_units = 0;  ///< Retry latency paid, in budget ticks.
 };
 
 /// A sampling agent: a lazy Metropolis random walk over the overlay
@@ -71,9 +75,12 @@ class RandomWalk {
               WalkTelemetry* telemetry = nullptr);
 
   /// Executes `steps` transitions (clean path only; fault-aware loops
-  /// live in SamplingOperator, which owns the hop budget).
+  /// live in SamplingOperator, which owns the hop budget). `telemetry`
+  /// may be null; when given it accumulates the observability counters
+  /// (attempts, proposals, accepted).
   Status Advance(const Graph& graph, const WeightFn& weight, Rng& rng,
-                 MessageMeter* meter, NodeId fallback, size_t steps);
+                 MessageMeter* meter, NodeId fallback, size_t steps,
+                 WalkTelemetry* telemetry = nullptr);
 
  private:
   NodeId current_;

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
 namespace digest {
 namespace {
 
@@ -11,6 +14,35 @@ size_t AutoLength(size_t node_count, double factor, bool squared) {
   const double ln_n = std::log(std::max<size_t>(node_count, 2));
   const double raw = squared ? factor * ln_n * ln_n : factor * ln_n;
   return static_cast<size_t>(std::ceil(std::max(raw, 1.0)));
+}
+
+// Registry digests of one completed (or timed-out) batch. Buckets are
+// fixed so dumps from different runs aggregate cleanly.
+void ObserveBatch(obs::Registry* registry, const WalkTelemetry& telemetry,
+                  size_t samples, bool timed_out) {
+  if (registry == nullptr) return;
+  registry->GetCounter("walk.batches")->Increment();
+  registry->GetCounter("walk.samples")->Increment(samples);
+  if (timed_out) registry->GetCounter("walk.timeouts")->Increment();
+  registry->GetCounter("walk.agent_restarts")->Increment(telemetry.drops);
+  if (telemetry.proposals > 0) {
+    registry
+        ->GetHistogram("walk.acceptance_rate",
+                       obs::LinearBuckets(0.0, 1.0, 11))
+        ->Observe(static_cast<double>(telemetry.accepted) /
+                  static_cast<double>(telemetry.proposals));
+  }
+  if (samples > 0) {
+    registry
+        ->GetHistogram("walk.hops_per_sample",
+                       obs::ExponentialBuckets(1.0, 2.0, 16))
+        ->Observe(static_cast<double>(telemetry.attempts) /
+                  static_cast<double>(samples));
+  }
+  registry
+      ->GetHistogram("walk.retry_latency_ticks",
+                     obs::ExponentialBuckets(1.0, 4.0, 12))
+      ->Observe(static_cast<double>(telemetry.backoff_units));
 }
 
 }  // namespace
@@ -57,17 +89,21 @@ Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
   // budget is pooled across the whole batch so one unlucky agent (e.g.
   // repeatedly dropped mid-walk) can borrow slack from the others.
   uint64_t budget = 0;
+  const size_t warm_pool =
+      options_.warm_walks && agents_.size() > next_agent_
+          ? agents_.size() - next_agent_
+          : 0;
+  const size_t warm = std::min(n, warm_pool);
   if (faults_ != nullptr) {
-    const size_t warm_pool =
-        options_.warm_walks && agents_.size() > next_agent_
-            ? agents_.size() - next_agent_
-            : 0;
-    const size_t warm = std::min(n, warm_pool);
     const uint64_t planned =
         static_cast<uint64_t>(warm) * EffectiveResetLength() +
         static_cast<uint64_t>(n - warm) * EffectiveWalkLength();
     budget = static_cast<uint64_t>(std::ceil(
         options_.retry.hop_budget_factor * static_cast<double>(planned)));
+  }
+  if (obs::Tracing(tracer_)) {
+    tracer_->Emit(obs::WalkBatchEvent{n, warm, EffectiveWalkLength(),
+                                      EffectiveResetLength(), budget});
   }
   std::vector<NodeId> out;
   out.reserve(n);
@@ -85,8 +121,9 @@ Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
     }
     ++next_agent_;
     if (faults_ == nullptr) {
-      DIGEST_RETURN_IF_ERROR(
-          agent->Advance(*graph_, weight_, rng_, meter_, fallback, steps));
+      DIGEST_RETURN_IF_ERROR(agent->Advance(*graph_, weight_, rng_, meter_,
+                                            fallback, steps,
+                                            &last_telemetry_));
     } else {
       size_t remaining = steps;
       while (remaining > 0) {
@@ -96,6 +133,12 @@ Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
           // the next call starts clean, and report a timeout the caller
           // can degrade on.
           next_agent_ = 0;
+          if (obs::Tracing(tracer_)) {
+            tracer_->Emit(obs::HopBudgetExhaustedEvent{
+                last_telemetry_.attempts, budget});
+          }
+          ObserveBatch(registry_, last_telemetry_, out.size(),
+                       /*timed_out=*/true);
           return Status::Unavailable(
               "sampling hop budget exhausted under faults (walk timeout)");
         }
@@ -108,6 +151,9 @@ Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
           // The agent was lost in transit and re-injected at the
           // origin: it must re-mix from cold before its position counts.
           remaining = EffectiveWalkLength();
+          if (obs::Tracing(tracer_)) {
+            tracer_->Emit(obs::AgentRestartEvent{i});
+          }
         } else {
           --remaining;
         }
@@ -122,6 +168,16 @@ Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
   }
   // Round-robin reuse: the next batch starts over from the first agent.
   next_agent_ = 0;
+  if (obs::Tracing(tracer_)) {
+    if (last_telemetry_.stalled_steps > 0) {
+      tracer_->Emit(obs::FaultStallEvent{last_telemetry_.stalled_steps});
+    }
+    tracer_->Emit(obs::WalkBatchDoneEvent{
+        out.size(), last_telemetry_.attempts, last_telemetry_.retries,
+        last_telemetry_.losses, last_telemetry_.drops,
+        last_telemetry_.stalled_steps});
+  }
+  ObserveBatch(registry_, last_telemetry_, out.size(), /*timed_out=*/false);
   return out;
 }
 

@@ -13,6 +13,10 @@
 #include "sampling/weight.h"
 
 namespace digest {
+namespace obs {
+class Registry;
+class Tracer;
+}  // namespace obs
 
 /// Tuning of the distributed sampling operator S.
 struct SamplingOperatorOptions {
@@ -80,6 +84,19 @@ class SamplingOperator {
   void SetFaultPlan(FaultPlan* faults) { faults_ = faults; }
   FaultPlan* fault_plan() const { return faults_; }
 
+  /// Attaches structured observability (either may be null; neither is
+  /// owned). The tracer receives walk-batch lifecycle events (launch,
+  /// agent restart, hop-budget exhaustion, completion); the registry
+  /// receives hop-count/acceptance-rate/retry histograms and batch
+  /// counters. Pure observation: the sampled nodes, the RNG stream, and
+  /// all MessageMeter accounting are bit-identical with or without.
+  void SetObservability(obs::Tracer* tracer, obs::Registry* registry) {
+    tracer_ = tracer;
+    registry_ = registry;
+  }
+  obs::Tracer* tracer() const { return tracer_; }
+  obs::Registry* registry() const { return registry_; }
+
   /// Draws one sample node, originating the walk at `origin`. Returning
   /// the sampled node id to the originator costs one transfer message.
   /// Fails if the graph is empty or the origin is dead with no live node
@@ -101,8 +118,10 @@ class SamplingOperator {
   /// Effective warm-walk (reset) length for the current graph size.
   size_t EffectiveResetLength() const;
 
-  /// Fault accounting of the most recent SampleNodes call (zeroed when
-  /// no fault plan is attached).
+  /// Walk accounting of the most recent SampleNodes call. The
+  /// observability counters (attempts, proposals, accepted) are
+  /// populated on every call; the fault categories stay zero when no
+  /// fault plan is attached.
   const WalkTelemetry& last_telemetry() const { return last_telemetry_; }
 
   const SamplingOperatorOptions& options() const { return options_; }
@@ -114,6 +133,8 @@ class SamplingOperator {
   MessageMeter* meter_;
   SamplingOperatorOptions options_;
   FaultPlan* faults_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Registry* registry_ = nullptr;
   WalkTelemetry last_telemetry_;
   std::vector<RandomWalk> agents_;  // Warm agents, reused round-robin.
   size_t next_agent_ = 0;

@@ -2,17 +2,31 @@
 
 #include "baselines/push_all.h"
 #include "numeric/rng.h"
+#include "obs/bridge.h"
+#include "obs/tracer.h"
 
 namespace digest {
 
 Result<RunResult> RunEngineExperiment(Workload& workload,
                                       const ContinuousQuerySpec& spec,
                                       const DigestEngineOptions& options,
-                                      size_t ticks, uint64_t seed) {
+                                      size_t ticks, uint64_t seed,
+                                      const std::string& run_label) {
   Rng rng(seed);
   DIGEST_ASSIGN_OR_RETURN(NodeId querying_node,
                           workload.graph().RandomLiveNode(rng));
   workload.ProtectNode(querying_node);
+
+  if (obs::Tracing(options.tracer)) {
+    // Rewind the shared tracer clock to this run's start so a marker
+    // left over from a previous run cannot stamp it with stale time.
+    options.tracer->set_now(workload.now());
+    options.tracer->Emit(obs::RunBeginEvent{
+        run_label.empty() ? "engine-run" : run_label});
+  }
+  if (options.fault_plan != nullptr) {
+    options.fault_plan->SetTracer(options.tracer);
+  }
 
   RunResult out;
   DIGEST_ASSIGN_OR_RETURN(
@@ -38,6 +52,10 @@ Result<RunResult> RunEngineExperiment(Workload& workload,
   }
   out.stats = engine->stats();
   out.correlation_estimate = engine->correlation_estimate();
+  if (options.registry != nullptr) {
+    ExportToRegistry(out.stats, options.registry, run_label);
+    obs::BridgeMessageMeter(out.meter, options.registry);
+  }
   DIGEST_ASSIGN_OR_RETURN(
       out.precision,
       EvaluatePrecision(out.reported, out.truth, spec.precision));

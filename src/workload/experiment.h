@@ -1,6 +1,7 @@
 #ifndef DIGEST_WORKLOAD_EXPERIMENT_H_
 #define DIGEST_WORKLOAD_EXPERIMENT_H_
 
+#include <string>
 #include <vector>
 
 #include "baselines/olston_filter.h"
@@ -32,10 +33,17 @@ struct RunResult {
 /// a fresh instance per run — identical seeds give identical data).
 /// If options.fault_plan is set, the plan's clock is advanced in step
 /// with the workload so stall windows track simulation time.
+///
+/// With options.tracer set, the run opens with a RunBeginEvent labelled
+/// `run_label` (exporters map each run to its own process lane) and the
+/// fault plan, if any, shares the tracer. With options.registry set,
+/// the run's final EngineStats and MessageMeter are bridged into it
+/// (engine.* / net.* counters) when the run completes.
 Result<RunResult> RunEngineExperiment(Workload& workload,
                                       const ContinuousQuerySpec& spec,
                                       const DigestEngineOptions& options,
-                                      size_t ticks, uint64_t seed);
+                                      size_t ticks, uint64_t seed,
+                                      const std::string& run_label = "");
 
 /// Runs the ALL+ALL push-everything baseline (exact results).
 Result<RunResult> RunPushAllExperiment(Workload& workload,

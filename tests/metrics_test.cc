@@ -110,6 +110,49 @@ TEST(MessageMeterTest, CategoryCountersSaturateIndividually) {
   EXPECT_EQ(meter.FaultOverhead(), UINT64_MAX);
 }
 
+TEST(PrecisionMetricsTest, ToleranceBoundaryIsInclusive) {
+  // |X̂ − X| == ε + δ exactly is within tolerance (the contract is ≤),
+  // and the next representable overshoot is not. δ=2, ε=1 → bound 3.
+  const PrecisionSpec spec{2.0, 1.0, 0.95};
+  const std::vector<double> truth = {10.0, 10.0, 10.0};
+  const std::vector<double> reported = {
+      13.0,                 // exactly on the ε + δ boundary: a hit
+      10.0 + 3.0 + 1e-9,    // just past the boundary: a miss
+      7.0};                 // exactly on the boundary from below: a hit
+  Result<PrecisionReport> report =
+      EvaluatePrecision(reported, truth, spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->within_tolerance_fraction, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(report->max_abs_error, 3.0 + 1e-9);
+}
+
+TEST(PrecisionMetricsTest, WidenedBoundaryUsesMaxOfEpsilonAndCi) {
+  // Per-tick bound is max(ε, ci[i]) + δ, inclusive. δ=2, ε=1.
+  const PrecisionSpec spec{2.0, 1.0, 0.95};
+  const std::vector<double> truth = {0.0, 0.0, 0.0, 0.0};
+  const std::vector<double> ci = {4.0, 0.5, 4.0, 0.5};
+  const std::vector<double> reported = {
+      6.0,          // ci dominates: max(1, 4) + 2 = 6 exactly — hit
+      3.0,          // ε dominates: max(1, 0.5) + 2 = 3 exactly — hit
+      6.0 + 1e-9,   // past the widened bound — miss
+      3.0 + 1e-9};  // past the ε bound; the small ci cannot save it
+  Result<PrecisionReport> report =
+      EvaluatePrecisionWidened(reported, truth, ci, spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->within_tolerance_fraction, 0.5);
+}
+
+TEST(PrecisionMetricsTest, RejectsEmptyAndMismatchedSeries) {
+  const PrecisionSpec spec{2.0, 1.0, 0.95};
+  EXPECT_FALSE(EvaluatePrecision({}, {}, spec).ok());
+  EXPECT_FALSE(EvaluatePrecision({1.0}, {}, spec).ok());
+  EXPECT_FALSE(EvaluatePrecision({1.0}, {1.0, 2.0}, spec).ok());
+  EXPECT_FALSE(EvaluatePrecisionWidened({}, {}, {}, spec).ok());
+  EXPECT_FALSE(
+      EvaluatePrecisionWidened({1.0}, {1.0}, {1.0, 2.0}, spec).ok());
+  EXPECT_FALSE(EvaluatePrecisionWidened({1.0}, {1.0}, {}, spec).ok());
+}
+
 TEST(MessageMeterTest, ResetZeroesEveryCategory) {
   MessageMeter meter;
   meter.AddWalkHop(2);

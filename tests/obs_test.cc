@@ -1,0 +1,265 @@
+// Unit tests for the digest::obs observability layer: metrics registry
+// (counters/gauges/histograms, label canonicalization, JSON export),
+// structured tracer (stamping, null fast path), trace exporters (JSONL
+// and Chrome trace_event), and the MessageMeter/EngineStats bridges.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "net/message_meter.h"
+#include "obs/bridge.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace digest {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementsAndSaturates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Increment(~static_cast<uint64_t>(0));
+  EXPECT_EQ(c.value(), ~static_cast<uint64_t>(0));  // Saturated, no wrap.
+}
+
+TEST(HistogramTest, BucketsObservationsIncludingOverflow) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket 0 (<= 1)
+  h.Observe(1.0);   // bucket 0 (inclusive upper edge)
+  h.Observe(3.0);   // bucket 2
+  h.Observe(100.0); // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 0u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 104.5 / 4.0);
+}
+
+TEST(HistogramTest, BucketGenerators) {
+  const std::vector<double> exp = ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(exp.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp[0], 1.0);
+  EXPECT_DOUBLE_EQ(exp[3], 8.0);
+  const std::vector<double> lin = LinearBuckets(0.0, 1.0, 11);
+  ASSERT_EQ(lin.size(), 11u);
+  EXPECT_DOUBLE_EQ(lin[0], 0.0);
+  EXPECT_DOUBLE_EQ(lin[10], 1.0);
+}
+
+TEST(RegistryTest, RenderKeySortsLabels) {
+  EXPECT_EQ(Registry::RenderKey("m", {}), "m");
+  EXPECT_EQ(Registry::RenderKey("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=1,b=2}");
+}
+
+TEST(RegistryTest, InstrumentsAreStableAndLabelOrderInsensitive) {
+  Registry registry;
+  Counter* c1 = registry.GetCounter("net.messages",
+                                    {{"category", "x"}, {"run", "r"}});
+  Counter* c2 = registry.GetCounter("net.messages",
+                                    {{"run", "r"}, {"category", "x"}});
+  EXPECT_EQ(c1, c2);  // Same instrument regardless of label order.
+  c1->Increment(7);
+  EXPECT_EQ(registry.CounterValue("net.messages{category=x,run=r}"), 7u);
+  EXPECT_EQ(registry.CounterValue("absent"), 0u);
+}
+
+TEST(RegistryTest, ToJsonIsDeterministic) {
+  auto populate = [](Registry* r) {
+    r->GetCounter("b.count")->Increment(3);
+    r->GetCounter("a.count", {{"k", "v"}})->Increment(1);
+    r->GetGauge("g")->Set(0.125);
+    r->GetHistogram("h", {1.0, 2.0})->Observe(1.5);
+  };
+  Registry r1, r2;
+  populate(&r1);
+  populate(&r2);
+  EXPECT_EQ(r1.ToJson(), r2.ToJson());
+  // Keys come out sorted, so the labeled a.count precedes b.count.
+  const std::string json = r1.ToJson();
+  EXPECT_LT(json.find("a.count{k=v}"), json.find("b.count"));
+}
+
+TEST(TracerTest, StampsSeqAndSimulatedTime) {
+  MemoryTracer tracer;
+  tracer.set_now(5);
+  tracer.Emit(RunBeginEvent{"run"});
+  tracer.set_now(9);
+  tracer.Emit(SnapshotSkippedEvent{12});
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events()[0].seq, 0u);
+  EXPECT_EQ(tracer.events()[0].sim_time, 5);
+  EXPECT_EQ(tracer.events()[1].seq, 1u);
+  EXPECT_EQ(tracer.events()[1].sim_time, 9);
+  EXPECT_EQ(tracer.events_emitted(), 2u);
+}
+
+TEST(TracerTest, NullTracerDropsEverything) {
+  NullTracer tracer;
+  tracer.Emit(RunBeginEvent{"run"});
+  EXPECT_EQ(tracer.events_emitted(), 0u);
+  EXPECT_FALSE(Tracing(&tracer));
+  EXPECT_FALSE(Tracing(nullptr));
+  MemoryTracer memory;
+  EXPECT_TRUE(Tracing(&memory));
+}
+
+TEST(TracerTest, EventNamesAreStable) {
+  EXPECT_STREQ(EventName(EventPayload{RunBeginEvent{}}), "run_begin");
+  EXPECT_STREQ(EventName(EventPayload{TickEvent{}}), "tick");
+  EXPECT_STREQ(EventName(EventPayload{GapPredictedEvent{}}),
+               "gap_predicted");
+  EXPECT_STREQ(EventName(EventPayload{SnapshotEvent{}}), "snapshot");
+  EXPECT_STREQ(EventName(EventPayload{SampleBudgetEvent{}}),
+               "sample_budget");
+  EXPECT_STREQ(EventName(EventPayload{WalkBatchEvent{}}), "walk_batch");
+  EXPECT_STREQ(EventName(EventPayload{FaultLossEvent{}}), "fault_loss");
+}
+
+TEST(ExporterTest, JsonLineCarriesStampsAndPayloadFields) {
+  MemoryTracer tracer;
+  tracer.set_now(3);
+  tracer.Emit(GapPredictedEvent{4, 7, 2, 0.5, true});
+  const std::string line = EventToJsonLine(tracer.events()[0]);
+  EXPECT_EQ(line,
+            "{\"seq\":0,\"t\":3,\"event\":\"gap_predicted\",\"gap\":4,"
+            "\"next_tick\":7,\"poly_order\":2,\"predicted_drift\":0.5,"
+            "\"strict\":true}");
+}
+
+TEST(ExporterTest, JsonLinesOnePerEvent) {
+  MemoryTracer tracer;
+  tracer.Emit(RunBeginEvent{"a"});
+  tracer.Emit(TickEvent{});
+  const std::string out = RenderJsonLines(tracer.events());
+  size_t lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(ExporterTest, ChromeTraceNestsWalkEventsInsideTickSpans) {
+  MemoryTracer tracer;
+  tracer.set_now(0);
+  tracer.Emit(RunBeginEvent{"test run"});
+  tracer.Emit(WalkBatchEvent{3, 1, 16, 4, 0});
+  tracer.Emit(WalkBatchDoneEvent{3, 40, 0, 0, 0, 0});
+  tracer.Emit(TickEvent{true, false, true, 50.0, 2.0});
+  const std::string trace = RenderChromeTrace(tracer.events());
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  // Process metadata from the run marker.
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"test run\""), std::string::npos);
+  // The tick span: a 1000 µs "X" slice at ts = sim_time·1000 = 0.
+  EXPECT_NE(trace.find("\"name\":\"tick\",\"cat\":\"digest\",\"pid\":1,"
+                       "\"tid\":1,\"ph\":\"X\",\"ts\":0,\"dur\":1000,"),
+            std::string::npos);
+  // Walk events: short slices offset inside [0, 1000).
+  EXPECT_NE(trace.find("\"name\":\"walk_batch\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ts\":10,\"dur\":8,"), std::string::npos);
+  EXPECT_NE(trace.find("\"ts\":20,\"dur\":8,"), std::string::npos);
+}
+
+TEST(ExporterTest, ChromeTraceGivesEachRunItsOwnProcess) {
+  MemoryTracer tracer;
+  tracer.Emit(RunBeginEvent{"first"});
+  tracer.Emit(TickEvent{});
+  tracer.Emit(RunBeginEvent{"second"});
+  tracer.Emit(TickEvent{});
+  const std::string trace = RenderChromeTrace(tracer.events());
+  EXPECT_NE(trace.find("\"name\":\"first\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"second\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":2"), std::string::npos);
+}
+
+TEST(ExporterTest, SummaryRendersAllSections) {
+  Registry registry;
+  registry.GetCounter("net.messages", {{"category", "walk_hop"}})
+      ->Increment(12);
+  registry.GetGauge("engine.rho_hat")->Set(0.75);
+  registry.GetHistogram("walk.hops_per_sample", {1.0, 2.0})->Observe(1.5);
+  const std::string summary = RenderSummary(registry);
+  EXPECT_NE(summary.find("== counters =="), std::string::npos);
+  EXPECT_NE(summary.find("net.messages{category=walk_hop}  12"),
+            std::string::npos);
+  EXPECT_NE(summary.find("== gauges =="), std::string::npos);
+  EXPECT_NE(summary.find("engine.rho_hat"), std::string::npos);
+  EXPECT_NE(summary.find("== histograms =="), std::string::npos);
+  EXPECT_NE(summary.find("count=1"), std::string::npos);
+
+  Registry empty;
+  EXPECT_EQ(RenderSummary(empty), "(registry is empty)\n");
+}
+
+TEST(BridgeTest, MessageMeterCategoriesMirrorIntoRegistry) {
+  MessageMeter meter;
+  meter.AddWalkHop();
+  meter.AddWalkHop();
+  meter.AddWeightProbe();
+  meter.AddSampleTransfer();
+  meter.AddRefresh(3);
+  meter.AddPush(4);
+  meter.AddRetry();
+  meter.AddAgentRestart();
+  meter.AddLoss();
+  Registry registry;
+  BridgeMessageMeter(meter, &registry);
+  EXPECT_EQ(registry.CounterValue("net.messages{category=walk_hop}"), 2u);
+  EXPECT_EQ(registry.CounterValue("net.messages{category=weight_probe}"),
+            1u);
+  EXPECT_EQ(registry.CounterValue("net.messages{category=sample_transfer}"),
+            1u);
+  EXPECT_EQ(registry.CounterValue("net.messages{category=refresh}"), 3u);
+  EXPECT_EQ(registry.CounterValue("net.messages{category=push}"), 4u);
+  EXPECT_EQ(registry.CounterValue("net.messages{category=retry}"), 1u);
+  EXPECT_EQ(registry.CounterValue("net.messages{category=agent_restart}"),
+            1u);
+  EXPECT_EQ(registry.CounterValue("net.messages{category=loss}"), 1u);
+  EXPECT_EQ(registry.CounterValue("net.messages_total"), meter.Total());
+  EXPECT_EQ(registry.CounterValue("net.fault_overhead"),
+            meter.FaultOverhead());
+  // Bridging again accumulates (counter semantics).
+  BridgeMessageMeter(meter, &registry);
+  EXPECT_EQ(registry.CounterValue("net.messages{category=walk_hop}"), 4u);
+  BridgeMessageMeter(meter, nullptr);  // Null registry: no-op.
+}
+
+TEST(BridgeTest, EngineStatsExportIsIdempotentPerValue) {
+  EngineStats stats;
+  stats.ticks = 10;
+  stats.snapshots = 4;
+  stats.result_updates = 3;
+  stats.total_samples = 200;
+  stats.fresh_samples = 150;
+  stats.retained_samples = 50;
+  stats.degraded_ticks = 1;
+  Registry registry;
+  ExportToRegistry(stats, &registry, "runA");
+  EXPECT_EQ(registry.CounterValue("engine.ticks{run=runA}"), 10u);
+  EXPECT_EQ(registry.CounterValue("engine.snapshots{run=runA}"), 4u);
+  EXPECT_EQ(registry.CounterValue("engine.fresh_samples{run=runA}"), 150u);
+  // Re-exporting the same stats does not double-count...
+  ExportToRegistry(stats, &registry, "runA");
+  EXPECT_EQ(registry.CounterValue("engine.ticks{run=runA}"), 10u);
+  // ...and exporting grown stats raises to the new cumulative value.
+  stats.ticks = 25;
+  ExportToRegistry(stats, &registry, "runA");
+  EXPECT_EQ(registry.CounterValue("engine.ticks{run=runA}"), 25u);
+  // Unlabeled export lands on separate instruments.
+  ExportToRegistry(stats, &registry);
+  EXPECT_EQ(registry.CounterValue("engine.ticks"), 25u);
+  ExportToRegistry(stats, nullptr);  // Null registry: no-op.
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace digest

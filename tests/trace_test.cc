@@ -83,6 +83,57 @@ TEST(TraceTest, LoadRejectsMalformedFiles) {
   std::remove(path.c_str());
 }
 
+TEST(TraceTest, LoadErrorPathsReportPreciseCauses) {
+  const std::string path = TempPath("bad_trace2.csv");
+  auto write = [&](const char* body) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs(body, f);
+    std::fclose(f);
+  };
+
+  // A zero-byte file is a parse error, not "no records".
+  write("");
+  Result<Trace> empty = Trace::LoadCsv(path);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kParseError);
+  EXPECT_NE(empty.status().message().find("empty trace file"),
+            std::string::npos);
+
+  // Missing (reordered) header names the offending line.
+  write("unit,tick,value,deleted\n0,0,1,0\n");
+  Result<Trace> header = Trace::LoadCsv(path);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kParseError);
+  EXPECT_NE(header.status().message().find("unexpected trace header"),
+            std::string::npos);
+
+  // A malformed row names its 1-based line number.
+  write("tick,unit,value,deleted\n0,0,1.0,0\n3,7,oops,0\n");
+  Result<Trace> row = Trace::LoadCsv(path);
+  ASSERT_FALSE(row.ok());
+  EXPECT_EQ(row.status().code(), StatusCode::kParseError);
+  EXPECT_NE(row.status().message().find("malformed trace line 3"),
+            std::string::npos);
+
+  // A row whose value is non-finite parses but fails validation.
+  write("tick,unit,value,deleted\n0,0,nan,0\n");
+  EXPECT_FALSE(Trace::LoadCsv(path).ok());
+
+  // Update-after-delete surfaces through LoadCsv via FromRecords: the
+  // per-unit lifecycle check runs on loaded traces too.
+  write("tick,unit,value,deleted\n0,5,1.0,0\n1,5,0.0,1\n2,5,2.0,0\n");
+  Result<Trace> zombie = Trace::LoadCsv(path);
+  ASSERT_FALSE(zombie.ok());
+  EXPECT_EQ(zombie.status().code(), StatusCode::kInvalidArgument);
+
+  // Blank lines between valid rows are tolerated, not an error.
+  write("tick,unit,value,deleted\n0,1,1.5,0\n\n1,1,2.5,0\n");
+  Result<Trace> blank = Trace::LoadCsv(path);
+  ASSERT_TRUE(blank.ok()) << blank.status();
+  EXPECT_EQ(blank->records().size(), 2u);
+  std::remove(path.c_str());
+}
+
 TEST(TraceTest, ReplayReproducesAggregateSeries) {
   // Record a temperature workload, replay the trace, and check the
   // oracle AVG series matches tick for tick.

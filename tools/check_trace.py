@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Validate Digest observability exports.
+
+Checks the three file formats the obs layer writes (see
+docs/OBSERVABILITY.md):
+
+  * --jsonl   : JSON Lines event trace (one object per line)
+  * --chrome  : Chrome trace_event JSON (Perfetto-loadable)
+  * --metrics : metrics registry dump (JSON)
+
+Stdlib only; exit status 0 iff every supplied file validates. Used by CI
+on a traced bench run, and handy locally after `bench_* --trace=...`.
+"""
+
+import argparse
+import json
+import sys
+
+# event name -> required payload fields (beyond seq/t/event).
+EVENT_SCHEMA = {
+    "run_begin": {"label"},
+    "tick": {"snapshot_executed", "degraded", "result_updated", "reported",
+             "ci_halfwidth"},
+    "gap_predicted": {"gap", "next_tick", "poly_order", "predicted_drift",
+                      "strict"},
+    "snapshot": {"value", "ci_halfwidth", "total_samples", "fresh_samples",
+                 "retained_samples", "degraded"},
+    "snapshot_skipped": {"next_snapshot_tick"},
+    "sample_budget": {"repeated", "rho_hat", "sigma_hat", "planned_total",
+                      "planned_retained"},
+    "ci_widened": {"from", "to"},
+    "degraded_fallback": {"retained_pool"},
+    "walk_batch": {"agents", "warm", "cold_steps", "warm_steps", "budget"},
+    "walk_batch_done": {"samples", "attempts", "retries", "losses", "drops",
+                        "stalled_steps"},
+    "hop_budget_exhausted": {"attempts", "budget"},
+    "agent_restart": {"agent_index"},
+    "fault_loss": {"from", "to"},
+    "fault_stall": {"stalled_steps"},
+}
+
+# Events the Chrome exporter renders as slices nested inside tick spans.
+NESTED_SLICE_EVENTS = {
+    "walk_batch", "walk_batch_done", "hop_budget_exhausted",
+    "agent_restart", "fault_loss", "fault_stall",
+}
+
+TICK_SPAN_US = 1000  # One simulated tick = 1000 us of trace time.
+
+
+class Failure(Exception):
+    pass
+
+
+def check_jsonl(path):
+    prev_seq = -1
+    prev_t = None
+    counts = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                raise Failure(f"{path}:{line_no}: blank line")
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise Failure(f"{path}:{line_no}: invalid JSON: {e}")
+            for field in ("seq", "t", "event"):
+                if field not in obj:
+                    raise Failure(f"{path}:{line_no}: missing '{field}'")
+            name = obj["event"]
+            if name not in EVENT_SCHEMA:
+                raise Failure(f"{path}:{line_no}: unknown event '{name}'")
+            missing = EVENT_SCHEMA[name] - obj.keys()
+            if missing:
+                raise Failure(
+                    f"{path}:{line_no}: event '{name}' missing fields "
+                    f"{sorted(missing)}")
+            extra = obj.keys() - EVENT_SCHEMA[name] - {"seq", "t", "event"}
+            if extra:
+                raise Failure(
+                    f"{path}:{line_no}: event '{name}' has unexpected "
+                    f"fields {sorted(extra)}")
+            if obj["seq"] != prev_seq + 1:
+                raise Failure(
+                    f"{path}:{line_no}: seq {obj['seq']} not contiguous "
+                    f"after {prev_seq}")
+            prev_seq = obj["seq"]
+            if prev_t is not None and obj["t"] < prev_t and \
+                    name != "run_begin":
+                # Time restarts only at a new run's marker.
+                raise Failure(
+                    f"{path}:{line_no}: sim time went backwards "
+                    f"({prev_t} -> {obj['t']}) without a run_begin")
+            prev_t = obj["t"]
+            counts[name] = counts.get(name, 0) + 1
+    if prev_seq < 0:
+        raise Failure(f"{path}: no events")
+    if counts.get("tick", 0) == 0:
+        raise Failure(f"{path}: trace has no tick events")
+    return counts
+
+
+def check_chrome(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            raise Failure(f"{path}: invalid JSON: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise Failure(f"{path}: missing traceEvents (object format "
+                      f"required)")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise Failure(f"{path}: traceEvents empty")
+
+    tick_spans = {}  # pid -> set of span start ts
+    named_pids = set()
+    nested = []
+    stats = {"ticks": 0, "nested": 0, "instants": 0, "processes": 0}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            raise Failure(f"{path}: traceEvents[{i}] malformed")
+        ph = ev["ph"]
+        if ph == "M":
+            if ev.get("name") != "process_name":
+                raise Failure(f"{path}: traceEvents[{i}] unexpected "
+                              f"metadata '{ev.get('name')}'")
+            if not ev.get("args", {}).get("name"):
+                raise Failure(f"{path}: traceEvents[{i}] process_name "
+                              f"metadata without a name")
+            named_pids.add(ev["pid"])
+            stats["processes"] += 1
+            continue
+        for field in ("name", "pid", "tid", "ts", "args"):
+            if field not in ev:
+                raise Failure(
+                    f"{path}: traceEvents[{i}] missing '{field}'")
+        if ev["name"] not in EVENT_SCHEMA or ev["name"] == "run_begin":
+            raise Failure(f"{path}: traceEvents[{i}] unknown event "
+                          f"'{ev['name']}'")
+        if "seq" not in ev["args"]:
+            raise Failure(f"{path}: traceEvents[{i}] args lack seq")
+        if ph == "X" and ev["name"] == "tick":
+            if ev.get("dur") != TICK_SPAN_US:
+                raise Failure(f"{path}: traceEvents[{i}] tick span "
+                              f"dur={ev.get('dur')} != {TICK_SPAN_US}")
+            if ev["ts"] % TICK_SPAN_US != 0:
+                raise Failure(f"{path}: traceEvents[{i}] tick span ts "
+                              f"{ev['ts']} not tick-aligned")
+            tick_spans.setdefault(ev["pid"], set()).add(ev["ts"])
+            stats["ticks"] += 1
+        elif ph == "X":
+            if ev["name"] not in NESTED_SLICE_EVENTS:
+                raise Failure(f"{path}: traceEvents[{i}] span event "
+                              f"'{ev['name']}' should be an instant")
+            nested.append((i, ev))
+            stats["nested"] += 1
+        elif ph == "i":
+            stats["instants"] += 1
+        else:
+            raise Failure(f"{path}: traceEvents[{i}] unexpected phase "
+                          f"'{ph}'")
+
+    for i, ev in nested:
+        start = (ev["ts"] // TICK_SPAN_US) * TICK_SPAN_US
+        end = ev["ts"] + ev.get("dur", 0)
+        if ev["ts"] == start or end > start + TICK_SPAN_US:
+            raise Failure(
+                f"{path}: traceEvents[{i}] '{ev['name']}' slice "
+                f"[{ev['ts']}, {end}) not strictly inside its tick span "
+                f"[{start}, {start + TICK_SPAN_US})")
+        if ev["pid"] in tick_spans and start not in tick_spans[ev["pid"]]:
+            raise Failure(
+                f"{path}: traceEvents[{i}] '{ev['name']}' at ts="
+                f"{ev['ts']} has no owning tick span in pid {ev['pid']}")
+    if stats["ticks"] == 0:
+        raise Failure(f"{path}: no tick spans")
+    return stats
+
+
+def check_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            raise Failure(f"{path}: invalid JSON: {e}")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc:
+            raise Failure(f"{path}: missing '{section}' section")
+        if not isinstance(doc[section], dict):
+            raise Failure(f"{path}: '{section}' is not an object")
+    for key, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            raise Failure(f"{path}: counter '{key}' not a non-negative "
+                          f"integer")
+    for key, hist in doc["histograms"].items():
+        for field in ("count", "sum", "bounds", "counts"):
+            if field not in hist:
+                raise Failure(
+                    f"{path}: histogram '{key}' missing '{field}'")
+        if len(hist["counts"]) != len(hist["bounds"]) + 1:
+            raise Failure(
+                f"{path}: histogram '{key}' needs len(bounds)+1 counts "
+                f"(overflow bucket)")
+        if sum(hist["counts"]) != hist["count"]:
+            raise Failure(
+                f"{path}: histogram '{key}' bucket counts do not sum to "
+                f"count")
+    if not doc["counters"] and not doc["gauges"] and not doc["histograms"]:
+        raise Failure(f"{path}: registry is empty")
+    return {s: len(doc[s]) for s in ("counters", "gauges", "histograms")}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jsonl", help="JSON Lines event trace")
+    parser.add_argument("--chrome", help="Chrome trace_event JSON")
+    parser.add_argument("--metrics", help="metrics registry JSON")
+    args = parser.parse_args()
+    if not (args.jsonl or args.chrome or args.metrics):
+        parser.error("supply at least one of --jsonl/--chrome/--metrics")
+    try:
+        if args.jsonl:
+            counts = check_jsonl(args.jsonl)
+            total = sum(counts.values())
+            print(f"OK {args.jsonl}: {total} events "
+                  f"({counts.get('tick', 0)} ticks, "
+                  f"{counts.get('walk_batch', 0)} walk batches, "
+                  f"{len(counts)} distinct types)")
+        if args.chrome:
+            stats = check_chrome(args.chrome)
+            print(f"OK {args.chrome}: {stats['processes']} processes, "
+                  f"{stats['ticks']} tick spans, {stats['nested']} nested "
+                  f"slices, {stats['instants']} instants")
+        if args.metrics:
+            sizes = check_metrics(args.metrics)
+            print(f"OK {args.metrics}: {sizes['counters']} counters, "
+                  f"{sizes['gauges']} gauges, {sizes['histograms']} "
+                  f"histograms")
+    except Failure as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    except OSError as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
