@@ -78,6 +78,7 @@ int Run(int argc, char** argv) {
       options.sampling_options.reset_length = 15;
       options.tracer = obs.tracer();
       options.registry = obs.registry();
+      options.profiler = obs.profiler();
       const std::string run_label = "loss=" + Fmt("%.0f%%", 100.0 * loss) +
                                     " drop=" + Fmt("%.0f%%", 100.0 * drop);
       RunResult run = UnwrapOrDie(
@@ -137,6 +138,7 @@ int Run(int argc, char** argv) {
     options.sampling_options.retry.hop_budget_factor = factor;
     options.tracer = obs.tracer();
     options.registry = obs.registry();
+    options.profiler = obs.profiler();
     const std::string run_label = "budget " + Fmt("%.0fx", factor);
     if (obs::Tracing(obs.tracer())) {
       obs.tracer()->set_now(workload->now());

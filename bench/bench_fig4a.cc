@@ -27,7 +27,10 @@ TemperatureConfig MakeConfig(const BenchArgs& args) {
 }
 
 int Run(int argc, char** argv) {
-  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const BenchArgs args = BenchArgs::Parse(
+      argc, argv,
+      {{"--strict", "measure drift from X̂[t_u] (strict-resolution "
+                    "ablation)"}});
   bool strict = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--strict") strict = true;
@@ -85,6 +88,7 @@ int Run(int argc, char** argv) {
       options.strict_resolution = strict;
       options.tracer = obs.tracer();
       options.registry = obs.registry();
+      options.profiler = obs.profiler();
       if (algo.history > 0) {
         options.extrapolator.history_points = algo.history;
       }
@@ -137,6 +141,7 @@ int Run(int argc, char** argv) {
     options.sampler = SamplerKind::kTwoStageMcmc;
     options.tracer = obs.tracer();
     options.registry = obs.registry();
+    options.profiler = obs.profiler();
     RunResult run = UnwrapOrDie(
         RunEngineExperiment(*workload, spec, options, showcase_ticks,
                             args.seed, "PRED-3 RPT mcmc showcase"),

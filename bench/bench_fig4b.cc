@@ -87,6 +87,7 @@ int Run(int argc, char** argv) {
         options.estimator_options.pilot_samples = 10;
         options.tracer = obs.tracer();
         options.registry = obs.registry();
+        options.profiler = obs.profiler();
         const std::string run_label =
             std::string(ds.name) + (k == 0 ? " INDEP" : " RPT") +
             " eps=" + Fmt("%.3f", epsilon);

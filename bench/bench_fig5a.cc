@@ -87,6 +87,7 @@ int Run(int argc, char** argv) {
       options.extrapolator.history_points = 3;  // PRED-3.
       options.tracer = obs.tracer();
       options.registry = obs.registry();
+      options.profiler = obs.profiler();
       RunResult run = UnwrapOrDie(
           RunEngineExperiment(*workload, spec, options, ds.ticks,
                               args.seed,

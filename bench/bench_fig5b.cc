@@ -91,6 +91,7 @@ int Run(int argc, char** argv) {
       options.sampling_options.reset_length = ds.reset_length;
       options.tracer = obs.tracer();
       options.registry = obs.registry();
+      options.profiler = obs.profiler();
       RunResult run = UnwrapOrDie(
           RunEngineExperiment(*workload, spec, options, ds.ticks,
                               args.seed,

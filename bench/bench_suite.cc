@@ -1,0 +1,529 @@
+// Unified performance suite: runs a fixed set of engine scenarios with
+// warmup + repeated measurement, computes robust wall-clock statistics
+// (median, MAD, p10/p90) and throughput (ticks/walks/samples/hops per
+// second) from the prof layer, and writes the machine-readable perf
+// trajectory: one BENCH_<scenario>.json per scenario plus a merged
+// BENCH_SUITE.json. `tools/bench_compare.py` diffs two such files with
+// noise-aware thresholds; CI runs it against the committed baseline.
+//
+// Scenario work is deterministic per (seed, scale): the suite verifies
+// that every repeat of a scenario performs identical work (ticks,
+// snapshots, samples, messages) and fails loudly if not — only the wall
+// clock may vary between repeats.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "core/engine.h"
+#include "net/fault_plan.h"
+#include "prof/profiler.h"
+#include "workload/experiment.h"
+#include "workload/memory.h"
+#include "workload/temperature.h"
+
+namespace digest {
+namespace bench {
+namespace {
+
+// ---------------------------------------------------------------------
+// Robust statistics over the per-repeat wall times.
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+// Median absolute deviation — the suite's noise estimate. Unscaled (no
+// 1.4826 normal-consistency factor); bench_compare.py applies its own
+// multiplier.
+double Mad(const std::vector<double>& v) {
+  const double med = Median(v);
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (double x : v) dev.push_back(std::fabs(x - med));
+  return Median(std::move(dev));
+}
+
+// Nearest-rank percentile, q in [0, 100].
+double Percentile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const double rank = q / 100.0 * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = lo + 1 < v.size() ? lo + 1 : lo;
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+// ---------------------------------------------------------------------
+// Deterministic per-repeat work counts, for the exact-match half of the
+// regression gate (and the repeat-stability check).
+
+struct WorkCounts {
+  uint64_t ticks = 0;
+  uint64_t snapshots = 0;
+  uint64_t total_samples = 0;
+  uint64_t messages = 0;
+  uint64_t degraded_ticks = 0;
+  uint64_t walk_batches = 0;
+  uint64_t walk_hops = 0;
+
+  bool operator==(const WorkCounts& o) const {
+    return ticks == o.ticks && snapshots == o.snapshots &&
+           total_samples == o.total_samples && messages == o.messages &&
+           degraded_ticks == o.degraded_ticks &&
+           walk_batches == o.walk_batches && walk_hops == o.walk_hops;
+  }
+};
+
+struct Scenario {
+  const char* name;
+  const char* description;
+  // Builds the workload/spec/options, runs the engine experiment once
+  // with `profiler` attached (options.profiler = profiler), and returns
+  // the run result. `wall_ns` receives the wall time of the engine run
+  // alone — workload construction is setup, not measured.
+  std::function<RunResult(const BenchArgs&, prof::Profiler*,
+                          uint64_t* wall_ns)>
+      run;
+};
+
+RunResult TimedExperiment(Workload& workload,
+                          const ContinuousQuerySpec& spec,
+                          const DigestEngineOptions& options, size_t ticks,
+                          uint64_t seed, const char* label,
+                          prof::Profiler* profiler, uint64_t* wall_ns) {
+  const uint64_t t0 = profiler->ElapsedNs();
+  RunResult run = UnwrapOrDie(
+      RunEngineExperiment(workload, spec, options, ticks, seed, label),
+      label);
+  *wall_ns = profiler->ElapsedNs() - t0;
+  return run;
+}
+
+ContinuousQuerySpec AvgSpec(const char* query, double delta, double eps,
+                            double p) {
+  return UnwrapOrDie(ContinuousQuerySpec::Create(
+                         query, PrecisionSpec{delta, eps, p}),
+                     "spec");
+}
+
+std::vector<Scenario> BuildScenarios() {
+  std::vector<Scenario> scenarios;
+
+  // PRED-3 scheduling over the exact central oracle: isolates the
+  // extrapolator + scheduler cost (no walks at all).
+  scenarios.push_back(
+      {"pred_indep_exact",
+       "PRED-3 + INDEP over the exact central oracle (TEMPERATURE): "
+       "extrapolator/scheduler cost, no walks",
+       [](const BenchArgs& args, prof::Profiler* profiler,
+          uint64_t* wall_ns) {
+         TemperatureConfig config;
+         config.num_units = args.Scaled(8000, 200);
+         config.num_nodes = args.Scaled(530, 16);
+         config.seed = args.seed;
+         auto workload = UnwrapOrDie(TemperatureWorkload::Create(config),
+                                     "workload");
+         ContinuousQuerySpec spec =
+             AvgSpec("SELECT AVG(temperature) FROM R", 4.0, 2.0, 0.95);
+         DigestEngineOptions options;
+         options.scheduler = SchedulerKind::kPred;
+         options.estimator = EstimatorKind::kIndependent;
+         options.sampler = SamplerKind::kExactCentral;
+         options.extrapolator.history_points = 3;
+         options.profiler = profiler;
+         return TimedExperiment(*workload, spec, options,
+                                args.quick ? 120 : 400, args.seed,
+                                "pred_indep_exact", profiler, wall_ns);
+       }});
+
+  // The full distributed pipeline the paper is about: PRED-3 + RPT over
+  // the two-stage MCMC sampler. Walk-heavy; the headline scenario.
+  scenarios.push_back(
+      {"pred_rpt_mcmc",
+       "PRED-3 + RPT over the two-stage MCMC sampler (TEMPERATURE): the "
+       "full distributed query path",
+       [](const BenchArgs& args, prof::Profiler* profiler,
+          uint64_t* wall_ns) {
+         TemperatureConfig config;
+         config.num_units = args.Scaled(2000, 200);
+         config.num_nodes = args.Scaled(530, 16);
+         config.seed = args.seed;
+         auto workload = UnwrapOrDie(TemperatureWorkload::Create(config),
+                                     "workload");
+         ContinuousQuerySpec spec =
+             AvgSpec("SELECT AVG(temperature) FROM R", 4.0, 2.0, 0.95);
+         DigestEngineOptions options;
+         options.scheduler = SchedulerKind::kPred;
+         options.estimator = EstimatorKind::kRepeated;
+         options.sampler = SamplerKind::kTwoStageMcmc;
+         options.extrapolator.history_points = 3;
+         options.profiler = profiler;
+         return TimedExperiment(*workload, spec, options,
+                                args.quick ? 40 : 120, args.seed,
+                                "pred_rpt_mcmc", profiler, wall_ns);
+       }});
+
+  // ALL scheduling: every tick samples, the densest walk workload per
+  // simulated tick.
+  scenarios.push_back(
+      {"all_indep_mcmc",
+       "ALL + INDEP over the two-stage MCMC sampler (TEMPERATURE): a "
+       "snapshot query every tick",
+       [](const BenchArgs& args, prof::Profiler* profiler,
+          uint64_t* wall_ns) {
+         TemperatureConfig config;
+         config.num_units = args.Scaled(2000, 200);
+         config.num_nodes = args.Scaled(530, 16);
+         config.seed = args.seed;
+         auto workload = UnwrapOrDie(TemperatureWorkload::Create(config),
+                                     "workload");
+         ContinuousQuerySpec spec =
+             AvgSpec("SELECT AVG(temperature) FROM R", 4.0, 2.0, 0.95);
+         DigestEngineOptions options;
+         options.scheduler = SchedulerKind::kAll;
+         options.estimator = EstimatorKind::kIndependent;
+         options.sampler = SamplerKind::kTwoStageMcmc;
+         options.profiler = profiler;
+         return TimedExperiment(*workload, spec, options,
+                                args.quick ? 25 : 80, args.seed,
+                                "all_indep_mcmc", profiler, wall_ns);
+       }});
+
+  // Churning membership (MEMORY workload): stresses warm-agent reuse
+  // and the estimator's retained-pool bookkeeping.
+  scenarios.push_back(
+      {"churn_rpt_mcmc",
+       "PRED-3 + RPT over MCMC on the churning MEMORY workload",
+       [](const BenchArgs& args, prof::Profiler* profiler,
+          uint64_t* wall_ns) {
+         MemoryConfig config;
+         config.num_units = args.Scaled(1000, 200);
+         config.num_nodes = args.Scaled(820, 150);
+         config.seed = args.seed + 17;
+         auto workload =
+             UnwrapOrDie(MemoryWorkload::Create(config), "workload");
+         ContinuousQuerySpec spec =
+             AvgSpec("SELECT AVG(memory) FROM R", 1.0, 2.0, 0.9);
+         DigestEngineOptions options;
+         options.scheduler = SchedulerKind::kPred;
+         options.estimator = EstimatorKind::kRepeated;
+         options.sampler = SamplerKind::kTwoStageMcmc;
+         options.extrapolator.history_points = 3;
+         options.profiler = profiler;
+         return TimedExperiment(*workload, spec, options,
+                                args.quick ? 30 : 90, args.seed,
+                                "churn_rpt_mcmc", profiler, wall_ns);
+       }});
+
+  // Fault injection: retry/backoff, agent restarts, degraded fallback —
+  // the robustness machinery's own cost, including fault-plan draws.
+  scenarios.push_back(
+      {"faults_mcmc",
+       "ALL + RPT over MCMC under injected faults (5% loss, 2% drop, "
+       "stalls): retry + degradation overhead",
+       [](const BenchArgs& args, prof::Profiler* profiler,
+          uint64_t* wall_ns) {
+         MemoryConfig config;
+         config.num_units = args.Scaled(1000, 200);
+         config.num_nodes = args.Scaled(820, 150);
+         config.seed = args.seed + 17;
+         auto workload =
+             UnwrapOrDie(MemoryWorkload::Create(config), "workload");
+         ContinuousQuerySpec spec =
+             AvgSpec("SELECT AVG(memory) FROM R", 1.0, 2.0, 0.9);
+         FaultPlanConfig faults;
+         faults.message_loss = 0.05;
+         faults.agent_drop = 0.02;
+         faults.edge_spread = 0.5;
+         faults.stall_fraction = 0.1;
+         CheckOk(faults.Validate(), "fault config");
+         FaultPlan plan(faults, args.seed + 1);
+         DigestEngineOptions options;
+         options.scheduler = SchedulerKind::kAll;
+         options.estimator = EstimatorKind::kRepeated;
+         options.fault_plan = &plan;
+         options.sampling_options.walk_length = 60;
+         options.sampling_options.reset_length = 15;
+         options.profiler = profiler;
+         return TimedExperiment(*workload, spec, options,
+                                args.quick ? 20 : 60, args.seed,
+                                "faults_mcmc", profiler, wall_ns);
+       }});
+
+  return scenarios;
+}
+
+// ---------------------------------------------------------------------
+// JSON rendering. Layout is pinned by tools/bench_compare.py and
+// documented in results/README.md; bump the schema string on change.
+
+constexpr const char* kScenarioSchema = "digest-bench-v1";
+constexpr const char* kSuiteSchema = "digest-bench-suite-v1";
+
+std::string FmtMs(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", ms);
+  return buf;
+}
+
+std::string FmtRate(double rate) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", rate);
+  return buf;
+}
+
+struct ScenarioReport {
+  std::string name;
+  std::string description;
+  WorkCounts counts;
+  std::vector<double> wall_ms;  // One per measured repeat.
+  std::string prof_json;        // Aggregated Profiler::ToJson().
+};
+
+std::string RenderScenarioJson(const ScenarioReport& r,
+                               const BenchArgs& args, size_t warmup) {
+  std::string out = "{\"schema\":\"";
+  out += kScenarioSchema;
+  out += "\",\"scenario\":\"";
+  out += r.name;
+  out += "\",\"description\":\"";
+  AppendJsonEscaped(&out, r.description);
+  out += "\",\"config\":{\"scale\":";
+  out += FmtRate(args.scale);
+  out += ",\"seed\":";
+  out += std::to_string(args.seed);
+  out += ",\"quick\":";
+  out += args.quick ? "true" : "false";
+  out += ",\"warmup\":";
+  out += std::to_string(warmup);
+  out += ",\"repeats\":";
+  out += std::to_string(r.wall_ms.size());
+  out += "},\"counts\":{\"ticks\":";
+  out += std::to_string(r.counts.ticks);
+  out += ",\"snapshots\":";
+  out += std::to_string(r.counts.snapshots);
+  out += ",\"total_samples\":";
+  out += std::to_string(r.counts.total_samples);
+  out += ",\"messages\":";
+  out += std::to_string(r.counts.messages);
+  out += ",\"degraded_ticks\":";
+  out += std::to_string(r.counts.degraded_ticks);
+  out += ",\"walk_batches\":";
+  out += std::to_string(r.counts.walk_batches);
+  out += ",\"walk_hops\":";
+  out += std::to_string(r.counts.walk_hops);
+  out += "},\"wall_ms\":{\"median\":";
+  const double median = Median(r.wall_ms);
+  out += FmtMs(median);
+  out += ",\"mad\":";
+  out += FmtMs(Mad(r.wall_ms));
+  out += ",\"p10\":";
+  out += FmtMs(Percentile(r.wall_ms, 10));
+  out += ",\"p90\":";
+  out += FmtMs(Percentile(r.wall_ms, 90));
+  out += ",\"min\":";
+  out += FmtMs(*std::min_element(r.wall_ms.begin(), r.wall_ms.end()));
+  out += ",\"max\":";
+  out += FmtMs(*std::max_element(r.wall_ms.begin(), r.wall_ms.end()));
+  out += ",\"repeats\":[";
+  for (size_t i = 0; i < r.wall_ms.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += FmtMs(r.wall_ms[i]);
+  }
+  out += "]},\"throughput\":{";
+  const double secs = median / 1e3;
+  out += "\"ticks_per_sec\":";
+  out += FmtRate(secs > 0 ? static_cast<double>(r.counts.ticks) / secs : 0);
+  out += ",\"samples_per_sec\":";
+  out += FmtRate(
+      secs > 0 ? static_cast<double>(r.counts.total_samples) / secs : 0);
+  out += ",\"walks_per_sec\":";
+  out += FmtRate(
+      secs > 0 ? static_cast<double>(r.counts.walk_batches) / secs : 0);
+  out += ",\"hops_per_sec\":";
+  out += FmtRate(
+      secs > 0 ? static_cast<double>(r.counts.walk_hops) / secs : 0);
+  out += "},\"prof\":";
+  out += r.prof_json;
+  out.push_back('}');
+  return out;
+}
+
+// ---------------------------------------------------------------------
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(
+      argc, argv,
+      {{"--repeats=", "measured repeats per scenario (default 5; 3 with "
+                      "--quick)"},
+       {"--warmup=", "unmeasured warmup runs per scenario (default 1)"},
+       {"--out-dir=", "directory for BENCH_*.json (default .)"},
+       {"--scenario=", "run only the named scenario (repeatable)"}});
+  // The suite owns its profiler (one per scenario) and its repeat
+  // structure; the per-bench export flags don't compose with that.
+  if (args.ObservabilityRequested() || args.prof) {
+    std::fprintf(stderr,
+                 "bench_suite: --prof/--trace/--trace-jsonl/--metrics are "
+                 "not supported here — the suite always profiles "
+                 "internally; use the individual bench binaries for "
+                 "trace exports\n");
+    return 2;
+  }
+  size_t repeats = args.quick ? 3 : 5;
+  size_t warmup = 1;
+  std::string out_dir = ".";
+  std::vector<std::string> only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--repeats=", 10) == 0) {
+      repeats = static_cast<size_t>(std::strtoull(argv[i] + 10, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--warmup=", 9) == 0) {
+      warmup = static_cast<size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--out-dir=", 10) == 0) {
+      out_dir = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
+      only.push_back(argv[i] + 11);
+    }
+  }
+  if (repeats < 1) repeats = 1;
+
+  std::vector<Scenario> scenarios = BuildScenarios();
+  if (!only.empty()) {
+    std::vector<Scenario> filtered;
+    for (const Scenario& s : scenarios) {
+      if (std::find(only.begin(), only.end(), s.name) != only.end()) {
+        filtered.push_back(s);
+      }
+    }
+    if (filtered.size() != only.size()) {
+      std::fprintf(stderr, "bench_suite: unknown scenario in --scenario "
+                           "(known:");
+      for (const Scenario& s : scenarios) {
+        std::fprintf(stderr, " %s", s.name);
+      }
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+    scenarios = std::move(filtered);
+  }
+
+  std::printf("=== bench_suite: %zu scenario(s), %zu warmup + %zu "
+              "measured repeats, scale=%.2f seed=%llu ===\n\n",
+              scenarios.size(), warmup, repeats, args.scale,
+              static_cast<unsigned long long>(args.seed));
+
+  std::vector<ScenarioReport> reports;
+  for (const Scenario& scenario : scenarios) {
+    std::fprintf(stderr, "[bench_suite] %s ...\n", scenario.name);
+    // One profiler per scenario, spans off (aggregates only): phase
+    // totals accumulate over the measured repeats; warmups run against
+    // a throwaway profiler so they never pollute the stats.
+    prof::ProfilerOptions popt;
+    popt.capture_spans = false;
+    for (size_t w = 0; w < warmup; ++w) {
+      prof::Profiler scratch(popt);
+      uint64_t ignored = 0;
+      scenario.run(args, &scratch, &ignored);
+    }
+    prof::Profiler profiler(popt);
+    ScenarioReport report;
+    report.name = scenario.name;
+    report.description = scenario.description;
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      const uint64_t batches0 =
+          profiler.stats(prof::Phase::kWalkBatch).calls;
+      const uint64_t hops0 =
+          profiler.stats(prof::Phase::kWalkAdvance).items;
+      uint64_t wall_ns = 0;
+      RunResult run = scenario.run(args, &profiler, &wall_ns);
+      WorkCounts counts;
+      counts.ticks = run.stats.ticks;
+      counts.snapshots = run.stats.snapshots;
+      counts.total_samples = run.stats.total_samples;
+      counts.messages = run.meter.Total();
+      counts.degraded_ticks = run.degraded_ticks;
+      counts.walk_batches =
+          profiler.stats(prof::Phase::kWalkBatch).calls - batches0;
+      counts.walk_hops =
+          profiler.stats(prof::Phase::kWalkAdvance).items - hops0;
+      if (rep == 0) {
+        report.counts = counts;
+      } else if (!(counts == report.counts)) {
+        std::fprintf(stderr,
+                     "FATAL: scenario '%s' repeat %zu did different work "
+                     "than repeat 0 — the run is not deterministic\n",
+                     scenario.name, rep);
+        return 1;
+      }
+      report.wall_ms.push_back(static_cast<double>(wall_ns) / 1e6);
+    }
+    report.prof_json = profiler.ToJson();
+    reports.push_back(std::move(report));
+  }
+
+  // Human-readable roll-up.
+  TablePrinter table({"scenario", "median ms", "mad", "p10", "p90",
+                      "samples/s", "hops/s"});
+  for (const ScenarioReport& r : reports) {
+    const double median = Median(r.wall_ms);
+    const double secs = median / 1e3;
+    table.AddRow(
+        {r.name, Fmt("%.2f", median), Fmt("%.2f", Mad(r.wall_ms)),
+         Fmt("%.2f", Percentile(r.wall_ms, 10)),
+         Fmt("%.2f", Percentile(r.wall_ms, 90)),
+         Fmt("%.3g",
+             secs > 0 ? static_cast<double>(r.counts.total_samples) / secs
+                      : 0),
+         Fmt("%.3g", secs > 0
+                         ? static_cast<double>(r.counts.walk_hops) / secs
+                         : 0)});
+  }
+  table.Print();
+
+  // Machine-readable trajectory: one file per scenario + the merged
+  // suite file bench_compare.py consumes.
+  std::string suite = "{\"schema\":\"";
+  suite += kSuiteSchema;
+  suite += "\",\"config\":{\"scale\":";
+  suite += FmtRate(args.scale);
+  suite += ",\"seed\":";
+  suite += std::to_string(args.seed);
+  suite += ",\"quick\":";
+  suite += args.quick ? "true" : "false";
+  suite += ",\"warmup\":";
+  suite += std::to_string(warmup);
+  suite += ",\"repeats\":";
+  suite += std::to_string(repeats);
+  suite += "},\"scenarios\":{";
+  bool first = true;
+  for (const ScenarioReport& r : reports) {
+    const std::string json = RenderScenarioJson(r, args, warmup);
+    const std::string path = out_dir + "/BENCH_" + r.name + ".json";
+    CheckOk(obs::WriteFile(path, json + "\n"), path.c_str());
+    std::printf("wrote %s\n", path.c_str());
+    if (!first) suite.push_back(',');
+    first = false;
+    suite.push_back('"');
+    suite += r.name;
+    suite += "\":";
+    suite += json;
+  }
+  suite += "}}";
+  const std::string suite_path = out_dir + "/BENCH_SUITE.json";
+  CheckOk(obs::WriteFile(suite_path, suite + "\n"), suite_path.c_str());
+  std::printf("wrote %s\n", suite_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace digest
+
+int main(int argc, char** argv) { return digest::bench::Run(argc, argv); }

@@ -17,21 +17,71 @@
 #include "obs/exporters.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "prof/profiler.h"
 
 namespace digest {
 namespace bench {
+
+/// A binary-specific flag a bench registers with BenchArgs::Parse so it
+/// is accepted (the bench reads it from argv itself) and listed in the
+/// shared usage text. `flag` is matched as an exact string, or as a
+/// prefix when it ends in '='.
+struct ExtraFlag {
+  const char* flag;
+  const char* help;
+};
 
 /// Command-line options common to every bench binary.
 struct BenchArgs {
   double scale = 0.25;  ///< Workload-size multiplier vs the paper.
   uint64_t seed = 1;    ///< Master seed for the run.
   bool quick = false;   ///< Cut sweeps down for smoke runs.
+  bool prof = false;             ///< --prof: wall-clock profiling.
   std::string trace_path;        ///< --trace=F: Chrome trace_event JSON.
   std::string trace_jsonl_path;  ///< --trace-jsonl=F: JSON Lines events.
   std::string metrics_path;      ///< --metrics=F: registry dump (JSON).
 
-  static BenchArgs Parse(int argc, char** argv) {
+  static void PrintUsage(std::FILE* out, const char* binary,
+                         const std::vector<ExtraFlag>& extra) {
+    std::fprintf(out,
+                 "usage: %s [--scale=F] [--seed=N] [--quick] [--prof] "
+                 "[--trace=F] [--trace-jsonl=F] [--metrics=F]%s\n"
+                 "  --scale=F        workload size multiplier vs the paper "
+                 "(default 0.25; 1.0 = paper scale)\n"
+                 "  --seed=N         master RNG seed (default 1)\n"
+                 "  --quick          shorten sweeps for smoke testing\n"
+                 "  --prof           profile wall-clock hot paths and print "
+                 "the phase table\n"
+                 "  --trace=F        write a Chrome trace_event file "
+                 "(Perfetto-loadable)\n"
+                 "  --trace-jsonl=F  write the structured event trace as "
+                 "JSON Lines\n"
+                 "  --metrics=F      write the metrics registry as JSON and "
+                 "print a summary table\n",
+                 binary, extra.empty() ? "" : " [bench-specific flags]");
+    for (const ExtraFlag& e : extra) {
+      std::fprintf(out, "  %-16s %s\n", e.flag, e.help);
+    }
+  }
+
+  /// Parses the shared flags. Any `--flag` that is neither shared nor
+  /// registered in `extra` is rejected with an error plus the usage
+  /// text (exit 2), identically in every bench. Non-flag arguments are
+  /// rejected the same way.
+  static BenchArgs Parse(int argc, char** argv,
+                         const std::vector<ExtraFlag>& extra = {}) {
     BenchArgs args;
+    auto matches_extra = [&extra](const char* arg) {
+      for (const ExtraFlag& e : extra) {
+        const size_t n = std::strlen(e.flag);
+        if (n > 0 && e.flag[n - 1] == '=') {
+          if (std::strncmp(arg, e.flag, n) == 0) return true;
+        } else if (std::strcmp(arg, e.flag) == 0) {
+          return true;
+        }
+      }
+      return false;
+    };
     for (int i = 1; i < argc; ++i) {
       if (std::strncmp(argv[i], "--scale=", 8) == 0) {
         args.scale = std::atof(argv[i] + 8);
@@ -39,6 +89,8 @@ struct BenchArgs {
         args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
       } else if (std::strcmp(argv[i], "--quick") == 0) {
         args.quick = true;
+      } else if (std::strcmp(argv[i], "--prof") == 0) {
+        args.prof = true;
       } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
         args.trace_path = argv[i] + 8;
       } else if (std::strncmp(argv[i], "--trace-jsonl=", 14) == 0) {
@@ -46,21 +98,12 @@ struct BenchArgs {
       } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
         args.metrics_path = argv[i] + 10;
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf(
-            "usage: %s [--scale=F] [--seed=N] [--quick] [--trace=F] "
-            "[--trace-jsonl=F] [--metrics=F]\n"
-            "  --scale=F        workload size multiplier vs the paper "
-            "(default 0.25; 1.0 = paper scale)\n"
-            "  --seed=N         master RNG seed (default 1)\n"
-            "  --quick          shorten sweeps for smoke testing\n"
-            "  --trace=F        write a Chrome trace_event file "
-            "(Perfetto-loadable)\n"
-            "  --trace-jsonl=F  write the structured event trace as "
-            "JSON Lines\n"
-            "  --metrics=F      write the metrics registry as JSON and "
-            "print a summary table\n",
-            argv[0]);
+        PrintUsage(stdout, argv[0], extra);
         std::exit(0);
+      } else if (!matches_extra(argv[i])) {
+        std::fprintf(stderr, "%s: unknown flag '%s'\n\n", argv[0], argv[i]);
+        PrintUsage(stderr, argv[0], extra);
+        std::exit(2);
       }
     }
     if (args.scale <= 0.0) args.scale = 0.25;
@@ -89,11 +132,17 @@ inline void CheckOk(const Status& status, const char* what) {
 }
 
 /// Observability plumbing for a bench run, driven by the --trace /
-/// --trace-jsonl / --metrics flags. When none is given, tracer() and
-/// registry() return nullptr and the instrumented code takes its null
-/// fast path — the run is bit-identical to an uninstrumented binary.
-/// Call Finish() after the sweep to write the requested files and print
-/// the end-of-run summary table.
+/// --trace-jsonl / --metrics / --prof flags. When none is given,
+/// tracer(), registry(), and profiler() return nullptr and the
+/// instrumented code takes its null fast path — the run is
+/// bit-identical to an uninstrumented binary. Call Finish() after the
+/// sweep to write the requested files and print the end-of-run tables.
+///
+/// --prof is orthogonal to the deterministic exports: it attaches a
+/// wall-clock prof::Profiler, prints the phase table at Finish, and —
+/// when combined with --trace / --trace-jsonl / --metrics — adds the
+/// "wall" Chrome track, `prof_phase` JSONL lines, and the metrics
+/// `prof` section to the exported files.
 class ObsSession {
  public:
   explicit ObsSession(const BenchArgs& args)
@@ -101,25 +150,33 @@ class ObsSession {
 
   obs::Tracer* tracer() { return enabled_ ? &tracer_ : nullptr; }
   obs::Registry* registry() { return enabled_ ? &registry_ : nullptr; }
+  prof::Profiler* profiler() { return args_.prof ? &profiler_ : nullptr; }
   bool enabled() const { return enabled_; }
 
   void Finish() {
+    if (args_.prof) {
+      std::printf("\n%s", prof::RenderProfSummary(profiler_).c_str());
+    }
     if (!enabled_) return;
     if (!args_.trace_path.empty()) {
-      CheckOk(obs::WriteChromeTrace(tracer_.events(), args_.trace_path),
+      CheckOk(obs::WriteChromeTrace(tracer_.events(), args_.trace_path,
+                                    profiler()),
               "--trace");
       std::printf("\nwrote Chrome trace (%zu events) to %s\n",
                   tracer_.events().size(), args_.trace_path.c_str());
     }
     if (!args_.trace_jsonl_path.empty()) {
-      CheckOk(obs::WriteJsonLines(tracer_.events(), args_.trace_jsonl_path),
+      CheckOk(obs::WriteJsonLines(tracer_.events(), args_.trace_jsonl_path,
+                                  profiler()),
               "--trace-jsonl");
       std::printf("wrote JSONL trace (%zu events) to %s\n",
                   tracer_.events().size(),
                   args_.trace_jsonl_path.c_str());
     }
     if (!args_.metrics_path.empty()) {
-      CheckOk(registry_.WriteJson(args_.metrics_path), "--metrics");
+      CheckOk(obs::WriteFile(args_.metrics_path,
+                             obs::RenderMetricsJson(registry_, profiler())),
+              "--metrics");
       std::printf("wrote metrics registry to %s\n",
                   args_.metrics_path.c_str());
       std::printf("\n%s", obs::RenderSummary(registry_).c_str());
@@ -131,18 +188,26 @@ class ObsSession {
   bool enabled_;
   obs::MemoryTracer tracer_;
   obs::Registry registry_;
+  prof::Profiler profiler_;
 };
 
-/// For benches with nothing to trace (no engine runs): fail fast with a
-/// clear message instead of silently ignoring a requested export.
+/// For benches with nothing to instrument (no engine runs): fail fast
+/// with a clear message instead of silently ignoring a requested
+/// export. Same wording and exit status (2, like an unknown flag) in
+/// every bench.
 inline void RejectObservabilityFlags(const BenchArgs& args,
                                      const char* binary) {
-  if (args.ObservabilityRequested()) {
+  const char* flag = nullptr;
+  if (!args.trace_path.empty()) flag = "--trace";
+  if (!args.trace_jsonl_path.empty()) flag = "--trace-jsonl";
+  if (!args.metrics_path.empty()) flag = "--metrics";
+  if (args.prof) flag = "--prof";
+  if (flag != nullptr) {
     std::fprintf(stderr,
-                 "%s: --trace/--trace-jsonl/--metrics are not supported "
-                 "by this bench (no engine runs to trace)\n",
-                 binary);
-    std::exit(1);
+                 "%s: flag '%s' is not supported by this bench "
+                 "(no engine runs to instrument)\n",
+                 binary, flag);
+    std::exit(2);
   }
 }
 

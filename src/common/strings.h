@@ -20,6 +20,17 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 /// Uppercases ASCII letters in `s`.
 std::string ToUpperAscii(std::string_view s);
 
+/// Appends `s` to `*out` as the body of a JSON string literal (without
+/// the surrounding quotes): `"` and `\` are backslash-escaped, common
+/// control characters use their short forms (\n, \t, \r, \b, \f), and
+/// any other byte below 0x20 becomes \u00XX. Shared by every JSON
+/// emitter (obs exporters, metrics registry) so labels and event fields
+/// containing quotes/backslashes/newlines round-trip as valid JSON.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// Returns the escaped body (AppendJsonEscaped into a fresh string).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace digest
 
 #endif  // DIGEST_COMMON_STRINGS_H_

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "prof/profiler.h"
 #include "sampling/size_estimator.h"
 
 namespace digest {
@@ -86,8 +87,8 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
             graph, ContentSizeWeight(*db), rng.Fork(), meter,
             options.sampling_options);
         engine->sampling_operator_->SetFaultPlan(options.fault_plan);
-        engine->sampling_operator_->SetObservability(options.tracer,
-                                                     options.registry);
+        engine->sampling_operator_->SetObservability(
+            options.tracer, options.registry, options.profiler);
         op = engine->sampling_operator_.get();
       }
       engine->two_stage_sampler_ =
@@ -115,8 +116,8 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
           graph, UniformWeight(), rng.Fork(), meter,
           options.sampling_options);
       engine->uniform_operator_->SetFaultPlan(options.fault_plan);
-      engine->uniform_operator_->SetObservability(options.tracer,
-                                                  options.registry);
+      engine->uniform_operator_->SetObservability(
+          options.tracer, options.registry, options.profiler);
       engine->size_oracle_ = std::make_unique<CollisionSizeEstimator>(
           db, engine->uniform_operator_.get(), querying_node,
           options.size_estimator_options);
@@ -159,6 +160,10 @@ Result<double> DigestEngine::AdjustedPreviousResult() const {
 }
 
 Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
+  // Wall-clock accounting of the whole tick (null profiler: no-op, no
+  // clock read). Strictly observational — real time never feeds back
+  // into scheduling or estimation.
+  prof::ScopedTimer tick_timer(options_.profiler, prof::Phase::kEngineTick);
   if (t <= last_tick_) {
     return Status::InvalidArgument("ticks must be strictly increasing");
   }
@@ -200,7 +205,11 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
 
   // This tick is a sampling occasion: evaluate the snapshot query.
   SnapshotEstimate est;
-  Result<SnapshotEstimate> fresh = estimator_->Evaluate(querying_node_);
+  Result<SnapshotEstimate> fresh = [&] {
+    prof::ScopedTimer timer(options_.profiler,
+                            prof::Phase::kEstimatorEvaluate);
+    return estimator_->Evaluate(querying_node_);
+  }();
   if (fresh.ok()) {
     est = *fresh;
   } else if (fresh.status().code() == StatusCode::kUnavailable) {
@@ -208,8 +217,11 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
     // faults, or the overlay is transiently unreachable). Degrade
     // instead of failing the tick: fall back to the retained pool, and
     // failing that hold the previous result under a widening interval.
-    Result<SnapshotEstimate> degraded =
-        estimator_->EvaluateDegraded(querying_node_);
+    Result<SnapshotEstimate> degraded = [&] {
+      prof::ScopedTimer timer(options_.profiler,
+                              prof::Phase::kEstimatorEvaluate);
+      return estimator_->EvaluateDegraded(querying_node_);
+    }();
     if (degraded.ok()) {
       est = *degraded;
       est.degraded = true;
@@ -267,6 +279,8 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
   }
 
   if (!est.degraded) {
+    prof::ScopedTimer timer(options_.profiler,
+                            prof::Phase::kExtrapolatorFit);
     DIGEST_RETURN_IF_ERROR(extrapolator_.AddObservation(t, est.value));
   }
 
@@ -303,6 +317,10 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
       next_snapshot_tick_ = t + 1;
       break;
     case SchedulerKind::kPred: {
+      // Covers the Eq. 4 gap search plus the fitted-value evaluations
+      // the trace emission performs — all extrapolation work.
+      prof::ScopedTimer timer(options_.profiler,
+                              prof::Phase::kExtrapolatorPredict);
       if (options_.strict_resolution) {
         // Strict mode: the crossing is measured from the running result
         // X̂[t_u], so drift accumulated across non-updating snapshots

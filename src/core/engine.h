@@ -24,6 +24,9 @@ namespace obs {
 class Registry;
 class Tracer;
 }  // namespace obs
+namespace prof {
+class Profiler;
+}  // namespace prof
 
 /// Snapshot scheduling policy: ALL executes a snapshot query at every
 /// tick; PRED uses the extrapolation algorithm (§IV-A) to skip ticks the
@@ -105,6 +108,15 @@ struct DigestEngineOptions {
   /// sampler's histograms/counters plus per-snapshot sample-count and
   /// ρ̂ instruments from the engine. Same purity contract as `tracer`.
   obs::Registry* registry = nullptr;
+
+  /// Optional wall-clock profiler (not owned; null disables — the null
+  /// fast path performs no clock reads at all). Unlike `tracer` and
+  /// `registry` this records *real* time, kept strictly out of the
+  /// deterministic trace: scoped timers cover Tick, PRED fit/predict,
+  /// snapshot estimation, and (through the operators Create builds)
+  /// walk batches and stepping. Same purity contract: estimates, RNG
+  /// streams, and meter totals are bit-identical with or without one.
+  prof::Profiler* profiler = nullptr;
 };
 
 /// What one engine tick did.

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/tracer.h"
+#include "prof/profiler.h"
 
 namespace digest {
 namespace {
@@ -90,6 +91,10 @@ double FaultPlan::EdgeLossRate(NodeId a, NodeId b) const {
 bool FaultPlan::LoseMessage(NodeId from, NodeId to) {
   const double rate = EdgeLossRate(from, to);
   if (rate <= 0.0) return false;
+  // Times only paths that actually draw from the plan's stream; the
+  // zero-rate early-outs above cost no randomness and stay untimed.
+  prof::ScopedTimer timer(profiler_, prof::Phase::kFaultDraw);
+  timer.AddItems(1);
   if (!rng_.NextBernoulli(rate)) return false;
   ++losses_injected_;
   if (obs::Tracing(tracer_)) {
@@ -100,6 +105,8 @@ bool FaultPlan::LoseMessage(NodeId from, NodeId to) {
 
 bool FaultPlan::DropAgent() {
   if (config_.agent_drop <= 0.0) return false;
+  prof::ScopedTimer timer(profiler_, prof::Phase::kFaultDraw);
+  timer.AddItems(1);
   if (!rng_.NextBernoulli(config_.agent_drop)) return false;
   ++drops_injected_;
   return true;
@@ -107,12 +114,16 @@ bool FaultPlan::DropAgent() {
 
 bool FaultPlan::StaleProbe() {
   if (config_.stale_probe <= 0.0) return false;
+  prof::ScopedTimer timer(profiler_, prof::Phase::kFaultDraw);
+  timer.AddItems(1);
   if (!rng_.NextBernoulli(config_.stale_probe)) return false;
   ++stale_injected_;
   return true;
 }
 
 double FaultPlan::DistortWeight(double weight) {
+  prof::ScopedTimer timer(profiler_, prof::Phase::kFaultDraw);
+  timer.AddItems(1);
   const double u = 2.0 * rng_.NextDouble() - 1.0;
   return std::max(0.0, weight * (1.0 + config_.stale_noise * u));
 }

@@ -11,6 +11,9 @@ namespace digest {
 namespace obs {
 class Tracer;
 }  // namespace obs
+namespace prof {
+class Profiler;
+}  // namespace prof
 
 /// Rates and shapes of the injected faults. All probabilities are in
 /// [0, 1]; a default-constructed config injects nothing.
@@ -89,6 +92,14 @@ class FaultPlan {
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
 
+  /// Attaches (or detaches) a wall-clock profiler: the Bernoulli/noise
+  /// draws (LoseMessage, DropAgent, StaleProbe, DistortWeight) fold
+  /// their real cost into prof::Phase::kFaultDraw. Not owned; null
+  /// disables with no clock reads. Same purity contract as the tracer:
+  /// the draw stream and injection counters are untouched.
+  void SetProfiler(prof::Profiler* profiler) { profiler_ = profiler; }
+  prof::Profiler* profiler() const { return profiler_; }
+
   /// Draws whether one transmission over edge (from, to) is lost.
   /// Counts toward losses_injected() when true.
   bool LoseMessage(NodeId from, NodeId to);
@@ -120,6 +131,7 @@ class FaultPlan {
   uint64_t seed_;
   Rng rng_;
   obs::Tracer* tracer_ = nullptr;
+  prof::Profiler* profiler_ = nullptr;
   int64_t now_ = 0;
   uint64_t losses_injected_ = 0;
   uint64_t drops_injected_ = 0;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <map>
 
+#include "common/strings.h"
+
 namespace digest {
 namespace obs {
 namespace {
@@ -25,10 +27,7 @@ void Field(std::string* out, const char* key, const std::string& value,
   out->append("\":");
   if (quote) {
     out->push_back('"');
-    for (char c : value) {
-      if (c == '"' || c == '\\') out->push_back('\\');
-      out->push_back(c);
-    }
+    AppendJsonEscaped(out, value);
     out->push_back('"');
   } else {
     out->append(value);
@@ -162,16 +161,46 @@ std::string EventToJsonLine(const TraceEvent& event) {
   return out;
 }
 
-std::string RenderJsonLines(const std::vector<TraceEvent>& events) {
+namespace {
+
+/// Appends the wall-clock profile as JSONL: one `prof_phase` line per
+/// recorded phase (aggregates, not events — no seq/t stamps).
+void AppendProfJsonLines(std::string* out, const prof::Profiler& profiler) {
+  for (size_t i = 0; i < prof::kNumPhases; ++i) {
+    const auto phase = static_cast<prof::Phase>(i);
+    const prof::PhaseStats& s = profiler.stats(phase);
+    if (s.calls == 0 && s.items == 0) continue;
+    *out += "{\"event\":\"prof_phase\",\"phase\":\"";
+    *out += prof::PhaseName(phase);
+    *out += "\",\"calls\":";
+    *out += std::to_string(s.calls);
+    *out += ",\"total_ns\":";
+    *out += std::to_string(s.total_ns);
+    *out += ",\"min_ns\":";
+    *out += std::to_string(s.min_ns);
+    *out += ",\"max_ns\":";
+    *out += std::to_string(s.max_ns);
+    *out += ",\"items\":";
+    *out += std::to_string(s.items);
+    *out += "}\n";
+  }
+}
+
+}  // namespace
+
+std::string RenderJsonLines(const std::vector<TraceEvent>& events,
+                            const prof::Profiler* profiler) {
   std::string out;
   for (const TraceEvent& event : events) {
     out += EventToJsonLine(event);
     out.push_back('\n');
   }
+  if (profiler != nullptr) AppendProfJsonLines(&out, *profiler);
   return out;
 }
 
-std::string RenderChromeTrace(const std::vector<TraceEvent>& events) {
+std::string RenderChromeTrace(const std::vector<TraceEvent>& events,
+                              const prof::Profiler* profiler) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto emit = [&](const std::string& obj) {
@@ -197,10 +226,7 @@ std::string RenderChromeTrace(const std::vector<TraceEvent>& events) {
       std::string meta = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
       meta += std::to_string(pid);
       meta += ",\"tid\":1,\"args\":{\"name\":\"";
-      for (char c : run->label) {
-        if (c == '"' || c == '\\') meta.push_back('\\');
-        meta.push_back(c);
-      }
+      AppendJsonEscaped(&meta, run->label);
       meta += "\"}}";
       emit(meta);
       continue;
@@ -240,7 +266,53 @@ std::string RenderChromeTrace(const std::vector<TraceEvent>& events) {
     obj.push_back('}');
     emit(obj);
   }
+
+  if (profiler != nullptr && !profiler->spans().empty()) {
+    // The wall track: one extra process carrying real-time spans. Spans
+    // were recorded in completion order (RAII destruction); sort by
+    // start so the track reads left-to-right and timestamps are
+    // monotone (stable sort keeps nesting order for equal starts).
+    const int wall_pid = pid + 1;
+    std::string meta = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    meta += std::to_string(wall_pid);
+    meta += ",\"tid\":1,\"args\":{\"name\":\"wall-clock profiler\"}}";
+    emit(meta);
+    std::vector<prof::WallSpan> spans = profiler->spans();
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const prof::WallSpan& a, const prof::WallSpan& b) {
+                       return a.start_ns < b.start_ns;
+                     });
+    for (const prof::WallSpan& span : spans) {
+      std::string obj = "{\"name\":\"";
+      obj += prof::PhaseName(span.phase);
+      obj += "\",\"cat\":\"wall\",\"ph\":\"X\",\"pid\":";
+      obj += std::to_string(wall_pid);
+      obj += ",\"tid\":1,\"ts\":";
+      obj += std::to_string(span.start_ns / 1000);
+      obj += ",\"dur\":";
+      obj += std::to_string(span.dur_ns / 1000);
+      obj += ",\"args\":{\"dur_ns\":";
+      obj += std::to_string(span.dur_ns);
+      obj += ",\"items\":";
+      obj += std::to_string(span.items);
+      obj += "}}";
+      emit(obj);
+    }
+  }
+
   out += "]}";
+  return out;
+}
+
+std::string RenderMetricsJson(const Registry& registry,
+                              const prof::Profiler* profiler) {
+  std::string out = registry.ToJson();
+  if (profiler == nullptr) return out;
+  // Splice the prof object into the registry dump's top-level object.
+  out.pop_back();  // Trailing '}'.
+  out += ",\"prof\":";
+  out += profiler->ToJson();
+  out.push_back('}');
   return out;
 }
 
@@ -257,13 +329,15 @@ Status WriteFile(const std::string& path, const std::string& content) {
 }
 
 Status WriteJsonLines(const std::vector<TraceEvent>& events,
-                      const std::string& path) {
-  return WriteFile(path, RenderJsonLines(events));
+                      const std::string& path,
+                      const prof::Profiler* profiler) {
+  return WriteFile(path, RenderJsonLines(events, profiler));
 }
 
 Status WriteChromeTrace(const std::vector<TraceEvent>& events,
-                        const std::string& path) {
-  return WriteFile(path, RenderChromeTrace(events));
+                        const std::string& path,
+                        const prof::Profiler* profiler) {
+  return WriteFile(path, RenderChromeTrace(events, profiler));
 }
 
 std::string RenderSummary(const Registry& registry) {

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "prof/profiler.h"
 
 namespace digest {
 namespace obs {
@@ -15,6 +16,12 @@ namespace obs {
 // events (simulated time + sequence numbers, fixed "%.17g" float
 // formatting, deterministic ordering), so two same-seed runs export
 // byte-identical files — asserted by tests/obs_determinism_test.cc.
+//
+// Each renderer optionally accepts a wall-clock prof::Profiler. A null
+// profiler leaves the output byte-identical to the profiler-less form;
+// a non-null one appends a clearly separated, wall-clock section (the
+// Chrome "wall" track, JSONL `prof_phase` lines, the metrics `prof`
+// object) that is *not* expected to be deterministic across runs.
 
 /// One event as a single-line JSON object: `{"seq":N,"t":N,"event":
 /// "<name>", ...payload fields}`. See docs/OBSERVABILITY.md for the
@@ -22,22 +29,40 @@ namespace obs {
 std::string EventToJsonLine(const TraceEvent& event);
 
 /// The whole trace in JSON Lines form (one EventToJsonLine per line).
-std::string RenderJsonLines(const std::vector<TraceEvent>& events);
+/// With a profiler, one `{"event":"prof_phase",...}` line per recorded
+/// phase is appended after all trace events (no seq/t stamps — these
+/// lines are wall-clock aggregates, not simulation events).
+std::string RenderJsonLines(const std::vector<TraceEvent>& events,
+                            const prof::Profiler* profiler = nullptr);
 
 /// The whole trace in Chrome trace_event format (a JSON object with a
 /// `traceEvents` array), loadable in Perfetto / chrome://tracing:
 /// each RunBeginEvent opens a new process; engine ticks are rendered as
 /// 1 ms spans at ts = sim_time * 1000 µs with walk/fault events nested
 /// under the tick they occurred in.
-std::string RenderChromeTrace(const std::vector<TraceEvent>& events);
+///
+/// With a profiler, a separate process named "wall-clock profiler"
+/// carries the captured wall spans (ts/dur in real µs since the
+/// profiler's epoch, sorted by start time, cat "wall") — the second
+/// track that shows where real time went next to the simulated one.
+std::string RenderChromeTrace(const std::vector<TraceEvent>& events,
+                              const prof::Profiler* profiler = nullptr);
+
+/// Registry dump plus an optional wall-clock `prof` section:
+/// `{"counters":...,"gauges":...,"histograms":...,"prof":{...}}`.
+/// With a null profiler this is exactly Registry::ToJson().
+std::string RenderMetricsJson(const Registry& registry,
+                              const prof::Profiler* profiler = nullptr);
 
 /// Writes `content` to `path` (the render helpers above produce it).
 Status WriteFile(const std::string& path, const std::string& content);
 
 Status WriteJsonLines(const std::vector<TraceEvent>& events,
-                      const std::string& path);
+                      const std::string& path,
+                      const prof::Profiler* profiler = nullptr);
 Status WriteChromeTrace(const std::vector<TraceEvent>& events,
-                        const std::string& path);
+                        const std::string& path,
+                        const prof::Profiler* profiler = nullptr);
 
 /// Human-readable end-of-run summary of a registry: aligned tables of
 /// counters, gauges, and histogram digests.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/strings.h"
+
 namespace digest {
 namespace obs {
 namespace {
@@ -15,27 +17,7 @@ std::string FormatDouble(double v) {
 
 void AppendJsonString(std::string* out, const std::string& s) {
   out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out->append("\\\"");
-        break;
-      case '\\':
-        out->append("\\\\");
-        break;
-      case '\n':
-        out->append("\\n");
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out->append(buf);
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
+  AppendJsonEscaped(out, s);
   out->push_back('"');
 }
 

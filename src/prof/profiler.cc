@@ -1,0 +1,141 @@
+#include "prof/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace digest {
+namespace prof {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kEngineTick:
+      return "engine_tick";
+    case Phase::kExtrapolatorFit:
+      return "extrapolator_fit";
+    case Phase::kExtrapolatorPredict:
+      return "extrapolator_predict";
+    case Phase::kEstimatorEvaluate:
+      return "estimator_evaluate";
+    case Phase::kWalkBatch:
+      return "walk_batch";
+    case Phase::kWalkAdvance:
+      return "walk_advance";
+    case Phase::kFaultDraw:
+      return "fault_draw";
+    case Phase::kPhaseCount:
+      break;
+  }
+  return "unknown";
+}
+
+bool PhaseCapturesSpans(Phase phase) {
+  switch (phase) {
+    case Phase::kEngineTick:
+    case Phase::kEstimatorEvaluate:
+    case Phase::kWalkBatch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Profiler::Profiler(ProfilerOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {}
+
+void Profiler::Record(Phase phase, uint64_t start_ns, uint64_t end_ns,
+                      uint64_t items) {
+  const uint64_t dur = end_ns >= start_ns ? end_ns - start_ns : 0;
+  PhaseStats& s = stats_[static_cast<size_t>(phase)];
+  if (s.calls == 0 || dur < s.min_ns) s.min_ns = dur;
+  if (dur > s.max_ns) s.max_ns = dur;
+  ++s.calls;
+  s.total_ns += dur;
+  s.items += items;
+  if (options_.capture_spans && PhaseCapturesSpans(phase)) {
+    if (spans_.size() < options_.max_spans) {
+      spans_.push_back(WallSpan{phase, start_ns, dur, items});
+    } else {
+      ++spans_dropped_;
+    }
+  }
+}
+
+void Profiler::Reset() {
+  for (PhaseStats& s : stats_) s = PhaseStats();
+  spans_.clear();
+  spans_dropped_ = 0;
+}
+
+std::string Profiler::ToJson() const {
+  std::string out = "{\"phases\":{";
+  bool first = true;
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    const PhaseStats& s = stats_[i];
+    if (s.calls == 0 && s.items == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out += PhaseName(static_cast<Phase>(i));
+    out += "\":{\"calls\":";
+    out += std::to_string(s.calls);
+    out += ",\"total_ns\":";
+    out += std::to_string(s.total_ns);
+    out += ",\"min_ns\":";
+    out += std::to_string(s.min_ns);
+    out += ",\"max_ns\":";
+    out += std::to_string(s.max_ns);
+    out += ",\"items\":";
+    out += std::to_string(s.items);
+    out.push_back('}');
+  }
+  out += "},\"spans_captured\":";
+  out += std::to_string(spans_.size());
+  out += ",\"spans_dropped\":";
+  out += std::to_string(spans_dropped_);
+  out.push_back('}');
+  return out;
+}
+
+std::string RenderProfSummary(const Profiler& profiler) {
+  std::string out = "== wall-clock profile ==\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-22s %10s %12s %12s %14s\n", "phase",
+                "calls", "total_ms", "mean_us", "items/sec");
+  out += buf;
+  bool any = false;
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    const Phase phase = static_cast<Phase>(i);
+    const PhaseStats& s = profiler.stats(phase);
+    if (s.calls == 0 && s.items == 0) continue;
+    any = true;
+    const double total_ms = static_cast<double>(s.total_ns) / 1e6;
+    const double mean_us =
+        s.calls == 0 ? 0.0
+                     : static_cast<double>(s.total_ns) /
+                           (1e3 * static_cast<double>(s.calls));
+    std::string rate = "-";
+    if (s.items > 0 && s.total_ns > 0) {
+      std::snprintf(buf, sizeof(buf), "%.3g",
+                    static_cast<double>(s.items) * 1e9 /
+                        static_cast<double>(s.total_ns));
+      rate = buf;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-22s %10llu %12.3f %12.2f %14s\n",
+                  PhaseName(phase),
+                  static_cast<unsigned long long>(s.calls), total_ms,
+                  mean_us, rate.c_str());
+    out += buf;
+  }
+  if (!any) out += "  (no phases recorded)\n";
+  if (profiler.spans_dropped() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  [%llu spans dropped over the %zu-span cap]\n",
+                  static_cast<unsigned long long>(profiler.spans_dropped()),
+                  profiler.options().max_spans);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace prof
+}  // namespace digest

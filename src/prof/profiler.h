@@ -1,0 +1,171 @@
+#ifndef DIGEST_PROF_PROFILER_H_
+#define DIGEST_PROF_PROFILER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace digest {
+namespace prof {
+
+// Wall-clock profiling of the simulator's hot paths.
+//
+// This subsystem is deliberately separate from src/obs/: the obs layer
+// records *simulated* time and is bit-reproducible across runs, while
+// the profiler reads the host's steady clock and answers a different
+// question — where does real CPU time go? The two never mix: profiler
+// data is exported on a dedicated "wall" track / `prof` section, and
+// the deterministic trace and metrics files are byte-identical with or
+// without a profiler attached.
+//
+// Null fast path (same contract as obs::Tracer): components hold a
+// `Profiler*` that may be null, and a ScopedTimer constructed with a
+// null profiler performs no clock read at all. A run with profiling
+// disabled is bit-identical to an uninstrumented build — test-enforced
+// by tests/prof_test.cc.
+
+/// The instrumented hot paths. Order is the export order; names are
+/// stable API (PhaseName) pinned by tools/check_trace.py.
+enum class Phase : int {
+  kEngineTick = 0,       ///< DigestEngine::Tick, whole body.
+  kExtrapolatorFit,      ///< PRED history fit (AddObservation).
+  kExtrapolatorPredict,  ///< PRED gap prediction (Eq. 4 search).
+  kEstimatorEvaluate,    ///< Snapshot estimation (INDEP/RPT regression).
+  kWalkBatch,            ///< SamplingOperator::SampleNodes, whole batch.
+  kWalkAdvance,          ///< One agent's stepping to convergence.
+  kFaultDraw,            ///< FaultPlan randomness draws.
+  kPhaseCount,           ///< Sentinel; not a phase.
+};
+
+inline constexpr size_t kNumPhases = static_cast<size_t>(Phase::kPhaseCount);
+
+/// Stable lower-snake-case name of a phase (`engine_tick`, ...).
+const char* PhaseName(Phase phase);
+
+/// Accumulated wall-clock cost of one phase. `items` counts
+/// phase-specific units of work (walk hops, samples drawn, ...) so
+/// exporters can derive throughput (items / total_ns).
+struct PhaseStats {
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;  ///< 0 until the first call.
+  uint64_t max_ns = 0;
+  uint64_t items = 0;
+};
+
+/// One captured span, for the Chrome-trace "wall" track. Timestamps are
+/// nanoseconds since the profiler's construction (its epoch).
+struct WallSpan {
+  Phase phase = Phase::kEngineTick;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint64_t items = 0;
+};
+
+struct ProfilerOptions {
+  /// Capture individual spans (for the Chrome wall track) in addition
+  /// to the aggregate per-phase counters. Only coarse phases are
+  /// captured (see PhaseCapturesSpans); high-frequency phases
+  /// (walk stepping, fault draws) aggregate into counters only.
+  bool capture_spans = true;
+
+  /// Hard cap on captured spans; further spans still aggregate into the
+  /// phase counters but are dropped from the span log (counted by
+  /// spans_dropped). Bounds memory on long runs.
+  size_t max_spans = 65536;
+};
+
+/// True for phases coarse enough to record as individual wall spans.
+bool PhaseCapturesSpans(Phase phase);
+
+/// Wall-clock profile accumulator. Not thread-safe (the simulator is
+/// single-threaded); one instance per run or per bench scenario.
+class Profiler {
+ public:
+  explicit Profiler(ProfilerOptions options = {});
+
+  /// Nanoseconds elapsed on the steady clock since construction.
+  uint64_t ElapsedNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Folds one completed interval into `phase` (normally called by
+  /// ~ScopedTimer). Captures a WallSpan for span-capturing phases.
+  void Record(Phase phase, uint64_t start_ns, uint64_t end_ns,
+              uint64_t items);
+
+  /// Adds work units to a phase without timing (e.g. samples drawn
+  /// counted outside any timer).
+  void AddItems(Phase phase, uint64_t items) {
+    stats_[static_cast<size_t>(phase)].items += items;
+  }
+
+  const PhaseStats& stats(Phase phase) const {
+    return stats_[static_cast<size_t>(phase)];
+  }
+  const std::vector<WallSpan>& spans() const { return spans_; }
+  uint64_t spans_dropped() const { return spans_dropped_; }
+  const ProfilerOptions& options() const { return options_; }
+
+  /// Clears all counters and spans; the epoch is NOT reset (spans from
+  /// before and after a Reset stay on one time axis).
+  void Reset();
+
+  /// The profile as one JSON object:
+  /// `{"phases":{"engine_tick":{"calls":N,"total_ns":N,"min_ns":N,
+  /// "max_ns":N,"items":N},...},"spans_captured":N,"spans_dropped":N}`.
+  /// Phases with zero calls and zero items are omitted. Key order is
+  /// the Phase enum order (stable across runs).
+  std::string ToJson() const;
+
+ private:
+  ProfilerOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+  PhaseStats stats_[kNumPhases];
+  std::vector<WallSpan> spans_;
+  uint64_t spans_dropped_ = 0;
+};
+
+/// RAII interval timer. With a null profiler the constructor and
+/// destructor do nothing — no clock read, no branch beyond the null
+/// check — so instrumented code pays nothing when profiling is off.
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler* profiler, Phase phase)
+      : profiler_(profiler), phase_(phase) {
+    if (profiler_ != nullptr) start_ns_ = profiler_->ElapsedNs();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Attributes `n` work units to the timed interval (recorded at
+  /// destruction). No-op when profiling is off.
+  void AddItems(uint64_t n) {
+    if (profiler_ != nullptr) items_ += n;
+  }
+
+  ~ScopedTimer() {
+    if (profiler_ != nullptr) {
+      profiler_->Record(phase_, start_ns_, profiler_->ElapsedNs(), items_);
+    }
+  }
+
+ private:
+  Profiler* profiler_;
+  Phase phase_;
+  uint64_t start_ns_ = 0;
+  uint64_t items_ = 0;
+};
+
+/// Human-readable profile summary: an aligned table of phases with
+/// calls, total/mean wall time, and throughput where items are counted.
+std::string RenderProfSummary(const Profiler& profiler);
+
+}  // namespace prof
+}  // namespace digest
+
+#endif  // DIGEST_PROF_PROFILER_H_

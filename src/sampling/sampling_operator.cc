@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "prof/profiler.h"
 
 namespace digest {
 namespace {
@@ -75,6 +76,9 @@ Result<NodeId> SamplingOperator::SampleNode(NodeId origin) {
 
 Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
                                                           size_t n) {
+  // Wall-clock cost of the whole batch; items = samples delivered
+  // (including partial batches that time out under faults).
+  prof::ScopedTimer batch_timer(profiler_, prof::Phase::kWalkBatch);
   if (graph_->NodeCount() == 0) {
     return Status::FailedPrecondition("cannot sample an empty network");
   }
@@ -120,13 +124,19 @@ Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
       steps = EffectiveWalkLength();
     }
     ++next_agent_;
+    // One agent's stepping to convergence (cold mix or warm reset);
+    // items count the attempted hops, so walk throughput in steps/sec
+    // falls out of the phase stats.
+    prof::ScopedTimer advance_timer(profiler_, prof::Phase::kWalkAdvance);
     if (faults_ == nullptr) {
+      advance_timer.AddItems(steps);
       DIGEST_RETURN_IF_ERROR(agent->Advance(*graph_, weight_, rng_, meter_,
                                             fallback, steps,
                                             &last_telemetry_));
     } else {
       size_t remaining = steps;
       while (remaining > 0) {
+        advance_timer.AddItems(1);
         if (last_telemetry_.attempts >= budget) {
           // Hop budget exhausted: the overlay is too lossy/stalled to
           // finish this batch in time. Reset the round-robin cursor so

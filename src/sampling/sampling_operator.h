@@ -17,6 +17,9 @@ namespace obs {
 class Registry;
 class Tracer;
 }  // namespace obs
+namespace prof {
+class Profiler;
+}  // namespace prof
 
 /// Tuning of the distributed sampling operator S.
 struct SamplingOperatorOptions {
@@ -84,18 +87,24 @@ class SamplingOperator {
   void SetFaultPlan(FaultPlan* faults) { faults_ = faults; }
   FaultPlan* fault_plan() const { return faults_; }
 
-  /// Attaches structured observability (either may be null; neither is
+  /// Attaches structured observability (each may be null; none is
   /// owned). The tracer receives walk-batch lifecycle events (launch,
   /// agent restart, hop-budget exhaustion, completion); the registry
   /// receives hop-count/acceptance-rate/retry histograms and batch
-  /// counters. Pure observation: the sampled nodes, the RNG stream, and
-  /// all MessageMeter accounting are bit-identical with or without.
-  void SetObservability(obs::Tracer* tracer, obs::Registry* registry) {
+  /// counters; the wall-clock profiler times whole batches
+  /// (prof::Phase::kWalkBatch, items = samples drawn) and per-agent
+  /// stepping (kWalkAdvance, items = hops). Pure observation: the
+  /// sampled nodes, the RNG stream, and all MessageMeter accounting are
+  /// bit-identical with or without.
+  void SetObservability(obs::Tracer* tracer, obs::Registry* registry,
+                        prof::Profiler* profiler = nullptr) {
     tracer_ = tracer;
     registry_ = registry;
+    profiler_ = profiler;
   }
   obs::Tracer* tracer() const { return tracer_; }
   obs::Registry* registry() const { return registry_; }
+  prof::Profiler* profiler() const { return profiler_; }
 
   /// Draws one sample node, originating the walk at `origin`. Returning
   /// the sampled node id to the originator costs one transfer message.
@@ -135,6 +144,7 @@ class SamplingOperator {
   FaultPlan* faults_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   obs::Registry* registry_ = nullptr;
+  prof::Profiler* profiler_ = nullptr;
   WalkTelemetry last_telemetry_;
   std::vector<RandomWalk> agents_;  // Warm agents, reused round-robin.
   size_t next_agent_ = 0;

@@ -26,6 +26,7 @@ Result<RunResult> RunEngineExperiment(Workload& workload,
   }
   if (options.fault_plan != nullptr) {
     options.fault_plan->SetTracer(options.tracer);
+    options.fault_plan->SetProfiler(options.profiler);
   }
 
   RunResult out;

@@ -1,0 +1,151 @@
+// Exporter string escaping: label values and event fields containing
+// quotes, backslashes, newlines, and control bytes must round-trip
+// through every JSON emitter (JSONL trace, Chrome trace, registry
+// dump). A tiny JSON-string decoder in this file closes the loop:
+// decode(emit(s)) == s for each hostile input.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/strings.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace digest {
+namespace {
+
+// Decodes the body of a JSON string literal (the inverse of
+// AppendJsonEscaped). Asserts on malformed escapes so a bad emitter
+// fails the test rather than slipping through.
+std::string JsonUnescape(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    EXPECT_LT(i, s.size()) << "dangling backslash";
+    switch (s[i]) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'u': {
+        EXPECT_LE(i + 4, s.size() - 1) << "truncated \\u escape";
+        out.push_back(static_cast<char>(
+            std::stoi(s.substr(i + 1, 4), nullptr, 16)));
+        i += 4;
+        break;
+      }
+      default:
+        ADD_FAILURE() << "unknown escape '\\" << s[i] << "'";
+    }
+  }
+  return out;
+}
+
+// The hostile inputs every case below reuses.
+const char* kNasty[] = {
+    "quote\"inside",
+    "back\\slash",
+    "line\nbreak",
+    "tab\there",
+    "cr\rlf\n",
+    "bell\x07null-ish\x01",
+    "\"\\\n mixed \\\" end\\",
+};
+
+TEST(JsonEscapeTest, RoundTripsHostileStrings) {
+  for (const char* raw : kNasty) {
+    const std::string escaped = JsonEscape(raw);
+    // The escaped body must not contain raw quotes, backslashes (except
+    // as escape introducers), or control bytes.
+    for (char c : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+          << "raw control byte in " << escaped;
+    }
+    EXPECT_EQ(JsonUnescape(escaped), raw);
+  }
+}
+
+TEST(JsonEscapeTest, AppendMatchesReturnVariant) {
+  std::string out = "prefix:";
+  AppendJsonEscaped(&out, "a\"b\\c\nd");
+  EXPECT_EQ(out, "prefix:" + JsonEscape("a\"b\\c\nd"));
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(JsonEscapeTest, ControlBytesUseUnicodeEscapes) {
+  EXPECT_EQ(JsonEscape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(JsonEscape("\b\f"), "\\b\\f");
+}
+
+TEST(ExporterEscapeTest, RunLabelRoundTripsThroughJsonl) {
+  for (const char* raw : kNasty) {
+    obs::MemoryTracer tracer;
+    tracer.Emit(obs::RunBeginEvent{raw});
+    const std::string line = obs::EventToJsonLine(tracer.events()[0]);
+    const std::string key = "\"label\":\"";
+    const size_t start = line.find(key);
+    ASSERT_NE(start, std::string::npos) << line;
+    // The label value is the last field; find its closing quote by
+    // scanning for an unescaped '"'.
+    size_t end = start + key.size();
+    while (end < line.size()) {
+      if (line[end] == '\\') {
+        end += 2;
+      } else if (line[end] == '"') {
+        break;
+      } else {
+        ++end;
+      }
+    }
+    ASSERT_LT(end, line.size()) << line;
+    EXPECT_EQ(JsonUnescape(line.substr(start + key.size(),
+                                       end - start - key.size())),
+              raw)
+        << line;
+    // No raw newline may survive into the line-oriented format.
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+  }
+}
+
+TEST(ExporterEscapeTest, RunLabelEscapedInChromeProcessName) {
+  obs::MemoryTracer tracer;
+  tracer.Emit(obs::RunBeginEvent{"run \"A\"\nwith\\stuff"});
+  const std::string chrome = obs::RenderChromeTrace(tracer.events());
+  EXPECT_NE(chrome.find("run \\\"A\\\"\\nwith\\\\stuff"),
+            std::string::npos)
+      << chrome;
+  EXPECT_EQ(chrome.find('\n'), std::string::npos) << chrome;
+}
+
+TEST(ExporterEscapeTest, RegistryLabelValuesRoundTripThroughToJson) {
+  obs::Registry registry;
+  const std::string raw = "label\"with\\nasty\nchars";
+  registry.GetCounter("test.counter", {{"run", raw}})->Increment(1);
+  const std::string json = registry.ToJson();
+  // The instrument key renders as name{run=<raw>}, escaped as one JSON
+  // string.
+  const std::string expected =
+      "\"test.counter{run=" + JsonEscape(raw) + "}\":1";
+  EXPECT_NE(json.find(expected), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << json;
+}
+
+TEST(ExporterEscapeTest, SummaryAndJsonAgreeOnHostileLabels) {
+  obs::Registry registry;
+  registry.GetGauge("g", {{"k", "v\"\\"}})->Set(1.5);
+  // ToJson stays parseable: balanced quotes via the round-trip decoder.
+  const std::string json = registry.ToJson();
+  const std::string key = "\"g{k=" + JsonEscape("v\"\\") + "}\"";
+  EXPECT_NE(json.find(key), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace digest

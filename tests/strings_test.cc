@@ -46,5 +46,31 @@ TEST(StringsTest, ToUpperAscii) {
   EXPECT_EQ(ToUpperAscii("123_ab"), "123_AB");
 }
 
+TEST(StringsTest, JsonEscapePassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape(""), "");
+  EXPECT_EQ(JsonEscape("plain text 123 {}[],:"), "plain text 123 {}[],:");
+}
+
+TEST(StringsTest, JsonEscapeQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("a\\b\\\\c"), "a\\\\b\\\\\\\\c");
+}
+
+TEST(StringsTest, JsonEscapeNamedControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd\be\ff"), "a\\nb\\tc\\rd\\be\\ff");
+}
+
+TEST(StringsTest, JsonEscapeOtherControlBytesAsUnicode) {
+  EXPECT_EQ(JsonEscape(std::string("\x00", 1)), "\\u0000");
+  EXPECT_EQ(JsonEscape("\x1b[0m"), "\\u001b[0m");
+}
+
+TEST(StringsTest, AppendJsonEscapedAppendsInPlace) {
+  std::string out = "{\"k\":\"";
+  AppendJsonEscaped(&out, "v\"1\n");
+  out += "\"}";
+  EXPECT_EQ(out, "{\"k\":\"v\\\"1\\n\"}");
+}
+
 }  // namespace
 }  // namespace digest

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compare a bench_suite run against a baseline and gate on regressions.
+
+Both inputs are BENCH_SUITE.json files written by `bench_suite`
+(schema digest-bench-suite-v1; see results/README.md). Two kinds of
+check, in decreasing strictness:
+
+  * Work counts (ticks, snapshots, samples, messages, walk batches/hops,
+    degraded ticks) are deterministic per (seed, scale, quick): they
+    must match the baseline EXACTLY when the configs match. A count
+    mismatch means the engine now does different work — a behavioral
+    change, flagged regardless of timing. If the configs differ (e.g. a
+    --quick run against a full-scale baseline), counts are skipped with
+    a note.
+
+  * Wall-clock medians are compared with a noise-aware threshold: a
+    scenario regresses when
+
+        current_median > baseline_median * max_slowdown + noise
+
+    with noise = mad_k * max(baseline_mad, current_mad, abs_floor_ms).
+    MAD is the suite's per-run dispersion estimate; the absolute floor
+    keeps microsecond-scale scenarios from tripping on scheduler jitter.
+    Timing checks can be disabled wholesale with --ignore-timing (for
+    cross-machine comparisons where only the counts are meaningful).
+
+Exit status 0 iff no regression. Stdlib only.
+
+Typical use:
+
+    ./build/bench/bench_suite --quick --out-dir=/tmp/bench
+    python3 tools/bench_compare.py --baseline BENCH_SUITE.json \
+        --current /tmp/bench/BENCH_SUITE.json
+
+Refresh the committed baseline by re-running bench_suite with the
+baseline's own config (see results/README.md) and committing the
+resulting JSON.
+"""
+
+import argparse
+import json
+import sys
+
+COUNT_FIELDS = ("ticks", "snapshots", "total_samples", "messages",
+                "degraded_ticks", "walk_batches", "walk_hops")
+
+SUITE_SCHEMA = "digest-bench-suite-v1"
+
+
+def load_suite(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SUITE_SCHEMA:
+        raise SystemExit(f"{path}: schema {doc.get('schema')!r} is not "
+                         f"{SUITE_SCHEMA!r}")
+    if "scenarios" not in doc or not isinstance(doc["scenarios"], dict):
+        raise SystemExit(f"{path}: missing scenarios object")
+    return doc
+
+
+def configs_comparable(base, cur):
+    """Counts are only exact-comparable when the workload is identical."""
+    bk, ck = base.get("config", {}), cur.get("config", {})
+    return all(bk.get(k) == ck.get(k) for k in ("scale", "seed", "quick"))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True,
+                        help="baseline BENCH_SUITE.json")
+    parser.add_argument("--current", required=True,
+                        help="candidate BENCH_SUITE.json")
+    parser.add_argument("--max-slowdown", type=float, default=1.5,
+                        help="allowed median wall-time ratio before noise "
+                             "(default 1.5; use a larger value across "
+                             "machines)")
+    parser.add_argument("--mad-k", type=float, default=6.0,
+                        help="noise multiplier on the larger MAD "
+                             "(default 6)")
+    parser.add_argument("--abs-floor-ms", type=float, default=0.5,
+                        help="minimum noise term in ms (default 0.5)")
+    parser.add_argument("--ignore-timing", action="store_true",
+                        help="check only the deterministic work counts")
+    args = parser.parse_args()
+
+    base = load_suite(args.baseline)
+    cur = load_suite(args.current)
+    counts_comparable = configs_comparable(base, cur)
+    if not counts_comparable:
+        print("note: baseline and current configs differ "
+              f"({base.get('config')} vs {cur.get('config')}); "
+              "skipping exact count comparison")
+
+    failures = []
+    rows = []
+    for name, b in sorted(base["scenarios"].items()):
+        c = cur["scenarios"].get(name)
+        if c is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+
+        if counts_comparable:
+            for field in COUNT_FIELDS:
+                bv = b.get("counts", {}).get(field)
+                cv = c.get("counts", {}).get(field)
+                if bv != cv:
+                    failures.append(
+                        f"{name}: count '{field}' changed "
+                        f"{bv} -> {cv} (deterministic work differs)")
+
+        b_med = b["wall_ms"]["median"]
+        c_med = c["wall_ms"]["median"]
+        noise = args.mad_k * max(b["wall_ms"]["mad"], c["wall_ms"]["mad"],
+                                 args.abs_floor_ms)
+        limit = b_med * args.max_slowdown + noise
+        ratio = c_med / b_med if b_med > 0 else float("inf")
+        verdict = "ok"
+        if not args.ignore_timing and c_med > limit:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{name}: median {c_med:.3f} ms vs baseline "
+                f"{b_med:.3f} ms (ratio {ratio:.2f}x, limit "
+                f"{limit:.3f} ms = {args.max_slowdown}x + noise "
+                f"{noise:.3f} ms)")
+        rows.append((name, b_med, c_med, ratio, limit, verdict))
+
+    extra = sorted(set(cur["scenarios"]) - set(base["scenarios"]))
+    if extra:
+        print(f"note: scenarios not in baseline (unchecked): "
+              f"{', '.join(extra)}")
+
+    if rows:
+        width = max(len(r[0]) for r in rows)
+        print(f"{'scenario':<{width}}  {'base ms':>10}  {'cur ms':>10}  "
+              f"{'ratio':>7}  {'limit ms':>10}  verdict")
+        for name, b_med, c_med, ratio, limit, verdict in rows:
+            print(f"{name:<{width}}  {b_med:>10.3f}  {c_med:>10.3f}  "
+                  f"{ratio:>6.2f}x  {limit:>10.3f}  {verdict}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    checked = "counts+timing" if counts_comparable else "timing"
+    if args.ignore_timing:
+        checked = "counts" if counts_comparable else "nothing"
+    print(f"\nOK: {len(rows)} scenario(s) within thresholds ({checked} "
+          f"checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

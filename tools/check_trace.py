@@ -8,6 +8,11 @@ docs/OBSERVABILITY.md):
   * --chrome  : Chrome trace_event JSON (Perfetto-loadable)
   * --metrics : metrics registry dump (JSON)
 
+All three formats may additionally carry the wall-clock profiling
+sections a `--prof` run appends (trailing `prof_phase` JSONL lines, the
+"wall-clock profiler" Chrome process, the metrics `prof` object); those
+are validated too — schema plus monotonicity of the wall timestamps.
+
 Stdlib only; exit status 0 iff every supplied file validates. Used by CI
 on a traced bench run, and handy locally after `bench_* --trace=...`.
 """
@@ -47,15 +52,40 @@ NESTED_SLICE_EVENTS = {
 
 TICK_SPAN_US = 1000  # One simulated tick = 1000 us of trace time.
 
+# Wall-clock profiling (src/prof/): phase names are stable API
+# (prof::PhaseName), pinned here like the event names above.
+PROF_PHASES = {
+    "engine_tick", "extrapolator_fit", "extrapolator_predict",
+    "estimator_evaluate", "walk_batch", "walk_advance", "fault_draw",
+}
+PROF_STAT_FIELDS = {"calls", "total_ns", "min_ns", "max_ns", "items"}
+WALL_PROCESS_NAME = "wall-clock profiler"
+
 
 class Failure(Exception):
     pass
+
+
+def check_prof_stats(where, stats):
+    """Validates one phase's aggregate counters (shared by the JSONL
+    prof_phase lines and the metrics `prof.phases` objects)."""
+    for field in PROF_STAT_FIELDS:
+        if field not in stats:
+            raise Failure(f"{where}: missing '{field}'")
+        v = stats[field]
+        if not isinstance(v, int) or v < 0:
+            raise Failure(f"{where}: '{field}' not a non-negative integer")
+    if stats["min_ns"] > stats["max_ns"]:
+        raise Failure(f"{where}: min_ns > max_ns")
+    if stats["calls"] > 0 and stats["total_ns"] < stats["max_ns"]:
+        raise Failure(f"{where}: total_ns < max_ns")
 
 
 def check_jsonl(path):
     prev_seq = -1
     prev_t = None
     counts = {}
+    prof_phases = set()
     with open(path, "r", encoding="utf-8") as f:
         for line_no, line in enumerate(f, 1):
             line = line.strip()
@@ -65,6 +95,29 @@ def check_jsonl(path):
                 obj = json.loads(line)
             except json.JSONDecodeError as e:
                 raise Failure(f"{path}:{line_no}: invalid JSON: {e}")
+            if obj.get("event") == "prof_phase":
+                # Wall-clock aggregates, appended after every sim event;
+                # no seq/t stamps (they are not simulation events).
+                if obj.keys() - PROF_STAT_FIELDS != {"event", "phase"}:
+                    raise Failure(
+                        f"{path}:{line_no}: prof_phase has unexpected "
+                        f"fields "
+                        f"{sorted(obj.keys() - PROF_STAT_FIELDS - {'event', 'phase'})}")
+                if obj.get("phase") not in PROF_PHASES:
+                    raise Failure(f"{path}:{line_no}: unknown prof phase "
+                                  f"'{obj.get('phase')}'")
+                if obj["phase"] in prof_phases:
+                    raise Failure(f"{path}:{line_no}: duplicate prof_phase "
+                                  f"'{obj['phase']}'")
+                prof_phases.add(obj["phase"])
+                check_prof_stats(f"{path}:{line_no}: prof_phase", obj)
+                counts["prof_phase"] = counts.get("prof_phase", 0) + 1
+                continue
+            if prof_phases:
+                raise Failure(
+                    f"{path}:{line_no}: simulation event "
+                    f"'{obj.get('event')}' after prof_phase lines "
+                    f"(the prof section must trail the trace)")
             for field in ("seq", "t", "event"):
                 if field not in obj:
                     raise Failure(f"{path}:{line_no}: missing '{field}'")
@@ -114,13 +167,23 @@ def check_chrome(path):
     if not isinstance(events, list) or not events:
         raise Failure(f"{path}: traceEvents empty")
 
-    tick_spans = {}  # pid -> set of span start ts
-    named_pids = set()
-    nested = []
-    stats = {"ticks": 0, "nested": 0, "instants": 0, "processes": 0}
+    # First pass: map pids to process names so the wall-clock profiler
+    # track can be told apart from the simulated-run tracks.
+    wall_pids = set()
     for i, ev in enumerate(events):
         if not isinstance(ev, dict) or "ph" not in ev:
             raise Failure(f"{path}: traceEvents[{i}] malformed")
+        if ev["ph"] == "M" and \
+                ev.get("args", {}).get("name") == WALL_PROCESS_NAME:
+            wall_pids.add(ev["pid"])
+
+    tick_spans = {}  # pid -> set of span start ts
+    named_pids = set()
+    nested = []
+    prev_wall_ts = {}  # wall pid -> last span start ts
+    stats = {"ticks": 0, "nested": 0, "instants": 0, "processes": 0,
+             "wall_spans": 0}
+    for i, ev in enumerate(events):
         ph = ev["ph"]
         if ph == "M":
             if ev.get("name") != "process_name":
@@ -131,6 +194,31 @@ def check_chrome(path):
                               f"metadata without a name")
             named_pids.add(ev["pid"])
             stats["processes"] += 1
+            continue
+        if ev.get("pid") in wall_pids:
+            # The wall track: real-time complete spans, sorted by start,
+            # phase names from the prof layer, cat "wall".
+            for field in ("name", "ts", "dur", "args"):
+                if field not in ev:
+                    raise Failure(
+                        f"{path}: traceEvents[{i}] wall span missing "
+                        f"'{field}'")
+            if ph != "X" or ev.get("cat") != "wall":
+                raise Failure(f"{path}: traceEvents[{i}] wall-track event "
+                              f"must be a ph=X cat=wall span")
+            if ev["name"] not in PROF_PHASES:
+                raise Failure(f"{path}: traceEvents[{i}] unknown wall "
+                              f"phase '{ev['name']}'")
+            if ev["ts"] < prev_wall_ts.get(ev["pid"], 0):
+                raise Failure(
+                    f"{path}: traceEvents[{i}] wall timestamps not "
+                    f"monotone ({prev_wall_ts[ev['pid']]} -> {ev['ts']})")
+            prev_wall_ts[ev["pid"]] = ev["ts"]
+            if ev["dur"] < 0 or "dur_ns" not in ev["args"] or \
+                    "items" not in ev["args"]:
+                raise Failure(f"{path}: traceEvents[{i}] wall span args "
+                              f"lack dur_ns/items")
+            stats["wall_spans"] += 1
             continue
         for field in ("name", "pid", "tid", "ts", "args"):
             if field not in ev:
@@ -209,7 +297,25 @@ def check_metrics(path):
                 f"count")
     if not doc["counters"] and not doc["gauges"] and not doc["histograms"]:
         raise Failure(f"{path}: registry is empty")
-    return {s: len(doc[s]) for s in ("counters", "gauges", "histograms")}
+    sizes = {s: len(doc[s]) for s in ("counters", "gauges", "histograms")}
+    sizes["prof_phases"] = 0
+    if "prof" in doc:
+        prof = doc["prof"]
+        for field in ("phases", "spans_captured", "spans_dropped"):
+            if field not in prof:
+                raise Failure(f"{path}: prof section missing '{field}'")
+        for field in ("spans_captured", "spans_dropped"):
+            if not isinstance(prof[field], int) or prof[field] < 0:
+                raise Failure(f"{path}: prof '{field}' not a non-negative "
+                              f"integer")
+        if not isinstance(prof["phases"], dict):
+            raise Failure(f"{path}: prof 'phases' is not an object")
+        for phase, stats in prof["phases"].items():
+            if phase not in PROF_PHASES:
+                raise Failure(f"{path}: unknown prof phase '{phase}'")
+            check_prof_stats(f"{path}: prof phase '{phase}'", stats)
+        sizes["prof_phases"] = len(prof["phases"])
+    return sizes
 
 
 def main():
@@ -227,17 +333,19 @@ def main():
             print(f"OK {args.jsonl}: {total} events "
                   f"({counts.get('tick', 0)} ticks, "
                   f"{counts.get('walk_batch', 0)} walk batches, "
+                  f"{counts.get('prof_phase', 0)} prof phases, "
                   f"{len(counts)} distinct types)")
         if args.chrome:
             stats = check_chrome(args.chrome)
             print(f"OK {args.chrome}: {stats['processes']} processes, "
                   f"{stats['ticks']} tick spans, {stats['nested']} nested "
-                  f"slices, {stats['instants']} instants")
+                  f"slices, {stats['instants']} instants, "
+                  f"{stats['wall_spans']} wall spans")
         if args.metrics:
             sizes = check_metrics(args.metrics)
             print(f"OK {args.metrics}: {sizes['counters']} counters, "
                   f"{sizes['gauges']} gauges, {sizes['histograms']} "
-                  f"histograms")
+                  f"histograms, {sizes['prof_phases']} prof phases")
     except Failure as e:
         print(f"FAIL: {e}", file=sys.stderr)
         return 1
