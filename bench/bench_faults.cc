@@ -160,8 +160,8 @@ int Run(int argc, char** argv) {
       plan.set_now(workload->now());
       UnwrapOrDie(engine->Tick(workload->now()), "warmup tick");
     }
-    plan.set_message_loss(0.10);
-    plan.set_agent_drop(0.05);
+    CheckOk(plan.set_message_loss(0.10), "burst loss rate");
+    CheckOk(plan.set_agent_drop(0.05), "burst drop rate");
     std::vector<double> reported, truth, cis;
     for (size_t t = 0; t < ticks; ++t) {
       CheckOk(workload->Advance(), "advance");

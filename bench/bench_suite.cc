@@ -61,6 +61,18 @@ double Percentile(std::vector<double> v, double q) {
   return v[lo] + frac * (v[hi] - v[lo]);
 }
 
+std::string FmtMs(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", ms);
+  return buf;
+}
+
+std::string FmtRate(double rate) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", rate);
+  return buf;
+}
+
 // ---------------------------------------------------------------------
 // Deterministic per-repeat work counts, for the exact-match half of the
 // regression gate (and the repeat-stability check).
@@ -88,9 +100,11 @@ struct Scenario {
   // Builds the workload/spec/options, runs the engine experiment once
   // with `profiler` attached (options.profiler = profiler), and returns
   // the run result. `wall_ns` receives the wall time of the engine run
-  // alone — workload construction is setup, not measured.
+  // alone — workload construction is setup, not measured. A scenario
+  // may deposit a deterministic JSON object into `extra`; it is emitted
+  // verbatim as the scenario's "extra" field.
   std::function<RunResult(const BenchArgs&, prof::Profiler*,
-                          uint64_t* wall_ns)>
+                          uint64_t* wall_ns, std::string* extra)>
       run;
 };
 
@@ -124,7 +138,7 @@ std::vector<Scenario> BuildScenarios() {
        "PRED-3 + INDEP over the exact central oracle (TEMPERATURE): "
        "extrapolator/scheduler cost, no walks",
        [](const BenchArgs& args, prof::Profiler* profiler,
-          uint64_t* wall_ns) {
+          uint64_t* wall_ns, std::string* /*extra*/) {
          TemperatureConfig config;
          config.num_units = args.Scaled(8000, 200);
          config.num_nodes = args.Scaled(530, 16);
@@ -151,7 +165,7 @@ std::vector<Scenario> BuildScenarios() {
        "PRED-3 + RPT over the two-stage MCMC sampler (TEMPERATURE): the "
        "full distributed query path",
        [](const BenchArgs& args, prof::Profiler* profiler,
-          uint64_t* wall_ns) {
+          uint64_t* wall_ns, std::string* /*extra*/) {
          TemperatureConfig config;
          config.num_units = args.Scaled(2000, 200);
          config.num_nodes = args.Scaled(530, 16);
@@ -178,7 +192,7 @@ std::vector<Scenario> BuildScenarios() {
        "ALL + INDEP over the two-stage MCMC sampler (TEMPERATURE): a "
        "snapshot query every tick",
        [](const BenchArgs& args, prof::Profiler* profiler,
-          uint64_t* wall_ns) {
+          uint64_t* wall_ns, std::string* /*extra*/) {
          TemperatureConfig config;
          config.num_units = args.Scaled(2000, 200);
          config.num_nodes = args.Scaled(530, 16);
@@ -203,7 +217,7 @@ std::vector<Scenario> BuildScenarios() {
       {"churn_rpt_mcmc",
        "PRED-3 + RPT over MCMC on the churning MEMORY workload",
        [](const BenchArgs& args, prof::Profiler* profiler,
-          uint64_t* wall_ns) {
+          uint64_t* wall_ns, std::string* /*extra*/) {
          MemoryConfig config;
          config.num_units = args.Scaled(1000, 200);
          config.num_nodes = args.Scaled(820, 150);
@@ -230,7 +244,7 @@ std::vector<Scenario> BuildScenarios() {
        "ALL + RPT over MCMC under injected faults (5% loss, 2% drop, "
        "stalls): retry + degradation overhead",
        [](const BenchArgs& args, prof::Profiler* profiler,
-          uint64_t* wall_ns) {
+          uint64_t* wall_ns, std::string* /*extra*/) {
          MemoryConfig config;
          config.num_units = args.Scaled(1000, 200);
          config.num_nodes = args.Scaled(820, 150);
@@ -241,7 +255,7 @@ std::vector<Scenario> BuildScenarios() {
              AvgSpec("SELECT AVG(memory) FROM R", 1.0, 2.0, 0.9);
          FaultPlanConfig faults;
          faults.message_loss = 0.05;
-         faults.agent_drop = 0.02;
+         faults.agent_drop = 0.05;
          faults.edge_spread = 0.5;
          faults.stall_fraction = 0.1;
          CheckOk(faults.Validate(), "fault config");
@@ -258,6 +272,147 @@ std::vector<Scenario> BuildScenarios() {
                                 "faults_mcmc", profiler, wall_ns);
        }});
 
+  // Recovery path: ALL + RPT over MCMC under stall-heavy faults with a
+  // checkpoint/kill/restore in the middle of the run. The hedged run is
+  // the one measured and gated; an unhedged uninterrupted control run
+  // feeds the "extra" object so the per-snapshot p90 message cost of
+  // hedging-on vs hedging-off is part of the committed trajectory.
+  scenarios.push_back(
+      {"recovery_rpt_mcmc",
+       "ALL + RPT over MCMC under stall-heavy faults with a mid-run "
+       "kill/checkpoint/restore; extra compares hedged vs unhedged p90 "
+       "per-snapshot message cost",
+       [](const BenchArgs& args, prof::Profiler* profiler,
+          uint64_t* wall_ns, std::string* extra) {
+         const size_t ticks = args.quick ? 24 : 72;
+         // Heterogeneous loss (edge_spread 1.0 puts concrete edges
+         // anywhere from lossless to 2× the base rate) is what gives
+         // hedging its edge: a walk stuck retrying in a lossy
+         // neighborhood keeps burning messages there, while the
+         // redundant walk forks from a donor agent somewhere cheaper.
+         FaultPlanConfig faults;
+         faults.message_loss = 0.15;
+         faults.agent_drop = 0.02;
+         faults.edge_spread = 1.0;
+         faults.stall_fraction = 0.2;
+         faults.stall_every = 6;
+         faults.stall_length = 3;
+         CheckOk(faults.Validate(), "fault config");
+
+         struct PhaseOut {
+           RunResult run;
+           std::vector<double> snapshot_msgs;  // Meter delta per occasion.
+         };
+         auto drive = [&](bool hedge, bool kill_mid_run,
+                          uint64_t* ns) -> PhaseOut {
+           TemperatureConfig config;
+           config.num_units = args.Scaled(2000, 200);
+           config.num_nodes = args.Scaled(530, 16);
+           config.seed = args.seed;
+           auto workload = UnwrapOrDie(TemperatureWorkload::Create(config),
+                                       "workload");
+           ContinuousQuerySpec spec =
+               AvgSpec("SELECT AVG(temperature) FROM R", 4.0, 2.0, 0.95);
+           FaultPlan plan(faults, args.seed + 1);
+           DigestEngineOptions options;
+           options.scheduler = SchedulerKind::kAll;
+           options.estimator = EstimatorKind::kRepeated;
+           options.sampler = SamplerKind::kTwoStageMcmc;
+           options.sampling_options.walk_length = 60;
+           options.sampling_options.reset_length = 15;
+           options.sampling_options.hedge.enabled = hedge;
+           options.estimator_options.allow_partial = true;
+           options.fault_plan = &plan;
+           options.profiler = profiler;
+
+           PhaseOut out;
+           Rng rng(args.seed);
+           const NodeId querying = UnwrapOrDie(
+               workload->graph().RandomLiveNode(rng), "origin");
+           workload->ProtectNode(querying);
+           const uint64_t t0 = profiler->ElapsedNs();
+           auto engine = UnwrapOrDie(
+               DigestEngine::Create(&workload->graph(), &workload->db(),
+                                    spec, querying, rng.Fork(),
+                                    &out.run.meter, options),
+               "engine");
+           uint64_t prev_total = 0;
+           for (size_t t = 0; t < ticks; ++t) {
+             CheckOk(workload->Advance(), "advance");
+             plan.set_now(workload->now());
+             const double truth = UnwrapOrDie(
+                 workload->db().ExactAggregate(spec.query), "oracle");
+             EngineTickResult tick =
+                 UnwrapOrDie(engine->Tick(workload->now()), "tick");
+             out.run.reported.push_back(tick.reported_value);
+             out.run.truth.push_back(truth);
+             out.run.ci_halfwidths.push_back(tick.ci_halfwidth);
+             if (tick.degraded) ++out.run.degraded_ticks;
+             const uint64_t total = out.run.meter.Total();
+             if (tick.snapshot_executed) {
+               out.snapshot_msgs.push_back(
+                   static_cast<double>(total - prev_total));
+             }
+             prev_total = total;
+             if (kill_mid_run && t + 1 == ticks / 2) {
+               // The session dies and a fresh process recovers it; the
+               // fault plan and overlay live on (they are the network).
+               const std::string blob =
+                   UnwrapOrDie(engine->Checkpoint(), "checkpoint");
+               engine.reset();
+               out.run.meter.Reset();
+               Rng fresh(args.seed);
+               const NodeId requery = UnwrapOrDie(
+                   workload->graph().RandomLiveNode(fresh), "origin");
+               engine = UnwrapOrDie(
+                   DigestEngine::Create(&workload->graph(),
+                                        &workload->db(), spec, requery,
+                                        fresh.Fork(), &out.run.meter,
+                                        options),
+                   "engine");
+               CheckOk(engine->Restore(blob), "restore");
+               prev_total = out.run.meter.Total();
+             }
+           }
+           out.run.stats = engine->stats();
+           out.run.correlation_estimate = engine->correlation_estimate();
+           out.run.final_health = engine->health();
+           *ns += profiler->ElapsedNs() - t0;
+           out.run.precision = UnwrapOrDie(
+               EvaluatePrecision(out.run.reported, out.run.truth,
+                                 spec.precision),
+               "precision");
+           out.run.widened_precision = UnwrapOrDie(
+               EvaluatePrecisionWidened(out.run.reported, out.run.truth,
+                                        out.run.ci_halfwidths,
+                                        spec.precision),
+               "widened precision");
+           return out;
+         };
+
+         uint64_t ns = 0;
+         PhaseOut hedged = drive(/*hedge=*/true, /*kill_mid_run=*/true,
+                                 &ns);
+         PhaseOut unhedged = drive(/*hedge=*/false, /*kill_mid_run=*/false,
+                                   &ns);
+         *wall_ns = ns;
+         std::string x = "{\"p90_snapshot_msgs_hedged\":";
+         x += FmtRate(Percentile(hedged.snapshot_msgs, 90));
+         x += ",\"p90_snapshot_msgs_unhedged\":";
+         x += FmtRate(Percentile(unhedged.snapshot_msgs, 90));
+         x += ",\"hedge_launches\":";
+         x += std::to_string(hedged.run.meter.hedge_launches());
+         x += ",\"hedged_duplicates\":";
+         x += std::to_string(hedged.run.meter.hedged_duplicates());
+         x += ",\"partial_snapshots\":";
+         x += std::to_string(hedged.run.stats.partial_snapshots);
+         x += ",\"final_health\":\"";
+         x += SessionHealthName(hedged.run.final_health);
+         x += "\"}";
+         *extra = std::move(x);
+         return hedged.run;
+       }});
+
   return scenarios;
 }
 
@@ -268,24 +423,13 @@ std::vector<Scenario> BuildScenarios() {
 constexpr const char* kScenarioSchema = "digest-bench-v1";
 constexpr const char* kSuiteSchema = "digest-bench-suite-v1";
 
-std::string FmtMs(double ms) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.4f", ms);
-  return buf;
-}
-
-std::string FmtRate(double rate) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", rate);
-  return buf;
-}
-
 struct ScenarioReport {
   std::string name;
   std::string description;
   WorkCounts counts;
   std::vector<double> wall_ms;  // One per measured repeat.
   std::string prof_json;        // Aggregated Profiler::ToJson().
+  std::string extra_json;       // Scenario-deposited object; may be empty.
 };
 
 std::string RenderScenarioJson(const ScenarioReport& r,
@@ -353,6 +497,10 @@ std::string RenderScenarioJson(const ScenarioReport& r,
       secs > 0 ? static_cast<double>(r.counts.walk_hops) / secs : 0);
   out += "},\"prof\":";
   out += r.prof_json;
+  if (!r.extra_json.empty()) {
+    out += ",\"extra\":";
+    out += r.extra_json;
+  }
   out.push_back('}');
   return out;
 }
@@ -430,7 +578,8 @@ int Run(int argc, char** argv) {
     for (size_t w = 0; w < warmup; ++w) {
       prof::Profiler scratch(popt);
       uint64_t ignored = 0;
-      scenario.run(args, &scratch, &ignored);
+      std::string scratch_extra;
+      scenario.run(args, &scratch, &ignored, &scratch_extra);
     }
     prof::Profiler profiler(popt);
     ScenarioReport report;
@@ -442,7 +591,8 @@ int Run(int argc, char** argv) {
       const uint64_t hops0 =
           profiler.stats(prof::Phase::kWalkAdvance).items;
       uint64_t wall_ns = 0;
-      RunResult run = scenario.run(args, &profiler, &wall_ns);
+      std::string extra;
+      RunResult run = scenario.run(args, &profiler, &wall_ns, &extra);
       WorkCounts counts;
       counts.ticks = run.stats.ticks;
       counts.snapshots = run.stats.snapshots;
@@ -455,7 +605,8 @@ int Run(int argc, char** argv) {
           profiler.stats(prof::Phase::kWalkAdvance).items - hops0;
       if (rep == 0) {
         report.counts = counts;
-      } else if (!(counts == report.counts)) {
+        report.extra_json = extra;
+      } else if (!(counts == report.counts) || extra != report.extra_json) {
         std::fprintf(stderr,
                      "FATAL: scenario '%s' repeat %zu did different work "
                      "than repeat 0 — the run is not deterministic\n",

@@ -1,0 +1,421 @@
+#include "common/json.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace digest {
+namespace json {
+namespace {
+
+/// Hand-rolled recursive-descent parser over a string_view. Depth is
+/// bounded so a pathological blob can't blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    SkipWhitespace();
+    DIGEST_ASSIGN_OR_RETURN(Value v, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  bool Consume(char c) {
+    if (AtEnd() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Result<Value> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (AtEnd()) return Fail("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        DIGEST_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value::MakeString(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return Value::MakeBool(true);
+        return Fail("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Value::MakeBool(false);
+        return Fail("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return Value::MakeNull();
+        return Fail("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject(int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, Value>> members;
+    SkipWhitespace();
+    if (Consume('}')) return Value::MakeObject(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Fail("expected object key");
+      DIGEST_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      SkipWhitespace();
+      DIGEST_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      members.emplace_back(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value::MakeObject(std::move(members));
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Value> ParseArray(int depth) {
+    ++pos_;  // '['
+    std::vector<Value> elems;
+    SkipWhitespace();
+    if (Consume(']')) return Value::MakeArray(std::move(elems));
+    while (true) {
+      SkipWhitespace();
+      DIGEST_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      elems.push_back(std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value::MakeArray(std::move(elems));
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening '"'
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          DIGEST_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          // Surrogate pairs: our own writer never emits them (it only
+          // \u-escapes control bytes), but accept them for validity.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (!ConsumeLiteral("\\u")) return Fail("unpaired surrogate");
+            DIGEST_ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+            if (lo < 0xDC00 || lo > 0xDFFF) return Fail("invalid surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("unpaired surrogate");
+          }
+          AppendUtf8(&out, cp);
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed
+    }
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      return Fail("invalid number");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digit required after decimal point");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digit required in exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    return Value::MakeNumber(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool IsPlainInteger(const std::string& text, bool* negative) {
+  if (text.empty()) return false;
+  size_t i = 0;
+  *negative = text[0] == '-';
+  if (*negative) i = 1;
+  if (i >= text.size()) return false;
+  for (; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Value Value::MakeBool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::MakeNumber(std::string text) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.scalar_ = std::move(text);
+  return v;
+}
+
+Value Value::MakeString(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+Value Value::MakeArray(std::vector<Value> elems) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(elems);
+  return v;
+}
+
+Value Value::MakeObject(std::vector<std::pair<std::string, Value>> members) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<bool> Value::GetBool(std::string_view key) const {
+  const Value* v = Find(key);
+  if (v == nullptr || !v->is_bool()) {
+    return Status::InvalidArgument("json: missing bool member '" +
+                                   std::string(key) + "'");
+  }
+  return v->bool_value();
+}
+
+Result<double> Value::GetDouble(std::string_view key) const {
+  const Value* v = Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument("json: missing number member '" +
+                                   std::string(key) + "'");
+  }
+  return v->AsDouble();
+}
+
+Result<int64_t> Value::GetInt64(std::string_view key) const {
+  const Value* v = Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument("json: missing number member '" +
+                                   std::string(key) + "'");
+  }
+  return v->AsInt64();
+}
+
+Result<uint64_t> Value::GetUInt64(std::string_view key) const {
+  const Value* v = Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument("json: missing number member '" +
+                                   std::string(key) + "'");
+  }
+  return v->AsUInt64();
+}
+
+Result<std::string> Value::GetString(std::string_view key) const {
+  const Value* v = Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument("json: missing string member '" +
+                                   std::string(key) + "'");
+  }
+  return v->string_value();
+}
+
+Result<const Value*> Value::GetArray(std::string_view key) const {
+  const Value* v = Find(key);
+  if (v == nullptr || !v->is_array()) {
+    return Status::InvalidArgument("json: missing array member '" +
+                                   std::string(key) + "'");
+  }
+  return v;
+}
+
+Result<const Value*> Value::GetObject(std::string_view key) const {
+  const Value* v = Find(key);
+  if (v == nullptr || !v->is_object()) {
+    return Status::InvalidArgument("json: missing object member '" +
+                                   std::string(key) + "'");
+  }
+  return v;
+}
+
+Result<double> Value::AsDouble() const {
+  // uint64 round-trips ride in strings (see header); accept both forms.
+  if (type_ != Type::kNumber && type_ != Type::kString) {
+    return Status::InvalidArgument("json: value is not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(scalar_.c_str(), &end);
+  if (end != scalar_.c_str() + scalar_.size() || scalar_.empty()) {
+    return Status::InvalidArgument("json: unparsable number '" + scalar_ +
+                                   "'");
+  }
+  if (errno == ERANGE && (v == std::numeric_limits<double>::infinity() ||
+                          v == -std::numeric_limits<double>::infinity())) {
+    return Status::InvalidArgument("json: number out of double range");
+  }
+  return v;
+}
+
+Result<int64_t> Value::AsInt64() const {
+  if (type_ != Type::kNumber && type_ != Type::kString) {
+    return Status::InvalidArgument("json: value is not a number");
+  }
+  bool negative = false;
+  if (!IsPlainInteger(scalar_, &negative)) {
+    return Status::InvalidArgument("json: '" + scalar_ +
+                                   "' is not a plain integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE || end != scalar_.c_str() + scalar_.size()) {
+    return Status::InvalidArgument("json: integer out of int64 range");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<uint64_t> Value::AsUInt64() const {
+  if (type_ != Type::kNumber && type_ != Type::kString) {
+    return Status::InvalidArgument("json: value is not a number");
+  }
+  bool negative = false;
+  if (!IsPlainInteger(scalar_, &negative) || negative) {
+    return Status::InvalidArgument("json: '" + scalar_ +
+                                   "' is not a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE || end != scalar_.c_str() + scalar_.size()) {
+    return Status::InvalidArgument("json: integer out of uint64 range");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<Value> Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace json
+}  // namespace digest

@@ -25,6 +25,7 @@ void ExportToRegistry(const EngineStats& stats, obs::Registry* registry,
       {"engine.fresh_samples", stats.fresh_samples},
       {"engine.retained_samples", stats.retained_samples},
       {"engine.degraded_ticks", stats.degraded_ticks},
+      {"engine.partial_snapshots", stats.partial_snapshots},
   };
   for (const auto& [name, value] : fields) {
     obs::Counter* counter = registry->GetCounter(name, labels);
@@ -46,7 +47,8 @@ DigestEngine::DigestEngine(const Graph* graph, const P2PDatabase* db,
       querying_node_(querying_node),
       meter_(meter),
       options_(options),
-      extrapolator_(options.extrapolator) {}
+      extrapolator_(options.extrapolator),
+      supervisor_(options.supervisor) {}
 
 Result<std::unique_ptr<DigestEngine>> DigestEngine::Create(
     const Graph* graph, const P2PDatabase* db, ContinuousQuerySpec spec,
@@ -69,6 +71,11 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
     return Status::InvalidArgument(
         "a shared sampling operator requires the two-stage MCMC sampler");
   }
+  DIGEST_RETURN_IF_ERROR(options.supervisor.Validate());
+  DIGEST_RETURN_IF_ERROR(options.sampling_options.hedge.Validate());
+  if (options.estimator_options.min_partial_samples < 2) {
+    return Status::InvalidArgument("min_partial_samples must be >= 2");
+  }
   // One sink for the whole stack: the engine-level tracer flows into the
   // estimator (explicit estimator_options.tracer wins when set) and into
   // every operator the engine builds.
@@ -77,6 +84,8 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
   }
   std::unique_ptr<DigestEngine> engine(new DigestEngine(
       graph, db, std::move(spec), querying_node, meter, options));
+  engine->supervisor_.SetTracer(options.tracer);
+  engine->shared_operator_ = shared_operator != nullptr;
 
   // Bottom tier: sample source.
   switch (options.sampler) {
@@ -232,6 +241,9 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
     } else if (has_result_) {
       ++stats_.degraded_ticks;
       out.degraded = true;
+      // The occasion produced nothing usable at all: the worst outcome
+      // the supervisor tracks.
+      supervisor_.RecordOutcome(SnapshotOutcome::kTimeout);
       // Every consecutive failed snapshot doubles the uncertainty band:
       // the answer is stale and nothing bounds the drift accumulated
       // while the network is unreachable.
@@ -260,8 +272,15 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
   stats_.fresh_samples += est.fresh_samples;
   stats_.retained_samples += est.retained_samples;
   if (est.degraded) ++stats_.degraded_ticks;
+  if (est.partial) ++stats_.partial_snapshots;
   out.snapshot_executed = true;
   out.degraded = est.degraded;
+  out.partial = est.partial;
+  // Fold this occasion's outcome into the session-health machine. The
+  // supervisor observes; it never steers scheduling or estimation.
+  supervisor_.RecordOutcome(est.degraded  ? SnapshotOutcome::kWidenedCi
+                            : est.partial ? SnapshotOutcome::kPartial
+                                          : SnapshotOutcome::kMetContract);
   if (obs::Tracing(options_.tracer)) {
     options_.tracer->Emit(obs::SnapshotEvent{
         est.value, est.ci_halfwidth,
@@ -295,11 +314,13 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
   out.reported_value = reported_value_;
   out.has_result = true;
 
-  // Healthy occasions meet the (ε, p) contract; degraded occasions
-  // report their honest, wider interval (never narrower than ε).
+  // Healthy occasions meet the (ε, p) contract; degraded and partial
+  // occasions report their honest, wider interval (never narrower
+  // than ε).
   last_ci_halfwidth_ =
-      est.degraded ? std::max(spec_.precision.epsilon, est.ci_halfwidth)
-                   : spec_.precision.epsilon;
+      est.degraded || est.partial
+          ? std::max(spec_.precision.epsilon, est.ci_halfwidth)
+          : spec_.precision.epsilon;
   out.ci_halfwidth = last_ci_halfwidth_;
 
   if (est.degraded) {

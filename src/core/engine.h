@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "core/extrapolator.h"
 #include "core/query_spec.h"
+#include "core/supervisor.h"
 #include "db/size_oracle.h"
 #include "core/snapshot_estimator.h"
 #include "db/p2p_database.h"
@@ -68,6 +70,10 @@ struct DigestEngineOptions {
   EstimatorOptions estimator_options;
   SamplingOperatorOptions sampling_options;
   SizeEstimatorOptions size_estimator_options;  ///< For kSampled oracle.
+  /// Session-health state machine thresholds (core/supervisor.h). The
+  /// supervisor is a pure observer folded over snapshot outcomes; it
+  /// never influences scheduling or estimation.
+  SupervisorOptions supervisor;
 
   /// How PRED measures the predicted δ-drift (Eq. 4).
   ///
@@ -129,6 +135,11 @@ struct EngineTickResult {
   /// under faults and the engine fell back to retained samples (or, as
   /// a last resort, held the previous result).
   bool degraded = false;
+  /// True when this tick's snapshot was finalized early against its
+  /// message/step budget (deadline-budgeted partial snapshot): the
+  /// estimate is fresh but from fewer samples, under an honestly wider
+  /// interval, and still feeds the PRED timeline.
+  bool partial = false;
   /// Half-width of the reported confidence interval in query units.
   /// ε on healthy ticks (the contract); wider on degraded ticks, and
   /// growing while consecutive snapshots keep failing.
@@ -144,6 +155,7 @@ struct EngineStats {
   size_t fresh_samples = 0;    ///< Network-drawn samples.
   size_t retained_samples = 0; ///< Re-evaluated in place.
   size_t degraded_ticks = 0;   ///< Ticks answered via degraded fallback.
+  size_t partial_snapshots = 0;  ///< Snapshots finalized early on budget.
 };
 
 /// Publishes cumulative EngineStats counters into `registry` under the
@@ -210,6 +222,32 @@ class DigestEngine {
   /// second occasion.
   Result<double> AdjustedPreviousResult() const;
 
+  /// The session-health supervisor (pure observer over snapshot
+  /// outcomes; see core/supervisor.h).
+  const SessionSupervisor& supervisor() const { return supervisor_; }
+  SessionHealth health() const { return supervisor_.health(); }
+
+  /// Serializes the full session recovery state — engine scalars and
+  /// stats, the PRED history window, the supervisor machine, estimator
+  /// cross-occasion state (retained pool, regression recursion), every
+  /// owned RNG stream position, and the meter's counters — into a
+  /// versioned JSON blob ("digest-checkpoint-v1"). Emits one
+  /// CheckpointEvent when tracing. Engines sampling through a *shared*
+  /// operator (CreateWithOperator) record that the operator was external;
+  /// its warm agents and stream are the caller's to preserve.
+  Result<std::string> Checkpoint() const;
+
+  /// Restores a checkpoint produced by an engine of identical
+  /// construction (same graph, database, spec, options, and seed). After
+  /// Restore the engine replays the exact tick/draw sequence the
+  /// checkpointing engine would have produced uninterrupted — bit
+  /// identical estimates, meter counts, and trace (modulo the
+  /// checkpoint/restore events themselves). Version or shape mismatches
+  /// fail with InvalidArgument and leave the engine untouched; partial
+  /// application is impossible because all state is parsed before any is
+  /// installed. Emits one RestoreEvent when tracing.
+  Status Restore(std::string_view blob);
+
  private:
   DigestEngine(const Graph* graph, const P2PDatabase* db,
                ContinuousQuerySpec spec, NodeId querying_node,
@@ -231,6 +269,8 @@ class DigestEngine {
   std::unique_ptr<SizeOracle> size_oracle_;
   std::unique_ptr<SnapshotEstimator> estimator_;
   Extrapolator extrapolator_;
+  SessionSupervisor supervisor_;
+  bool shared_operator_ = false;  // Sampling through a caller-owned op.
 
   EngineStats stats_;
   double reported_value_ = 0.0;

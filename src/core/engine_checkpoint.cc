@@ -1,0 +1,579 @@
+// Checkpoint/restore of a DigestEngine query session.
+//
+// The checkpoint is a versioned JSON blob ("digest-checkpoint-v1")
+// carrying every piece of *session* state a restored engine needs to
+// replay the exact tick/draw sequence an uninterrupted run would have
+// produced: engine scalars and stats, the PRED history window, the
+// supervisor state machine, the estimator's cross-occasion state
+// (retained pool, regression recursion, forward-regression pairs), the
+// RNG stream positions of every owned component, the warm-agent state of
+// owned sampling operators, and the message meter's counters.
+//
+// Deliberately NOT in the blob:
+//  - configuration (graph, database, query spec, options, seeds):
+//    Restore requires an engine of identical construction;
+//  - the FaultPlan's stream: the plan models the *network's* misbehavior
+//    and is owned by the harness, which keeps it alive across the
+//    kill/restore boundary just like the overlay itself;
+//  - a *shared* sampling operator's state (CreateWithOperator): its warm
+//    agents serve several engines, so the owner checkpoints it once via
+//    SamplingOperator::SaveState rather than once per engine. The blob
+//    records that the operator was external so a mismatched restore
+//    fails loudly.
+//
+// Number encoding: doubles print as %.17g (lossless round-trip through
+// strtod); int64 ticks print as plain JSON integers; uint64 counters
+// ride as decimal strings because a JSON double cannot hold 2^64−1 (see
+// common/json.h, whose As*() accept both forms).
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "core/engine.h"
+#include "obs/tracer.h"
+
+namespace digest {
+namespace {
+
+constexpr char kCheckpointVersion[] = "digest-checkpoint-v1";
+
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  // Decimal-string form: exact for the full uint64 range.
+  *out += '"';
+  *out += std::to_string(v);
+  *out += '"';
+}
+
+void AppendI64(std::string* out, int64_t v) { *out += std::to_string(v); }
+
+void AppendBool(std::string* out, bool v) { *out += v ? "true" : "false"; }
+
+void AppendRng(std::string* out, const Rng::State& s) {
+  *out += "{\"words\":[";
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) *out += ',';
+    AppendU64(out, s.words[i]);
+  }
+  *out += "],\"has_spare_gaussian\":";
+  AppendBool(out, s.has_spare_gaussian);
+  *out += ",\"spare_gaussian\":";
+  AppendDouble(out, s.spare_gaussian);
+  *out += '}';
+}
+
+void AppendDoubleArray(std::string* out, const std::vector<double>& xs) {
+  *out += '[';
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendDouble(out, xs[i]);
+  }
+  *out += ']';
+}
+
+void AppendOperatorState(std::string* out, const SamplingOperator::State& s) {
+  *out += "{\"agent_positions\":[";
+  for (size_t i = 0; i < s.agent_positions.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendU64(out, s.agent_positions[i]);
+  }
+  *out += "],\"next_agent\":";
+  AppendU64(out, s.next_agent);
+  *out += ",\"rng\":";
+  AppendRng(out, s.rng);
+  *out += ",\"done_walks\":";
+  AppendU64(out, s.done_walks);
+  *out += ",\"done_attempts\":";
+  AppendU64(out, s.done_attempts);
+  *out += ",\"done_steps\":";
+  AppendU64(out, s.done_steps);
+  *out += '}';
+}
+
+Result<Rng::State> ParseRng(const json::Value& v) {
+  Rng::State s;
+  DIGEST_ASSIGN_OR_RETURN(const json::Value* words, v.GetArray("words"));
+  if (words->array().size() != 4) {
+    return Status::InvalidArgument("checkpoint: rng needs 4 state words");
+  }
+  for (int i = 0; i < 4; ++i) {
+    DIGEST_ASSIGN_OR_RETURN(s.words[i], words->array()[i].AsUInt64());
+  }
+  DIGEST_ASSIGN_OR_RETURN(s.has_spare_gaussian,
+                          v.GetBool("has_spare_gaussian"));
+  DIGEST_ASSIGN_OR_RETURN(s.spare_gaussian, v.GetDouble("spare_gaussian"));
+  return s;
+}
+
+Result<std::vector<double>> ParseDoubleArray(const json::Value& parent,
+                                             std::string_view key) {
+  DIGEST_ASSIGN_OR_RETURN(const json::Value* arr, parent.GetArray(key));
+  std::vector<double> out;
+  out.reserve(arr->array().size());
+  for (const json::Value& v : arr->array()) {
+    DIGEST_ASSIGN_OR_RETURN(double x, v.AsDouble());
+    out.push_back(x);
+  }
+  return out;
+}
+
+Result<SamplingOperator::State> ParseOperatorState(const json::Value& v) {
+  SamplingOperator::State s;
+  DIGEST_ASSIGN_OR_RETURN(const json::Value* positions,
+                          v.GetArray("agent_positions"));
+  s.agent_positions.reserve(positions->array().size());
+  for (const json::Value& p : positions->array()) {
+    DIGEST_ASSIGN_OR_RETURN(uint64_t node, p.AsUInt64());
+    s.agent_positions.push_back(static_cast<NodeId>(node));
+  }
+  DIGEST_ASSIGN_OR_RETURN(s.next_agent, v.GetUInt64("next_agent"));
+  DIGEST_ASSIGN_OR_RETURN(const json::Value* rng, v.GetObject("rng"));
+  DIGEST_ASSIGN_OR_RETURN(s.rng, ParseRng(*rng));
+  DIGEST_ASSIGN_OR_RETURN(s.done_walks, v.GetUInt64("done_walks"));
+  DIGEST_ASSIGN_OR_RETURN(s.done_attempts, v.GetUInt64("done_attempts"));
+  DIGEST_ASSIGN_OR_RETURN(s.done_steps, v.GetUInt64("done_steps"));
+  return s;
+}
+
+}  // namespace
+
+Result<std::string> DigestEngine::Checkpoint() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"version\":\"";
+  out += kCheckpointVersion;
+  out += "\"";
+
+  // Engine scalars.
+  out += ",\"engine\":{\"reported_value\":";
+  AppendDouble(&out, reported_value_);
+  out += ",\"last_ci_halfwidth\":";
+  AppendDouble(&out, last_ci_halfwidth_);
+  out += ",\"has_result\":";
+  AppendBool(&out, has_result_);
+  out += ",\"next_snapshot_tick\":";
+  AppendI64(&out, next_snapshot_tick_);
+  out += ",\"last_tick\":";
+  AppendI64(&out, last_tick_);
+  out += ",\"last_gap\":";
+  AppendI64(&out, last_gap_);
+  out += '}';
+
+  // Cumulative counters.
+  out += ",\"stats\":{\"ticks\":";
+  AppendU64(&out, stats_.ticks);
+  out += ",\"snapshots\":";
+  AppendU64(&out, stats_.snapshots);
+  out += ",\"result_updates\":";
+  AppendU64(&out, stats_.result_updates);
+  out += ",\"total_samples\":";
+  AppendU64(&out, stats_.total_samples);
+  out += ",\"fresh_samples\":";
+  AppendU64(&out, stats_.fresh_samples);
+  out += ",\"retained_samples\":";
+  AppendU64(&out, stats_.retained_samples);
+  out += ",\"degraded_ticks\":";
+  AppendU64(&out, stats_.degraded_ticks);
+  out += ",\"partial_snapshots\":";
+  AppendU64(&out, stats_.partial_snapshots);
+  out += '}';
+
+  // PRED history window.
+  const Extrapolator::State ex = extrapolator_.SaveState();
+  out += ",\"extrapolator\":{\"ticks\":[";
+  for (size_t i = 0; i < ex.ticks.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendI64(&out, ex.ticks[i]);
+  }
+  out += "],\"values\":";
+  AppendDoubleArray(&out, ex.values);
+  out += '}';
+
+  // Supervisor state machine.
+  const SessionSupervisor::State sup = supervisor_.SaveState();
+  out += ",\"supervisor\":{\"health\":";
+  AppendU64(&out, static_cast<uint64_t>(sup.health));
+  out += ",\"consecutive_failures\":";
+  AppendU64(&out, sup.consecutive_failures);
+  out += ",\"consecutive_successes\":";
+  AppendU64(&out, sup.consecutive_successes);
+  out += ",\"transitions\":";
+  AppendU64(&out, sup.transitions);
+  out += ",\"outcome_counts\":[";
+  for (size_t i = 0; i < kNumSnapshotOutcomes; ++i) {
+    if (i > 0) out += ',';
+    AppendU64(&out, sup.outcome_counts[i]);
+  }
+  out += "],\"transition_counts\":[";
+  for (size_t from = 0; from < kNumSessionHealthStates; ++from) {
+    if (from > 0) out += ',';
+    out += '[';
+    for (size_t to = 0; to < kNumSessionHealthStates; ++to) {
+      if (to > 0) out += ',';
+      AppendU64(&out, sup.transition_counts[from][to]);
+    }
+    out += ']';
+  }
+  out += "]}";
+
+  // Estimator cross-occasion state.
+  const EstimatorState es = estimator_->SaveState();
+  out += ",\"estimator\":{\"rng\":";
+  AppendRng(&out, es.rng);
+  out += ",\"indep_rng\":";
+  AppendRng(&out, es.indep_rng);
+  out += ",\"retained_refs\":[";
+  for (size_t i = 0; i < es.retained_refs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"node\":";
+    AppendU64(&out, es.retained_refs[i].node);
+    out += ",\"local\":";
+    AppendU64(&out, es.retained_refs[i].local);
+    out += '}';
+  }
+  out += "],\"retained_ys\":";
+  AppendDoubleArray(&out, es.retained_ys);
+  out += ",\"prev_mean_estimate\":";
+  AppendDouble(&out, es.prev_mean_estimate);
+  out += ",\"prev_variance\":";
+  AppendDouble(&out, es.prev_variance);
+  out += ",\"rho_hat\":";
+  AppendDouble(&out, es.rho_hat);
+  out += ",\"sigma_hat\":";
+  AppendDouble(&out, es.sigma_hat);
+  out += ",\"occasion\":";
+  AppendU64(&out, es.occasion);
+  out += ",\"last_pair_y1\":";
+  AppendDoubleArray(&out, es.last_pair_y1);
+  out += ",\"last_pair_y2\":";
+  AppendDoubleArray(&out, es.last_pair_y2);
+  out += ",\"before_update_mean\":";
+  AppendDouble(&out, es.before_update_mean);
+  out += ",\"before_update_var\":";
+  AppendDouble(&out, es.before_update_var);
+  out += ",\"after_update_mean\":";
+  AppendDouble(&out, es.after_update_mean);
+  out += ",\"after_update_var\":";
+  AppendDouble(&out, es.after_update_var);
+  out += '}';
+
+  // Tuple-sampler draw streams (stage 2 of the two-stage scheme, or the
+  // centralized exact sampler).
+  out += ",\"samplers\":{";
+  bool first_sampler = true;
+  if (two_stage_sampler_ != nullptr) {
+    out += "\"two_stage_rng\":";
+    AppendRng(&out, two_stage_sampler_->SaveRngState());
+    first_sampler = false;
+  }
+  if (exact_sampler_ != nullptr) {
+    if (!first_sampler) out += ',';
+    out += "\"exact_rng\":";
+    AppendRng(&out, exact_sampler_->SaveRngState());
+  }
+  out += '}';
+
+  // Owned sampling operators (warm agents + walk stream + hedge stats).
+  out += ",\"operators\":{\"shared\":";
+  AppendBool(&out, shared_operator_);
+  if (sampling_operator_ != nullptr) {
+    out += ",\"sampling\":";
+    AppendOperatorState(&out, sampling_operator_->SaveState());
+  }
+  if (uniform_operator_ != nullptr) {
+    out += ",\"uniform\":";
+    AppendOperatorState(&out, uniform_operator_->SaveState());
+  }
+  out += '}';
+
+  // Message meter counters.
+  if (meter_ != nullptr) {
+    out += ",\"meter\":{\"counts\":[";
+    for (size_t i = 0; i < MessageMeter::kNumCategories; ++i) {
+      if (i > 0) out += ',';
+      AppendU64(&out,
+                meter_->Count(static_cast<MessageMeter::Category>(i)));
+    }
+    out += "],\"losses\":";
+    AppendU64(&out, meter_->losses());
+    out += '}';
+  }
+
+  out += '}';
+  if (obs::Tracing(options_.tracer)) {
+    options_.tracer->Emit(obs::CheckpointEvent{
+        static_cast<uint64_t>(out.size()), last_tick_});
+  }
+  return out;
+}
+
+Status DigestEngine::Restore(std::string_view blob) {
+  DIGEST_ASSIGN_OR_RETURN(json::Value doc, json::Parse(blob));
+  DIGEST_ASSIGN_OR_RETURN(std::string version, doc.GetString("version"));
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("checkpoint: unsupported version '" +
+                                   version + "' (this build reads " +
+                                   kCheckpointVersion + ")");
+  }
+
+  // Parse EVERYTHING into locals before installing anything, so a
+  // malformed blob can never leave the engine half-restored.
+  DIGEST_ASSIGN_OR_RETURN(const json::Value* eng, doc.GetObject("engine"));
+  double reported_value;
+  double last_ci;
+  bool has_result;
+  int64_t next_snapshot_tick, last_tick, last_gap;
+  DIGEST_ASSIGN_OR_RETURN(reported_value, eng->GetDouble("reported_value"));
+  DIGEST_ASSIGN_OR_RETURN(last_ci, eng->GetDouble("last_ci_halfwidth"));
+  DIGEST_ASSIGN_OR_RETURN(has_result, eng->GetBool("has_result"));
+  DIGEST_ASSIGN_OR_RETURN(next_snapshot_tick,
+                          eng->GetInt64("next_snapshot_tick"));
+  DIGEST_ASSIGN_OR_RETURN(last_tick, eng->GetInt64("last_tick"));
+  DIGEST_ASSIGN_OR_RETURN(last_gap, eng->GetInt64("last_gap"));
+
+  DIGEST_ASSIGN_OR_RETURN(const json::Value* st, doc.GetObject("stats"));
+  EngineStats stats;
+  {
+    uint64_t v;
+    DIGEST_ASSIGN_OR_RETURN(v, st->GetUInt64("ticks"));
+    stats.ticks = static_cast<size_t>(v);
+    DIGEST_ASSIGN_OR_RETURN(v, st->GetUInt64("snapshots"));
+    stats.snapshots = static_cast<size_t>(v);
+    DIGEST_ASSIGN_OR_RETURN(v, st->GetUInt64("result_updates"));
+    stats.result_updates = static_cast<size_t>(v);
+    DIGEST_ASSIGN_OR_RETURN(v, st->GetUInt64("total_samples"));
+    stats.total_samples = static_cast<size_t>(v);
+    DIGEST_ASSIGN_OR_RETURN(v, st->GetUInt64("fresh_samples"));
+    stats.fresh_samples = static_cast<size_t>(v);
+    DIGEST_ASSIGN_OR_RETURN(v, st->GetUInt64("retained_samples"));
+    stats.retained_samples = static_cast<size_t>(v);
+    DIGEST_ASSIGN_OR_RETURN(v, st->GetUInt64("degraded_ticks"));
+    stats.degraded_ticks = static_cast<size_t>(v);
+    DIGEST_ASSIGN_OR_RETURN(v, st->GetUInt64("partial_snapshots"));
+    stats.partial_snapshots = static_cast<size_t>(v);
+  }
+
+  DIGEST_ASSIGN_OR_RETURN(const json::Value* ex,
+                          doc.GetObject("extrapolator"));
+  Extrapolator::State ex_state;
+  {
+    DIGEST_ASSIGN_OR_RETURN(const json::Value* ticks, ex->GetArray("ticks"));
+    ex_state.ticks.reserve(ticks->array().size());
+    for (const json::Value& v : ticks->array()) {
+      DIGEST_ASSIGN_OR_RETURN(int64_t t, v.AsInt64());
+      ex_state.ticks.push_back(t);
+    }
+    DIGEST_ASSIGN_OR_RETURN(ex_state.values,
+                            ParseDoubleArray(*ex, "values"));
+    if (ex_state.ticks.size() != ex_state.values.size()) {
+      return Status::InvalidArgument(
+          "checkpoint: extrapolator ticks/values length mismatch");
+    }
+  }
+
+  DIGEST_ASSIGN_OR_RETURN(const json::Value* sup,
+                          doc.GetObject("supervisor"));
+  SessionSupervisor::State sup_state;
+  {
+    uint64_t health;
+    DIGEST_ASSIGN_OR_RETURN(health, sup->GetUInt64("health"));
+    if (health >= kNumSessionHealthStates) {
+      return Status::InvalidArgument(
+          "checkpoint: supervisor health out of range");
+    }
+    sup_state.health = static_cast<SessionHealth>(health);
+    DIGEST_ASSIGN_OR_RETURN(sup_state.consecutive_failures,
+                            sup->GetUInt64("consecutive_failures"));
+    DIGEST_ASSIGN_OR_RETURN(sup_state.consecutive_successes,
+                            sup->GetUInt64("consecutive_successes"));
+    DIGEST_ASSIGN_OR_RETURN(sup_state.transitions,
+                            sup->GetUInt64("transitions"));
+    DIGEST_ASSIGN_OR_RETURN(const json::Value* outcomes,
+                            sup->GetArray("outcome_counts"));
+    if (outcomes->array().size() != kNumSnapshotOutcomes) {
+      return Status::InvalidArgument(
+          "checkpoint: supervisor outcome_counts length mismatch");
+    }
+    for (size_t i = 0; i < kNumSnapshotOutcomes; ++i) {
+      DIGEST_ASSIGN_OR_RETURN(sup_state.outcome_counts[i],
+                              outcomes->array()[i].AsUInt64());
+    }
+    DIGEST_ASSIGN_OR_RETURN(const json::Value* trans,
+                            sup->GetArray("transition_counts"));
+    if (trans->array().size() != kNumSessionHealthStates) {
+      return Status::InvalidArgument(
+          "checkpoint: supervisor transition_counts length mismatch");
+    }
+    for (size_t from = 0; from < kNumSessionHealthStates; ++from) {
+      const json::Value& row = trans->array()[from];
+      if (!row.is_array() ||
+          row.array().size() != kNumSessionHealthStates) {
+        return Status::InvalidArgument(
+            "checkpoint: supervisor transition_counts row mismatch");
+      }
+      for (size_t to = 0; to < kNumSessionHealthStates; ++to) {
+        DIGEST_ASSIGN_OR_RETURN(sup_state.transition_counts[from][to],
+                                row.array()[to].AsUInt64());
+      }
+    }
+  }
+
+  DIGEST_ASSIGN_OR_RETURN(const json::Value* est,
+                          doc.GetObject("estimator"));
+  EstimatorState est_state;
+  {
+    DIGEST_ASSIGN_OR_RETURN(const json::Value* rng, est->GetObject("rng"));
+    DIGEST_ASSIGN_OR_RETURN(est_state.rng, ParseRng(*rng));
+    DIGEST_ASSIGN_OR_RETURN(const json::Value* irng,
+                            est->GetObject("indep_rng"));
+    DIGEST_ASSIGN_OR_RETURN(est_state.indep_rng, ParseRng(*irng));
+    DIGEST_ASSIGN_OR_RETURN(const json::Value* refs,
+                            est->GetArray("retained_refs"));
+    est_state.retained_refs.reserve(refs->array().size());
+    for (const json::Value& r : refs->array()) {
+      TupleRef ref;
+      uint64_t node;
+      DIGEST_ASSIGN_OR_RETURN(node, r.GetUInt64("node"));
+      ref.node = static_cast<NodeId>(node);
+      DIGEST_ASSIGN_OR_RETURN(ref.local, r.GetUInt64("local"));
+      est_state.retained_refs.push_back(ref);
+    }
+    DIGEST_ASSIGN_OR_RETURN(est_state.retained_ys,
+                            ParseDoubleArray(*est, "retained_ys"));
+    if (est_state.retained_refs.size() != est_state.retained_ys.size()) {
+      return Status::InvalidArgument(
+          "checkpoint: retained refs/ys length mismatch");
+    }
+    DIGEST_ASSIGN_OR_RETURN(est_state.prev_mean_estimate,
+                            est->GetDouble("prev_mean_estimate"));
+    DIGEST_ASSIGN_OR_RETURN(est_state.prev_variance,
+                            est->GetDouble("prev_variance"));
+    DIGEST_ASSIGN_OR_RETURN(est_state.rho_hat, est->GetDouble("rho_hat"));
+    DIGEST_ASSIGN_OR_RETURN(est_state.sigma_hat,
+                            est->GetDouble("sigma_hat"));
+    DIGEST_ASSIGN_OR_RETURN(est_state.occasion,
+                            est->GetUInt64("occasion"));
+    DIGEST_ASSIGN_OR_RETURN(est_state.last_pair_y1,
+                            ParseDoubleArray(*est, "last_pair_y1"));
+    DIGEST_ASSIGN_OR_RETURN(est_state.last_pair_y2,
+                            ParseDoubleArray(*est, "last_pair_y2"));
+    DIGEST_ASSIGN_OR_RETURN(est_state.before_update_mean,
+                            est->GetDouble("before_update_mean"));
+    DIGEST_ASSIGN_OR_RETURN(est_state.before_update_var,
+                            est->GetDouble("before_update_var"));
+    DIGEST_ASSIGN_OR_RETURN(est_state.after_update_mean,
+                            est->GetDouble("after_update_mean"));
+    DIGEST_ASSIGN_OR_RETURN(est_state.after_update_var,
+                            est->GetDouble("after_update_var"));
+  }
+
+  DIGEST_ASSIGN_OR_RETURN(const json::Value* samplers,
+                          doc.GetObject("samplers"));
+  bool have_two_stage_rng = false, have_exact_rng = false;
+  Rng::State two_stage_rng, exact_rng;
+  if (const json::Value* v = samplers->Find("two_stage_rng")) {
+    DIGEST_ASSIGN_OR_RETURN(two_stage_rng, ParseRng(*v));
+    have_two_stage_rng = true;
+  }
+  if (const json::Value* v = samplers->Find("exact_rng")) {
+    DIGEST_ASSIGN_OR_RETURN(exact_rng, ParseRng(*v));
+    have_exact_rng = true;
+  }
+  if (have_two_stage_rng != (two_stage_sampler_ != nullptr) ||
+      have_exact_rng != (exact_sampler_ != nullptr)) {
+    return Status::InvalidArgument(
+        "checkpoint: sampler kind does not match this engine's "
+        "construction");
+  }
+
+  DIGEST_ASSIGN_OR_RETURN(const json::Value* ops,
+                          doc.GetObject("operators"));
+  bool was_shared;
+  DIGEST_ASSIGN_OR_RETURN(was_shared, ops->GetBool("shared"));
+  if (was_shared != shared_operator_) {
+    return Status::InvalidArgument(
+        "checkpoint: shared-operator topology does not match (the owner "
+        "of a shared operator checkpoints it separately)");
+  }
+  bool have_sampling_op = false, have_uniform_op = false;
+  SamplingOperator::State sampling_op_state, uniform_op_state;
+  if (const json::Value* v = ops->Find("sampling")) {
+    DIGEST_ASSIGN_OR_RETURN(sampling_op_state, ParseOperatorState(*v));
+    have_sampling_op = true;
+  }
+  if (const json::Value* v = ops->Find("uniform")) {
+    DIGEST_ASSIGN_OR_RETURN(uniform_op_state, ParseOperatorState(*v));
+    have_uniform_op = true;
+  }
+  if (have_sampling_op != (sampling_operator_ != nullptr) ||
+      have_uniform_op != (uniform_operator_ != nullptr)) {
+    return Status::InvalidArgument(
+        "checkpoint: operator topology does not match this engine's "
+        "construction");
+  }
+
+  bool have_meter = false;
+  uint64_t meter_counts[MessageMeter::kNumCategories] = {};
+  uint64_t meter_losses = 0;
+  if (const json::Value* m = doc.Find("meter")) {
+    DIGEST_ASSIGN_OR_RETURN(const json::Value* counts,
+                            m->GetArray("counts"));
+    if (counts->array().size() != MessageMeter::kNumCategories) {
+      return Status::InvalidArgument(
+          "checkpoint: meter category count mismatch (blob from a "
+          "different build?)");
+    }
+    for (size_t i = 0; i < MessageMeter::kNumCategories; ++i) {
+      DIGEST_ASSIGN_OR_RETURN(meter_counts[i],
+                              counts->array()[i].AsUInt64());
+    }
+    DIGEST_ASSIGN_OR_RETURN(meter_losses, m->GetUInt64("losses"));
+    have_meter = true;
+  }
+
+  // All parsed and validated — install.
+  reported_value_ = reported_value;
+  last_ci_halfwidth_ = last_ci;
+  has_result_ = has_result;
+  next_snapshot_tick_ = next_snapshot_tick;
+  last_tick_ = last_tick;
+  last_gap_ = last_gap;
+  stats_ = stats;
+  extrapolator_.RestoreState(ex_state);
+  supervisor_.RestoreState(sup_state);
+  estimator_->RestoreState(est_state);
+  if (two_stage_sampler_ != nullptr) {
+    two_stage_sampler_->RestoreRngState(two_stage_rng);
+  }
+  if (exact_sampler_ != nullptr) {
+    exact_sampler_->RestoreRngState(exact_rng);
+  }
+  if (sampling_operator_ != nullptr) {
+    sampling_operator_->RestoreState(sampling_op_state);
+  }
+  if (uniform_operator_ != nullptr) {
+    uniform_operator_->RestoreState(uniform_op_state);
+  }
+  if (have_meter && meter_ != nullptr) {
+    for (size_t i = 0; i < MessageMeter::kNumCategories; ++i) {
+      meter_->RestoreCount(static_cast<MessageMeter::Category>(i),
+                           meter_counts[i]);
+    }
+    meter_->RestoreLosses(meter_losses);
+  }
+  if (obs::Tracing(options_.tracer)) {
+    options_.tracer->Emit(obs::RestoreEvent{
+        static_cast<uint64_t>(blob.size()), last_tick_});
+  }
+  return Status::OK();
+}
+
+}  // namespace digest

@@ -1,8 +1,10 @@
 #ifndef DIGEST_CORE_EXTRAPOLATOR_H_
 #define DIGEST_CORE_EXTRAPOLATOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "common/result.h"
 #include "numeric/polynomial.h"
@@ -75,6 +77,30 @@ class Extrapolator {
 
   /// Forgets all history.
   void Reset() { history_.clear(); }
+
+  /// Serializable PRED history window (parallel tick/value arrays), for
+  /// the engine checkpoint. Restoring replaces the whole window.
+  struct State {
+    std::vector<int64_t> ticks;
+    std::vector<double> values;
+  };
+  State SaveState() const {
+    State s;
+    s.ticks.reserve(history_.size());
+    s.values.reserve(history_.size());
+    for (const Observation& o : history_) {
+      s.ticks.push_back(o.t);
+      s.values.push_back(o.x);
+    }
+    return s;
+  }
+  void RestoreState(const State& state) {
+    history_.clear();
+    const size_t n = std::min(state.ticks.size(), state.values.size());
+    for (size_t i = 0; i < n; ++i) {
+      history_.push_back(Observation{state.ticks[i], state.values[i]});
+    }
+  }
 
   const ExtrapolatorOptions& options() const { return options_; }
 

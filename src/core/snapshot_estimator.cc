@@ -132,28 +132,52 @@ Result<SnapshotEstimate> IndependentEstimator::Evaluate(NodeId origin) {
   std::vector<double> ys;
   RunningStats stats;
   size_t drawn_total = 0;
+  bool partial = false;      // Hop budget ran out mid-occasion.
+  size_t planned_total = 0;  // Contributing count wanted at the cutoff.
 
   // Draws until `count` *contributing* samples have been collected (for
   // a predicated AVG, non-qualifying draws cost traffic but are skipped).
+  // Under allow_partial a hop-budget timeout sets `partial` and stops
+  // drawing instead of failing; the identical draw sequence makes the
+  // two modes bit-equal whenever no timeout fires.
   auto draw = [&](size_t count) -> Status {
     size_t guard = 0;
-    while (count > 0) {
+    while (count > 0 && !partial) {
       if (++guard > 200) {
         return Status::Unavailable(
             "predicate selectivity too low: could not collect the "
             "required qualifying samples");
       }
-      DIGEST_ASSIGN_OR_RETURN(std::vector<TupleSample> batch,
-                              source_->DrawFresh(origin, count));
-      drawn_total += batch.size();
-      for (TupleSample& s : batch) {
-        DIGEST_ASSIGN_OR_RETURN(std::optional<double> y,
-                                ContributionValue(s.tuple));
-        if (!y.has_value()) continue;
-        ys.push_back(*y);
-        stats.Add(*y);
-        samples.push_back(std::move(s));
-        --count;
+      if (options_.allow_partial) {
+        DIGEST_ASSIGN_OR_RETURN(PartialTupleBatch batch,
+                                source_->DrawFreshPartial(origin, count));
+        drawn_total += batch.samples.size();
+        for (TupleSample& s : batch.samples) {
+          DIGEST_ASSIGN_OR_RETURN(std::optional<double> y,
+                                  ContributionValue(s.tuple));
+          if (!y.has_value()) continue;
+          ys.push_back(*y);
+          stats.Add(*y);
+          samples.push_back(std::move(s));
+          --count;
+        }
+        if (batch.timed_out) {
+          partial = true;
+          planned_total = ys.size() + count;
+        }
+      } else {
+        DIGEST_ASSIGN_OR_RETURN(std::vector<TupleSample> batch,
+                                source_->DrawFresh(origin, count));
+        drawn_total += batch.size();
+        for (TupleSample& s : batch) {
+          DIGEST_ASSIGN_OR_RETURN(std::optional<double> y,
+                                  ContributionValue(s.tuple));
+          if (!y.has_value()) continue;
+          ys.push_back(*y);
+          stats.Add(*y);
+          samples.push_back(std::move(s));
+          --count;
+        }
       }
     }
     return Status::OK();
@@ -181,7 +205,7 @@ Result<SnapshotEstimate> IndependentEstimator::Evaluate(NodeId origin) {
     DIGEST_RETURN_IF_ERROR(draw(needed));
   } else {
     DIGEST_RETURN_IF_ERROR(draw(options_.pilot_samples));
-    for (size_t round = 0; round < options_.max_rounds; ++round) {
+    for (size_t round = 0; round < options_.max_rounds && !partial; ++round) {
       const double sigma = stats.SampleStdDev();
       if (sigma == 0.0) break;  // Degenerate population: any n suffices.
       // Eq. 6: n = (z_p σ̂ / ε)².
@@ -193,6 +217,14 @@ Result<SnapshotEstimate> IndependentEstimator::Evaluate(NodeId origin) {
       if (ys.size() >= needed) break;
       DIGEST_RETURN_IF_ERROR(draw(needed - ys.size()));
     }
+  }
+
+  if (partial &&
+      ys.size() < std::max<size_t>(2, options_.min_partial_samples)) {
+    // Too little arrived before the deadline to finalize honestly; let
+    // the engine's degraded-fallback path take over.
+    return Status::Unavailable(
+        "hop budget exhausted before the minimum partial sample count");
   }
 
   SnapshotEstimate est;
@@ -213,10 +245,19 @@ Result<SnapshotEstimate> IndependentEstimator::Evaluate(NodeId origin) {
   est.fresh_samples = drawn_total;
   est.retained_samples = 0;
   est.contributing_samples = ys.size();
+  est.partial = partial;
   DIGEST_ASSIGN_OR_RETURN(est.value, ScaleToQueryUnits(est.mean_estimate));
   if (spec_.query.op == AggregateOp::kMedian) {
-    // The DKW bound delivers the rank-tolerance contract directly.
-    est.ci_halfwidth = spec_.precision.epsilon;
+    if (partial) {
+      // Invert the DKW bound at the realized sample count: the honest
+      // rank tolerance of the smaller set, wider than ε.
+      est.ci_halfwidth =
+          std::sqrt(std::log(2.0 / (1.0 - spec_.precision.confidence)) /
+                    (2.0 * static_cast<double>(ys.size())));
+    } else {
+      // The DKW bound delivers the rank-tolerance contract directly.
+      est.ci_halfwidth = spec_.precision.epsilon;
+    }
   } else {
     DIGEST_ASSIGN_OR_RETURN(
         est.ci_halfwidth,
@@ -231,6 +272,11 @@ Result<SnapshotEstimate> IndependentEstimator::Evaluate(NodeId origin) {
     options_.tracer->Emit(obs::SampleBudgetEvent{
         /*repeated=*/false, /*rho_hat=*/0.0, est.sigma,
         static_cast<uint64_t>(drawn_total), /*planned_retained=*/0});
+    if (partial) {
+      options_.tracer->Emit(obs::PartialSnapshotEvent{
+          static_cast<uint64_t>(est.contributing_samples),
+          static_cast<uint64_t>(planned_total), est.ci_halfwidth});
+    }
   }
   return est;
 }
@@ -376,24 +422,44 @@ Result<SnapshotEstimate> RepeatedSamplingEstimator::Evaluate(NodeId origin) {
   std::vector<double> yf;
   std::vector<TupleRef> fresh_refs;
   size_t fresh_drawn_total = 0;
+  bool partial = false;        // Hop budget ran out mid-occasion.
+  size_t planned_fresh = 0;    // Fresh count wanted at the cutoff.
   auto draw_fresh = [&](size_t count) -> Status {
     size_t guard = 0;
-    while (count > 0) {
+    while (count > 0 && !partial) {
       if (++guard > 200) {
         return Status::Unavailable(
             "predicate selectivity too low: could not collect the "
             "required qualifying samples");
       }
-      DIGEST_ASSIGN_OR_RETURN(std::vector<TupleSample> batch,
-                              source_->DrawFresh(origin, count));
-      fresh_drawn_total += batch.size();
-      for (TupleSample& s : batch) {
-        DIGEST_ASSIGN_OR_RETURN(std::optional<double> y,
-                                independent_.ContributionValue(s.tuple));
-        if (!y.has_value()) continue;
-        yf.push_back(*y);
-        fresh_refs.push_back(s.ref);
-        --count;
+      if (options_.allow_partial) {
+        DIGEST_ASSIGN_OR_RETURN(PartialTupleBatch batch,
+                                source_->DrawFreshPartial(origin, count));
+        fresh_drawn_total += batch.samples.size();
+        for (TupleSample& s : batch.samples) {
+          DIGEST_ASSIGN_OR_RETURN(std::optional<double> y,
+                                  independent_.ContributionValue(s.tuple));
+          if (!y.has_value()) continue;
+          yf.push_back(*y);
+          fresh_refs.push_back(s.ref);
+          --count;
+        }
+        if (batch.timed_out) {
+          partial = true;
+          planned_fresh = yf.size() + count;
+        }
+      } else {
+        DIGEST_ASSIGN_OR_RETURN(std::vector<TupleSample> batch,
+                                source_->DrawFresh(origin, count));
+        fresh_drawn_total += batch.size();
+        for (TupleSample& s : batch) {
+          DIGEST_ASSIGN_OR_RETURN(std::optional<double> y,
+                                  independent_.ContributionValue(s.tuple));
+          if (!y.has_value()) continue;
+          yf.push_back(*y);
+          fresh_refs.push_back(s.ref);
+          --count;
+        }
       }
     }
     return Status::OK();
@@ -401,6 +467,13 @@ Result<SnapshotEstimate> RepeatedSamplingEstimator::Evaluate(NodeId origin) {
   const size_t f_initial =
       n_target > g ? n_target - g : std::max<size_t>(1, n_target / 4);
   DIGEST_RETURN_IF_ERROR(draw_fresh(f_initial));
+  if (partial && g + yf.size() <
+                     std::max<size_t>(2, options_.min_partial_samples)) {
+    // Too little material before the deadline; the engine's degraded
+    // fallback (retained pool refresh) is the honest answer instead.
+    return Status::Unavailable(
+        "hop budget exhausted before the minimum partial sample count");
+  }
 
   // Estimate, then top-up fresh samples until the combined variance meets
   // the contract (or caps are hit).
@@ -463,7 +536,8 @@ Result<SnapshotEstimate> RepeatedSamplingEstimator::Evaluate(NodeId origin) {
       }
     }
     const size_t total = g + yf.size();
-    if (combined_var <= needed_var || round + 1 >= options_.max_rounds ||
+    if (partial || combined_var <= needed_var ||
+        round + 1 >= options_.max_rounds ||
         total >= options_.max_samples || sigma2 == 0.0) {
       break;
     }
@@ -509,11 +583,17 @@ Result<SnapshotEstimate> RepeatedSamplingEstimator::Evaluate(NodeId origin) {
   est.fresh_samples = fresh_drawn_total;
   est.retained_samples = g;
   est.contributing_samples = g + yf.size();
+  est.partial = partial;
   DIGEST_ASSIGN_OR_RETURN(est.value,
                           independent_.ScaleToQueryUnits(combined));
   DIGEST_ASSIGN_OR_RETURN(
       est.ci_halfwidth,
       independent_.ScaleToQueryUnits(z * std::sqrt(combined_var)));
+  if (partial && obs::Tracing(options_.tracer)) {
+    options_.tracer->Emit(obs::PartialSnapshotEvent{
+        static_cast<uint64_t>(yf.size()),
+        static_cast<uint64_t>(planned_fresh), est.ci_halfwidth});
+  }
   return est;
 }
 
@@ -571,6 +651,65 @@ Result<SnapshotEstimate> RepeatedSamplingEstimator::EvaluateDegraded(
   prev_variance_ = var;
   sigma_hat_ = est.sigma;
   return est;
+}
+
+EstimatorState IndependentEstimator::SaveState() const {
+  EstimatorState s;
+  s.rng = rng_.SaveState();
+  s.indep_rng = rng_.SaveState();
+  return s;
+}
+
+void IndependentEstimator::RestoreState(const EstimatorState& state) {
+  rng_.RestoreState(state.indep_rng);
+}
+
+EstimatorState RepeatedSamplingEstimator::SaveState() const {
+  EstimatorState s;
+  s.rng = rng_.SaveState();
+  s.indep_rng = independent_.rng_.SaveState();
+  s.retained_refs.reserve(prev_samples_.size());
+  s.retained_ys.reserve(prev_samples_.size());
+  for (const Retained& r : prev_samples_) {
+    s.retained_refs.push_back(r.ref);
+    s.retained_ys.push_back(r.y);
+  }
+  s.prev_mean_estimate = prev_mean_estimate_;
+  s.prev_variance = prev_variance_;
+  s.rho_hat = rho_hat_;
+  s.sigma_hat = sigma_hat_;
+  s.occasion = static_cast<uint64_t>(occasion_);
+  s.last_pair_y1 = last_pair_y1_;
+  s.last_pair_y2 = last_pair_y2_;
+  s.before_update_mean = before_update_mean_;
+  s.before_update_var = before_update_var_;
+  s.after_update_mean = after_update_mean_;
+  s.after_update_var = after_update_var_;
+  return s;
+}
+
+void RepeatedSamplingEstimator::RestoreState(const EstimatorState& state) {
+  rng_.RestoreState(state.rng);
+  independent_.rng_.RestoreState(state.indep_rng);
+  prev_samples_.clear();
+  prev_samples_.reserve(state.retained_refs.size());
+  const size_t pool =
+      std::min(state.retained_refs.size(), state.retained_ys.size());
+  for (size_t i = 0; i < pool; ++i) {
+    prev_samples_.push_back(
+        Retained{state.retained_refs[i], state.retained_ys[i]});
+  }
+  prev_mean_estimate_ = state.prev_mean_estimate;
+  prev_variance_ = state.prev_variance;
+  rho_hat_ = state.rho_hat;
+  sigma_hat_ = state.sigma_hat;
+  occasion_ = static_cast<size_t>(state.occasion);
+  last_pair_y1_ = state.last_pair_y1;
+  last_pair_y2_ = state.last_pair_y2;
+  before_update_mean_ = state.before_update_mean;
+  before_update_var_ = state.before_update_var;
+  after_update_mean_ = state.after_update_mean;
+  after_update_var_ = state.after_update_var;
 }
 
 }  // namespace digest

@@ -30,6 +30,19 @@ class SampleSource {
   /// traffic at `origin`.
   virtual Result<std::vector<TupleSample>> DrawFresh(NodeId origin,
                                                      size_t n) = 0;
+
+  /// Deadline-budgeted variant: sources backed by a hop-budgeted sampler
+  /// return whatever completed before the budget ran out with
+  /// timed_out = true. The default wraps DrawFresh and never times out
+  /// (sources without a budget always deliver the full batch or fail).
+  virtual Result<PartialTupleBatch> DrawFreshPartial(NodeId origin,
+                                                     size_t n) {
+    DIGEST_ASSIGN_OR_RETURN(std::vector<TupleSample> samples,
+                            DrawFresh(origin, n));
+    PartialTupleBatch batch;
+    batch.samples = std::move(samples);
+    return batch;
+  }
 };
 
 /// SampleSource over the two-stage MCMC tuple sampler (§III).
@@ -40,6 +53,10 @@ class TwoStageSampleSource : public SampleSource {
   Result<std::vector<TupleSample>> DrawFresh(NodeId origin,
                                              size_t n) override {
     return sampler_->SampleBatch(origin, n);
+  }
+  Result<PartialTupleBatch> DrawFreshPartial(NodeId origin,
+                                             size_t n) override {
+    return sampler_->SampleBatchPartial(origin, n);
   }
 
  private:
@@ -94,6 +111,18 @@ struct EstimatorOptions {
   /// the population, so its nominal CLT interval is honest only after
   /// widening for the unmodeled drift since it was drawn.
   double degraded_widening = 2.0;
+  /// Deadline-budgeted snapshots: when fresh sampling times out against
+  /// the hop budget mid-occasion, finalize the estimate from the samples
+  /// collected so far (honestly wider CI, SnapshotEstimate::partial set)
+  /// instead of failing with kUnavailable. Off by default: the classic
+  /// timeout → degraded-fallback path is preserved unless a caller opts
+  /// in. With no fault plan no timeout ever fires, so enabling this
+  /// leaves fault-free runs bit-identical.
+  bool allow_partial = false;
+  /// Minimum contributing samples a partial finalization needs; below
+  /// this the occasion still fails with kUnavailable (an estimate from
+  /// fewer points has no usable variance). Must be >= 2.
+  size_t min_partial_samples = 8;
   /// Optional structured event sink (not owned; null disables). Each
   /// occasion emits one SampleBudgetEvent describing the planned split
   /// (RPT retained/fresh with ρ̂, or INDEP's CLT size). Pure
@@ -122,6 +151,37 @@ struct SnapshotEstimate {
   /// True when the estimate came from the degraded fallback path
   /// (retained samples only, no fresh network draws).
   bool degraded = false;
+  /// True when the occasion was finalized early because the sampling hop
+  /// budget ran out (EstimatorOptions::allow_partial): the estimate uses
+  /// only the samples collected before the deadline, and ci_halfwidth is
+  /// the honest (wider) interval of that smaller set.
+  bool partial = false;
+};
+
+/// Serializable cross-occasion estimator state, for the engine
+/// checkpoint (core/engine_checkpoint.cc). One struct covers both
+/// estimators: INDEP populates only the RNG streams; RPT adds the
+/// retained pool, the regression recursion scalars, and the forward-
+/// regression pair data. Restoring this into a freshly constructed
+/// estimator of the same kind and configuration replays the exact draw
+/// sequence an uninterrupted run would have made.
+struct EstimatorState {
+  Rng::State rng;        ///< Top-level stream (RPT's retained shuffle).
+  Rng::State indep_rng;  ///< Wrapped/primary independent stream.
+  // Repeated-sampling cross-occasion state (empty/zero for INDEP).
+  std::vector<TupleRef> retained_refs;
+  std::vector<double> retained_ys;
+  double prev_mean_estimate = 0.0;
+  double prev_variance = 0.0;
+  double rho_hat = 0.0;
+  double sigma_hat = 0.0;
+  uint64_t occasion = 0;
+  std::vector<double> last_pair_y1;
+  std::vector<double> last_pair_y2;
+  double before_update_mean = 0.0;
+  double before_update_var = 0.0;
+  double after_update_mean = 0.0;
+  double after_update_var = 0.0;
 };
 
 /// A snapshot-query evaluator: called once per sampling occasion by the
@@ -146,6 +206,12 @@ class SnapshotEstimator {
 
   /// Forgets cross-occasion state (a fresh continuous query).
   virtual void Reset() = 0;
+
+  /// Checkpoint/restore of all cross-occasion state, RNG streams
+  /// included. Restore assumes an estimator of the same kind and
+  /// configuration (the checkpoint blob carries no config).
+  virtual EstimatorState SaveState() const = 0;
+  virtual void RestoreState(const EstimatorState& state) = 0;
 };
 
 /// Classical independent sampling (paper §IV-B1): every occasion draws a
@@ -163,6 +229,9 @@ class IndependentEstimator : public SnapshotEstimator {
 
   Result<SnapshotEstimate> Evaluate(NodeId origin) override;
   void Reset() override {}
+
+  EstimatorState SaveState() const override;
+  void RestoreState(const EstimatorState& state) override;
 
  private:
   friend class RepeatedSamplingEstimator;
@@ -231,6 +300,9 @@ class RepeatedSamplingEstimator : public SnapshotEstimator {
   Result<SnapshotEstimate> EvaluateDegraded(NodeId origin) override;
 
   void Reset() override;
+
+  EstimatorState SaveState() const override;
+  void RestoreState(const EstimatorState& state) override;
 
   /// Current smoothed estimate of the inter-occasion correlation ρ̂.
   double correlation_estimate() const { return rho_hat_; }

@@ -1,0 +1,162 @@
+#include "core/supervisor.h"
+
+#include <cstring>
+
+namespace digest {
+
+const char* SessionHealthName(SessionHealth health) {
+  switch (health) {
+    case SessionHealth::kHealthy:
+      return "healthy";
+    case SessionHealth::kDegraded:
+      return "degraded";
+    case SessionHealth::kStale:
+      return "stale";
+    case SessionHealth::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+const char* SnapshotOutcomeName(SnapshotOutcome outcome) {
+  switch (outcome) {
+    case SnapshotOutcome::kMetContract:
+      return "met_contract";
+    case SnapshotOutcome::kWidenedCi:
+      return "widened_ci";
+    case SnapshotOutcome::kPartial:
+      return "partial";
+    case SnapshotOutcome::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+Status SupervisorOptions::Validate() const {
+  if (stale_threshold < 1) {
+    return Status::InvalidArgument("stale_threshold must be >= 1");
+  }
+  if (recovery_successes < 1) {
+    return Status::InvalidArgument("recovery_successes must be >= 1");
+  }
+  return Status::OK();
+}
+
+SessionSupervisor::SessionSupervisor(SupervisorOptions options)
+    : options_(options) {}
+
+void SessionSupervisor::Transition(SessionHealth to, SnapshotOutcome outcome,
+                                   uint64_t consecutive) {
+  const SessionHealth from = health_;
+  if (from == to) return;
+  health_ = to;
+  ++transitions_;
+  ++transition_counts_[static_cast<size_t>(from)][static_cast<size_t>(to)];
+  if (obs::Tracing(tracer_)) {
+    tracer_->Emit(obs::SupervisorStateEvent{
+        SessionHealthName(from), SessionHealthName(to),
+        SnapshotOutcomeName(outcome), consecutive});
+  }
+}
+
+SessionHealth SessionSupervisor::RecordOutcome(SnapshotOutcome outcome) {
+  ++outcome_counts_[static_cast<size_t>(outcome)];
+  const bool success = outcome == SnapshotOutcome::kMetContract;
+  if (success) {
+    ++consecutive_successes_;
+    consecutive_failures_ = 0;
+  } else {
+    ++consecutive_failures_;
+    consecutive_successes_ = 0;
+  }
+
+  switch (health_) {
+    case SessionHealth::kHealthy:
+      if (!success) {
+        Transition(SessionHealth::kDegraded, outcome, consecutive_failures_);
+      }
+      break;
+    case SessionHealth::kDegraded:
+      if (success) {
+        // Shallow degradation heals on a single contract-meeting
+        // snapshot; the RECOVERING probation only applies after STALE.
+        Transition(SessionHealth::kHealthy, outcome, consecutive_successes_);
+      } else if (consecutive_failures_ >= options_.stale_threshold) {
+        Transition(SessionHealth::kStale, outcome, consecutive_failures_);
+      }
+      break;
+    case SessionHealth::kStale:
+      if (success) {
+        if (consecutive_successes_ >= options_.recovery_successes) {
+          Transition(SessionHealth::kHealthy, outcome,
+                     consecutive_successes_);
+        } else {
+          Transition(SessionHealth::kRecovering, outcome,
+                     consecutive_successes_);
+        }
+      }
+      break;
+    case SessionHealth::kRecovering:
+      if (success) {
+        if (consecutive_successes_ >= options_.recovery_successes) {
+          Transition(SessionHealth::kHealthy, outcome,
+                     consecutive_successes_);
+        }
+      } else {
+        Transition(SessionHealth::kStale, outcome, consecutive_failures_);
+      }
+      break;
+  }
+  return health_;
+}
+
+void SessionSupervisor::ExportToRegistry(obs::Registry* registry) const {
+  if (registry == nullptr) return;
+  for (size_t i = 0; i < kNumSnapshotOutcomes; ++i) {
+    const uint64_t count = outcome_counts_[i];
+    if (count == 0) continue;
+    registry
+        ->GetCounter("supervisor.outcomes",
+                     {{"outcome", SnapshotOutcomeName(
+                                      static_cast<SnapshotOutcome>(i))}})
+        ->Increment(count);
+  }
+  for (size_t from = 0; from < kNumSessionHealthStates; ++from) {
+    for (size_t to = 0; to < kNumSessionHealthStates; ++to) {
+      const uint64_t count = transition_counts_[from][to];
+      if (count == 0) continue;
+      registry
+          ->GetCounter(
+              "supervisor.transitions",
+              {{"from", SessionHealthName(static_cast<SessionHealth>(from))},
+               {"to", SessionHealthName(static_cast<SessionHealth>(to))}})
+          ->Increment(count);
+    }
+  }
+  registry->GetGauge("supervisor.state")
+      ->Set(static_cast<double>(static_cast<int>(health_)));
+}
+
+SessionSupervisor::State SessionSupervisor::SaveState() const {
+  State s;
+  s.health = health_;
+  s.consecutive_failures = consecutive_failures_;
+  s.consecutive_successes = consecutive_successes_;
+  s.transitions = transitions_;
+  std::memcpy(s.outcome_counts, outcome_counts_, sizeof(outcome_counts_));
+  std::memcpy(s.transition_counts, transition_counts_,
+              sizeof(transition_counts_));
+  return s;
+}
+
+void SessionSupervisor::RestoreState(const State& state) {
+  health_ = state.health;
+  consecutive_failures_ = static_cast<size_t>(state.consecutive_failures);
+  consecutive_successes_ = static_cast<size_t>(state.consecutive_successes);
+  transitions_ = state.transitions;
+  std::memcpy(outcome_counts_, state.outcome_counts, sizeof(outcome_counts_));
+  std::memcpy(transition_counts_, state.transition_counts,
+              sizeof(transition_counts_));
+}
+
+}  // namespace digest

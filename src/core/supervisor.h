@@ -1,0 +1,136 @@
+#ifndef DIGEST_CORE_SUPERVISOR_H_
+#define DIGEST_CORE_SUPERVISOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace digest {
+
+/// Health of one continuous-query session, as judged from the stream of
+/// snapshot outcomes. The states form the ladder
+///
+///   HEALTHY → DEGRADED → STALE → RECOVERING → HEALTHY
+///
+/// driven only by consecutive outcomes — no wall clock, no randomness —
+/// so the machine is a pure fold over the outcome sequence and cannot
+/// perturb a run's determinism.
+enum class SessionHealth {
+  kHealthy = 0,     ///< Last snapshot met the (ε, p) contract.
+  kDegraded = 1,    ///< Recent snapshot(s) fell back or answered partially.
+  kStale = 2,       ///< A failure streak long enough that the reported
+                    ///< value should be treated as stale.
+  kRecovering = 3,  ///< Contract-meeting snapshots are arriving again but
+                    ///< the streak is not yet long enough to trust.
+};
+
+/// How one snapshot occasion ended, from the engine's point of view.
+enum class SnapshotOutcome {
+  kMetContract = 0,  ///< Fresh estimate within the (ε, p) contract.
+  kWidenedCi = 1,    ///< Fallback answer with an honestly widened CI
+                     ///< (retained-pool or held-result path).
+  kPartial = 2,      ///< Deadline-budgeted early finalization from the
+                     ///< samples collected before the budget ran out.
+  kTimeout = 3,      ///< The occasion produced no usable estimate at all.
+};
+
+/// Stable lower-snake name (used in trace events and metric labels).
+const char* SessionHealthName(SessionHealth health);
+const char* SnapshotOutcomeName(SnapshotOutcome outcome);
+
+constexpr size_t kNumSessionHealthStates = 4;
+constexpr size_t kNumSnapshotOutcomes = 4;
+
+struct SupervisorOptions {
+  /// Consecutive non-contract outcomes (while already degraded) after
+  /// which the session is declared STALE.
+  size_t stale_threshold = 3;
+
+  /// Consecutive contract-meeting outcomes needed to climb from
+  /// STALE/RECOVERING back to HEALTHY.
+  size_t recovery_successes = 2;
+
+  /// Both thresholds must be >= 1.
+  Status Validate() const;
+};
+
+/// Per-query-session supervisor: folds snapshot outcomes into a health
+/// state machine and exposes the result through the tracer (one
+/// SupervisorStateEvent per transition) and the metrics registry.
+///
+/// Transition rules (deterministic; `failure` = any outcome other than
+/// kMetContract):
+///
+///   HEALTHY    --failure-->                DEGRADED
+///   DEGRADED   --success-->                HEALTHY
+///   DEGRADED   --failure streak >= stale_threshold--> STALE
+///   STALE      --success-->                RECOVERING (or HEALTHY when
+///                                          recovery_successes == 1)
+///   RECOVERING --success streak >= recovery_successes--> HEALTHY
+///   RECOVERING --failure-->                STALE
+///
+/// The supervisor never influences engine decisions — it is a pure
+/// observer, so attaching or detaching its tracer/registry cannot change
+/// estimates, meter counts, or RNG streams.
+class SessionSupervisor {
+ public:
+  explicit SessionSupervisor(SupervisorOptions options = SupervisorOptions());
+
+  const SupervisorOptions& options() const { return options_; }
+
+  /// Attaches (or detaches, with nullptr) the trace sink for transition
+  /// events. Not owned; must outlive the supervisor.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Folds one snapshot outcome into the machine; returns the health
+  /// after the fold. Emits a SupervisorStateEvent iff the state changed.
+  SessionHealth RecordOutcome(SnapshotOutcome outcome);
+
+  SessionHealth health() const { return health_; }
+  size_t consecutive_failures() const { return consecutive_failures_; }
+  size_t consecutive_successes() const { return consecutive_successes_; }
+  uint64_t transitions() const { return transitions_; }
+  uint64_t outcome_count(SnapshotOutcome outcome) const {
+    return outcome_counts_[static_cast<size_t>(outcome)];
+  }
+
+  /// Dumps cumulative outcome/transition counters and the current state
+  /// into `registry` (counter supervisor.outcomes{outcome=...}, counter
+  /// supervisor.transitions{from=...,to=...}, gauge supervisor.state).
+  /// Call once at end of run, like the other registry bridges.
+  void ExportToRegistry(obs::Registry* registry) const;
+
+  /// Serializable machine state for the engine checkpoint.
+  struct State {
+    SessionHealth health = SessionHealth::kHealthy;
+    uint64_t consecutive_failures = 0;
+    uint64_t consecutive_successes = 0;
+    uint64_t transitions = 0;
+    uint64_t outcome_counts[kNumSnapshotOutcomes] = {0, 0, 0, 0};
+    uint64_t transition_counts[kNumSessionHealthStates]
+                              [kNumSessionHealthStates] = {};
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
+ private:
+  void Transition(SessionHealth to, SnapshotOutcome outcome,
+                  uint64_t consecutive);
+
+  SupervisorOptions options_;
+  obs::Tracer* tracer_ = nullptr;
+  SessionHealth health_ = SessionHealth::kHealthy;
+  size_t consecutive_failures_ = 0;
+  size_t consecutive_successes_ = 0;
+  uint64_t transitions_ = 0;
+  uint64_t outcome_counts_[kNumSnapshotOutcomes] = {0, 0, 0, 0};
+  uint64_t transition_counts_[kNumSessionHealthStates]
+                             [kNumSessionHealthStates] = {};
+};
+
+}  // namespace digest
+
+#endif  // DIGEST_CORE_SUPERVISOR_H_

@@ -47,17 +47,36 @@ Status FaultPlanConfig::Validate() const {
   if (stale_noise < 0.0) {
     return Status::InvalidArgument("stale_noise must be >= 0");
   }
-  if (stall_fraction > 0.0) {
-    if (stall_every <= 0 || stall_length <= 0) {
-      return Status::InvalidArgument(
-          "stall windows need positive stall_every and stall_length");
-    }
-    if (stall_length >= stall_every) {
-      return Status::InvalidArgument(
-          "stall_length must be shorter than stall_every (a node that "
-          "never wakes up is churn, not a stall)");
-    }
+  // Durations are validated even when stall_fraction is zero: a negative
+  // window is a config bug whether or not anyone currently stalls, and
+  // set_stall_fraction could turn stalling on later.
+  if (stall_every <= 0 || stall_length <= 0) {
+    return Status::InvalidArgument(
+        "stall windows need positive stall_every and stall_length");
   }
+  if (stall_fraction > 0.0 && stall_length >= stall_every) {
+    return Status::InvalidArgument(
+        "stall_length must be shorter than stall_every (a node that "
+        "never wakes up is churn, not a stall)");
+  }
+  return Status::OK();
+}
+
+Status FaultPlan::set_message_loss(double p) {
+  DIGEST_RETURN_IF_ERROR(ValidateProbability(p, "message_loss"));
+  config_.message_loss = p;
+  return Status::OK();
+}
+
+Status FaultPlan::set_agent_drop(double p) {
+  DIGEST_RETURN_IF_ERROR(ValidateProbability(p, "agent_drop"));
+  config_.agent_drop = p;
+  return Status::OK();
+}
+
+Status FaultPlan::set_stale_probe(double p) {
+  DIGEST_RETURN_IF_ERROR(ValidateProbability(p, "stale_probe"));
+  config_.stale_probe = p;
   return Status::OK();
 }
 

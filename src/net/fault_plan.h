@@ -76,10 +76,12 @@ class FaultPlan {
   uint64_t seed() const { return seed_; }
 
   /// Scenario dials: rates may be changed mid-run (e.g. a loss burst);
-  /// the draw stream itself stays deterministic.
-  void set_message_loss(double p) { config_.message_loss = p; }
-  void set_agent_drop(double p) { config_.agent_drop = p; }
-  void set_stale_probe(double p) { config_.stale_probe = p; }
+  /// the draw stream itself stays deterministic. A value outside [0, 1]
+  /// is rejected with InvalidArgument and leaves the rate unchanged —
+  /// no silent clamping.
+  Status set_message_loss(double p);
+  Status set_agent_drop(double p);
+  Status set_stale_probe(double p);
 
   /// Advances the plan's clock; stall windows are evaluated against it.
   void set_now(int64_t t) { now_ = t; }

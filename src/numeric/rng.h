@@ -52,6 +52,36 @@ class Rng {
   /// Derives an independent generator from this one (SplitMix-style jump).
   Rng Fork();
 
+  /// Complete serializable generator state. Restoring a saved state makes
+  /// the generator resume its stream exactly where the save happened —
+  /// used by the engine checkpoint/restore path, which must replay the
+  /// same draws an uninterrupted run would have made.
+  struct State {
+    uint64_t words[4] = {0, 0, 0, 0};
+    bool has_spare_gaussian = false;
+    double spare_gaussian = 0.0;
+  };
+
+  State SaveState() const {
+    State s;
+    s.words[0] = state_[0];
+    s.words[1] = state_[1];
+    s.words[2] = state_[2];
+    s.words[3] = state_[3];
+    s.has_spare_gaussian = has_spare_gaussian_;
+    s.spare_gaussian = spare_gaussian_;
+    return s;
+  }
+
+  void RestoreState(const State& s) {
+    state_[0] = s.words[0];
+    state_[1] = s.words[1];
+    state_[2] = s.words[2];
+    state_[3] = s.words[3];
+    has_spare_gaussian_ = s.has_spare_gaussian;
+    spare_gaussian_ = s.spare_gaussian;
+  }
+
  private:
   uint64_t state_[4];
   bool has_spare_gaussian_ = false;

@@ -16,6 +16,8 @@ void BridgeMessageMeter(const MessageMeter& meter, Registry* registry) {
   add("push", meter.pushes());
   add("retry", meter.retries());
   add("agent_restart", meter.agent_restarts());
+  add("hedge_launch", meter.hedge_launches());
+  add("hedged_duplicate", meter.hedged_duplicates());
   add("loss", meter.losses());
   registry->GetCounter("net.messages_total")->Increment(meter.Total());
   registry->GetCounter("net.fault_overhead")

@@ -100,6 +100,8 @@ struct JsonFields {
     Field(out, "losses", Num(e.losses));
     Field(out, "drops", Num(e.drops));
     Field(out, "stalled_steps", Num(e.stalled_steps));
+    Field(out, "hedges", Num(e.hedges));
+    Field(out, "hedge_wins", Num(e.hedge_wins));
   }
   void operator()(const HopBudgetExhaustedEvent& e) const {
     Field(out, "attempts", Num(e.attempts));
@@ -114,6 +116,30 @@ struct JsonFields {
   }
   void operator()(const FaultStallEvent& e) const {
     Field(out, "stalled_steps", Num(e.stalled_steps));
+  }
+  void operator()(const SupervisorStateEvent& e) const {
+    Field(out, "from", e.from, /*quote=*/true);
+    Field(out, "to", e.to, /*quote=*/true);
+    Field(out, "outcome", e.outcome, /*quote=*/true);
+    Field(out, "consecutive", Num(e.consecutive));
+  }
+  void operator()(const PartialSnapshotEvent& e) const {
+    Field(out, "collected", Num(e.collected));
+    Field(out, "planned", Num(e.planned));
+    Field(out, "ci_halfwidth", Num(e.ci_halfwidth));
+  }
+  void operator()(const WalkHedgedEvent& e) const {
+    Field(out, "agent_index", Num(e.agent_index));
+    Field(out, "attempts", Num(e.attempts));
+    Field(out, "threshold", Num(e.threshold));
+  }
+  void operator()(const CheckpointEvent& e) const {
+    Field(out, "bytes", Num(e.bytes));
+    Field(out, "last_tick", Num(e.last_tick));
+  }
+  void operator()(const RestoreEvent& e) const {
+    Field(out, "bytes", Num(e.bytes));
+    Field(out, "last_tick", Num(e.last_tick));
   }
 };
 
@@ -131,7 +157,8 @@ ChromeShape ShapeOf(const EventPayload& payload) {
       std::holds_alternative<HopBudgetExhaustedEvent>(payload) ||
       std::holds_alternative<AgentRestartEvent>(payload) ||
       std::holds_alternative<FaultLossEvent>(payload) ||
-      std::holds_alternative<FaultStallEvent>(payload)) {
+      std::holds_alternative<FaultStallEvent>(payload) ||
+      std::holds_alternative<WalkHedgedEvent>(payload)) {
     return ChromeShape::kNestedSlice;
   }
   return ChromeShape::kInstant;

@@ -36,6 +36,17 @@ struct NameVisitor {
   const char* operator()(const FaultStallEvent&) const {
     return "fault_stall";
   }
+  const char* operator()(const SupervisorStateEvent&) const {
+    return "supervisor_state";
+  }
+  const char* operator()(const PartialSnapshotEvent&) const {
+    return "partial_snapshot";
+  }
+  const char* operator()(const WalkHedgedEvent&) const {
+    return "walk_hedged";
+  }
+  const char* operator()(const CheckpointEvent&) const { return "checkpoint"; }
+  const char* operator()(const RestoreEvent&) const { return "restore"; }
 };
 
 }  // namespace

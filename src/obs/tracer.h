@@ -97,6 +97,8 @@ struct WalkBatchDoneEvent {
   uint64_t losses = 0;
   uint64_t drops = 0;
   uint64_t stalled_steps = 0;
+  uint64_t hedges = 0;      ///< Redundant walks launched this batch.
+  uint64_t hedge_wins = 0;  ///< Hedges that delivered before the primary.
 };
 
 /// The batch's pooled hop budget ran out: the sampling call times out
@@ -122,12 +124,55 @@ struct FaultStallEvent {
   uint64_t stalled_steps = 0;
 };
 
+/// Session-supervisor health transition (core/supervisor.h): the state
+/// machine moved from `from` to `to` because snapshot outcome `outcome`
+/// was recorded. States and outcomes are stable lower-snake strings
+/// (healthy/degraded/stale/recovering; met_contract/widened_ci/partial/
+/// timeout).
+struct SupervisorStateEvent {
+  std::string from;
+  std::string to;
+  std::string outcome;
+  uint64_t consecutive = 0;  ///< Streak length that drove the transition.
+};
+
+/// A snapshot finalized early: its message/step budget ran out, so the
+/// estimator answered from the samples it had (honestly widened CI)
+/// instead of stalling the PRED timeline.
+struct PartialSnapshotEvent {
+  uint64_t collected = 0;  ///< Fresh samples actually obtained.
+  uint64_t planned = 0;    ///< Fresh samples the plan called for.
+  double ci_halfwidth = 0.0;
+};
+
+/// A redundant (hedged) walk launched against a straggling agent: the
+/// agent had spent `attempts` budget units, past the deterministic
+/// straggler threshold derived from completed-walk statistics.
+struct WalkHedgedEvent {
+  uint64_t agent_index = 0;
+  uint64_t attempts = 0;
+  uint64_t threshold = 0;
+};
+
+/// Engine session state serialized to a versioned checkpoint blob.
+struct CheckpointEvent {
+  uint64_t bytes = 0;
+  int64_t last_tick = 0;
+};
+
+/// Engine session state restored from a checkpoint blob.
+struct RestoreEvent {
+  uint64_t bytes = 0;
+  int64_t last_tick = 0;
+};
+
 using EventPayload =
     std::variant<RunBeginEvent, TickEvent, GapPredictedEvent, SnapshotEvent,
                  SnapshotSkippedEvent, SampleBudgetEvent, CiWidenedEvent,
                  DegradedFallbackEvent, WalkBatchEvent, WalkBatchDoneEvent,
                  HopBudgetExhaustedEvent, AgentRestartEvent, FaultLossEvent,
-                 FaultStallEvent>;
+                 FaultStallEvent, SupervisorStateEvent, PartialSnapshotEvent,
+                 WalkHedgedEvent, CheckpointEvent, RestoreEvent>;
 
 /// Stable lower-snake-case name of a payload's event type (the `event`
 /// field of the JSONL schema; see docs/OBSERVABILITY.md).

@@ -28,6 +28,8 @@ struct WalkTelemetry {
   uint64_t proposals = 0;      ///< Metropolis moves proposed (probes sent).
   uint64_t accepted = 0;       ///< Proposals the acceptance test took.
   uint64_t backoff_units = 0;  ///< Retry latency paid, in budget ticks.
+  uint64_t hedges = 0;         ///< Redundant walks launched vs stragglers.
+  uint64_t hedge_wins = 0;     ///< Hedges that delivered before the primary.
 };
 
 /// A sampling agent: a lazy Metropolis random walk over the overlay

@@ -26,6 +26,12 @@ void ObserveBatch(obs::Registry* registry, const WalkTelemetry& telemetry,
   registry->GetCounter("walk.samples")->Increment(samples);
   if (timed_out) registry->GetCounter("walk.timeouts")->Increment();
   registry->GetCounter("walk.agent_restarts")->Increment(telemetry.drops);
+  // Hedge counters only materialize once a hedge fires, so metric dumps
+  // of non-hedged runs are byte-identical to the pre-hedge layout.
+  if (telemetry.hedges > 0) {
+    registry->GetCounter("walk.hedges")->Increment(telemetry.hedges);
+    registry->GetCounter("walk.hedge_wins")->Increment(telemetry.hedge_wins);
+  }
   if (telemetry.proposals > 0) {
     registry
         ->GetHistogram("walk.acceptance_rate",
@@ -69,13 +75,53 @@ size_t SamplingOperator::EffectiveResetLength() const {
                     /*squared=*/false);
 }
 
+Status HedgePolicy::Validate() const {
+  if (!(straggler_factor >= 1.0)) {
+    return Status::InvalidArgument("straggler_factor must be >= 1");
+  }
+  if (min_observations < 1) {
+    return Status::InvalidArgument("min_observations must be >= 1");
+  }
+  return Status::OK();
+}
+
 Result<NodeId> SamplingOperator::SampleNode(NodeId origin) {
   DIGEST_ASSIGN_OR_RETURN(std::vector<NodeId> nodes, SampleNodes(origin, 1));
   return nodes.front();
 }
 
+uint64_t SamplingOperator::HedgeThreshold(size_t steps) const {
+  if (!options_.hedge.enabled || faults_ == nullptr) return 0;
+  if (done_walks_ < options_.hedge.min_observations || done_steps_ == 0) {
+    return 0;
+  }
+  // Expected attempts for this agent = planned steps × the observed mean
+  // attempts-per-step of completed walks (>= 1: a step costs at least
+  // one attempt). Integer ceil keeps the threshold deterministic.
+  const double mean_per_step =
+      std::max(1.0, static_cast<double>(done_attempts_) /
+                        static_cast<double>(done_steps_));
+  return static_cast<uint64_t>(
+      std::ceil(options_.hedge.straggler_factor * mean_per_step *
+                static_cast<double>(steps)));
+}
+
 Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
                                                           size_t n) {
+  DIGEST_ASSIGN_OR_RETURN(PartialBatch batch, SampleBatch(origin, n));
+  if (batch.timed_out) {
+    return Status::Unavailable(
+        "sampling hop budget exhausted under faults (walk timeout)");
+  }
+  return std::move(batch.nodes);
+}
+
+Result<PartialBatch> SamplingOperator::SampleNodesPartial(NodeId origin,
+                                                          size_t n) {
+  return SampleBatch(origin, n);
+}
+
+Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
   // Wall-clock cost of the whole batch; items = samples delivered
   // (including partial batches that time out under faults).
   prof::ScopedTimer batch_timer(profiler_, prof::Phase::kWalkBatch);
@@ -134,14 +180,63 @@ Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
                                             fallback, steps,
                                             &last_telemetry_));
     } else {
+      const uint64_t start_attempts = last_telemetry_.attempts;
+      const uint64_t hedge_threshold = HedgeThreshold(steps);
       size_t remaining = steps;
+      // Hedge race state: once the primary agent overruns the straggler
+      // threshold, a redundant walk races it in virtual time (consumed
+      // attempt units — the deterministic stand-in for wall clock).
+      // Each round the walker that has spent fewer attempt units since
+      // the launch steps next, so a primary burning retries in a lossy
+      // neighborhood yields turns to a cheaply-progressing hedge, just
+      // as two parallel walks would resolve in a real overlay. Both
+      // draw from the shared rng_, so the whole race is a deterministic
+      // function of the seed.
+      RandomWalk hedge(fallback, options_.laziness);
+      size_t hedge_remaining = 0;
+      bool hedged = false;
+      bool hedge_won = false;
+      uint64_t primary_spent = 0;  // Attempt units since the hedge launch.
+      uint64_t hedge_spent = 0;
       while (remaining > 0) {
+        if (!hedged && hedge_threshold > 0 &&
+            last_telemetry_.attempts - start_attempts >= hedge_threshold) {
+          // Straggler detected: launch the redundant walk. Injecting the
+          // agent costs one message; its hops are charged as ordinary
+          // walk hops as it steps. The duplicate is routed through a
+          // different replica when possible: it forks from the most
+          // recently delivered agent's position — already mixed, so a
+          // reset suffices, and in a different neighborhood than
+          // wherever the straggler is stuck — and only falls back to a
+          // cold walk from the origin when no such donor exists.
+          hedged = true;
+          NodeId hedge_origin = fallback;
+          size_t hedge_length = EffectiveWalkLength();
+          if (options_.warm_walks && next_agent_ >= 2) {
+            const RandomWalk& donor = agents_[next_agent_ - 2];
+            if (graph_->HasNode(donor.current())) {
+              hedge_origin = donor.current();
+              hedge_length = EffectiveResetLength();
+            }
+          }
+          hedge = RandomWalk(hedge_origin, options_.laziness);
+          hedge_remaining = hedge_length;
+          primary_spent = 0;
+          hedge_spent = 0;
+          ++last_telemetry_.hedges;
+          if (meter_ != nullptr) meter_->AddHedgeLaunch();
+          if (obs::Tracing(tracer_)) {
+            tracer_->Emit(obs::WalkHedgedEvent{
+                i, last_telemetry_.attempts - start_attempts,
+                hedge_threshold});
+          }
+        }
         advance_timer.AddItems(1);
         if (last_telemetry_.attempts >= budget) {
           // Hop budget exhausted: the overlay is too lossy/stalled to
           // finish this batch in time. Reset the round-robin cursor so
           // the next call starts clean, and report a timeout the caller
-          // can degrade on.
+          // can degrade on (or finalize a partial snapshot from).
           next_agent_ = 0;
           if (obs::Tracing(tracer_)) {
             tracer_->Emit(obs::HopBudgetExhaustedEvent{
@@ -149,25 +244,53 @@ Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
           }
           ObserveBatch(registry_, last_telemetry_, out.size(),
                        /*timed_out=*/true);
-          return Status::Unavailable(
-              "sampling hop budget exhausted under faults (walk timeout)");
+          return PartialBatch{std::move(out), /*timed_out=*/true};
         }
+        const bool step_hedge = hedged && hedge_spent <= primary_spent;
+        RandomWalk* walker = step_hedge ? &hedge : agent;
+        size_t* walker_remaining = step_hedge ? &hedge_remaining : &remaining;
         const uint64_t drops_before = last_telemetry_.drops;
-        DIGEST_RETURN_IF_ERROR(agent->Step(*graph_, weight_, rng_, meter_,
-                                           fallback, faults_,
-                                           &options_.retry,
-                                           &last_telemetry_));
+        const uint64_t attempts_before = last_telemetry_.attempts;
+        DIGEST_RETURN_IF_ERROR(walker->Step(*graph_, weight_, rng_, meter_,
+                                            fallback, faults_,
+                                            &options_.retry,
+                                            &last_telemetry_));
+        const uint64_t spent = last_telemetry_.attempts - attempts_before;
+        if (step_hedge) {
+          hedge_spent += spent;
+        } else if (hedged) {
+          primary_spent += spent;
+        }
         if (last_telemetry_.drops > drops_before) {
-          // The agent was lost in transit and re-injected at the
+          // The walker was lost in transit and re-injected at the
           // origin: it must re-mix from cold before its position counts.
-          remaining = EffectiveWalkLength();
+          *walker_remaining = EffectiveWalkLength();
           if (obs::Tracing(tracer_)) {
             tracer_->Emit(obs::AgentRestartEvent{i});
           }
         } else {
-          --remaining;
+          --*walker_remaining;
+        }
+        if (hedged && hedge_remaining == 0) {
+          // The hedge finished first in virtual time: its position
+          // becomes the warm agent and the straggling primary is
+          // abandoned mid-walk, its remaining hops never sent.
+          *agent = hedge;
+          ++last_telemetry_.hedge_wins;
+          hedge_won = true;
+          break;
         }
       }
+      if (hedged) {
+        // The race resolved: the losing walk's eventual delivery is
+        // suppressed at the originator — bandwidth spent, no sample.
+        (void)hedge_won;
+        if (meter_ != nullptr) meter_->AddHedgedDuplicate();
+      }
+      // Completed-walk statistics feed future straggler thresholds.
+      ++done_walks_;
+      done_attempts_ += last_telemetry_.attempts - start_attempts;
+      done_steps_ += steps;
     }
     // The agent reports the sampled node back to the originator.
     if (meter_ != nullptr) meter_->AddSampleTransfer();
@@ -185,10 +308,39 @@ Result<std::vector<NodeId>> SamplingOperator::SampleNodes(NodeId origin,
     tracer_->Emit(obs::WalkBatchDoneEvent{
         out.size(), last_telemetry_.attempts, last_telemetry_.retries,
         last_telemetry_.losses, last_telemetry_.drops,
-        last_telemetry_.stalled_steps});
+        last_telemetry_.stalled_steps, last_telemetry_.hedges,
+        last_telemetry_.hedge_wins});
   }
   ObserveBatch(registry_, last_telemetry_, out.size(), /*timed_out=*/false);
-  return out;
+  return PartialBatch{std::move(out), /*timed_out=*/false};
+}
+
+SamplingOperator::State SamplingOperator::SaveState() const {
+  State state;
+  state.agent_positions.reserve(agents_.size());
+  for (const RandomWalk& agent : agents_) {
+    state.agent_positions.push_back(agent.current());
+  }
+  state.next_agent = next_agent_;
+  state.rng = rng_.SaveState();
+  state.done_walks = done_walks_;
+  state.done_attempts = done_attempts_;
+  state.done_steps = done_steps_;
+  return state;
+}
+
+void SamplingOperator::RestoreState(const State& state) {
+  agents_.clear();
+  agents_.reserve(state.agent_positions.size());
+  for (NodeId position : state.agent_positions) {
+    agents_.emplace_back(position, options_.laziness);
+  }
+  next_agent_ = static_cast<size_t>(state.next_agent);
+  rng_.RestoreState(state.rng);
+  done_walks_ = state.done_walks;
+  done_attempts_ = state.done_attempts;
+  done_steps_ = state.done_steps;
+  last_telemetry_ = WalkTelemetry();
 }
 
 }  // namespace digest

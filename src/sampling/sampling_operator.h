@@ -21,6 +21,36 @@ namespace prof {
 class Profiler;
 }  // namespace prof
 
+/// Straggler mitigation for fault-injected walks: when one agent has
+/// consumed far more budget than completed walks typically need, launch
+/// a redundant (hedged) walk and let the two race; the first to finish
+/// delivers the sample and the loser's eventual delivery is suppressed
+/// as a duplicate. The duplicate is routed through a different replica
+/// when possible — it forks from the most recently delivered agent's
+/// already-mixed position, away from whatever lossy or stalled
+/// neighborhood trapped the straggler — and the race resolves in
+/// virtual time (consumed attempt units), with the cheaper walker
+/// stepping next, the way two parallel walks would resolve in a real
+/// overlay. The threshold is derived purely from the observed
+/// attempts-per-step distribution of completed walks in this run — no
+/// wall clock — so hedged runs stay bit-reproducible from the seed.
+struct HedgePolicy {
+  /// Off by default: disabled hedging is bit-identical to the pre-hedge
+  /// sampler, faults or not.
+  bool enabled = false;
+
+  /// An agent is a straggler once its consumed attempts exceed
+  /// straggler_factor × (its planned steps) × (observed mean attempts
+  /// per step). Must be >= 1.
+  double straggler_factor = 3.0;
+
+  /// Completed walks to observe before hedging arms (below this the
+  /// attempts-per-step estimate is noise). Must be >= 1.
+  size_t min_observations = 4;
+
+  Status Validate() const;
+};
+
 /// Tuning of the distributed sampling operator S.
 struct SamplingOperatorOptions {
   /// Steps a cold agent walks before its position counts as a sample
@@ -50,6 +80,16 @@ struct SamplingOperatorOptions {
   /// Retransmission/backoff policy and hop-budget timeout applied when a
   /// FaultPlan is attached (ignored otherwise).
   RetryPolicy retry;
+
+  /// Hedged-walk straggler mitigation (only active under a FaultPlan).
+  HedgePolicy hedge;
+};
+
+/// A batch that may have been cut short by the hop budget: `nodes` holds
+/// whatever samples completed before `timed_out` became true.
+struct PartialBatch {
+  std::vector<NodeId> nodes;
+  bool timed_out = false;
 };
 
 /// The distributed sampling operator S (paper §III, §V).
@@ -117,6 +157,12 @@ class SamplingOperator {
   /// fails with kUnavailable when the batch hop budget times out.
   Result<std::vector<NodeId>> SampleNodes(NodeId origin, size_t n);
 
+  /// Deadline-budgeted variant: identical draws, meter accounting, and
+  /// trace emission to SampleNodes, but when the batch hop budget runs
+  /// out it returns the samples completed so far with timed_out = true
+  /// instead of failing — the raw material for a partial snapshot.
+  Result<PartialBatch> SampleNodesPartial(NodeId origin, size_t n);
+
   /// Drops all warm agents (e.g., after a topology change large enough
   /// that their positions should not be trusted).
   void ResetAgents() { agents_.clear(); }
@@ -135,7 +181,38 @@ class SamplingOperator {
 
   const SamplingOperatorOptions& options() const { return options_; }
 
+  /// Completed-walk statistics feeding the hedge straggler threshold
+  /// (attempts and planned steps of every agent that delivered under
+  /// faults this run).
+  uint64_t hedge_done_walks() const { return done_walks_; }
+  uint64_t hedge_done_attempts() const { return done_attempts_; }
+  uint64_t hedge_done_steps() const { return done_steps_; }
+
+  /// Serializable session state: warm-agent positions, the round-robin
+  /// cursor, the RNG stream, and the hedge statistics. Everything a
+  /// restored operator needs to replay the exact draw sequence an
+  /// uninterrupted run would have made.
+  struct State {
+    std::vector<NodeId> agent_positions;
+    uint64_t next_agent = 0;
+    Rng::State rng;
+    uint64_t done_walks = 0;
+    uint64_t done_attempts = 0;
+    uint64_t done_steps = 0;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
+  /// Core batch loop shared by SampleNodes / SampleNodesPartial. The
+  /// two wrappers differ only in how a hop-budget timeout is reported.
+  Result<PartialBatch> SampleBatch(NodeId origin, size_t n);
+
+  /// Hedge straggler threshold in attempt units for an agent planned to
+  /// walk `steps` steps; 0 means hedging is disarmed (disabled, no fault
+  /// plan, or not enough completed walks observed yet).
+  uint64_t HedgeThreshold(size_t steps) const;
+
   const Graph* graph_;
   WeightFn weight_;
   Rng rng_;
@@ -148,6 +225,10 @@ class SamplingOperator {
   WalkTelemetry last_telemetry_;
   std::vector<RandomWalk> agents_;  // Warm agents, reused round-robin.
   size_t next_agent_ = 0;
+  // Completed-walk stats for the hedge threshold (faulted batches only).
+  uint64_t done_walks_ = 0;
+  uint64_t done_attempts_ = 0;
+  uint64_t done_steps_ = 0;
 };
 
 }  // namespace digest

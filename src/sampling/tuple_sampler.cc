@@ -10,29 +10,48 @@ Result<TupleSample> TwoStageTupleSampler::Sample(NodeId origin) {
 
 Result<std::vector<TupleSample>> TwoStageTupleSampler::SampleBatch(
     NodeId origin, size_t n) {
+  // Same draws as the partial variant; only the timeout reporting
+  // differs, so the two paths cannot diverge.
+  DIGEST_ASSIGN_OR_RETURN(PartialTupleBatch batch,
+                          SampleBatchPartial(origin, n));
+  if (batch.timed_out) {
+    return Status::Unavailable(
+        "sampling hop budget exhausted before the batch completed");
+  }
+  return std::move(batch.samples);
+}
+
+Result<PartialTupleBatch> TwoStageTupleSampler::SampleBatchPartial(
+    NodeId origin, size_t n) {
   if (db_->TotalTuples() == 0) {
     return Status::FailedPrecondition("relation R is empty");
   }
-  std::vector<TupleSample> out;
-  out.reserve(n);
+  PartialTupleBatch out;
+  out.samples.reserve(n);
   size_t rounds = 0;
-  while (out.size() < n) {
+  while (out.samples.size() < n) {
     if (++rounds > 100) {
       return Status::Unavailable(
           "two-stage sampling repeatedly hit empty/departed nodes");
     }
-    const size_t want = n - out.size();
-    DIGEST_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
-                            op_->SampleNodes(origin, want));
-    for (NodeId node : nodes) {
+    const size_t want = n - out.samples.size();
+    DIGEST_ASSIGN_OR_RETURN(PartialBatch nodes,
+                            op_->SampleNodesPartial(origin, want));
+    for (NodeId node : nodes.nodes) {
       // Under churn the sampled node may have vanished between the walk
       // and the local draw, or may hold no tuples (weight raced with an
       // update); such draws are retried.
       Result<const LocalStore*> store = db_->StoreAt(node);
       if (!store.ok() || (*store)->Size() == 0) continue;
       DIGEST_ASSIGN_OR_RETURN(auto pick, (*store)->UniformSample(rng_));
-      out.push_back(TupleSample{TupleRef{node, pick.first},
-                                std::move(pick.second)});
+      out.samples.push_back(TupleSample{TupleRef{node, pick.first},
+                                        std::move(pick.second)});
+    }
+    if (nodes.timed_out) {
+      // The walk budget is spent; hand back whatever completed instead
+      // of spinning further rounds against a dead budget.
+      out.timed_out = true;
+      break;
     }
   }
   return out;

@@ -19,6 +19,14 @@ struct TupleSample {
   Tuple tuple;
 };
 
+/// A tuple batch that may have been cut short by the sampling hop
+/// budget: `samples` holds whatever completed before `timed_out` became
+/// true (the raw material for a deadline-budgeted partial snapshot).
+struct PartialTupleBatch {
+  std::vector<TupleSample> samples;
+  bool timed_out = false;
+};
+
 /// Uniform tuple sampling from R by the two-stage scheme of §III:
 /// stage 1 draws a node via the sampling operator S with the
 /// content-size weight w_v = m_v; stage 2 draws a tuple uniformly from
@@ -37,6 +45,18 @@ class TwoStageTupleSampler {
 
   /// Draws `n` samples (with replacement) in batch mode.
   Result<std::vector<TupleSample>> SampleBatch(NodeId origin, size_t n);
+
+  /// Deadline-budgeted variant: identical draws and accounting to
+  /// SampleBatch, but when the operator's hop budget times out it
+  /// returns the samples completed so far with timed_out = true instead
+  /// of failing with kUnavailable.
+  Result<PartialTupleBatch> SampleBatchPartial(NodeId origin, size_t n);
+
+  /// Serializable stage-2 RNG stream (the local uniform tuple pick), for
+  /// the engine checkpoint. The stage-1 walk stream lives in the
+  /// SamplingOperator's own state.
+  Rng::State SaveRngState() const { return rng_.SaveState(); }
+  void RestoreRngState(const Rng::State& state) { rng_.RestoreState(state); }
 
  private:
   const P2PDatabase* db_;
@@ -74,6 +94,10 @@ class ExactTupleSampler {
 
   /// Draws `n` samples with replacement.
   Result<std::vector<TupleSample>> SampleBatch(size_t n);
+
+  /// Serializable draw stream, for the engine checkpoint.
+  Rng::State SaveRngState() const { return rng_.SaveState(); }
+  void RestoreRngState(const Rng::State& state) { rng_.RestoreState(state); }
 
  private:
   const P2PDatabase* db_;

@@ -53,9 +53,11 @@ Result<RunResult> RunEngineExperiment(Workload& workload,
   }
   out.stats = engine->stats();
   out.correlation_estimate = engine->correlation_estimate();
+  out.final_health = engine->health();
   if (options.registry != nullptr) {
     ExportToRegistry(out.stats, options.registry, run_label);
     obs::BridgeMessageMeter(out.meter, options.registry);
+    engine->supervisor().ExportToRegistry(options.registry);
   }
   DIGEST_ASSIGN_OR_RETURN(
       out.precision,

@@ -26,6 +26,9 @@ struct RunResult {
   PrecisionReport widened_precision;
   size_t degraded_ticks = 0;        ///< Ticks answered degraded.
   double correlation_estimate = 0;  ///< ρ̂ at the end (RPT engines).
+  /// Session health at the end of the run (engine runs; push/filter
+  /// baselines report kHealthy).
+  SessionHealth final_health = SessionHealth::kHealthy;
 };
 
 /// Runs a Digest engine configuration over `ticks` ticks of `workload`.

@@ -83,6 +83,65 @@ TEST(ChurnStressTest, SamplingOperatorSurvivesMassDeparture) {
   for (NodeId v : *nodes) EXPECT_TRUE(graph.HasNode(v));
 }
 
+TEST(ChurnStressTest, RetainedPoolSurvivesDepartureOfSampledNodes) {
+  // RPT carries a retained sample pool across occasions. When the nodes
+  // hosting retained samples depart between occasions, the refresh pass
+  // must fall back to the samples it can still reach — answering every
+  // tick with an unbiased regression — instead of failing or letting
+  // vanished pairs skew ρ̂.
+  Graph graph = MakeComplete(40).value();
+  P2PDatabase db(Schema::Create({"v"}).value());
+  Rng data(11);
+  for (NodeId node : graph.LiveNodes()) {
+    ASSERT_TRUE(db.AddNode(node).ok());
+    for (int i = 0; i < 20; ++i) {
+      db.StoreAt(node).value()->Insert({data.NextGaussian(100, 5)});
+    }
+  }
+  ContinuousQuerySpec spec =
+      ContinuousQuerySpec::Create("SELECT AVG(v) FROM R",
+                                  PrecisionSpec{2.0, 2.0, 0.9})
+          .value();
+  DigestEngineOptions options;
+  options.scheduler = SchedulerKind::kAll;
+  options.estimator = EstimatorKind::kRepeated;
+  options.sampler = SamplerKind::kTwoStageMcmc;
+  options.sampling_options.walk_length = 20;
+  options.sampling_options.reset_length = 5;
+  auto engine =
+      DigestEngine::Create(&graph, &db, spec, 0, Rng(12), nullptr, options)
+          .value();
+  // A few occasions to populate the retained pool.
+  for (int64_t t = 1; t <= 4; ++t) ASSERT_TRUE(engine->Tick(t).ok());
+
+  // Half the network leaves with its content — including whatever
+  // retained samples it hosted.
+  Rng rng(13);
+  size_t removed = 0;
+  for (NodeId victim : graph.LiveNodes()) {
+    if (victim == 0) continue;  // Keep the querying node.
+    if (rng.NextBernoulli(0.5)) {
+      ASSERT_TRUE(graph.RemoveNode(victim).ok());
+      ASSERT_TRUE(db.RemoveNode(victim).ok());
+      ++removed;
+    }
+  }
+  ASSERT_GT(removed, 10u);
+  RepairConnectivity(graph, rng);
+
+  for (int64_t t = 5; t <= 10; ++t) {
+    Result<EngineTickResult> r = engine->Tick(t);
+    ASSERT_TRUE(r.ok()) << r.status();
+    const double truth = db.ExactAggregate(spec.query).value();
+    EXPECT_NEAR(r->reported_value, truth, 5.0) << "tick " << t;
+  }
+  // A regression biased by vanished pairs would push ρ̂ out of range
+  // (or to NaN); the fallback must keep it a valid correlation.
+  const double rho = engine->correlation_estimate();
+  EXPECT_TRUE(std::isfinite(rho));
+  EXPECT_LE(std::fabs(rho), 1.0);
+}
+
 TEST(ChurnStressTest, TwoStageSamplerFailsCleanlyOnEmptyStores) {
   // A network whose stores are all empty must produce kUnavailable, not
   // an infinite retry loop.

@@ -50,6 +50,51 @@ TEST(FaultPlanTest, ConfigValidation) {
   EXPECT_FALSE(bad.Validate().ok());
 }
 
+TEST(FaultPlanTest, ConfigValidationCoversEveryProbabilityAndDuration) {
+  // Every probability field rejects values outside [0, 1] with
+  // InvalidArgument, independently of the others.
+  for (double out_of_range : {-0.1, 1.0001, 7.0}) {
+    FaultPlanConfig bad = ActiveConfig();
+    bad.agent_drop = out_of_range;
+    EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument)
+        << "agent_drop=" << out_of_range;
+    bad = ActiveConfig();
+    bad.stale_probe = out_of_range;
+    EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument)
+        << "stale_probe=" << out_of_range;
+    bad = ActiveConfig();
+    bad.stall_fraction = out_of_range;
+    EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument)
+        << "stall_fraction=" << out_of_range;
+  }
+  // Stall durations reject negatives even when no node ever stalls.
+  FaultPlanConfig bad;
+  ASSERT_EQ(bad.stall_fraction, 0.0);
+  bad.stall_length = -1;
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  bad = FaultPlanConfig{};
+  bad.stall_every = -8;
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultPlanTest, LiveRateSettersRejectWithoutClamping) {
+  FaultPlan plan(ActiveConfig(), /*seed=*/99);
+  EXPECT_EQ(plan.set_message_loss(-0.2).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(plan.set_agent_drop(1.5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(plan.set_stale_probe(2.0).code(),
+            StatusCode::kInvalidArgument);
+  // The rejected values left the configured rates untouched.
+  EXPECT_EQ(plan.config().message_loss, ActiveConfig().message_loss);
+  EXPECT_EQ(plan.config().agent_drop, ActiveConfig().agent_drop);
+  EXPECT_EQ(plan.config().stale_probe, ActiveConfig().stale_probe);
+  // In-range updates apply.
+  EXPECT_TRUE(plan.set_message_loss(0.0).ok());
+  EXPECT_TRUE(plan.set_agent_drop(1.0).ok());
+  EXPECT_EQ(plan.config().message_loss, 0.0);
+  EXPECT_EQ(plan.config().agent_drop, 1.0);
+}
+
 TEST(FaultPlanTest, RetryPolicyValidation) {
   EXPECT_TRUE(RetryPolicy{}.Validate().ok());
   RetryPolicy bad;

@@ -1,0 +1,145 @@
+// common/json.h parser: the checkpoint blob round-trip contract.
+// Strictness (trailing garbage, trailing commas, bad escapes) and the
+// lossless numeric conversions (%.17g doubles, uint64-as-string).
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace digest {
+namespace json {
+namespace {
+
+Value MustParse(const std::string& text) {
+  Result<Value> parsed = Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message() << " in: " << text;
+  return std::move(parsed).value();
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").bool_value());
+  EXPECT_FALSE(MustParse("false").bool_value());
+  EXPECT_EQ(MustParse("\"hi\"").string_value(), "hi");
+  EXPECT_EQ(MustParse("42").number_text(), "42");
+  EXPECT_EQ(MustParse("  -1.5e-3 ").number_text(), "-1.5e-3");
+}
+
+TEST(JsonParseTest, NestedContainers) {
+  const Value v = MustParse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "a": 9})");
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_EQ(a->array()[0].number_text(), "1");
+  EXPECT_TRUE(a->array()[2].Find("b")->bool_value());
+  // Find returns the FIRST member with the key (source order).
+  EXPECT_TRUE(a->is_array());
+  ASSERT_NE(v.Find("c"), nullptr);
+  EXPECT_TRUE(v.Find("c")->Find("d")->is_null());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b\\c\/d\n\t\r\b\f")").string_value(),
+            "a\"b\\c/d\n\t\r\b\f");
+  EXPECT_EQ(MustParse(R"("\u0041\u00e9")").string_value(), "A\xc3\xa9");
+}
+
+TEST(JsonParseTest, StrictnessErrors) {
+  const char* bad[] = {
+      "",            // empty
+      "{",           // unterminated object
+      "[1, 2",       // unterminated array
+      "[1, 2,]",     // trailing comma
+      "{\"a\":1,}",  // trailing comma in object
+      "{a: 1}",      // unquoted key
+      "1 2",         // trailing garbage
+      "\"a",         // unterminated string
+      "\"\x01\"",    // raw control character
+      "\"\\x41\"",   // bad escape
+      "nul",         // truncated keyword
+      "01",          // leading zero
+      "+1",          // leading plus
+      "1.",          // missing fraction digits
+      "--1",         // double sign
+  };
+  for (const char* text : bad) {
+    Result<Value> parsed = Parse(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(JsonNumericTest, DoubleRoundTripsAt17Digits) {
+  // The checkpoint writer prints doubles with %.17g; strtod must give
+  // back the exact bits for every value the engine can produce.
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.0 / 3.0,
+                           3.141592653589793,
+                           1e-308,
+                           1.7976931348623157e308,
+                           5e-324,
+                           123456.789012345678};
+  for (double v : values) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    Result<double> back = MustParse(buf).AsDouble();
+    ASSERT_TRUE(back.ok()) << buf;
+    EXPECT_EQ(std::signbit(back.value()), std::signbit(v)) << buf;
+    EXPECT_EQ(back.value(), v) << buf;
+  }
+}
+
+TEST(JsonNumericTest, UInt64AsDecimalString) {
+  // uint64 values ride as strings because a double cannot hold 2^64-1.
+  const Value v = MustParse(R"({"x": "18446744073709551615", "y": 7})");
+  Result<uint64_t> x = v.GetUInt64("x");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x.value(), std::numeric_limits<uint64_t>::max());
+  // Plain JSON integers are accepted too.
+  Result<uint64_t> y = v.GetUInt64("y");
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(y.value(), 7u);
+}
+
+TEST(JsonNumericTest, IntegerConversionRejectsLossyText) {
+  EXPECT_FALSE(MustParse("1.5").AsInt64().ok());
+  EXPECT_FALSE(MustParse("1e3").AsUInt64().ok());
+  EXPECT_FALSE(MustParse("-1").AsUInt64().ok());
+  // One past the int64 range.
+  EXPECT_FALSE(MustParse("9223372036854775808").AsInt64().ok());
+  // 2^64 overflows uint64.
+  EXPECT_FALSE(MustParse("18446744073709551616").AsUInt64().ok());
+  Result<int64_t> min = MustParse("-9223372036854775808").AsInt64();
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(min.value(), std::numeric_limits<int64_t>::min());
+}
+
+TEST(JsonTypedLookupTest, ErrorsOnMissingOrWrongType) {
+  const Value v = MustParse(R"({"s": "text", "n": 1, "b": true, "a": []})");
+  EXPECT_FALSE(v.GetDouble("s").ok());
+  EXPECT_FALSE(v.GetString("n").ok());
+  EXPECT_FALSE(v.GetBool("a").ok());
+  EXPECT_FALSE(v.GetArray("b").ok());
+  EXPECT_FALSE(v.GetObject("a").ok());
+  EXPECT_FALSE(v.GetDouble("nope").ok());
+  ASSERT_TRUE(v.GetBool("b").ok());
+  ASSERT_TRUE(v.GetString("s").ok());
+  ASSERT_TRUE(v.GetArray("a").ok());
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace digest

@@ -1,0 +1,106 @@
+// MessageMeter accounting invariants: per-category counts always sum to
+// Total() (including at saturation), losses stay out of the total, and
+// the checkpoint-restore overwrites behave.
+#include "net/message_meter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace digest {
+namespace {
+
+constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+
+uint64_t SumOfCategories(const MessageMeter& meter) {
+  uint64_t sum = 0;
+  bool saturated = false;
+  for (size_t i = 0; i < MessageMeter::kNumCategories; ++i) {
+    const uint64_t c =
+        meter.Count(static_cast<MessageMeter::Category>(i));
+    if (kMax - sum < c) saturated = true;
+    sum = saturated ? kMax : sum + c;
+  }
+  return sum;
+}
+
+TEST(MessageMeterTest, EveryCategoryCountsTowardTotal) {
+  MessageMeter meter;
+  // Charge each category a distinct amount through the typed helpers so
+  // a helper wired to the wrong slot shows up as a mismatch.
+  meter.AddWalkHop(1);
+  meter.AddWeightProbe(2);
+  meter.AddSampleTransfer(3);
+  meter.AddRefresh(4);
+  meter.AddPush(5);
+  meter.AddRetry(6);
+  meter.AddAgentRestart(7);
+  meter.AddHedgeLaunch(8);
+  meter.AddHedgedDuplicate(9);
+  EXPECT_EQ(meter.walk_hops(), 1u);
+  EXPECT_EQ(meter.weight_probes(), 2u);
+  EXPECT_EQ(meter.sample_transfers(), 3u);
+  EXPECT_EQ(meter.refreshes(), 4u);
+  EXPECT_EQ(meter.pushes(), 5u);
+  EXPECT_EQ(meter.retries(), 6u);
+  EXPECT_EQ(meter.agent_restarts(), 7u);
+  EXPECT_EQ(meter.hedge_launches(), 8u);
+  EXPECT_EQ(meter.hedged_duplicates(), 9u);
+  EXPECT_EQ(meter.Total(), 45u);
+  EXPECT_EQ(meter.Total(), SumOfCategories(meter));
+  EXPECT_EQ(meter.FaultOverhead(), 6u + 7u + 8u + 9u);
+}
+
+TEST(MessageMeterTest, LossesAnnotateButDoNotCount) {
+  MessageMeter meter;
+  meter.AddWalkHop(10);
+  meter.AddLoss(3);
+  EXPECT_EQ(meter.losses(), 3u);
+  EXPECT_EQ(meter.Total(), 10u);
+}
+
+TEST(MessageMeterTest, CategorySaturationPropagatesToTotal) {
+  MessageMeter meter;
+  meter.AddWalkHop(kMax - 1);
+  meter.AddWalkHop(5);  // Saturates the category, not wraps.
+  EXPECT_EQ(meter.walk_hops(), kMax);
+  EXPECT_EQ(meter.Total(), kMax);
+  // More traffic in another category cannot wrap the total either.
+  meter.AddPush(12345);
+  EXPECT_EQ(meter.Total(), kMax);
+  EXPECT_EQ(meter.Total(), SumOfCategories(meter));
+}
+
+TEST(MessageMeterTest, TotalSaturatesAcrossCategories) {
+  MessageMeter meter;
+  meter.AddWalkHop(kMax / 2 + 1);
+  meter.AddPush(kMax / 2 + 1);
+  // Neither category is saturated, but their sum overflows.
+  EXPECT_EQ(meter.Total(), kMax);
+  EXPECT_EQ(meter.Total(), SumOfCategories(meter));
+}
+
+TEST(MessageMeterTest, ResetClearsEverything) {
+  MessageMeter meter;
+  meter.AddRetry(4);
+  meter.AddLoss(2);
+  meter.Reset();
+  EXPECT_EQ(meter.Total(), 0u);
+  EXPECT_EQ(meter.losses(), 0u);
+}
+
+TEST(MessageMeterTest, RestoreCountOverwritesExactly) {
+  MessageMeter meter;
+  meter.AddWalkHop(100);
+  meter.RestoreCount(MessageMeter::Category::kWalkHop, 7);
+  meter.RestoreCount(MessageMeter::Category::kHedgedDuplicate, 2);
+  meter.RestoreLosses(5);
+  EXPECT_EQ(meter.walk_hops(), 7u);
+  EXPECT_EQ(meter.hedged_duplicates(), 2u);
+  EXPECT_EQ(meter.losses(), 5u);
+  EXPECT_EQ(meter.Total(), 9u);
+}
+
+}  // namespace
+}  // namespace digest

@@ -71,7 +71,7 @@ TEST(RetryBackoffTest, BudgetExhaustionReturnsUnavailableNotCrash) {
   EXPECT_EQ(again.status().code(), StatusCode::kUnavailable);
 
   // Healing the network lets the same operator instance succeed.
-  plan.set_message_loss(0.0);
+  ASSERT_TRUE(plan.set_message_loss(0.0).ok());
   Result<std::vector<NodeId>> healed = op.SampleNodes(0, 4);
   ASSERT_TRUE(healed.ok());
   EXPECT_EQ(healed->size(), 4u);
@@ -170,7 +170,7 @@ TEST(RetryBackoffTest, RepeatedEstimatorDegradesAndRecovers) {
   // Sever the network: every transmission is lost, fresh sampling times
   // out, and the engine answers from the retained pool with an honest,
   // widened interval instead of failing the tick.
-  plan.set_message_loss(1.0);
+  ASSERT_TRUE(plan.set_message_loss(1.0).ok());
   ASSERT_TRUE(workload->Advance().ok());
   plan.set_now(workload->now());
   Result<EngineTickResult> degraded = engine->Tick(workload->now());
@@ -181,7 +181,7 @@ TEST(RetryBackoffTest, RepeatedEstimatorDegradesAndRecovers) {
   EXPECT_EQ(engine->stats().degraded_ticks, 1u);
 
   // Heal: the next tick samples fresh again under the contract ε.
-  plan.set_message_loss(0.0);
+  ASSERT_TRUE(plan.set_message_loss(0.0).ok());
   ASSERT_TRUE(workload->Advance().ok());
   plan.set_now(workload->now());
   Result<EngineTickResult> healed = engine->Tick(workload->now());
@@ -226,7 +226,7 @@ TEST(RetryBackoffTest, IndependentEstimatorHoldsWithDoublingInterval) {
   // previous result and doubles the uncertainty band every failed
   // snapshot, rather than crashing or blocking.
   const double epsilon = spec.precision.epsilon;
-  plan.set_message_loss(1.0);
+  ASSERT_TRUE(plan.set_message_loss(1.0).ok());
   ASSERT_TRUE(workload->Advance().ok());
   plan.set_now(workload->now());
   Result<EngineTickResult> first = engine->Tick(workload->now());
@@ -246,7 +246,7 @@ TEST(RetryBackoffTest, IndependentEstimatorHoldsWithDoublingInterval) {
   EXPECT_EQ(engine->stats().degraded_ticks, 2u);
 
   // Recovery snaps the interval back to the contract ε.
-  plan.set_message_loss(0.0);
+  ASSERT_TRUE(plan.set_message_loss(0.0).ok());
   ASSERT_TRUE(workload->Advance().ok());
   plan.set_now(workload->now());
   Result<EngineTickResult> healed = engine->Tick(workload->now());

@@ -37,17 +37,22 @@ EVENT_SCHEMA = {
     "degraded_fallback": {"retained_pool"},
     "walk_batch": {"agents", "warm", "cold_steps", "warm_steps", "budget"},
     "walk_batch_done": {"samples", "attempts", "retries", "losses", "drops",
-                        "stalled_steps"},
+                        "stalled_steps", "hedges", "hedge_wins"},
     "hop_budget_exhausted": {"attempts", "budget"},
     "agent_restart": {"agent_index"},
     "fault_loss": {"from", "to"},
     "fault_stall": {"stalled_steps"},
+    "supervisor_state": {"from", "to", "outcome", "consecutive"},
+    "partial_snapshot": {"collected", "planned", "ci_halfwidth"},
+    "walk_hedged": {"agent_index", "attempts", "threshold"},
+    "checkpoint": {"bytes", "last_tick"},
+    "restore": {"bytes", "last_tick"},
 }
 
 # Events the Chrome exporter renders as slices nested inside tick spans.
 NESTED_SLICE_EVENTS = {
     "walk_batch", "walk_batch_done", "hop_budget_exhausted",
-    "agent_restart", "fault_loss", "fault_stall",
+    "agent_restart", "fault_loss", "fault_stall", "walk_hedged",
 }
 
 TICK_SPAN_US = 1000  # One simulated tick = 1000 us of trace time.
