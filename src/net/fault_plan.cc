@@ -26,6 +26,7 @@ double HashToUnit(uint64_t h) {
 
 constexpr uint64_t kEdgeSalt = 0x45444745u;   // "EDGE"
 constexpr uint64_t kStallSalt = 0x5354414cu;  // "STAL"
+constexpr uint64_t kSubstreamSalt = 0x53554253u;  // "SUBS"
 
 Status ValidateProbability(double p, const char* name) {
   if (!(p >= 0.0 && p <= 1.0)) {
@@ -145,6 +146,16 @@ double FaultPlan::DistortWeight(double weight) {
   timer.AddItems(1);
   const double u = 2.0 * rng_.NextDouble() - 1.0;
   return std::max(0.0, weight * (1.0 + config_.stale_noise * u));
+}
+
+FaultPlan FaultPlan::SpawnSubstream(uint64_t key) const {
+  FaultPlan sub(config_, seed_);
+  // Same (config, seed) => same static topology; only the private draw
+  // stream is re-keyed. Counters start at zero and tracer/profiler stay
+  // detached — the caller attaches its own buffering sinks if needed.
+  sub.rng_ = Rng(Mix64(seed_ ^ Mix64(key) ^ kSubstreamSalt));
+  sub.now_ = now_;
+  return sub;
 }
 
 bool FaultPlan::IsBlackholed(NodeId node) const {

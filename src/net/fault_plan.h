@@ -122,6 +122,27 @@ class FaultPlan {
   /// Pure function of (seed, node, now).
   bool IsBlackholed(NodeId node) const;
 
+  /// Derives an independent draw substream of this plan, keyed by `key`,
+  /// WITHOUT advancing this plan's stream. The substream shares the
+  /// parent's config, seed, and clock — so the static fault topology
+  /// (EdgeLossRate, IsBlackholed) is identical — but draws its Bernoulli
+  /// stream from a seed hashed from (plan seed, key), with injection
+  /// counters zeroed and no tracer/profiler attached. The parallel walk
+  /// executor spawns one substream per walk, keyed by walk index, so the
+  /// faults a walk sees depend only on (plan seed, batch, walk index) —
+  /// never on scheduling. Fold a finished substream's counters back with
+  /// AbsorbInjections().
+  FaultPlan SpawnSubstream(uint64_t key) const;
+
+  /// Adds a finished substream's injection counters onto this plan's
+  /// (the merge step runs on the main thread after the pool barrier, so
+  /// plain adds suffice).
+  void AbsorbInjections(uint64_t losses, uint64_t drops, uint64_t stale) {
+    losses_injected_ += losses;
+    drops_injected_ += drops;
+    stale_injected_ += stale;
+  }
+
   /// Injection counters, for tests and benches that reconcile meter
   /// accounting against the schedule.
   uint64_t losses_injected() const { return losses_injected_; }

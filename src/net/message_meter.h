@@ -119,6 +119,19 @@ class MessageMeter {
     return SatAdd(overhead, hedged_duplicates());
   }
 
+  /// Folds another meter's counts into this one (saturating per
+  /// category, losses included). Saturating addition is commutative and
+  /// associative — min(a+b, MAX) in any grouping — so merging per-walk
+  /// meters in any order yields identical counts; the parallel executor
+  /// still merges in walk-index order for uniformity with the other
+  /// merge steps. Property-tested in message_meter_test.cc.
+  void Merge(const MessageMeter& other) {
+    for (size_t i = 0; i < kNumCategories; ++i) {
+      counts_[i] = SatAdd(counts_[i], other.counts_[i]);
+    }
+    losses_ = SatAdd(losses_, other.losses_);
+  }
+
   /// Resets all counters to zero.
   void Reset() { *this = MessageMeter(); }
 

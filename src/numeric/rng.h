@@ -52,6 +52,24 @@ class Rng {
   /// Derives an independent generator from this one (SplitMix-style jump).
   Rng Fork();
 
+  /// Derives the `index`-th substream of this generator WITHOUT advancing
+  /// it. Unlike Fork() — which consumes one draw, so the k-th fork depends
+  /// on how many forks preceded it — Split(i) is a pure function of
+  /// (current state, i): any caller holding an equal-state generator gets
+  /// the same substream for the same index, in any order and from any
+  /// thread. The parallel walk executor keys one substream per walk index
+  /// so that walk i draws identically no matter which worker runs it.
+  ///
+  /// Derivation: the four state words are hashed together with the index
+  /// through SplitMix64's finalizer into a 64-bit substream seed. The
+  /// mixing constants are SplitMix64's published ones — the golden-ratio
+  /// increment 0x9e3779b97f4a7c15 (weyl sequence step) and the
+  /// variance-maximizing multipliers 0xbf58476d1ce4e5b9 /
+  /// 0x94d049bb133111eb from Stafford's Mix13 finalizer — giving full
+  /// avalanche between adjacent indices. Per-word salts (distinct odd
+  /// constants) keep permuted state words from colliding.
+  Rng Split(uint64_t index) const;
+
   /// Complete serializable generator state. Restoring a saved state makes
   /// the generator resume its stream exactly where the save happened —
   /// used by the engine checkpoint/restore path, which must replay the

@@ -167,6 +167,10 @@ ChromeShape ShapeOf(const EventPayload& payload) {
 void AppendChromeArgs(std::string* out, const TraceEvent& event) {
   out->append("\"args\":{\"seq\":");
   out->append(std::to_string(event.seq));
+  if (event.lane >= 0) {
+    out->append(",\"lane\":");
+    out->append(std::to_string(event.lane));
+  }
   std::string fields;
   std::visit(JsonFields{&fields}, event.payload);
   out->append(fields);  // Leading commas already in place.
@@ -180,6 +184,13 @@ std::string EventToJsonLine(const TraceEvent& event) {
   out += std::to_string(event.seq);
   out += ",\"t\":";
   out += std::to_string(event.sim_time);
+  // The deterministic execution lane (walk index) appears only on
+  // events the parallel sampler stamped, so serial traces stay
+  // byte-identical to the pre-parallel format.
+  if (event.lane >= 0) {
+    out += ",\"lane\":";
+    out += std::to_string(event.lane);
+  }
   out += ",\"event\":\"";
   out += EventName(event.payload);
   out += "\"";

@@ -182,6 +182,14 @@ const char* EventName(const EventPayload& payload);
 struct TraceEvent {
   uint64_t seq = 0;       ///< Monotone per tracer, from 0.
   int64_t sim_time = 0;   ///< Simulated tick at emission (tracer clock).
+  /// Deterministic execution lane of the event, or -1 for none. The
+  /// parallel sampling executor stamps each walk-scoped event with its
+  /// WALK index — never an OS thread id, which would vary run-to-run
+  /// and with the thread count. Lanes are therefore part of the
+  /// bit-reproducible trace: the same trace is produced at any
+  /// num_threads (test-enforced by parallel_determinism_test). Real
+  /// thread attribution lives only on the wall-clock prof layer.
+  int64_t lane = -1;
   EventPayload payload;
 };
 
@@ -202,7 +210,14 @@ class Tracer {
   /// Records `payload` stamped (seq, now). No-op when !enabled().
   void Emit(EventPayload payload) {
     if (!enabled()) return;
-    Record(TraceEvent{seq_++, now_, std::move(payload)});
+    Record(TraceEvent{seq_++, now_, /*lane=*/-1, std::move(payload)});
+  }
+
+  /// Records `payload` on a deterministic execution lane (>= 0): the
+  /// walk index a buffered event belonged to. Same stamping as Emit.
+  void EmitLane(EventPayload payload, int64_t lane) {
+    if (!enabled()) return;
+    Record(TraceEvent{seq_++, now_, lane, std::move(payload)});
   }
 
   /// Advances the simulated clock used to stamp events.
@@ -244,6 +259,26 @@ class MemoryTracer : public Tracer {
 
  private:
   std::vector<TraceEvent> events_;
+};
+
+/// Collects bare payloads for deferred re-emission through another
+/// tracer. The parallel walk executor hands each in-flight walk one of
+/// these (events buffer thread-locally, unstamped), then re-emits the
+/// payloads through the main tracer in walk-index order after the merge
+/// barrier — so the final stamped stream is independent of scheduling.
+class BufferTracer : public Tracer {
+ public:
+  bool enabled() const override { return true; }
+  std::vector<EventPayload>& payloads() { return payloads_; }
+  const std::vector<EventPayload>& payloads() const { return payloads_; }
+
+ protected:
+  void Record(TraceEvent event) override {
+    payloads_.push_back(std::move(event.payload));
+  }
+
+ private:
+  std::vector<EventPayload> payloads_;
 };
 
 /// True when `tracer` is non-null and recording — guard for emission

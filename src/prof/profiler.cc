@@ -60,17 +60,28 @@ void Profiler::Record(Phase phase, uint64_t start_ns, uint64_t end_ns,
   }
 }
 
-void Profiler::Reset() {
-  for (PhaseStats& s : stats_) s = PhaseStats();
-  spans_.clear();
-  spans_dropped_ = 0;
+namespace {
+
+// Folds `from` into `into`, preserving the "min_ns is 0 until the first
+// call" convention on both sides.
+void MergePhaseStats(PhaseStats& into, const PhaseStats& from) {
+  if (from.calls > 0) {
+    into.min_ns =
+        into.calls == 0 ? from.min_ns : std::min(into.min_ns, from.min_ns);
+    into.max_ns = std::max(into.max_ns, from.max_ns);
+  }
+  into.calls += from.calls;
+  into.total_ns += from.total_ns;
+  into.items += from.items;
 }
 
-std::string Profiler::ToJson() const {
-  std::string out = "{\"phases\":{";
+// Renders one phases object ({"engine_tick":{...},...}); shared by the
+// top-level profile and the per-worker tracks.
+void AppendPhasesJson(const PhaseStats* stats, std::string& out) {
+  out.push_back('{');
   bool first = true;
   for (size_t i = 0; i < kNumPhases; ++i) {
-    const PhaseStats& s = stats_[i];
+    const PhaseStats& s = stats[i];
     if (s.calls == 0 && s.items == 0) continue;
     if (!first) out.push_back(',');
     first = false;
@@ -88,10 +99,45 @@ std::string Profiler::ToJson() const {
     out += std::to_string(s.items);
     out.push_back('}');
   }
-  out += "},\"spans_captured\":";
+  out.push_back('}');
+}
+
+}  // namespace
+
+void Profiler::FoldTrack(size_t worker, const Track& track) {
+  if (tracks_.size() <= worker) tracks_.resize(worker + 1);
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    MergePhaseStats(stats_[i], track.stats_[i]);
+    MergePhaseStats(tracks_[worker][i], track.stats_[i]);
+  }
+}
+
+void Profiler::Reset() {
+  for (PhaseStats& s : stats_) s = PhaseStats();
+  spans_.clear();
+  spans_dropped_ = 0;
+  tracks_.clear();
+}
+
+std::string Profiler::ToJson() const {
+  std::string out = "{\"phases\":";
+  AppendPhasesJson(stats_, out);
+  out += ",\"spans_captured\":";
   out += std::to_string(spans_.size());
   out += ",\"spans_dropped\":";
   out += std::to_string(spans_dropped_);
+  if (!tracks_.empty()) {
+    out += ",\"tracks\":[";
+    for (size_t w = 0; w < tracks_.size(); ++w) {
+      if (w > 0) out.push_back(',');
+      out += "{\"worker\":";
+      out += std::to_string(w);
+      out += ",\"phases\":";
+      AppendPhasesJson(tracks_[w].data(), out);
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
   out.push_back('}');
   return out;
 }

@@ -1,6 +1,7 @@
 #ifndef DIGEST_PROF_PROFILER_H_
 #define DIGEST_PROF_PROFILER_H_
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -79,8 +80,56 @@ struct ProfilerOptions {
 /// True for phases coarse enough to record as individual wall spans.
 bool PhaseCapturesSpans(Phase phase);
 
-/// Wall-clock profile accumulator. Not thread-safe (the simulator is
-/// single-threaded); one instance per run or per bench scenario.
+class Profiler;
+
+/// A per-worker wall-clock accumulator for parallel regions. The main
+/// Profiler is single-threaded by contract; during a parallel walk
+/// batch each pool worker instead records into its own Track (written
+/// by that worker only — no synchronization), and the main thread folds
+/// every track back into the Profiler after the pool barrier
+/// (Profiler::FoldTrack). Tracks aggregate per-phase counters only, no
+/// span capture: the phases workers run (walk stepping, fault draws)
+/// are the high-frequency ones that never capture spans anyway.
+///
+/// Null fast path: a Track constructed without a clock (the profiler)
+/// is inert — no clock reads, recording no-ops — mirroring the
+/// null-Profiler contract so unprofiled parallel runs stay free of
+/// timing syscalls.
+class Track {
+ public:
+  /// `clock` supplies the shared epoch (ElapsedNs is thread-safe: the
+  /// epoch is immutable after construction). Null disables the track.
+  explicit Track(const Profiler* clock = nullptr) : clock_(clock) {}
+
+  bool active() const { return clock_ != nullptr; }
+  uint64_t NowNs() const;
+
+  /// Folds one completed interval into `phase` (aggregate only).
+  void Record(Phase phase, uint64_t start_ns, uint64_t end_ns,
+              uint64_t items) {
+    const uint64_t dur = end_ns >= start_ns ? end_ns - start_ns : 0;
+    PhaseStats& s = stats_[static_cast<size_t>(phase)];
+    if (s.calls == 0 || dur < s.min_ns) s.min_ns = dur;
+    if (dur > s.max_ns) s.max_ns = dur;
+    ++s.calls;
+    s.total_ns += dur;
+    s.items += items;
+  }
+
+  const PhaseStats& stats(Phase phase) const {
+    return stats_[static_cast<size_t>(phase)];
+  }
+
+ private:
+  friend class Profiler;
+  const Profiler* clock_;
+  PhaseStats stats_[kNumPhases] = {};
+};
+
+/// Wall-clock profile accumulator. Not thread-safe (the simulator's
+/// main loop is single-threaded; parallel walk workers record into
+/// per-worker Tracks that are folded back on the main thread); one
+/// instance per run or per bench scenario.
 class Profiler {
  public:
   explicit Profiler(ProfilerOptions options = {});
@@ -111,15 +160,32 @@ class Profiler {
   uint64_t spans_dropped() const { return spans_dropped_; }
   const ProfilerOptions& options() const { return options_; }
 
-  /// Clears all counters and spans; the epoch is NOT reset (spans from
-  /// before and after a Reset stay on one time axis).
+  /// Folds a parallel worker's Track into this profiler (main thread,
+  /// after the pool barrier): the track's counters merge element-wise
+  /// into the aggregate phase stats — so calls/items stay exactly what
+  /// a serial run records, with wall time attributed to whichever
+  /// worker actually spent it — and also accumulate into a per-worker
+  /// breakdown exported as the `tracks` JSON section. `worker` indexes
+  /// the breakdown (0 = the calling thread).
+  void FoldTrack(size_t worker, const Track& track);
+
+  /// Per-worker cumulative phase stats (empty until a FoldTrack).
+  const std::vector<std::array<PhaseStats, kNumPhases>>& tracks() const {
+    return tracks_;
+  }
+
+  /// Clears all counters, spans, and worker tracks; the epoch is NOT
+  /// reset (spans from before and after a Reset stay on one time axis).
   void Reset();
 
   /// The profile as one JSON object:
   /// `{"phases":{"engine_tick":{"calls":N,"total_ns":N,"min_ns":N,
   /// "max_ns":N,"items":N},...},"spans_captured":N,"spans_dropped":N}`.
   /// Phases with zero calls and zero items are omitted. Key order is
-  /// the Phase enum order (stable across runs).
+  /// the Phase enum order (stable across runs). When worker tracks were
+  /// folded (parallel runs), a `"tracks":[{"worker":N,"phases":{...}},
+  /// ...]` array follows — omitted entirely otherwise, keeping serial
+  /// output byte-identical to the pre-parallel layout.
   std::string ToJson() const;
 
  private:
@@ -128,7 +194,10 @@ class Profiler {
   PhaseStats stats_[kNumPhases];
   std::vector<WallSpan> spans_;
   uint64_t spans_dropped_ = 0;
+  std::vector<std::array<PhaseStats, kNumPhases>> tracks_;
 };
+
+inline uint64_t Track::NowNs() const { return clock_->ElapsedNs(); }
 
 /// RAII interval timer. With a null profiler the constructor and
 /// destructor do nothing — no clock read, no branch beyond the null
@@ -156,6 +225,38 @@ class ScopedTimer {
 
  private:
   Profiler* profiler_;
+  Phase phase_;
+  uint64_t start_ns_ = 0;
+  uint64_t items_ = 0;
+};
+
+/// RAII interval timer against a per-worker Track — the worker-side
+/// mirror of ScopedTimer. Inert (no clock reads) when the track is null
+/// or inactive.
+class ScopedTrackTimer {
+ public:
+  ScopedTrackTimer(Track* track, Phase phase) : phase_(phase) {
+    if (track != nullptr && track->active()) {
+      track_ = track;
+      start_ns_ = track->NowNs();
+    }
+  }
+  ScopedTrackTimer(const ScopedTrackTimer&) = delete;
+  ScopedTrackTimer& operator=(const ScopedTrackTimer&) = delete;
+
+  /// Attributes `n` work units to the timed interval.
+  void AddItems(uint64_t n) {
+    if (track_ != nullptr) items_ += n;
+  }
+
+  ~ScopedTrackTimer() {
+    if (track_ != nullptr) {
+      track_->Record(phase_, start_ns_, track_->NowNs(), items_);
+    }
+  }
+
+ private:
+  Track* track_ = nullptr;
   Phase phase_;
   uint64_t start_ns_ = 0;
   uint64_t items_ = 0;

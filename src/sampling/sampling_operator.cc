@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "exec/worker_pool.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "prof/profiler.h"
@@ -52,6 +53,23 @@ void ObserveBatch(obs::Registry* registry, const WalkTelemetry& telemetry,
       ->Observe(static_cast<double>(telemetry.backoff_units));
 }
 
+// Sums every per-walk telemetry counter into the batch aggregate (the
+// ordered post-barrier merge of the parallel mode).
+void MergeTelemetry(WalkTelemetry& into, const WalkTelemetry& from) {
+  into.attempts += from.attempts;
+  into.retries += from.retries;
+  into.losses += from.losses;
+  into.drops += from.drops;
+  into.abandoned += from.abandoned;
+  into.stale_probes += from.stale_probes;
+  into.stalled_steps += from.stalled_steps;
+  into.proposals += from.proposals;
+  into.accepted += from.accepted;
+  into.backoff_units += from.backoff_units;
+  into.hedges += from.hedges;
+  into.hedge_wins += from.hedge_wins;
+}
+
 }  // namespace
 
 SamplingOperator::SamplingOperator(const Graph* graph, WeightFn weight,
@@ -62,6 +80,8 @@ SamplingOperator::SamplingOperator(const Graph* graph, WeightFn weight,
       rng_(rng),
       meter_(meter),
       options_(options) {}
+
+SamplingOperator::~SamplingOperator() = default;
 
 size_t SamplingOperator::EffectiveWalkLength() const {
   if (options_.walk_length > 0) return options_.walk_length;
@@ -122,6 +142,7 @@ Result<PartialBatch> SamplingOperator::SampleNodesPartial(NodeId origin,
 }
 
 Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
+  if (options_.num_threads > 0) return SampleBatchParallel(origin, n);
   // Wall-clock cost of the whole batch; items = samples delivered
   // (including partial batches that time out under faults).
   prof::ScopedTimer batch_timer(profiler_, prof::Phase::kWalkBatch);
@@ -302,6 +323,296 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
   // Round-robin reuse: the next batch starts over from the first agent.
   next_agent_ = 0;
   if (obs::Tracing(tracer_)) {
+    if (last_telemetry_.stalled_steps > 0) {
+      tracer_->Emit(obs::FaultStallEvent{last_telemetry_.stalled_steps});
+    }
+    tracer_->Emit(obs::WalkBatchDoneEvent{
+        out.size(), last_telemetry_.attempts, last_telemetry_.retries,
+        last_telemetry_.losses, last_telemetry_.drops,
+        last_telemetry_.stalled_steps, last_telemetry_.hedges,
+        last_telemetry_.hedge_wins});
+  }
+  ObserveBatch(registry_, last_telemetry_, out.size(), /*timed_out=*/false);
+  return PartialBatch{std::move(out), /*timed_out=*/false};
+}
+
+Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
+                                                           size_t n) {
+  // Deterministic multi-threaded batch (DESIGN.md "Parallel execution &
+  // determinism model"). Every source of randomness, fault injection,
+  // accounting, and tracing is keyed by WALK INDEX and materialized into
+  // a per-walk outcome slot; workers never touch shared state, and the
+  // main thread merges the slots in walk-index order after the pool
+  // barrier. The result is bit-identical for any num_threads >= 1.
+  //
+  // Deliberate semantic deltas vs the num_threads == 0 serial path
+  // (which is preserved unchanged):
+  //   * per-walk RNG/fault substreams (Rng::Split by walk index) instead
+  //     of one shared stream threaded through the walks in sequence;
+  //   * the hedge straggler threshold and the hedge donor position are
+  //     frozen at batch start (completed-walk statistics update only at
+  //     the merge) — concurrent walks cannot observe each other;
+  //   * the pooled hop budget cuts at walk granularity: each walk is
+  //     individually capped at the full pooled budget, and the merge
+  //     accumulates accepted walks in index order until the budget is
+  //     crossed — the walk that crosses it is charged (bandwidth was
+  //     spent) but delivers no sample, and later walks are discarded
+  //     outright, exactly as if they had never launched.
+  prof::ScopedTimer batch_timer(profiler_, prof::Phase::kWalkBatch);
+  if (graph_->NodeCount() == 0) {
+    return Status::FailedPrecondition("cannot sample an empty network");
+  }
+  NodeId fallback = origin;
+  if (!graph_->HasNode(fallback)) {
+    DIGEST_ASSIGN_OR_RETURN(fallback, graph_->RandomLiveNode(rng_));
+  }
+  last_telemetry_ = WalkTelemetry();
+  const size_t base = next_agent_;
+  const size_t warm_pool =
+      options_.warm_walks && agents_.size() > base ? agents_.size() - base : 0;
+  const size_t warm = std::min(n, warm_pool);
+  const size_t walk_len = EffectiveWalkLength();
+  const size_t reset_len = EffectiveResetLength();
+  uint64_t budget = 0;
+  if (faults_ != nullptr) {
+    const uint64_t planned =
+        static_cast<uint64_t>(warm) * reset_len +
+        static_cast<uint64_t>(n - warm) * walk_len;
+    budget = static_cast<uint64_t>(std::ceil(
+        options_.retry.hop_budget_factor * static_cast<double>(planned)));
+  }
+  const bool tracing = obs::Tracing(tracer_);
+  if (tracing) {
+    tracer_->Emit(obs::WalkBatchEvent{n, warm, walk_len, reset_len, budget});
+  }
+
+  // The batch key is the ONLY draw this batch takes from the operator's
+  // stream: walk i's randomness comes from Split(2i) of an rng seeded by
+  // the key, its fault substream key from Split(2i+1) — pure functions
+  // of (stream state, i), identical on any worker and schedule.
+  const uint64_t batch_key = rng_.NextU64();
+  const Rng substream_base(batch_key);
+
+  // Per-walk plan, fixed before fan-out so workers only read it. The
+  // hedge donor is the start-of-batch position of walk i-1's agent (the
+  // deterministic stand-in for the serial path's "most recently
+  // delivered agent"): already mixed when it is a pre-batch warm agent,
+  // so a reset suffices; a cold predecessor contributes only the
+  // fallback, which keeps the cold walk length.
+  struct WalkPlan {
+    NodeId start = 0;
+    size_t steps = 0;
+    uint64_t threshold = 0;  // Hedge straggler threshold (0 = disarmed).
+    NodeId hedge_origin = 0;
+    size_t hedge_steps = 0;
+    uint64_t fault_key = 0;
+  };
+  std::vector<WalkPlan> plans(n);
+  for (size_t i = 0; i < n; ++i) {
+    WalkPlan& plan = plans[i];
+    const bool is_warm = options_.warm_walks && base + i < agents_.size();
+    plan.start = is_warm ? agents_[base + i].current() : fallback;
+    plan.steps = is_warm ? reset_len : walk_len;
+    plan.threshold = HedgeThreshold(plan.steps);
+    plan.hedge_origin = fallback;
+    plan.hedge_steps = walk_len;
+    if (options_.warm_walks && base + i >= 1) {
+      const size_t donor = base + i - 1;
+      const NodeId donor_pos =
+          donor < agents_.size() ? agents_[donor].current() : fallback;
+      if (graph_->HasNode(donor_pos)) {
+        plan.hedge_origin = donor_pos;
+        plan.hedge_steps = donor < agents_.size() ? reset_len : walk_len;
+      }
+    }
+    Rng key_rng = substream_base.Split(2 * i + 1);
+    plan.fault_key = key_rng.NextU64();
+  }
+
+  // Everything a walk produces, keyed by walk index; written by exactly
+  // one worker, read by the main thread after the barrier.
+  struct WalkOutcome {
+    NodeId final_pos = 0;
+    WalkTelemetry telemetry;
+    MessageMeter meter;
+    std::vector<obs::EventPayload> events;
+    uint64_t fault_losses = 0;
+    uint64_t fault_drops = 0;
+    uint64_t fault_stale = 0;
+    bool timed_out = false;  // Self-capped at the pooled budget.
+  };
+  std::vector<WalkOutcome> outcomes(n);
+
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<exec::WorkerPool>(options_.num_threads);
+  }
+  std::vector<prof::Track> tracks;
+  tracks.reserve(pool_->num_threads());
+  for (size_t w = 0; w < pool_->num_threads(); ++w) {
+    tracks.emplace_back(profiler_);
+  }
+
+  const Status walk_status = pool_->ParallelFor(
+      n, [&](size_t i, size_t worker) -> Status {
+        WalkOutcome& out = outcomes[i];
+        const WalkPlan& plan = plans[i];
+        Rng walk_rng = substream_base.Split(2 * i);
+        MessageMeter* wm = meter_ != nullptr ? &out.meter : nullptr;
+        RandomWalk agent(plan.start, options_.laziness);
+        prof::ScopedTrackTimer advance_timer(&tracks[worker],
+                                             prof::Phase::kWalkAdvance);
+        if (faults_ == nullptr) {
+          advance_timer.AddItems(plan.steps);
+          DIGEST_RETURN_IF_ERROR(agent.Advance(*graph_, weight_, walk_rng,
+                                               wm, fallback, plan.steps,
+                                               &out.telemetry));
+        } else {
+          FaultPlan sub = faults_->SpawnSubstream(plan.fault_key);
+          obs::BufferTracer buffer;
+          if (tracing) sub.SetTracer(&buffer);
+          size_t remaining = plan.steps;
+          // Hedge race in virtual time, exactly as in the serial path,
+          // except both racers draw from this walk's substream and the
+          // launch threshold/donor were frozen at batch start.
+          RandomWalk hedge(fallback, options_.laziness);
+          size_t hedge_remaining = 0;
+          bool hedged = false;
+          uint64_t primary_spent = 0;
+          uint64_t hedge_spent = 0;
+          while (remaining > 0) {
+            if (!hedged && plan.threshold > 0 &&
+                out.telemetry.attempts >= plan.threshold) {
+              hedged = true;
+              hedge = RandomWalk(plan.hedge_origin, options_.laziness);
+              hedge_remaining = plan.hedge_steps;
+              primary_spent = 0;
+              hedge_spent = 0;
+              ++out.telemetry.hedges;
+              if (wm != nullptr) wm->AddHedgeLaunch();
+              if (tracing) {
+                buffer.Emit(obs::WalkHedgedEvent{i, out.telemetry.attempts,
+                                                 plan.threshold});
+              }
+            }
+            advance_timer.AddItems(1);
+            if (out.telemetry.attempts >= budget) {
+              // This walk alone exhausted the pooled budget; whether the
+              // BATCH times out is decided at the merge, in index order.
+              out.timed_out = true;
+              break;
+            }
+            const bool step_hedge = hedged && hedge_spent <= primary_spent;
+            RandomWalk* walker = step_hedge ? &hedge : &agent;
+            size_t* walker_remaining =
+                step_hedge ? &hedge_remaining : &remaining;
+            const uint64_t drops_before = out.telemetry.drops;
+            const uint64_t attempts_before = out.telemetry.attempts;
+            DIGEST_RETURN_IF_ERROR(walker->Step(*graph_, weight_, walk_rng,
+                                                wm, fallback, &sub,
+                                                &options_.retry,
+                                                &out.telemetry));
+            const uint64_t spent = out.telemetry.attempts - attempts_before;
+            if (step_hedge) {
+              hedge_spent += spent;
+            } else if (hedged) {
+              primary_spent += spent;
+            }
+            if (out.telemetry.drops > drops_before) {
+              *walker_remaining = walk_len;
+              if (tracing) buffer.Emit(obs::AgentRestartEvent{i});
+            } else {
+              --*walker_remaining;
+            }
+            if (hedged && hedge_remaining == 0) {
+              agent = hedge;
+              ++out.telemetry.hedge_wins;
+              break;
+            }
+          }
+          if (hedged && !out.timed_out && wm != nullptr) {
+            wm->AddHedgedDuplicate();
+          }
+          out.fault_losses = sub.losses_injected();
+          out.fault_drops = sub.drops_injected();
+          out.fault_stale = sub.stale_injected();
+          if (tracing) out.events = std::move(buffer.payloads());
+        }
+        out.final_pos = agent.current();
+        return Status::OK();
+      });
+
+  // Worker wall time folds into the shared profiler on this side of the
+  // barrier only; the deterministic parts (calls, items) are per-walk
+  // counts, so the fold is schedule-independent.
+  if (profiler_ != nullptr) {
+    for (size_t w = 0; w < tracks.size(); ++w) {
+      profiler_->FoldTrack(w, tracks[w]);
+    }
+  }
+  DIGEST_RETURN_IF_ERROR(walk_status);
+
+  // Ordered merge: accept walks in index order until the pooled budget
+  // is crossed. Each accepted/charged walk commits its meter counts,
+  // fault injections, buffered trace events (stamped with lane = walk
+  // index), telemetry, and final agent position.
+  std::vector<NodeId> out;
+  out.reserve(n);
+  uint64_t cum_attempts = 0;
+  bool cut = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (faults_ != nullptr && cum_attempts >= budget) {
+      // Budget crossed at a walk boundary: this walk and all later ones
+      // are discarded as if never launched (their agents keep their
+      // start-of-batch positions).
+      cut = true;
+      break;
+    }
+    WalkOutcome& o = outcomes[i];
+    if (meter_ != nullptr) meter_->Merge(o.meter);
+    if (faults_ != nullptr) {
+      faults_->AbsorbInjections(o.fault_losses, o.fault_drops,
+                                o.fault_stale);
+    }
+    if (tracing) {
+      for (obs::EventPayload& payload : o.events) {
+        tracer_->EmitLane(std::move(payload), static_cast<int64_t>(i));
+      }
+    }
+    MergeTelemetry(last_telemetry_, o.telemetry);
+    if (base + i < agents_.size()) {
+      agents_[base + i] = RandomWalk(o.final_pos, options_.laziness);
+    } else {
+      agents_.emplace_back(o.final_pos, options_.laziness);
+    }
+    if (o.timed_out) {
+      // The walk spent its budget without delivering: charged, no
+      // sample, and the batch is cut here.
+      cut = true;
+      break;
+    }
+    out.push_back(o.final_pos);
+    cum_attempts += o.telemetry.attempts;
+    if (faults_ != nullptr) {
+      ++done_walks_;
+      done_attempts_ += o.telemetry.attempts;
+      done_steps_ += plans[i].steps;
+    }
+    if (meter_ != nullptr) meter_->AddSampleTransfer();
+  }
+
+  next_agent_ = 0;
+  if (cut) {
+    if (tracing) {
+      tracer_->Emit(obs::HopBudgetExhaustedEvent{last_telemetry_.attempts,
+                                                 budget});
+    }
+    ObserveBatch(registry_, last_telemetry_, out.size(), /*timed_out=*/true);
+    return PartialBatch{std::move(out), /*timed_out=*/true};
+  }
+  if (!options_.warm_walks) {
+    agents_.clear();
+  }
+  if (tracing) {
     if (last_telemetry_.stalled_steps > 0) {
       tracer_->Emit(obs::FaultStallEvent{last_telemetry_.stalled_steps});
     }

@@ -2,6 +2,7 @@
 #define DIGEST_SAMPLING_SAMPLING_OPERATOR_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -13,6 +14,9 @@
 #include "sampling/weight.h"
 
 namespace digest {
+namespace exec {
+class WorkerPool;
+}  // namespace exec
 namespace obs {
 class Registry;
 class Tracer;
@@ -83,6 +87,21 @@ struct SamplingOperatorOptions {
 
   /// Hedged-walk straggler mitigation (only active under a FaultPlan).
   HedgePolicy hedge;
+
+  /// Walk-batch execution mode. 0 (default) is the legacy serial path:
+  /// every draw comes from the operator's single shared RNG stream,
+  /// bit-identical to all pre-parallel releases. Any value >= 1 selects
+  /// the deterministic parallel mode: each batch derives one substream
+  /// per WALK (keyed by walk index via Rng::Split, never by thread) and
+  /// runs the walks on a worker pool of this many threads, merging
+  /// results/meters/traces in walk-index order after the pool barrier —
+  /// so every observable output is bit-identical for ANY num_threads
+  /// >= 1 (num_threads == 1 runs the same algorithm inline and is the
+  /// reference schedule the determinism tests compare against). See
+  /// DESIGN.md "Parallel execution & determinism model" for the exact
+  /// semantic deltas vs the serial path (per-walk hedge statistics
+  /// freezing, walk-granular hop budget).
+  size_t num_threads = 0;
 };
 
 /// A batch that may have been cut short by the hop budget: `nodes` holds
@@ -120,6 +139,7 @@ class SamplingOperator {
   SamplingOperator(const Graph* graph, WeightFn weight, Rng rng,
                    MessageMeter* meter,
                    SamplingOperatorOptions options = {});
+  ~SamplingOperator();
 
   /// Attaches (or detaches, with nullptr) a fault-injection plan. The
   /// plan is not owned and must outlive the operator. A plan with all
@@ -206,7 +226,13 @@ class SamplingOperator {
  private:
   /// Core batch loop shared by SampleNodes / SampleNodesPartial. The
   /// two wrappers differ only in how a hop-budget timeout is reported.
+  /// Dispatches to SampleBatchParallel when options_.num_threads >= 1.
   Result<PartialBatch> SampleBatch(NodeId origin, size_t n);
+
+  /// Deterministic multi-threaded batch: per-walk substreams, worker
+  /// pool fan-out, ordered post-barrier merge. Bit-identical output for
+  /// any num_threads >= 1.
+  Result<PartialBatch> SampleBatchParallel(NodeId origin, size_t n);
 
   /// Hedge straggler threshold in attempt units for an agent planned to
   /// walk `steps` steps; 0 means hedging is disarmed (disabled, no fault
@@ -225,6 +251,9 @@ class SamplingOperator {
   WalkTelemetry last_telemetry_;
   std::vector<RandomWalk> agents_;  // Warm agents, reused round-robin.
   size_t next_agent_ = 0;
+  // Worker pool for the parallel mode; created lazily on the first
+  // parallel batch (absent entirely at num_threads == 0).
+  std::unique_ptr<exec::WorkerPool> pool_;
   // Completed-walk stats for the hedge threshold (faulted batches only).
   uint64_t done_walks_ = 0;
   uint64_t done_attempts_ = 0;

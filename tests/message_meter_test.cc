@@ -102,5 +102,111 @@ TEST(MessageMeterTest, RestoreCountOverwritesExactly) {
   EXPECT_EQ(meter.Total(), 9u);
 }
 
+// ---------------------------------------------------------------------
+// Merge algebra. The parallel walk executor accumulates each walk's
+// messages into a thread-local meter and folds them into the shared
+// meter post-barrier with Merge; determinism of the fold requires Merge
+// to be commutative and associative (including at saturation), which
+// these property tests pin down.
+// ---------------------------------------------------------------------
+
+/// Deterministic pseudo-random meter: charges every category (and
+/// losses) an amount derived from `seed`, occasionally near-saturated.
+MessageMeter ArbitraryMeter(uint64_t seed) {
+  MessageMeter meter;
+  uint64_t x = seed * 0x9e3779b97f4a7c15ULL + 1;
+  for (size_t i = 0; i < MessageMeter::kNumCategories; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // Roughly 1 in 8 slots sits within a few units of saturation so
+    // merged sums routinely cross UINT64_MAX.
+    const uint64_t amount = (x % 8 == 0) ? kMax - (x % 5) : x % 100000;
+    meter.Add(static_cast<MessageMeter::Category>(i), amount);
+  }
+  x ^= x << 13;
+  x ^= x >> 7;
+  meter.AddLoss(x % 1000);
+  return meter;
+}
+
+void ExpectMetersEqual(const MessageMeter& a, const MessageMeter& b) {
+  for (size_t i = 0; i < MessageMeter::kNumCategories; ++i) {
+    const auto c = static_cast<MessageMeter::Category>(i);
+    EXPECT_EQ(a.Count(c), b.Count(c)) << "category " << i;
+  }
+  EXPECT_EQ(a.losses(), b.losses());
+}
+
+TEST(MessageMeterTest, MergeAddsEveryCategoryAndLosses) {
+  MessageMeter a;
+  a.AddWalkHop(3);
+  a.AddLoss(1);
+  MessageMeter b;
+  b.AddWalkHop(4);
+  b.AddWeightProbe(7);
+  b.AddLoss(2);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(MessageMeter::Category::kWalkHop), 7u);
+  EXPECT_EQ(a.Count(MessageMeter::Category::kWeightProbe), 7u);
+  EXPECT_EQ(a.losses(), 3u);
+  // The merged-from meter is untouched.
+  EXPECT_EQ(b.Count(MessageMeter::Category::kWalkHop), 4u);
+}
+
+TEST(MessageMeterTest, MergeIsCommutative) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    MessageMeter ab = ArbitraryMeter(seed);
+    ab.Merge(ArbitraryMeter(seed + 1000));
+    MessageMeter ba = ArbitraryMeter(seed + 1000);
+    ba.Merge(ArbitraryMeter(seed));
+    ExpectMetersEqual(ab, ba);
+  }
+}
+
+TEST(MessageMeterTest, MergeIsAssociative) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    // (a + b) + c
+    MessageMeter left = ArbitraryMeter(seed);
+    left.Merge(ArbitraryMeter(seed + 1000));
+    left.Merge(ArbitraryMeter(seed + 2000));
+    // a + (b + c)
+    MessageMeter bc = ArbitraryMeter(seed + 1000);
+    bc.Merge(ArbitraryMeter(seed + 2000));
+    MessageMeter right = ArbitraryMeter(seed);
+    right.Merge(bc);
+    ExpectMetersEqual(left, right);
+  }
+}
+
+TEST(MessageMeterTest, MergeSaturatesPerCategory) {
+  MessageMeter a;
+  a.AddWalkHop(kMax - 1);
+  MessageMeter b;
+  b.AddWalkHop(5);
+  b.AddRefresh(2);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(MessageMeter::Category::kWalkHop), kMax);
+  EXPECT_EQ(a.Count(MessageMeter::Category::kRefresh), 2u);
+  // Saturation is absorbing: further merges keep the slot pinned while
+  // other slots keep counting.
+  a.Merge(b);
+  EXPECT_EQ(a.Count(MessageMeter::Category::kWalkHop), kMax);
+  EXPECT_EQ(a.Count(MessageMeter::Category::kRefresh), 4u);
+}
+
+TEST(MessageMeterTest, MergeOfEmptyMeterIsIdentity) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    MessageMeter a = ArbitraryMeter(seed);
+    const MessageMeter before = a;
+    a.Merge(MessageMeter());
+    ExpectMetersEqual(a, before);
+    // Empty + a == a as well.
+    MessageMeter empty;
+    empty.Merge(before);
+    ExpectMetersEqual(empty, before);
+  }
+}
+
 }  // namespace
 }  // namespace digest

@@ -46,6 +46,33 @@ COUNT_FIELDS = ("ticks", "snapshots", "total_samples", "messages",
 
 SUITE_SCHEMA = "digest-bench-suite-v1"
 
+# The parallel-executor scenario additionally commits a speedup curve in
+# its `extra` object (BENCH_parallel_rpt_mcmc.json); those fields are
+# schema-checked here, and the in-suite cross-thread-count determinism
+# verdict is a hard gate: a run that was not bit-identical across 1/2/4/8
+# threads fails the comparison no matter how fast it was.
+PARALLEL_EXTRA_FIELDS = ("threads", "wall_ms", "speedup", "speedup_at_4",
+                         "host_cores", "bit_identical_across_counts")
+
+
+def check_parallel_extra(name, scenario, failures):
+    extra = scenario.get("extra")
+    if not isinstance(extra, dict):
+        failures.append(f"{name}: missing 'extra' speedup-curve object")
+        return
+    for field in PARALLEL_EXTRA_FIELDS:
+        if field not in extra:
+            failures.append(f"{name}: extra missing '{field}'")
+    if extra.get("bit_identical_across_counts") is not True:
+        failures.append(f"{name}: run was NOT bit-identical across thread "
+                        f"counts")
+    threads = extra.get("threads")
+    curve = extra.get("speedup")
+    if isinstance(threads, list) and isinstance(curve, list) and \
+            len(threads) != len(curve):
+        failures.append(f"{name}: speedup curve length {len(curve)} != "
+                        f"thread count list length {len(threads)}")
+
 
 def load_suite(path):
     with open(path, "r", encoding="utf-8") as f:
@@ -109,6 +136,16 @@ def main():
                     failures.append(
                         f"{name}: count '{field}' changed "
                         f"{bv} -> {cv} (deterministic work differs)")
+
+        if isinstance(b.get("extra"), dict) and \
+                "bit_identical_across_counts" in b["extra"]:
+            check_parallel_extra(name, c, failures)
+            cx = c.get("extra", {})
+            if isinstance(cx, dict) and "speedup_at_4" in cx:
+                print(f"note: {name} speedup@4 = {cx['speedup_at_4']} "
+                      f"(host_cores={cx.get('host_cores')}; baseline "
+                      f"{b['extra'].get('speedup_at_4')} on "
+                      f"{b['extra'].get('host_cores')} cores)")
 
         b_med = b["wall_ms"]["median"]
         c_med = c["wall_ms"]["median"]

@@ -49,6 +49,13 @@ EVENT_SCHEMA = {
     "restore": {"bytes", "last_tick"},
 }
 
+# Walk-scoped events that may carry the optional `lane` field: the walk
+# index the parallel executor stamps on per-walk events at merge time
+# (src/exec/, DESIGN.md "Parallel execution & determinism model").
+# Deterministic — a lane is a walk, never an OS thread — and absent
+# entirely on serial (num_threads=0) traces.
+LANE_EVENTS = {"fault_loss", "agent_restart", "walk_hedged"}
+
 # Events the Chrome exporter renders as slices nested inside tick spans.
 NESTED_SLICE_EVENTS = {
     "walk_batch", "walk_batch_done", "hop_budget_exhausted",
@@ -135,6 +142,13 @@ def check_jsonl(path):
                     f"{path}:{line_no}: event '{name}' missing fields "
                     f"{sorted(missing)}")
             extra = obj.keys() - EVENT_SCHEMA[name] - {"seq", "t", "event"}
+            if "lane" in extra and name in LANE_EVENTS:
+                extra.discard("lane")
+                lane = obj["lane"]
+                if not isinstance(lane, int) or lane < 0:
+                    raise Failure(
+                        f"{path}:{line_no}: event '{name}' lane must be a "
+                        f"non-negative walk index, got {lane!r}")
             if extra:
                 raise Failure(
                     f"{path}:{line_no}: event '{name}' has unexpected "
@@ -234,6 +248,14 @@ def check_chrome(path):
                           f"'{ev['name']}'")
         if "seq" not in ev["args"]:
             raise Failure(f"{path}: traceEvents[{i}] args lack seq")
+        if "lane" in ev["args"]:
+            lane = ev["args"]["lane"]
+            if ev["name"] not in LANE_EVENTS:
+                raise Failure(f"{path}: traceEvents[{i}] '{ev['name']}' "
+                              f"must not carry a lane")
+            if not isinstance(lane, int) or lane < 0:
+                raise Failure(f"{path}: traceEvents[{i}] lane must be a "
+                              f"non-negative walk index, got {lane!r}")
         if ph == "X" and ev["name"] == "tick":
             if ev.get("dur") != TICK_SPAN_US:
                 raise Failure(f"{path}: traceEvents[{i}] tick span "
@@ -323,14 +345,69 @@ def check_metrics(path):
     return sizes
 
 
+def check_bench_prof(path):
+    """Validates the `prof` object of a BENCH_*.json, including the
+    optional per-worker `tracks` section the parallel executor folds in:
+    worker ids dense and ascending, every track's phase stats
+    well-formed, and no track claiming more deterministic work (calls,
+    items) than the main aggregate it was folded into."""
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            raise Failure(f"{path}: invalid JSON: {e}")
+    if "prof" not in doc:
+        raise Failure(f"{path}: no 'prof' section")
+    prof = doc["prof"]
+    for field in ("phases", "spans_captured", "spans_dropped"):
+        if field not in prof:
+            raise Failure(f"{path}: prof section missing '{field}'")
+    for phase, stats in prof["phases"].items():
+        if phase not in PROF_PHASES:
+            raise Failure(f"{path}: unknown prof phase '{phase}'")
+        check_prof_stats(f"{path}: prof phase '{phase}'", stats)
+    tracks = prof.get("tracks", [])
+    if not isinstance(tracks, list):
+        raise Failure(f"{path}: prof 'tracks' is not an array")
+    for i, track in enumerate(tracks):
+        where = f"{path}: prof track [{i}]"
+        for field in ("worker", "phases"):
+            if field not in track:
+                raise Failure(f"{where}: missing '{field}'")
+        if track["worker"] != i:
+            raise Failure(f"{where}: worker id {track['worker']} != {i} "
+                          f"(tracks must be dense and ascending)")
+        for phase, stats in track["phases"].items():
+            if phase not in PROF_PHASES:
+                raise Failure(f"{where}: unknown prof phase '{phase}'")
+            check_prof_stats(f"{where}: phase '{phase}'", stats)
+    # Per-worker deterministic work never exceeds the folded aggregate.
+    for counter in ("calls", "items"):
+        per_phase = {}
+        for track in tracks:
+            for phase, stats in track["phases"].items():
+                per_phase[phase] = per_phase.get(phase, 0) + stats[counter]
+        for phase, total in per_phase.items():
+            main = prof["phases"].get(phase, {}).get(counter, 0)
+            if total > main:
+                raise Failure(
+                    f"{path}: prof tracks claim {total} {counter} for "
+                    f"'{phase}' but the main aggregate has only {main}")
+    return {"phases": len(prof["phases"]), "tracks": len(tracks)}
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jsonl", help="JSON Lines event trace")
     parser.add_argument("--chrome", help="Chrome trace_event JSON")
     parser.add_argument("--metrics", help="metrics registry JSON")
+    parser.add_argument("--bench-prof",
+                        help="BENCH_*.json whose prof section (and "
+                             "per-worker tracks) to validate")
     args = parser.parse_args()
-    if not (args.jsonl or args.chrome or args.metrics):
-        parser.error("supply at least one of --jsonl/--chrome/--metrics")
+    if not (args.jsonl or args.chrome or args.metrics or args.bench_prof):
+        parser.error("supply at least one of "
+                     "--jsonl/--chrome/--metrics/--bench-prof")
     try:
         if args.jsonl:
             counts = check_jsonl(args.jsonl)
@@ -351,6 +428,10 @@ def main():
             print(f"OK {args.metrics}: {sizes['counters']} counters, "
                   f"{sizes['gauges']} gauges, {sizes['histograms']} "
                   f"histograms, {sizes['prof_phases']} prof phases")
+        if args.bench_prof:
+            sizes = check_bench_prof(args.bench_prof)
+            print(f"OK {args.bench_prof}: {sizes['phases']} prof phases, "
+                  f"{sizes['tracks']} worker tracks")
     except Failure as e:
         print(f"FAIL: {e}", file=sys.stderr)
         return 1
