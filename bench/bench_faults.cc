@@ -79,6 +79,7 @@ int Run(int argc, char** argv) {
       options.tracer = obs.tracer();
       options.registry = obs.registry();
       options.profiler = obs.profiler();
+      options.auditor = obs.auditor();
       const std::string run_label = "loss=" + Fmt("%.0f%%", 100.0 * loss) +
                                     " drop=" + Fmt("%.0f%%", 100.0 * drop);
       RunResult run = UnwrapOrDie(
@@ -139,12 +140,14 @@ int Run(int argc, char** argv) {
     options.tracer = obs.tracer();
     options.registry = obs.registry();
     options.profiler = obs.profiler();
+    options.auditor = obs.auditor();
     const std::string run_label = "budget " + Fmt("%.0fx", factor);
     if (obs::Tracing(obs.tracer())) {
       obs.tracer()->set_now(workload->now());
       obs.tracer()->Emit(obs::RunBeginEvent{run_label});
     }
     plan.SetTracer(obs.tracer());
+    if (obs.auditor() != nullptr) obs.auditor()->BeginRun(run_label);
 
     Rng rng(args.seed);
     const NodeId querying =
@@ -173,7 +176,11 @@ int Run(int argc, char** argv) {
       reported.push_back(tick.reported_value);
       truth.push_back(oracle);
       cis.push_back(tick.ci_halfwidth);
+      if (obs.auditor() != nullptr) {
+        obs.auditor()->RecordTruth(workload->now(), oracle);
+      }
     }
+    if (obs.auditor() != nullptr) obs.auditor()->FinalizeRun();
     PrecisionReport plain = UnwrapOrDie(
         EvaluatePrecision(reported, truth, spec.precision), "precision");
     PrecisionReport widened = UnwrapOrDie(
@@ -185,6 +192,9 @@ int Run(int argc, char** argv) {
          Fmt("%.1f%%", 100.0 * widened.within_tolerance_fraction)});
     ExportToRegistry(engine->stats(), obs.registry(), run_label);
     obs::BridgeMessageMeter(meter, obs.registry());
+    if (obs.auditor() != nullptr && obs.registry() != nullptr) {
+      obs.auditor()->ExportToRegistry(obs.registry());
+    }
   }
   degraded_table.Print();
   std::printf(

@@ -89,6 +89,7 @@ int Run(int argc, char** argv) {
       options.tracer = obs.tracer();
       options.registry = obs.registry();
       options.profiler = obs.profiler();
+      options.auditor = obs.auditor();
       if (algo.history > 0) {
         options.extrapolator.history_points = algo.history;
       }
@@ -142,6 +143,7 @@ int Run(int argc, char** argv) {
     options.tracer = obs.tracer();
     options.registry = obs.registry();
     options.profiler = obs.profiler();
+    options.auditor = obs.auditor();
     RunResult run = UnwrapOrDie(
         RunEngineExperiment(*workload, spec, options, showcase_ticks,
                             args.seed, "PRED-3 RPT mcmc showcase"),

@@ -88,6 +88,7 @@ int Run(int argc, char** argv) {
         options.tracer = obs.tracer();
         options.registry = obs.registry();
         options.profiler = obs.profiler();
+        options.auditor = obs.auditor();
         const std::string run_label =
             std::string(ds.name) + (k == 0 ? " INDEP" : " RPT") +
             " eps=" + Fmt("%.3f", epsilon);

@@ -92,6 +92,7 @@ int Run(int argc, char** argv) {
       options.tracer = obs.tracer();
       options.registry = obs.registry();
       options.profiler = obs.profiler();
+      options.auditor = obs.auditor();
       RunResult run = UnwrapOrDie(
           RunEngineExperiment(*workload, spec, options, ds.ticks,
                               args.seed,

@@ -104,9 +104,13 @@ struct Scenario {
   // the run result. `wall_ns` receives the wall time of the engine run
   // alone — workload construction is setup, not measured. A scenario
   // may deposit a deterministic JSON object into `extra`; it is emitted
-  // verbatim as the scenario's "extra" field.
+  // verbatim as the scenario's "extra" field. `auditor` is the --audit
+  // precision auditor (null when auditing is off): scenarios attach it
+  // to their measured engine run, and the suite driver splices its
+  // SummaryJson into the extra object afterwards.
   std::function<RunResult(const BenchArgs&, prof::Profiler*,
-                          uint64_t* wall_ns, std::string* extra)>
+                          uint64_t* wall_ns, std::string* extra,
+                          audit::PrecisionAuditor* auditor)>
       run;
 };
 
@@ -140,7 +144,8 @@ std::vector<Scenario> BuildScenarios() {
        "PRED-3 + INDEP over the exact central oracle (TEMPERATURE): "
        "extrapolator/scheduler cost, no walks",
        [](const BenchArgs& args, prof::Profiler* profiler,
-          uint64_t* wall_ns, std::string* /*extra*/) {
+          uint64_t* wall_ns, std::string* /*extra*/,
+          audit::PrecisionAuditor* auditor) {
          TemperatureConfig config;
          config.num_units = args.Scaled(8000, 200);
          config.num_nodes = args.Scaled(530, 16);
@@ -155,6 +160,7 @@ std::vector<Scenario> BuildScenarios() {
          options.sampler = SamplerKind::kExactCentral;
          options.extrapolator.history_points = 3;
          options.profiler = profiler;
+         options.auditor = auditor;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 120 : 400, args.seed,
                                 "pred_indep_exact", profiler, wall_ns);
@@ -167,7 +173,8 @@ std::vector<Scenario> BuildScenarios() {
        "PRED-3 + RPT over the two-stage MCMC sampler (TEMPERATURE): the "
        "full distributed query path",
        [](const BenchArgs& args, prof::Profiler* profiler,
-          uint64_t* wall_ns, std::string* /*extra*/) {
+          uint64_t* wall_ns, std::string* /*extra*/,
+          audit::PrecisionAuditor* auditor) {
          TemperatureConfig config;
          config.num_units = args.Scaled(2000, 200);
          config.num_nodes = args.Scaled(530, 16);
@@ -182,6 +189,7 @@ std::vector<Scenario> BuildScenarios() {
          options.sampler = SamplerKind::kTwoStageMcmc;
          options.extrapolator.history_points = 3;
          options.profiler = profiler;
+         options.auditor = auditor;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 40 : 120, args.seed,
                                 "pred_rpt_mcmc", profiler, wall_ns);
@@ -194,7 +202,8 @@ std::vector<Scenario> BuildScenarios() {
        "ALL + INDEP over the two-stage MCMC sampler (TEMPERATURE): a "
        "snapshot query every tick",
        [](const BenchArgs& args, prof::Profiler* profiler,
-          uint64_t* wall_ns, std::string* /*extra*/) {
+          uint64_t* wall_ns, std::string* /*extra*/,
+          audit::PrecisionAuditor* auditor) {
          TemperatureConfig config;
          config.num_units = args.Scaled(2000, 200);
          config.num_nodes = args.Scaled(530, 16);
@@ -208,6 +217,7 @@ std::vector<Scenario> BuildScenarios() {
          options.estimator = EstimatorKind::kIndependent;
          options.sampler = SamplerKind::kTwoStageMcmc;
          options.profiler = profiler;
+         options.auditor = auditor;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 25 : 80, args.seed,
                                 "all_indep_mcmc", profiler, wall_ns);
@@ -219,7 +229,8 @@ std::vector<Scenario> BuildScenarios() {
       {"churn_rpt_mcmc",
        "PRED-3 + RPT over MCMC on the churning MEMORY workload",
        [](const BenchArgs& args, prof::Profiler* profiler,
-          uint64_t* wall_ns, std::string* /*extra*/) {
+          uint64_t* wall_ns, std::string* /*extra*/,
+          audit::PrecisionAuditor* auditor) {
          MemoryConfig config;
          config.num_units = args.Scaled(1000, 200);
          config.num_nodes = args.Scaled(820, 150);
@@ -234,6 +245,7 @@ std::vector<Scenario> BuildScenarios() {
          options.sampler = SamplerKind::kTwoStageMcmc;
          options.extrapolator.history_points = 3;
          options.profiler = profiler;
+         options.auditor = auditor;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 30 : 90, args.seed,
                                 "churn_rpt_mcmc", profiler, wall_ns);
@@ -246,7 +258,8 @@ std::vector<Scenario> BuildScenarios() {
        "ALL + RPT over MCMC under injected faults (5% loss, 2% drop, "
        "stalls): retry + degradation overhead",
        [](const BenchArgs& args, prof::Profiler* profiler,
-          uint64_t* wall_ns, std::string* /*extra*/) {
+          uint64_t* wall_ns, std::string* /*extra*/,
+          audit::PrecisionAuditor* auditor) {
          MemoryConfig config;
          config.num_units = args.Scaled(1000, 200);
          config.num_nodes = args.Scaled(820, 150);
@@ -269,6 +282,7 @@ std::vector<Scenario> BuildScenarios() {
          options.sampling_options.walk_length = 60;
          options.sampling_options.reset_length = 15;
          options.profiler = profiler;
+         options.auditor = auditor;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 20 : 60, args.seed,
                                 "faults_mcmc", profiler, wall_ns);
@@ -285,7 +299,8 @@ std::vector<Scenario> BuildScenarios() {
        "kill/checkpoint/restore; extra compares hedged vs unhedged p90 "
        "per-snapshot message cost",
        [](const BenchArgs& args, prof::Profiler* profiler,
-          uint64_t* wall_ns, std::string* extra) {
+          uint64_t* wall_ns, std::string* extra,
+          audit::PrecisionAuditor* auditor) {
          const size_t ticks = args.quick ? 24 : 72;
          // Heterogeneous loss (edge_spread 1.0 puts concrete edges
          // anywhere from lossless to 2× the base rate) is what gives
@@ -305,7 +320,10 @@ std::vector<Scenario> BuildScenarios() {
            RunResult run;
            std::vector<double> snapshot_msgs;  // Meter delta per occasion.
          };
+         // The auditor rides only the measured (hedged, killed) run, so
+         // its ledger round-trips through the mid-run checkpoint blob.
          auto drive = [&](bool hedge, bool kill_mid_run,
+                          audit::PrecisionAuditor* aud,
                           uint64_t* ns) -> PhaseOut {
            TemperatureConfig config;
            config.num_units = args.Scaled(2000, 200);
@@ -326,6 +344,8 @@ std::vector<Scenario> BuildScenarios() {
            options.estimator_options.allow_partial = true;
            options.fault_plan = &plan;
            options.profiler = profiler;
+           options.auditor = aud;
+           if (aud != nullptr) aud->BeginRun("recovery_rpt_mcmc");
 
            PhaseOut out;
            Rng rng(args.seed);
@@ -350,6 +370,7 @@ std::vector<Scenario> BuildScenarios() {
              out.run.truth.push_back(truth);
              out.run.ci_halfwidths.push_back(tick.ci_halfwidth);
              if (tick.degraded) ++out.run.degraded_ticks;
+             if (aud != nullptr) aud->RecordTruth(workload->now(), truth);
              const uint64_t total = out.run.meter.Total();
              if (tick.snapshot_executed) {
                out.snapshot_msgs.push_back(
@@ -379,6 +400,7 @@ std::vector<Scenario> BuildScenarios() {
            out.run.stats = engine->stats();
            out.run.correlation_estimate = engine->correlation_estimate();
            out.run.final_health = engine->health();
+           if (aud != nullptr) aud->FinalizeRun();
            *ns += profiler->ElapsedNs() - t0;
            out.run.precision = UnwrapOrDie(
                EvaluatePrecision(out.run.reported, out.run.truth,
@@ -394,9 +416,9 @@ std::vector<Scenario> BuildScenarios() {
 
          uint64_t ns = 0;
          PhaseOut hedged = drive(/*hedge=*/true, /*kill_mid_run=*/true,
-                                 &ns);
+                                 auditor, &ns);
          PhaseOut unhedged = drive(/*hedge=*/false, /*kill_mid_run=*/false,
-                                   &ns);
+                                   /*aud=*/nullptr, &ns);
          *wall_ns = ns;
          std::string x = "{\"p90_snapshot_msgs_hedged\":";
          x += FmtRate(Percentile(hedged.snapshot_msgs, 90));
@@ -434,11 +456,13 @@ std::vector<Scenario> BuildScenarios() {
        "curve (4-thread run is the one measured)",
        [cached_extra = std::make_shared<std::string>()](
            const BenchArgs& args, prof::Profiler* profiler,
-           uint64_t* wall_ns, std::string* extra) {
+           uint64_t* wall_ns, std::string* extra,
+           audit::PrecisionAuditor* auditor) {
          const size_t kThreadCounts[] = {1, 2, 4, 8};
          std::vector<double> curve_ms;
          RunResult measured;
          std::vector<double> reference_reported;
+         std::string reference_audit;
          for (size_t threads : kThreadCounts) {
            TemperatureConfig config;
            config.num_units = args.Scaled(2000, 200);
@@ -455,6 +479,7 @@ std::vector<Scenario> BuildScenarios() {
            options.extrapolator.history_points = 3;
            options.num_threads = threads;
            options.profiler = profiler;
+           options.auditor = auditor;
            uint64_t ns = 0;
            RunResult run = TimedExperiment(*workload, spec, options,
                                            args.quick ? 40 : 120, args.seed,
@@ -470,6 +495,22 @@ std::vector<Scenario> BuildScenarios() {
                           "parallel executor is not deterministic\n",
                           threads);
              std::abort();
+           }
+           if (auditor != nullptr) {
+             // The audit ledger must be thread-count-invariant too: the
+             // full summary (coverage, attribution, detector breaches)
+             // is a deterministic fold over the reported series.
+             const std::string audit_json = auditor->SummaryJson();
+             if (threads == kThreadCounts[0]) {
+               reference_audit = audit_json;
+             } else if (audit_json != reference_audit) {
+               std::fprintf(stderr,
+                            "FATAL: parallel_rpt_mcmc audit summary "
+                            "differs at %zu threads vs 1 — the audit "
+                            "ledger is not thread-count-invariant\n",
+                            threads);
+               std::abort();
+             }
            }
            if (threads == 4) {
              measured = std::move(run);
@@ -602,14 +643,18 @@ int Run(int argc, char** argv) {
        {"--scenario=", "run only the named scenario (repeatable)"}});
   // The suite owns its profiler (one per scenario) and its repeat
   // structure; the per-bench export flags don't compose with that.
-  if (args.ObservabilityRequested() || args.prof) {
-    std::fprintf(stderr,
-                 "bench_suite: --prof/--trace/--trace-jsonl/--metrics are "
-                 "not supported here — the suite always profiles "
-                 "internally; use the individual bench binaries for "
-                 "trace exports\n");
-    return 2;
+  // --audit DOES compose: the auditor is deterministic per run, so its
+  // summary joins each scenario's extra object and the repeat-stability
+  // check. One consistent rejection message for the rest (RejectFlag).
+  const char* why =
+      "the suite always profiles internally; use the individual bench "
+      "binaries for trace exports";
+  if (args.prof) RejectFlag(argv[0], "--prof", why);
+  if (!args.trace_path.empty()) RejectFlag(argv[0], "--trace", why);
+  if (!args.trace_jsonl_path.empty()) {
+    RejectFlag(argv[0], "--trace-jsonl", why);
   }
+  if (!args.metrics_path.empty()) RejectFlag(argv[0], "--metrics", why);
   size_t repeats = args.quick ? 3 : 5;
   size_t warmup = 1;
   std::string out_dir = ".";
@@ -652,6 +697,13 @@ int Run(int argc, char** argv) {
               scenarios.size(), warmup, repeats, args.scale,
               static_cast<unsigned long long>(args.seed));
 
+  // One auditor for the whole suite when --audit is on: each engine run
+  // opens its own audit window (BeginRun resets the accumulators), so
+  // the summary spliced into a scenario's extra reflects that
+  // scenario's measured run alone.
+  audit::PrecisionAuditor suite_auditor;
+  audit::PrecisionAuditor* auditor = args.audit ? &suite_auditor : nullptr;
+
   std::vector<ScenarioReport> reports;
   for (const Scenario& scenario : scenarios) {
     std::fprintf(stderr, "[bench_suite] %s ...\n", scenario.name);
@@ -664,7 +716,7 @@ int Run(int argc, char** argv) {
       prof::Profiler scratch(popt);
       uint64_t ignored = 0;
       std::string scratch_extra;
-      scenario.run(args, &scratch, &ignored, &scratch_extra);
+      scenario.run(args, &scratch, &ignored, &scratch_extra, auditor);
     }
     prof::Profiler profiler(popt);
     ScenarioReport report;
@@ -677,7 +729,20 @@ int Run(int argc, char** argv) {
           profiler.stats(prof::Phase::kWalkAdvance).items;
       uint64_t wall_ns = 0;
       std::string extra;
-      RunResult run = scenario.run(args, &profiler, &wall_ns, &extra);
+      RunResult run = scenario.run(args, &profiler, &wall_ns, &extra,
+                                   auditor);
+      if (auditor != nullptr) {
+        // Splice the measured run's audit summary into the extra
+        // object (coverage, δ-compliance, budget burn, attribution) so
+        // it lands in BENCH_*.json and bench_compare.py can gate
+        // accuracy regressions alongside the perf counters.
+        const std::string audit_json = auditor->SummaryJson();
+        if (extra.empty()) {
+          extra = "{\"audit\":" + audit_json + "}";
+        } else {
+          extra.insert(extra.size() - 1, ",\"audit\":" + audit_json);
+        }
+      }
       WorkCounts counts;
       counts.ticks = run.stats.ticks;
       counts.snapshots = run.stats.snapshots;

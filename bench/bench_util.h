@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/exporters.h"
@@ -37,6 +38,7 @@ struct BenchArgs {
   uint64_t seed = 1;    ///< Master seed for the run.
   bool quick = false;   ///< Cut sweeps down for smoke runs.
   bool prof = false;             ///< --prof: wall-clock profiling.
+  bool audit = false;            ///< --audit: precision-audit ledger.
   std::string trace_path;        ///< --trace=F: Chrome trace_event JSON.
   std::string trace_jsonl_path;  ///< --trace-jsonl=F: JSON Lines events.
   std::string metrics_path;      ///< --metrics=F: registry dump (JSON).
@@ -45,13 +47,15 @@ struct BenchArgs {
                          const std::vector<ExtraFlag>& extra) {
     std::fprintf(out,
                  "usage: %s [--scale=F] [--seed=N] [--quick] [--prof] "
-                 "[--trace=F] [--trace-jsonl=F] [--metrics=F]%s\n"
+                 "[--audit] [--trace=F] [--trace-jsonl=F] [--metrics=F]%s\n"
                  "  --scale=F        workload size multiplier vs the paper "
                  "(default 0.25; 1.0 = paper scale)\n"
                  "  --seed=N         master RNG seed (default 1)\n"
                  "  --quick          shorten sweeps for smoke testing\n"
                  "  --prof           profile wall-clock hot paths and print "
                  "the phase table\n"
+                 "  --audit          run the precision auditor (per-run SLO "
+                 "table; audit_* events when tracing)\n"
                  "  --trace=F        write a Chrome trace_event file "
                  "(Perfetto-loadable)\n"
                  "  --trace-jsonl=F  write the structured event trace as "
@@ -91,6 +95,8 @@ struct BenchArgs {
         args.quick = true;
       } else if (std::strcmp(argv[i], "--prof") == 0) {
         args.prof = true;
+      } else if (std::strcmp(argv[i], "--audit") == 0) {
+        args.audit = true;
       } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
         args.trace_path = argv[i] + 8;
       } else if (std::strncmp(argv[i], "--trace-jsonl=", 14) == 0) {
@@ -151,9 +157,19 @@ class ObsSession {
   obs::Tracer* tracer() { return enabled_ ? &tracer_ : nullptr; }
   obs::Registry* registry() { return enabled_ ? &registry_ : nullptr; }
   prof::Profiler* profiler() { return args_.prof ? &profiler_ : nullptr; }
+  /// The --audit precision auditor. Composes freely with --trace /
+  /// --trace-jsonl / --metrics (audit_* events and audit.* metrics flow
+  /// into the same exports) and with --prof; null when --audit is off.
+  audit::PrecisionAuditor* auditor() {
+    return args_.audit ? &auditor_ : nullptr;
+  }
   bool enabled() const { return enabled_; }
 
   void Finish() {
+    if (args_.audit) {
+      std::printf("\n%s",
+                  audit::RenderSloTable(auditor_.completed_runs()).c_str());
+    }
     if (args_.prof) {
       std::printf("\n%s", prof::RenderProfSummary(profiler_).c_str());
     }
@@ -189,12 +205,23 @@ class ObsSession {
   obs::MemoryTracer tracer_;
   obs::Registry registry_;
   prof::Profiler profiler_;
+  audit::PrecisionAuditor auditor_;
 };
+
+/// One consistent rejection for a flag a bench cannot honor: same
+/// message shape and exit status (2, like an unknown flag) in every
+/// bench binary. `why` completes the sentence "is not supported by this
+/// bench (<why>)".
+inline void RejectFlag(const char* binary, const char* flag,
+                       const char* why) {
+  std::fprintf(stderr, "%s: flag '%s' is not supported by this bench (%s)\n",
+               binary, flag, why);
+  std::exit(2);
+}
 
 /// For benches with nothing to instrument (no engine runs): fail fast
 /// with a clear message instead of silently ignoring a requested
-/// export. Same wording and exit status (2, like an unknown flag) in
-/// every bench.
+/// export. Covers the whole instrumentation family, --audit included.
 inline void RejectObservabilityFlags(const BenchArgs& args,
                                      const char* binary) {
   const char* flag = nullptr;
@@ -202,12 +229,9 @@ inline void RejectObservabilityFlags(const BenchArgs& args,
   if (!args.trace_jsonl_path.empty()) flag = "--trace-jsonl";
   if (!args.metrics_path.empty()) flag = "--metrics";
   if (args.prof) flag = "--prof";
+  if (args.audit) flag = "--audit";
   if (flag != nullptr) {
-    std::fprintf(stderr,
-                 "%s: flag '%s' is not supported by this bench "
-                 "(no engine runs to instrument)\n",
-                 binary, flag);
-    std::exit(2);
+    RejectFlag(binary, flag, "no engine runs to instrument");
   }
 }
 

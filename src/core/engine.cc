@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "audit/audit.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "prof/profiler.h"
@@ -92,6 +93,13 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
   std::unique_ptr<DigestEngine> engine(new DigestEngine(
       graph, db, std::move(spec), querying_node, meter, options));
   engine->supervisor_.SetTracer(options.tracer);
+  if (options.auditor != nullptr) {
+    DIGEST_RETURN_IF_ERROR(options.auditor->options().Validate());
+    options.auditor->SetTracer(options.tracer);
+    options.auditor->AttachContract(engine->spec_.precision.delta,
+                                    engine->spec_.precision.epsilon,
+                                    engine->spec_.precision.confidence);
+  }
   engine->shared_operator_ = shared_operator != nullptr;
 
   // Bottom tier: sample source.
@@ -190,6 +198,15 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
   // below (including by the estimator and sampler during Evaluate) is
   // stamped with this tick.
   if (options_.tracer != nullptr) options_.tracer->set_now(t);
+  // Drain audit breach flips queued by the drift detectors since the
+  // last tick. The one-tick lag keeps the feedback edge deterministic:
+  // truth resolution happens after Tick returns, so a breach detected
+  // at tick t degrades the session at tick t+1.
+  if (options_.auditor != nullptr) {
+    while (options_.auditor->TakePendingBreachFlip()) {
+      supervisor_.RecordAuditBreach();
+    }
+  }
   // Every return path closes the tick with one TickEvent — the span the
   // Chrome exporter nests same-tick walk/estimator events under.
   const auto emit_tick = [this](const EngineTickResult& r) {
@@ -215,9 +232,17 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
     if (obs::Tracing(options_.tracer)) {
       options_.tracer->Emit(obs::SnapshotSkippedEvent{next_snapshot_tick_});
     }
+    if (options_.auditor != nullptr) {
+      options_.auditor->RecordSkip(t, out.reported_value, out.ci_halfwidth);
+    }
     emit_tick(out);
     return out;
   }
+
+  // Snapshot occasions are costed individually for the auditor's
+  // message-cost drift detector (delta of the shared meter around the
+  // estimator calls below; 0 without a meter).
+  const uint64_t cost_before = meter_ != nullptr ? meter_->Total() : 0;
 
   // This tick is a sampling occasion: evaluate the snapshot query.
   SnapshotEstimate est;
@@ -264,6 +289,12 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
             obs::DegradedFallbackEvent{/*retained_pool=*/false});
         options_.tracer->Emit(
             obs::CiWidenedEvent{ci_before, last_ci_halfwidth_});
+      }
+      if (options_.auditor != nullptr) {
+        options_.auditor->RecordTimeout(
+            t, reported_value_, last_ci_halfwidth_,
+            (meter_ != nullptr ? meter_->Total() : 0) - cost_before,
+            static_cast<int>(supervisor_.health()));
       }
       emit_tick(out);
       return out;
@@ -329,6 +360,22 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
           ? std::max(spec_.precision.epsilon, est.ci_halfwidth)
           : spec_.precision.epsilon;
   out.ci_halfwidth = last_ci_halfwidth_;
+
+  if (options_.auditor != nullptr) {
+    audit::SnapshotObservation obs;
+    obs.tick = t;
+    obs.estimate = est.value;
+    obs.ci_halfwidth = last_ci_halfwidth_;
+    obs.degraded = est.degraded;
+    obs.partial = est.partial;
+    obs.total_samples = static_cast<uint64_t>(est.total_samples);
+    obs.fresh_samples = static_cast<uint64_t>(est.fresh_samples);
+    obs.retained_samples = static_cast<uint64_t>(est.retained_samples);
+    obs.message_cost =
+        (meter_ != nullptr ? meter_->Total() : 0) - cost_before;
+    obs.health = static_cast<int>(supervisor_.health());
+    options_.auditor->RecordSnapshot(obs);
+  }
 
   if (est.degraded) {
     // A degraded occasion never feeds the scheduling fit; retry a full

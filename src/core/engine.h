@@ -22,6 +22,9 @@
 #include "sampling/tuple_sampler.h"
 
 namespace digest {
+namespace audit {
+class PrecisionAuditor;
+}  // namespace audit
 namespace obs {
 class Registry;
 class Tracer;
@@ -132,6 +135,18 @@ struct DigestEngineOptions {
   /// walk batches and stepping. Same purity contract: estimates, RNG
   /// streams, and meter totals are bit-identical with or without one.
   prof::Profiler* profiler = nullptr;
+
+  /// Optional precision auditor (not owned; null disables). The engine
+  /// feeds it one observation per tick — RecordSnapshot on sampling
+  /// occasions, RecordTimeout on hold-under-fault ticks, RecordSkip on
+  /// PRED-skipped ticks — and the driver resolves each with ground truth
+  /// via RecordTruth when an oracle is available (see audit/audit.h).
+  /// The auditor's only feedback edge is deliberate and deterministic:
+  /// sustained drift breaches queue a flip that the engine drains at the
+  /// top of the *next* Tick into SessionSupervisor::RecordAuditBreach.
+  /// With no auditor attached the engine's estimates, RNG streams, and
+  /// meter totals are bit-identical to pre-audit builds (test-enforced).
+  audit::PrecisionAuditor* auditor = nullptr;
 };
 
 /// What one engine tick did.
@@ -240,7 +255,8 @@ class DigestEngine {
   /// stats, the PRED history window, the supervisor machine, estimator
   /// cross-occasion state (retained pool, regression recursion), every
   /// owned RNG stream position, and the meter's counters — into a
-  /// versioned JSON blob ("digest-checkpoint-v1"). Emits one
+  /// versioned JSON blob ("digest-checkpoint-v2"; v2 added the optional
+  /// "audit" section, present iff an auditor is attached). Emits one
   /// CheckpointEvent when tracing. Engines sampling through a *shared*
   /// operator (CreateWithOperator) record that the operator was external;
   /// its warm agents and stream are the caller's to preserve.

@@ -1,13 +1,16 @@
 // Checkpoint/restore of a DigestEngine query session.
 //
-// The checkpoint is a versioned JSON blob ("digest-checkpoint-v1")
+// The checkpoint is a versioned JSON blob ("digest-checkpoint-v2")
 // carrying every piece of *session* state a restored engine needs to
 // replay the exact tick/draw sequence an uninterrupted run would have
 // produced: engine scalars and stats, the PRED history window, the
 // supervisor state machine, the estimator's cross-occasion state
 // (retained pool, regression recursion, forward-regression pairs), the
 // RNG stream positions of every owned component, the warm-agent state of
-// owned sampling operators, and the message meter's counters.
+// owned sampling operators, and the message meter's counters. v2 added
+// the optional "audit" section: the attached PrecisionAuditor's full
+// ledger and detector state, present iff options.auditor != nullptr
+// (presence must match on restore, both ways).
 //
 // Deliberately NOT in the blob:
 //  - configuration (graph, database, query spec, options, seeds):
@@ -31,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "audit/audit.h"
 #include "common/json.h"
 #include "core/engine.h"
 #include "obs/tracer.h"
@@ -38,7 +42,7 @@
 namespace digest {
 namespace {
 
-constexpr char kCheckpointVersion[] = "digest-checkpoint-v1";
+constexpr char kCheckpointVersion[] = "digest-checkpoint-v2";
 
 void AppendDouble(std::string* out, double v) {
   char buf[40];
@@ -307,6 +311,15 @@ Result<std::string> DigestEngine::Checkpoint() const {
     out += '}';
   }
 
+  // Precision-audit ledger and detector state (v2; present iff an
+  // auditor is attached, so a restore into a differently-wired engine
+  // fails loudly instead of silently dropping the ledger).
+  if (options_.auditor != nullptr) {
+    out += ",\"audit\":";
+    audit::PrecisionAuditor::AppendStateJson(options_.auditor->SaveState(),
+                                             &out);
+  }
+
   out += '}';
   if (obs::Tracing(options_.tracer)) {
     options_.tracer->Emit(obs::CheckpointEvent{
@@ -539,6 +552,22 @@ Status DigestEngine::Restore(std::string_view blob) {
     have_meter = true;
   }
 
+  bool have_audit = false;
+  audit::PrecisionAuditor::State audit_state;
+  if (const json::Value* a = doc.Find("audit")) {
+    DIGEST_ASSIGN_OR_RETURN(audit_state,
+                            audit::PrecisionAuditor::ParseStateJson(*a));
+    have_audit = true;
+  }
+  if (have_audit != (options_.auditor != nullptr)) {
+    return Status::InvalidArgument(
+        have_audit
+            ? "checkpoint: blob carries audit state but this engine has "
+              "no auditor attached"
+            : "checkpoint: engine has an auditor attached but the blob "
+              "carries no audit state");
+  }
+
   // All parsed and validated — install.
   reported_value_ = reported_value;
   last_ci_halfwidth_ = last_ci;
@@ -568,6 +597,9 @@ Status DigestEngine::Restore(std::string_view blob) {
                            meter_counts[i]);
     }
     meter_->RestoreLosses(meter_losses);
+  }
+  if (have_audit) {
+    options_.auditor->RestoreState(audit_state);
   }
   if (obs::Tracing(options_.tracer)) {
     options_.tracer->Emit(obs::RestoreEvent{

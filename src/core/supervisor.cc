@@ -47,16 +47,30 @@ SessionSupervisor::SessionSupervisor(SupervisorOptions options)
 
 void SessionSupervisor::Transition(SessionHealth to, SnapshotOutcome outcome,
                                    uint64_t consecutive) {
+  TransitionNamed(to, SnapshotOutcomeName(outcome), consecutive);
+}
+
+void SessionSupervisor::TransitionNamed(SessionHealth to,
+                                        const char* outcome_name,
+                                        uint64_t consecutive) {
   const SessionHealth from = health_;
   if (from == to) return;
   health_ = to;
   ++transitions_;
   ++transition_counts_[static_cast<size_t>(from)][static_cast<size_t>(to)];
   if (obs::Tracing(tracer_)) {
-    tracer_->Emit(obs::SupervisorStateEvent{
-        SessionHealthName(from), SessionHealthName(to),
-        SnapshotOutcomeName(outcome), consecutive});
+    tracer_->Emit(obs::SupervisorStateEvent{SessionHealthName(from),
+                                            SessionHealthName(to),
+                                            outcome_name, consecutive});
   }
+}
+
+SessionHealth SessionSupervisor::RecordAuditBreach() {
+  if (health_ != SessionHealth::kHealthy) return health_;
+  consecutive_failures_ = 1;
+  consecutive_successes_ = 0;
+  TransitionNamed(SessionHealth::kDegraded, "audit_breach", 1);
+  return health_;
 }
 
 SessionHealth SessionSupervisor::RecordOutcome(SnapshotOutcome outcome) {

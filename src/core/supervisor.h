@@ -89,6 +89,13 @@ class SessionSupervisor {
   /// after the fold. Emits a SupervisorStateEvent iff the state changed.
   SessionHealth RecordOutcome(SnapshotOutcome outcome);
 
+  /// Forced degradation on a sustained precision-audit drift breach (the
+  /// engine drains PrecisionAuditor::TakePendingBreachFlip at the top of
+  /// each tick). Only acts from HEALTHY — a session that is already
+  /// degraded/stale carries strictly worse news than the breach — and
+  /// emits a SupervisorStateEvent with outcome name "audit_breach".
+  SessionHealth RecordAuditBreach();
+
   SessionHealth health() const { return health_; }
   size_t consecutive_failures() const { return consecutive_failures_; }
   size_t consecutive_successes() const { return consecutive_successes_; }
@@ -119,6 +126,8 @@ class SessionSupervisor {
  private:
   void Transition(SessionHealth to, SnapshotOutcome outcome,
                   uint64_t consecutive);
+  void TransitionNamed(SessionHealth to, const char* outcome_name,
+                       uint64_t consecutive);
 
   SupervisorOptions options_;
   obs::Tracer* tracer_ = nullptr;

@@ -141,6 +141,47 @@ struct JsonFields {
     Field(out, "bytes", Num(e.bytes));
     Field(out, "last_tick", Num(e.last_tick));
   }
+  void operator()(const AuditCoverageEvent& e) const {
+    Field(out, "estimate", Num(e.estimate));
+    Field(out, "truth", Num(e.truth));
+    Field(out, "ci_halfwidth", Num(e.ci_halfwidth));
+    Field(out, "hit", e.hit);
+    Field(out, "cause", e.cause, /*quote=*/true);
+    Field(out, "occasions", Num(e.occasions));
+    Field(out, "misses", Num(e.misses));
+  }
+  void operator()(const AuditBudgetEvent& e) const {
+    Field(out, "burn", Num(e.burn));
+    Field(out, "remaining", Num(e.remaining));
+    Field(out, "occasions", Num(e.occasions));
+    Field(out, "misses", Num(e.misses));
+  }
+  void operator()(const AuditDriftEvent& e) const {
+    Field(out, "detector", e.detector, /*quote=*/true);
+    Field(out, "ewma", Num(e.ewma));
+    Field(out, "cusum_pos", Num(e.cusum_pos));
+    Field(out, "cusum_neg", Num(e.cusum_neg));
+    Field(out, "threshold", Num(e.threshold));
+    Field(out, "streak", Num(e.streak));
+    Field(out, "flip", e.flip);
+  }
+  void operator()(const AuditSloEvent& e) const {
+    Field(out, "label", e.label, /*quote=*/true);
+    Field(out, "p", Num(e.p));
+    Field(out, "epsilon", Num(e.epsilon));
+    Field(out, "delta", Num(e.delta));
+    Field(out, "occasions", Num(e.occasions));
+    Field(out, "hits", Num(e.hits));
+    Field(out, "misses", Num(e.misses));
+    Field(out, "coverage", Num(e.coverage));
+    Field(out, "coverage_floor", Num(e.coverage_floor));
+    Field(out, "coverage_ok", e.coverage_ok);
+    Field(out, "delta_ticks", Num(e.delta_ticks));
+    Field(out, "delta_misses", Num(e.delta_misses));
+    Field(out, "delta_compliance", Num(e.delta_compliance));
+    Field(out, "budget_burn", Num(e.budget_burn));
+    Field(out, "budget_remaining", Num(e.budget_remaining));
+  }
 };
 
 /// Which Chrome phase an event renders as: engine ticks are spans;

@@ -40,6 +40,30 @@ void Histogram::Observe(double v) {
   sum_ += v;
 }
 
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i == upper_bounds_.size()) {
+      // Overflow bucket: unbounded above, nothing to interpolate.
+      return upper_bounds_.empty() ? 0.0 : upper_bounds_.back();
+    }
+    const double hi = upper_bounds_[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : upper_bounds_[i - 1];
+    double frac = (target - before) / static_cast<double>(counts_[i]);
+    frac = std::min(1.0, std::max(0.0, frac));
+    return lo + (hi - lo) * frac;
+  }
+  return upper_bounds_.empty() ? 0.0 : upper_bounds_.back();
+}
+
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        size_t count) {
   std::vector<double> out;

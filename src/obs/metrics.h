@@ -65,6 +65,20 @@ class Histogram {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
 
+  /// Bucket-interpolated estimate of the q-quantile (q clamped to
+  /// [0, 1]). Deterministic pure function of the counts, so quantile
+  /// readouts are byte-stable across runs. Edge semantics:
+  ///   - empty histogram: 0.0;
+  ///   - q = 0: the lower edge of the first non-empty bucket (0.0 for
+  ///     bucket 0 when its upper edge is positive);
+  ///   - q = 1: the upper edge of the last non-empty finite bucket;
+  ///   - mass in the overflow bucket has no finite upper edge, so any
+  ///     quantile landing there reports the last finite edge (a
+  ///     conservative lower bound — choose bounds that cover the data).
+  /// Within a bucket the estimate interpolates linearly, the usual
+  /// fixed-bucket approximation.
+  double Quantile(double q) const;
+
  private:
   std::vector<double> upper_bounds_;
   std::vector<uint64_t> counts_;

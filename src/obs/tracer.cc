@@ -47,6 +47,16 @@ struct NameVisitor {
   }
   const char* operator()(const CheckpointEvent&) const { return "checkpoint"; }
   const char* operator()(const RestoreEvent&) const { return "restore"; }
+  const char* operator()(const AuditCoverageEvent&) const {
+    return "audit_coverage";
+  }
+  const char* operator()(const AuditBudgetEvent&) const {
+    return "audit_budget";
+  }
+  const char* operator()(const AuditDriftEvent&) const {
+    return "audit_drift";
+  }
+  const char* operator()(const AuditSloEvent&) const { return "audit_slo"; }
 };
 
 }  // namespace

@@ -166,13 +166,73 @@ struct RestoreEvent {
   int64_t last_tick = 0;
 };
 
+/// The precision auditor resolved one snapshot occasion against the
+/// workload oracle: did the reported interval cover the truth, and if
+/// not, which structural cause dominated (audit taxonomy; see
+/// src/audit/audit.h). `occasions`/`misses` are the rolling per-run
+/// counts after this resolution.
+struct AuditCoverageEvent {
+  double estimate = 0.0;
+  double truth = 0.0;
+  double ci_halfwidth = 0.0;
+  bool hit = false;
+  std::string cause;  ///< "none" on hits; a MissCauseName otherwise.
+  uint64_t occasions = 0;
+  uint64_t misses = 0;
+};
+
+/// The (1 − p) miss budget burned some more: emitted when a resolved
+/// occasion missed, carrying the burn fraction and remaining headroom.
+struct AuditBudgetEvent {
+  double burn = 0.0;       ///< miss_rate / (1 − p); > 1 = SLO blown.
+  double remaining = 0.0;  ///< max(0, 1 − burn).
+  uint64_t occasions = 0;
+  uint64_t misses = 0;
+};
+
+/// An audit drift detector (EWMA + two-sided CUSUM) is in breach after
+/// this update. `flip` marks the update whose sustained-breach streak
+/// reached patience and requested the supervisor degradation.
+struct AuditDriftEvent {
+  std::string detector;  ///< "signed_error" or "message_cost".
+  double ewma = 0.0;
+  double cusum_pos = 0.0;
+  double cusum_neg = 0.0;
+  double threshold = 0.0;
+  uint64_t streak = 0;
+  bool flip = false;
+};
+
+/// End-of-run SLO verdict for one continuous query: empirical (ε, p)
+/// coverage vs the binomial-stderr floor, δ-compliance of extrapolated
+/// (skipped-tick) answers, and the error-budget burn.
+struct AuditSloEvent {
+  std::string label;  ///< Run label (matches the run_begin label).
+  double p = 0.0;
+  double epsilon = 0.0;
+  double delta = 0.0;
+  uint64_t occasions = 0;  ///< Occasions resolved against the oracle.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  double coverage = 0.0;
+  double coverage_floor = 0.0;  ///< p − 2·sqrt(p(1−p)/occasions).
+  bool coverage_ok = false;
+  uint64_t delta_ticks = 0;  ///< Skipped ticks resolved vs the oracle.
+  uint64_t delta_misses = 0;
+  double delta_compliance = 0.0;
+  double budget_burn = 0.0;
+  double budget_remaining = 0.0;
+};
+
 using EventPayload =
     std::variant<RunBeginEvent, TickEvent, GapPredictedEvent, SnapshotEvent,
                  SnapshotSkippedEvent, SampleBudgetEvent, CiWidenedEvent,
                  DegradedFallbackEvent, WalkBatchEvent, WalkBatchDoneEvent,
                  HopBudgetExhaustedEvent, AgentRestartEvent, FaultLossEvent,
                  FaultStallEvent, SupervisorStateEvent, PartialSnapshotEvent,
-                 WalkHedgedEvent, CheckpointEvent, RestoreEvent>;
+                 WalkHedgedEvent, CheckpointEvent, RestoreEvent,
+                 AuditCoverageEvent, AuditBudgetEvent, AuditDriftEvent,
+                 AuditSloEvent>;
 
 /// Stable lower-snake-case name of a payload's event type (the `event`
 /// field of the JSONL schema; see docs/OBSERVABILITY.md).

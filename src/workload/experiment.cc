@@ -1,5 +1,6 @@
 #include "workload/experiment.h"
 
+#include "audit/audit.h"
 #include "baselines/push_all.h"
 #include "numeric/rng.h"
 #include "obs/bridge.h"
@@ -28,6 +29,9 @@ Result<RunResult> RunEngineExperiment(Workload& workload,
     options.fault_plan->SetTracer(options.tracer);
     options.fault_plan->SetProfiler(options.profiler);
   }
+  if (options.auditor != nullptr) {
+    options.auditor->BeginRun(run_label.empty() ? "engine-run" : run_label);
+  }
 
   RunResult out;
   DIGEST_ASSIGN_OR_RETURN(
@@ -50,14 +54,23 @@ Result<RunResult> RunEngineExperiment(Workload& workload,
     out.reported.push_back(tick.reported_value);
     out.ci_halfwidths.push_back(tick.ci_halfwidth);
     if (tick.degraded) ++out.degraded_ticks;
+    if (options.auditor != nullptr) {
+      // The simulation oracle resolves each tick's audit occasion right
+      // after the engine reports it.
+      options.auditor->RecordTruth(workload.now(), truth);
+    }
   }
   out.stats = engine->stats();
   out.correlation_estimate = engine->correlation_estimate();
   out.final_health = engine->health();
+  if (options.auditor != nullptr) options.auditor->FinalizeRun();
   if (options.registry != nullptr) {
     ExportToRegistry(out.stats, options.registry, run_label);
     obs::BridgeMessageMeter(out.meter, options.registry);
     engine->supervisor().ExportToRegistry(options.registry);
+    if (options.auditor != nullptr) {
+      options.auditor->ExportToRegistry(options.registry);
+    }
   }
   DIGEST_ASSIGN_OR_RETURN(
       out.precision,

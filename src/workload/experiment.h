@@ -42,6 +42,12 @@ struct RunResult {
 /// fault plan, if any, shares the tracer. With options.registry set,
 /// the run's final EngineStats and MessageMeter are bridged into it
 /// (engine.* / net.* counters) when the run completes.
+///
+/// With options.auditor set, the harness opens an audit run labelled
+/// `run_label`, resolves every tick's audit occasion against the
+/// workload's exact-aggregate oracle (RecordTruth), finalizes the run
+/// (emitting one audit_slo event when tracing), and bridges the
+/// auditor's counters/gauges/histograms into the registry when set.
 Result<RunResult> RunEngineExperiment(Workload& workload,
                                       const ContinuousQuerySpec& spec,
                                       const DigestEngineOptions& options,

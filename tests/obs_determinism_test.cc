@@ -11,8 +11,10 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
+#include "audit/audit.h"
 #include "core/engine.h"
 #include "db/p2p_database.h"
 #include "net/fault_plan.h"
@@ -186,6 +188,122 @@ TEST(ObsDeterminismTest, TracingIsPureObservationFaultyRun) {
             plain.meter.agent_restarts());
   EXPECT_EQ(traced.result.stats.degraded_ticks,
             plain.stats.degraded_ticks);
+}
+
+/// Renders the trace as JSONL lines with the seq stamp stripped and —
+/// when `drop_audit` — the audit_* lines removed, so an audited trace
+/// can be compared line-for-line against an unaudited one (audit events
+/// shift every later seq).
+std::vector<std::string> NormalizedLines(
+    const std::vector<obs::TraceEvent>& events, bool drop_audit) {
+  std::vector<std::string> out;
+  for (const obs::TraceEvent& event : events) {
+    if (drop_audit &&
+        (std::holds_alternative<obs::AuditCoverageEvent>(event.payload) ||
+         std::holds_alternative<obs::AuditBudgetEvent>(event.payload) ||
+         std::holds_alternative<obs::AuditDriftEvent>(event.payload) ||
+         std::holds_alternative<obs::AuditSloEvent>(event.payload))) {
+      continue;
+    }
+    const std::string line = obs::EventToJsonLine(event);
+    out.push_back(line.substr(line.find(",\"t\":")));
+  }
+  return out;
+}
+
+struct AuditedRun {
+  RunResult result;
+  std::string summary_json;
+  uint64_t supervisor_flips = 0;
+  std::vector<obs::TraceEvent> events;
+};
+
+AuditedRun RunAudited(bool with_audit, bool with_faults,
+                      size_t num_threads = 0) {
+  DriftWorkload workload(/*seed=*/99);
+  const ContinuousQuerySpec spec =
+      ContinuousQuerySpec::Create("SELECT AVG(load) FROM R",
+                                  PrecisionSpec{1.0, 4.0, 0.9})
+          .value();
+  FaultPlanConfig config;
+  config.message_loss = with_faults ? 0.06 : 0.0;
+  config.agent_drop = with_faults ? 0.03 : 0.0;
+  FaultPlan plan(config, /*seed=*/31);
+
+  obs::MemoryTracer tracer;
+  audit::PrecisionAuditor auditor;
+  DigestEngineOptions options;
+  options.scheduler = SchedulerKind::kPred;
+  options.estimator = EstimatorKind::kRepeated;
+  options.sampling_options.walk_length = 14;
+  options.sampling_options.reset_length = 4;
+  options.num_threads = num_threads;
+  if (with_faults) options.fault_plan = &plan;
+  options.tracer = &tracer;
+  if (with_audit) options.auditor = &auditor;
+
+  AuditedRun out;
+  out.result = RunEngineExperiment(workload, spec, options, kTicks,
+                                   /*seed=*/7, "determinism")
+                   .value();
+  out.summary_json = auditor.SummaryJson();
+  out.supervisor_flips = auditor.Summarize().supervisor_flips;
+  out.events = tracer.events();
+  return out;
+}
+
+TEST(ObsDeterminismTest, AuditOffIsBitIdenticalToUnaudited) {
+  // With the auditor detached (the null fast path), the run must match
+  // an audited run of the same seed in everything except the audit_*
+  // events — the auditor observes but never steers. (Holds as long as
+  // no drift breach flips the supervisor; this config has none, which
+  // the flip counter pins down.)
+  const AuditedRun audited =
+      RunAudited(/*with_audit=*/true, /*with_faults=*/true);
+  const AuditedRun plain =
+      RunAudited(/*with_audit=*/false, /*with_faults=*/true);
+  ASSERT_EQ(audited.supervisor_flips, 0u);
+  ASSERT_EQ(audited.result.reported.size(), plain.result.reported.size());
+  for (size_t i = 0; i < plain.result.reported.size(); ++i) {
+    EXPECT_EQ(audited.result.reported[i], plain.result.reported[i])
+        << "tick " << i;
+    EXPECT_EQ(audited.result.ci_halfwidths[i],
+              plain.result.ci_halfwidths[i]);
+  }
+  EXPECT_EQ(audited.result.meter.Total(), plain.result.meter.Total());
+  EXPECT_EQ(audited.result.meter.walk_hops(),
+            plain.result.meter.walk_hops());
+  EXPECT_EQ(audited.result.stats.snapshots, plain.result.stats.snapshots);
+  EXPECT_EQ(audited.result.stats.total_samples,
+            plain.result.stats.total_samples);
+  EXPECT_EQ(audited.result.final_health, plain.result.final_health);
+  const std::vector<std::string> audited_lines =
+      NormalizedLines(audited.events, /*drop_audit=*/true);
+  const std::vector<std::string> plain_lines =
+      NormalizedLines(plain.events, /*drop_audit=*/false);
+  ASSERT_EQ(audited_lines.size(), plain_lines.size());
+  for (size_t i = 0; i < plain_lines.size(); ++i) {
+    EXPECT_EQ(audited_lines[i], plain_lines[i]) << "line " << i;
+  }
+  // And the audited trace really did carry audit events.
+  EXPECT_GT(audited.events.size(), plain.events.size());
+}
+
+TEST(ObsDeterminismTest, AuditLedgerIsThreadCountInvariant) {
+  // The ledger is a pure fold over the observation sequence, which the
+  // deterministic parallel executor keeps identical for every worker
+  // count: the full summary (coverage, attribution, drift state,
+  // quantiles) must be byte-identical for 1 vs 4 threads.
+  const AuditedRun serial =
+      RunAudited(/*with_audit=*/true, /*with_faults=*/true,
+                 /*num_threads=*/1);
+  const AuditedRun parallel =
+      RunAudited(/*with_audit=*/true, /*with_faults=*/true,
+                 /*num_threads=*/4);
+  ASSERT_FALSE(serial.summary_json.empty());
+  EXPECT_EQ(serial.summary_json, parallel.summary_json);
+  EXPECT_EQ(obs::RenderJsonLines(serial.events),
+            obs::RenderJsonLines(parallel.events));
 }
 
 TEST(ObsDeterminismTest, NullTracerMatchesNoTracer) {

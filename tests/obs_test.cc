@@ -44,6 +44,57 @@ TEST(HistogramTest, BucketsObservationsIncludingOverflow) {
   EXPECT_DOUBLE_EQ(h.Mean(), 104.5 / 4.0);
 }
 
+TEST(HistogramQuantileTest, EmptyHistogramReturnsZero) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantileTest, ClampsOutOfRangeQ) {
+  Histogram h({10.0});
+  h.Observe(5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(1.5), h.Quantile(1.0));
+}
+
+TEST(HistogramQuantileTest, SingleBucketInterpolatesFromZero) {
+  Histogram h({10.0});
+  h.Observe(1.0);
+  h.Observe(2.0);
+  // The first bucket's lower edge is min(0, upper): p0 pins to 0, p100
+  // to the bucket's upper edge, interior quantiles interpolate.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+}
+
+TEST(HistogramQuantileTest, BoundaryObservationsLandInclusive) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(1.0);  // Exactly on an upper edge: bucket 0 (inclusive).
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+}
+
+TEST(HistogramQuantileTest, InterpolatesAcrossBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(3.0);
+  h.Observe(3.5);  // counts [1, 1, 2, 0], count = 4
+  // p75: target 3 falls halfway through bucket (2, 4].
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+}
+
+TEST(HistogramQuantileTest, OverflowMassPinsToLastFiniteEdge) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(100.0);  // All mass in the unbounded overflow bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+}
+
 TEST(HistogramTest, BucketGenerators) {
   const std::vector<double> exp = ExponentialBuckets(1.0, 2.0, 4);
   ASSERT_EQ(exp.size(), 4u);

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Render and gate the precision-audit SLO ledger of a traced run.
+
+Reads the JSON Lines event trace a `bench_* --audit --trace-jsonl=F`
+run writes, collects the `audit_slo` summary event each audited run
+emits at FinalizeRun (src/audit/), and prints one SLO table row per
+run: sampling occasions, empirical (eps, p) coverage against the
+binomial floor, delta-compliance of the extrapolated (skipped-
+snapshot) answers, and the error-budget burn rate.
+
+With --gate, the coverage gate is recomputed here from first
+principles rather than trusted from the binary: a run passes iff
+
+    coverage >= p - 2 * sqrt(p * (1 - p) / occasions)
+
+(two binomial standard errors of slack below the contracted
+confidence; runs with zero truth-resolved occasions pass vacuously).
+Any failing run makes the script exit 1 — this is the CI accuracy
+gate for audited bench runs. The recomputed verdict is also cross-
+checked against the `coverage_ok` flag the binary embedded; a
+disagreement is reported as corruption and fails the gate.
+
+Stdlib only. Exit status: 0 = table rendered (and gate passed, if
+requested); 1 = gate breach, cross-check mismatch, or no audit_slo
+events found.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_slo_events(path):
+    """Returns the list of audit_slo payload objects in the trace, in
+    emission order. Raises ValueError on malformed JSONL."""
+    events = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{line_no}: invalid JSON: {e}")
+            if obj.get("event") == "audit_slo":
+                events.append(obj)
+    return events
+
+
+def coverage_floor(p, occasions):
+    """The gate threshold: p minus two binomial standard errors."""
+    if occasions == 0:
+        return 0.0
+    return p - 2.0 * math.sqrt(p * (1.0 - p) / occasions)
+
+
+def gate_run(slo):
+    """Recomputes the coverage gate for one audit_slo event. Returns
+    (passed, floor, problems) where problems lists any disagreement
+    with the flags the binary embedded."""
+    problems = []
+    occasions = slo["occasions"]
+    floor = coverage_floor(slo["p"], occasions)
+    passed = occasions == 0 or slo["coverage"] >= floor
+    if abs(floor - slo["coverage_floor"]) > 1e-9:
+        problems.append(
+            f"embedded coverage_floor {slo['coverage_floor']:.6f} != "
+            f"recomputed {floor:.6f}")
+    if passed != slo["coverage_ok"]:
+        problems.append(
+            f"embedded coverage_ok {slo['coverage_ok']} != recomputed "
+            f"{passed}")
+    if occasions > 0:
+        expected = slo["hits"] / occasions
+        if abs(expected - slo["coverage"]) > 1e-9:
+            problems.append(
+                f"coverage {slo['coverage']:.6f} != hits/occasions "
+                f"{expected:.6f}")
+    return passed, floor, problems
+
+
+def render_table(events):
+    headers = ["run", "occ", "coverage", "floor", "ok", "d-comp", "burn"]
+    rows = []
+    for slo in events:
+        rows.append([
+            slo["label"] or "(unlabelled)",
+            str(slo["occasions"]),
+            f"{slo['coverage']:.4f}",
+            f"{slo['coverage_floor']:.4f}",
+            "yes" if slo["coverage_ok"] else "NO",
+            f"{slo['delta_compliance']:.4f}",
+            f"{slo['budget_burn']:.3f}",
+        ])
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+    lines = ["  ".join(h.ljust(widths[c])
+                       for c, h in enumerate(headers)).rstrip()]
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[c])
+                               for c, cell in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jsonl", required=True,
+                        help="JSON Lines trace of an --audit run")
+    parser.add_argument("--gate", action="store_true",
+                        help="recompute the coverage gate and exit 1 on "
+                             "any breach")
+    args = parser.parse_args()
+
+    try:
+        events = load_slo_events(args.jsonl)
+    except (OSError, ValueError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"FAIL: {args.jsonl}: no audit_slo events (was the run "
+              f"started with --audit?)", file=sys.stderr)
+        return 1
+
+    print(f"== audit SLO ({len(events)} run(s) in {args.jsonl}) ==")
+    print(render_table(events))
+
+    if not args.gate:
+        return 0
+    failures = []
+    for slo in events:
+        passed, floor, problems = gate_run(slo)
+        for problem in problems:
+            failures.append(f"run '{slo['label']}': {problem}")
+        if not passed:
+            failures.append(
+                f"run '{slo['label']}': coverage {slo['coverage']:.4f} "
+                f"below floor {floor:.4f} "
+                f"(p={slo['p']}, occasions={slo['occasions']})")
+    if failures:
+        print(f"\nGATE FAIL ({len(failures)} problem(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\ngate OK: all {len(events)} run(s) meet "
+          f"coverage >= p - 2*stderr")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,12 @@ check, in decreasing strictness:
     Timing checks can be disabled wholesale with --ignore-timing (for
     cross-machine comparisons where only the counts are meaningful).
 
+When the baseline was produced with --audit, each scenario's
+extra.audit precision ledger is gated too: coverage_ok must not flip
+from true to false, and the deterministic accuracy fields
+(occasions/hits/misses/coverage/attribution/...) must match exactly
+when the configs match. See docs/OBSERVABILITY.md "Precision audit".
+
 Exit status 0 iff no regression. Stdlib only.
 
 Typical use:
@@ -45,6 +51,16 @@ COUNT_FIELDS = ("ticks", "snapshots", "total_samples", "messages",
                 "degraded_ticks", "walk_batches", "walk_hops")
 
 SUITE_SCHEMA = "digest-bench-suite-v1"
+
+# An audited baseline (bench_suite --audit) carries the precision
+# auditor's run summary in each scenario's `extra.audit` object. Two
+# gates: (1) a scenario whose baseline met its coverage floor
+# (coverage_ok true) must still meet it — a flip to false is an
+# accuracy regression, flagged even when the configs differ; (2) when
+# the configs match, the deterministic accuracy fields must match the
+# baseline EXACTLY, same rationale as the work counts.
+AUDIT_EXACT_FIELDS = ("occasions", "hits", "misses", "delta_ticks",
+                      "delta_misses", "coverage", "attribution")
 
 # The parallel-executor scenario additionally commits a speedup curve in
 # its `extra` object (BENCH_parallel_rpt_mcmc.json); those fields are
@@ -72,6 +88,32 @@ def check_parallel_extra(name, scenario, failures):
             len(threads) != len(curve):
         failures.append(f"{name}: speedup curve length {len(curve)} != "
                         f"thread count list length {len(threads)}")
+
+
+def check_audit_extra(name, base_scenario, cur_scenario, counts_comparable,
+                      failures):
+    base_audit = base_scenario["extra"]["audit"]
+    cur_extra = cur_scenario.get("extra")
+    cur_audit = cur_extra.get("audit") if isinstance(cur_extra, dict) \
+        else None
+    if not isinstance(cur_audit, dict):
+        failures.append(f"{name}: baseline is audited but current run has "
+                        f"no extra.audit (run bench_suite with --audit)")
+        return
+    if base_audit.get("coverage_ok") is True and \
+            cur_audit.get("coverage_ok") is not True:
+        failures.append(
+            f"{name}: coverage_ok flipped true -> false (coverage "
+            f"{cur_audit.get('coverage')} vs floor "
+            f"{cur_audit.get('coverage_floor')}) — accuracy regression")
+    if counts_comparable:
+        for field in AUDIT_EXACT_FIELDS:
+            bv = base_audit.get(field)
+            cv = cur_audit.get(field)
+            if bv != cv:
+                failures.append(
+                    f"{name}: audit '{field}' changed {bv} -> {cv} "
+                    f"(deterministic accuracy ledger differs)")
 
 
 def load_suite(path):
@@ -136,6 +178,9 @@ def main():
                     failures.append(
                         f"{name}: count '{field}' changed "
                         f"{bv} -> {cv} (deterministic work differs)")
+
+        if isinstance(b.get("extra"), dict) and "audit" in b["extra"]:
+            check_audit_extra(name, b, c, counts_comparable, failures)
 
         if isinstance(b.get("extra"), dict) and \
                 "bit_identical_across_counts" in b["extra"]:

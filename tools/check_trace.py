@@ -47,6 +47,16 @@ EVENT_SCHEMA = {
     "walk_hedged": {"agent_index", "attempts", "threshold"},
     "checkpoint": {"bytes", "last_tick"},
     "restore": {"bytes", "last_tick"},
+    # Precision-audit events (src/audit/, docs/OBSERVABILITY.md "audit").
+    "audit_coverage": {"estimate", "truth", "ci_halfwidth", "hit", "cause",
+                       "occasions", "misses"},
+    "audit_budget": {"burn", "remaining", "occasions", "misses"},
+    "audit_drift": {"detector", "ewma", "cusum_pos", "cusum_neg",
+                    "threshold", "streak", "flip"},
+    "audit_slo": {"label", "p", "epsilon", "delta", "occasions", "hits",
+                  "misses", "coverage", "coverage_floor", "coverage_ok",
+                  "delta_ticks", "delta_misses", "delta_compliance",
+                  "budget_burn", "budget_remaining"},
 }
 
 # Walk-scoped events that may carry the optional `lane` field: the walk
