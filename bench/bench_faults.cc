@@ -80,6 +80,7 @@ int Run(int argc, char** argv) {
       options.registry = obs.registry();
       options.profiler = obs.profiler();
       options.auditor = obs.auditor();
+      options.diag = obs.diag();
       const std::string run_label = "loss=" + Fmt("%.0f%%", 100.0 * loss) +
                                     " drop=" + Fmt("%.0f%%", 100.0 * drop);
       RunResult run = UnwrapOrDie(
@@ -141,6 +142,7 @@ int Run(int argc, char** argv) {
     options.registry = obs.registry();
     options.profiler = obs.profiler();
     options.auditor = obs.auditor();
+    options.diag = obs.diag();
     const std::string run_label = "budget " + Fmt("%.0fx", factor);
     if (obs::Tracing(obs.tracer())) {
       obs.tracer()->set_now(workload->now());
@@ -148,6 +150,7 @@ int Run(int argc, char** argv) {
     }
     plan.SetTracer(obs.tracer());
     if (obs.auditor() != nullptr) obs.auditor()->BeginRun(run_label);
+    if (obs.diag() != nullptr) obs.diag()->Reset();
 
     Rng rng(args.seed);
     const NodeId querying =

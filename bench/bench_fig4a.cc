@@ -90,6 +90,7 @@ int Run(int argc, char** argv) {
       options.registry = obs.registry();
       options.profiler = obs.profiler();
       options.auditor = obs.auditor();
+      options.diag = obs.diag();
       if (algo.history > 0) {
         options.extrapolator.history_points = algo.history;
       }
@@ -118,14 +119,15 @@ int Run(int argc, char** argv) {
       "\npaper: PRED-k ~= ALL at small delta; up to ~75%% fewer "
       "snapshots by delta/sigma = 1.\n");
 
-  if (obs.enabled()) {
+  if (obs.enabled() || args.diag) {
     // Fig. 4-a proper samples through the exact central oracle (the
     // figure counts snapshot queries, not walks), so a trace of the
-    // sweep alone would carry no walk events. Append one small run of
+    // sweep alone would carry no walk events — and the sampler
+    // diagnostics would have no chain to watch. Append one small run of
     // the full distributed pipeline — PRED-3 + RPT over the two-stage
     // MCMC sampler — so the exported trace shows walk batches nested
-    // under engine ticks. Its own workload and seed: the table above is
-    // untouched.
+    // under engine ticks and --diag summarizes a real walk workload.
+    // Its own workload and seed: the table above is untouched.
     const size_t showcase_ticks = args.quick ? 40 : 120;
     BenchArgs small = args;
     small.scale = std::min(args.scale, 0.05);
@@ -144,6 +146,7 @@ int Run(int argc, char** argv) {
     options.registry = obs.registry();
     options.profiler = obs.profiler();
     options.auditor = obs.auditor();
+    options.diag = obs.diag();
     RunResult run = UnwrapOrDie(
         RunEngineExperiment(*workload, spec, options, showcase_ticks,
                             args.seed, "PRED-3 RPT mcmc showcase"),

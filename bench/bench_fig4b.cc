@@ -89,6 +89,7 @@ int Run(int argc, char** argv) {
         options.registry = obs.registry();
         options.profiler = obs.profiler();
         options.auditor = obs.auditor();
+        options.diag = obs.diag();
         const std::string run_label =
             std::string(ds.name) + (k == 0 ? " INDEP" : " RPT") +
             " eps=" + Fmt("%.3f", epsilon);

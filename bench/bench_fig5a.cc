@@ -89,6 +89,7 @@ int Run(int argc, char** argv) {
       options.registry = obs.registry();
       options.profiler = obs.profiler();
       options.auditor = obs.auditor();
+      options.diag = obs.diag();
       RunResult run = UnwrapOrDie(
           RunEngineExperiment(*workload, spec, options, ds.ticks,
                               args.seed,

@@ -107,10 +107,13 @@ struct Scenario {
   // verbatim as the scenario's "extra" field. `auditor` is the --audit
   // precision auditor (null when auditing is off): scenarios attach it
   // to their measured engine run, and the suite driver splices its
-  // SummaryJson into the extra object afterwards.
+  // SummaryJson into the extra object afterwards. `diag` is the --diag
+  // sampler-introspection aggregator with the same contract (null when
+  // off; summary spliced by the driver).
   std::function<RunResult(const BenchArgs&, prof::Profiler*,
                           uint64_t* wall_ns, std::string* extra,
-                          audit::PrecisionAuditor* auditor)>
+                          audit::PrecisionAuditor* auditor,
+                          diag::SamplerDiag* diag)>
       run;
 };
 
@@ -145,7 +148,7 @@ std::vector<Scenario> BuildScenarios() {
        "extrapolator/scheduler cost, no walks",
        [](const BenchArgs& args, prof::Profiler* profiler,
           uint64_t* wall_ns, std::string* /*extra*/,
-          audit::PrecisionAuditor* auditor) {
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
          TemperatureConfig config;
          config.num_units = args.Scaled(8000, 200);
          config.num_nodes = args.Scaled(530, 16);
@@ -161,6 +164,7 @@ std::vector<Scenario> BuildScenarios() {
          options.extrapolator.history_points = 3;
          options.profiler = profiler;
          options.auditor = auditor;
+         options.diag = diag;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 120 : 400, args.seed,
                                 "pred_indep_exact", profiler, wall_ns);
@@ -174,7 +178,7 @@ std::vector<Scenario> BuildScenarios() {
        "full distributed query path",
        [](const BenchArgs& args, prof::Profiler* profiler,
           uint64_t* wall_ns, std::string* /*extra*/,
-          audit::PrecisionAuditor* auditor) {
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
          TemperatureConfig config;
          config.num_units = args.Scaled(2000, 200);
          config.num_nodes = args.Scaled(530, 16);
@@ -190,6 +194,7 @@ std::vector<Scenario> BuildScenarios() {
          options.extrapolator.history_points = 3;
          options.profiler = profiler;
          options.auditor = auditor;
+         options.diag = diag;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 40 : 120, args.seed,
                                 "pred_rpt_mcmc", profiler, wall_ns);
@@ -203,7 +208,7 @@ std::vector<Scenario> BuildScenarios() {
        "snapshot query every tick",
        [](const BenchArgs& args, prof::Profiler* profiler,
           uint64_t* wall_ns, std::string* /*extra*/,
-          audit::PrecisionAuditor* auditor) {
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
          TemperatureConfig config;
          config.num_units = args.Scaled(2000, 200);
          config.num_nodes = args.Scaled(530, 16);
@@ -218,6 +223,7 @@ std::vector<Scenario> BuildScenarios() {
          options.sampler = SamplerKind::kTwoStageMcmc;
          options.profiler = profiler;
          options.auditor = auditor;
+         options.diag = diag;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 25 : 80, args.seed,
                                 "all_indep_mcmc", profiler, wall_ns);
@@ -230,7 +236,7 @@ std::vector<Scenario> BuildScenarios() {
        "PRED-3 + RPT over MCMC on the churning MEMORY workload",
        [](const BenchArgs& args, prof::Profiler* profiler,
           uint64_t* wall_ns, std::string* /*extra*/,
-          audit::PrecisionAuditor* auditor) {
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
          MemoryConfig config;
          config.num_units = args.Scaled(1000, 200);
          config.num_nodes = args.Scaled(820, 150);
@@ -246,6 +252,7 @@ std::vector<Scenario> BuildScenarios() {
          options.extrapolator.history_points = 3;
          options.profiler = profiler;
          options.auditor = auditor;
+         options.diag = diag;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 30 : 90, args.seed,
                                 "churn_rpt_mcmc", profiler, wall_ns);
@@ -259,7 +266,7 @@ std::vector<Scenario> BuildScenarios() {
        "stalls): retry + degradation overhead",
        [](const BenchArgs& args, prof::Profiler* profiler,
           uint64_t* wall_ns, std::string* /*extra*/,
-          audit::PrecisionAuditor* auditor) {
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
          MemoryConfig config;
          config.num_units = args.Scaled(1000, 200);
          config.num_nodes = args.Scaled(820, 150);
@@ -283,6 +290,7 @@ std::vector<Scenario> BuildScenarios() {
          options.sampling_options.reset_length = 15;
          options.profiler = profiler;
          options.auditor = auditor;
+         options.diag = diag;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 20 : 60, args.seed,
                                 "faults_mcmc", profiler, wall_ns);
@@ -300,7 +308,7 @@ std::vector<Scenario> BuildScenarios() {
        "per-snapshot message cost",
        [](const BenchArgs& args, prof::Profiler* profiler,
           uint64_t* wall_ns, std::string* extra,
-          audit::PrecisionAuditor* auditor) {
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
          const size_t ticks = args.quick ? 24 : 72;
          // Heterogeneous loss (edge_spread 1.0 puts concrete edges
          // anywhere from lossless to 2× the base rate) is what gives
@@ -320,11 +328,12 @@ std::vector<Scenario> BuildScenarios() {
            RunResult run;
            std::vector<double> snapshot_msgs;  // Meter delta per occasion.
          };
-         // The auditor rides only the measured (hedged, killed) run, so
-         // its ledger round-trips through the mid-run checkpoint blob.
+         // The auditor and diagnostics ride only the measured (hedged,
+         // killed) run, so the ledger round-trips through the mid-run
+         // checkpoint blob and the diag summary covers one run's walks.
          auto drive = [&](bool hedge, bool kill_mid_run,
                           audit::PrecisionAuditor* aud,
-                          uint64_t* ns) -> PhaseOut {
+                          diag::SamplerDiag* dg, uint64_t* ns) -> PhaseOut {
            TemperatureConfig config;
            config.num_units = args.Scaled(2000, 200);
            config.num_nodes = args.Scaled(530, 16);
@@ -345,7 +354,9 @@ std::vector<Scenario> BuildScenarios() {
            options.fault_plan = &plan;
            options.profiler = profiler;
            options.auditor = aud;
+           options.diag = dg;
            if (aud != nullptr) aud->BeginRun("recovery_rpt_mcmc");
+           if (dg != nullptr) dg->Reset();
 
            PhaseOut out;
            Rng rng(args.seed);
@@ -416,9 +427,9 @@ std::vector<Scenario> BuildScenarios() {
 
          uint64_t ns = 0;
          PhaseOut hedged = drive(/*hedge=*/true, /*kill_mid_run=*/true,
-                                 auditor, &ns);
+                                 auditor, diag, &ns);
          PhaseOut unhedged = drive(/*hedge=*/false, /*kill_mid_run=*/false,
-                                   /*aud=*/nullptr, &ns);
+                                   /*aud=*/nullptr, /*dg=*/nullptr, &ns);
          *wall_ns = ns;
          std::string x = "{\"p90_snapshot_msgs_hedged\":";
          x += FmtRate(Percentile(hedged.snapshot_msgs, 90));
@@ -457,12 +468,13 @@ std::vector<Scenario> BuildScenarios() {
        [cached_extra = std::make_shared<std::string>()](
            const BenchArgs& args, prof::Profiler* profiler,
            uint64_t* wall_ns, std::string* extra,
-           audit::PrecisionAuditor* auditor) {
+           audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
          const size_t kThreadCounts[] = {1, 2, 4, 8};
          std::vector<double> curve_ms;
          RunResult measured;
          std::vector<double> reference_reported;
          std::string reference_audit;
+         std::string reference_diag;
          for (size_t threads : kThreadCounts) {
            TemperatureConfig config;
            config.num_units = args.Scaled(2000, 200);
@@ -480,6 +492,7 @@ std::vector<Scenario> BuildScenarios() {
            options.num_threads = threads;
            options.profiler = profiler;
            options.auditor = auditor;
+           options.diag = diag;
            uint64_t ns = 0;
            RunResult run = TimedExperiment(*workload, spec, options,
                                            args.quick ? 40 : 120, args.seed,
@@ -508,6 +521,23 @@ std::vector<Scenario> BuildScenarios() {
                             "FATAL: parallel_rpt_mcmc audit summary "
                             "differs at %zu threads vs 1 — the audit "
                             "ledger is not thread-count-invariant\n",
+                            threads);
+               std::abort();
+             }
+           }
+           if (diag != nullptr) {
+             // Same invariance gate for the sampler diagnostics: every
+             // visit/probe/hop fold happens in walk-index order, so the
+             // full summary must be byte-identical at any thread count.
+             const std::string diag_json = diag->SummaryJson();
+             if (threads == kThreadCounts[0]) {
+               reference_diag = diag_json;
+             } else if (diag_json != reference_diag) {
+               std::fprintf(stderr,
+                            "FATAL: parallel_rpt_mcmc diag summary "
+                            "differs at %zu threads vs 1 — the sampler "
+                            "diagnostics are not thread-count-"
+                            "invariant\n",
                             threads);
                std::abort();
              }
@@ -643,9 +673,10 @@ int Run(int argc, char** argv) {
        {"--scenario=", "run only the named scenario (repeatable)"}});
   // The suite owns its profiler (one per scenario) and its repeat
   // structure; the per-bench export flags don't compose with that.
-  // --audit DOES compose: the auditor is deterministic per run, so its
-  // summary joins each scenario's extra object and the repeat-stability
-  // check. One consistent rejection message for the rest (RejectFlag).
+  // --audit and --diag DO compose: both are deterministic per run, so
+  // their summaries join each scenario's extra object and the
+  // repeat-stability check. One consistent rejection message for the
+  // rest (RejectFlag).
   const char* why =
       "the suite always profiles internally; use the individual bench "
       "binaries for trace exports";
@@ -703,6 +734,11 @@ int Run(int argc, char** argv) {
   // scenario's measured run alone.
   audit::PrecisionAuditor suite_auditor;
   audit::PrecisionAuditor* auditor = args.audit ? &suite_auditor : nullptr;
+  // Same sharing scheme for --diag: every engine run resets the
+  // aggregator (RunEngineExperiment / the recovery scenario's drive), so
+  // the spliced summary describes the scenario's measured run alone.
+  diag::SamplerDiag suite_diag;
+  diag::SamplerDiag* diag = args.diag ? &suite_diag : nullptr;
 
   std::vector<ScenarioReport> reports;
   for (const Scenario& scenario : scenarios) {
@@ -716,7 +752,7 @@ int Run(int argc, char** argv) {
       prof::Profiler scratch(popt);
       uint64_t ignored = 0;
       std::string scratch_extra;
-      scenario.run(args, &scratch, &ignored, &scratch_extra, auditor);
+      scenario.run(args, &scratch, &ignored, &scratch_extra, auditor, diag);
     }
     prof::Profiler profiler(popt);
     ScenarioReport report;
@@ -730,7 +766,7 @@ int Run(int argc, char** argv) {
       uint64_t wall_ns = 0;
       std::string extra;
       RunResult run = scenario.run(args, &profiler, &wall_ns, &extra,
-                                   auditor);
+                                   auditor, diag);
       if (auditor != nullptr) {
         // Splice the measured run's audit summary into the extra
         // object (coverage, δ-compliance, budget burn, attribution) so
@@ -741,6 +777,17 @@ int Run(int argc, char** argv) {
           extra = "{\"audit\":" + audit_json + "}";
         } else {
           extra.insert(extra.size() - 1, ",\"audit\":" + audit_json);
+        }
+      }
+      if (diag != nullptr) {
+        // Same splice for the sampler diagnostics: the mixing/load
+        // summary of the measured run becomes part of the committed
+        // perf trajectory.
+        const std::string diag_json = diag->SummaryJson();
+        if (extra.empty()) {
+          extra = "{\"diag\":" + diag_json + "}";
+        } else {
+          extra.insert(extra.size() - 1, ",\"diag\":" + diag_json);
         }
       }
       WorkCounts counts;

@@ -15,6 +15,7 @@
 #include "audit/audit.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "diag/diag.h"
 #include "obs/exporters.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -39,6 +40,7 @@ struct BenchArgs {
   bool quick = false;   ///< Cut sweeps down for smoke runs.
   bool prof = false;             ///< --prof: wall-clock profiling.
   bool audit = false;            ///< --audit: precision-audit ledger.
+  bool diag = false;             ///< --diag: sampler mixing/load diagnostics.
   std::string trace_path;        ///< --trace=F: Chrome trace_event JSON.
   std::string trace_jsonl_path;  ///< --trace-jsonl=F: JSON Lines events.
   std::string metrics_path;      ///< --metrics=F: registry dump (JSON).
@@ -47,7 +49,8 @@ struct BenchArgs {
                          const std::vector<ExtraFlag>& extra) {
     std::fprintf(out,
                  "usage: %s [--scale=F] [--seed=N] [--quick] [--prof] "
-                 "[--audit] [--trace=F] [--trace-jsonl=F] [--metrics=F]%s\n"
+                 "[--audit] [--diag] [--trace=F] [--trace-jsonl=F] "
+                 "[--metrics=F]%s\n"
                  "  --scale=F        workload size multiplier vs the paper "
                  "(default 0.25; 1.0 = paper scale)\n"
                  "  --seed=N         master RNG seed (default 1)\n"
@@ -56,6 +59,8 @@ struct BenchArgs {
                  "the phase table\n"
                  "  --audit          run the precision auditor (per-run SLO "
                  "table; audit_* events when tracing)\n"
+                 "  --diag           run the sampler diagnostics (mixing + "
+                 "peer-load summary; diag events when tracing)\n"
                  "  --trace=F        write a Chrome trace_event file "
                  "(Perfetto-loadable)\n"
                  "  --trace-jsonl=F  write the structured event trace as "
@@ -97,6 +102,8 @@ struct BenchArgs {
         args.prof = true;
       } else if (std::strcmp(argv[i], "--audit") == 0) {
         args.audit = true;
+      } else if (std::strcmp(argv[i], "--diag") == 0) {
+        args.diag = true;
       } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
         args.trace_path = argv[i] + 8;
       } else if (std::strncmp(argv[i], "--trace-jsonl=", 14) == 0) {
@@ -163,9 +170,16 @@ class ObsSession {
   audit::PrecisionAuditor* auditor() {
     return args_.audit ? &auditor_ : nullptr;
   }
+  /// The --diag sampler-introspection aggregator. Same composition
+  /// rules as --audit: its events/metrics ride the --trace /
+  /// --trace-jsonl / --metrics exports; null when --diag is off.
+  diag::SamplerDiag* diag() { return args_.diag ? &diag_ : nullptr; }
   bool enabled() const { return enabled_; }
 
   void Finish() {
+    if (args_.diag) {
+      std::printf("\n%s", diag_.SummaryText().c_str());
+    }
     if (args_.audit) {
       std::printf("\n%s",
                   audit::RenderSloTable(auditor_.completed_runs()).c_str());
@@ -206,6 +220,7 @@ class ObsSession {
   obs::Registry registry_;
   prof::Profiler profiler_;
   audit::PrecisionAuditor auditor_;
+  diag::SamplerDiag diag_;
 };
 
 /// One consistent rejection for a flag a bench cannot honor: same
@@ -230,6 +245,7 @@ inline void RejectObservabilityFlags(const BenchArgs& args,
   if (!args.metrics_path.empty()) flag = "--metrics";
   if (args.prof) flag = "--prof";
   if (args.audit) flag = "--audit";
+  if (args.diag) flag = "--diag";
   if (flag != nullptr) {
     RejectFlag(binary, flag, "no engine runs to instrument");
   }

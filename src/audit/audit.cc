@@ -58,6 +58,8 @@ void AppendRecordJson(std::string* out, const CoverageRecord& r) {
   AppendBool(out, r.partial);
   *out += ",\"timeout\":";
   AppendBool(out, r.timeout);
+  *out += ",\"mixing_breach\":";
+  AppendBool(out, r.mixing_breach);
   *out += ",\"health\":";
   *out += std::to_string(r.health);
   *out += ",\"total_samples\":";
@@ -88,6 +90,7 @@ Result<CoverageRecord> ParseRecordJson(const json::Value& v) {
   DIGEST_ASSIGN_OR_RETURN(r.degraded, v.GetBool("degraded"));
   DIGEST_ASSIGN_OR_RETURN(r.partial, v.GetBool("partial"));
   DIGEST_ASSIGN_OR_RETURN(r.timeout, v.GetBool("timeout"));
+  DIGEST_ASSIGN_OR_RETURN(r.mixing_breach, v.GetBool("mixing_breach"));
   int64_t health;
   DIGEST_ASSIGN_OR_RETURN(health, v.GetInt64("health"));
   r.health = static_cast<int>(health);
@@ -142,6 +145,8 @@ const char* MissCauseName(MissCause cause) {
       return "retained_pool";
     case MissCause::kHedgeTimeout:
       return "hedge_timeout";
+    case MissCause::kPoorMixing:
+      return "poor_mixing";
   }
   return "unknown";
 }
@@ -221,6 +226,7 @@ void PrecisionAuditor::RecordSnapshot(const SnapshotObservation& o) {
   pending_record_.fresh_samples = o.fresh_samples;
   pending_record_.retained_samples = o.retained_samples;
   pending_record_.message_cost = o.message_cost;
+  pending_record_.mixing_breach = o.mixing_breach;
   pending_snapshot_ = true;
 }
 
@@ -277,10 +283,11 @@ void PrecisionAuditor::ResolveSnapshot(double truth) {
   } else {
     // Structural attribution, worst subsystem state first: the flags
     // were stamped by the engine/estimator when the occasion ran.
-    r.cause = r.timeout    ? MissCause::kHedgeTimeout
-              : r.degraded ? MissCause::kRetainedPoolFallback
-              : r.partial  ? MissCause::kPartialSnapshot
-                           : MissCause::kVarianceUndershoot;
+    r.cause = r.timeout         ? MissCause::kHedgeTimeout
+              : r.degraded      ? MissCause::kRetainedPoolFallback
+              : r.partial       ? MissCause::kPartialSnapshot
+              : r.mixing_breach ? MissCause::kPoorMixing
+                                : MissCause::kVarianceUndershoot;
     ++misses_;
     ++cause_counts_[static_cast<size_t>(r.cause)];
   }

@@ -48,8 +48,9 @@ namespace audit {
 
 /// Dominant structural cause of one coverage miss. Precedence for
 /// snapshot occasions (worst subsystem state wins): hedge_timeout >
-/// retained_pool > partial_snapshot > variance_undershoot; misses on
-/// skipped (extrapolated/held) ticks are always pred_residual.
+/// retained_pool > partial_snapshot > poor_mixing >
+/// variance_undershoot; misses on skipped (extrapolated/held) ticks are
+/// always pred_residual.
 enum class MissCause {
   kNone = 0,                 ///< The occasion hit (or is unresolved).
   kVarianceUndershoot = 1,   ///< Healthy fresh snapshot whose variance
@@ -61,9 +62,15 @@ enum class MissCause {
   kHedgeTimeout = 5,         ///< The occasion produced nothing; the
                              ///< engine held the result under a
                              ///< doubling interval.
+  kPoorMixing = 6,           ///< Would-be variance_undershoot whose
+                             ///< occasion coincided with a sampler
+                             ///< stationary-gap breach (src/diag): the
+                             ///< walks had not mixed, so the sample was
+                             ///< not weight-proportional and the
+                             ///< variance estimate is untrustworthy.
 };
 
-constexpr size_t kNumMissCauses = 6;
+constexpr size_t kNumMissCauses = 7;
 
 /// Stable lower-snake name (trace events, metric labels, bench extras).
 const char* MissCauseName(MissCause cause);
@@ -99,6 +106,10 @@ struct SnapshotObservation {
   uint64_t retained_samples = 0;
   uint64_t message_cost = 0;  ///< Meter delta attributable to the tick.
   int health = 0;             ///< SessionHealth ladder index after fold.
+  /// The sampler diagnostics declared a stationary-gap breach for a
+  /// batch feeding this occasion (SamplerDiag::TakeBreachSinceLastRead;
+  /// always false when --diag is off).
+  bool mixing_breach = false;
 };
 
 /// One ledger row: a snapshot occasion, resolved against the oracle
@@ -114,6 +125,7 @@ struct CoverageRecord {
   bool degraded = false;
   bool partial = false;
   bool timeout = false;  ///< Held-result path (occasion yielded nothing).
+  bool mixing_breach = false;  ///< Sampler stationary gap out of tolerance.
   int health = 0;
   uint64_t total_samples = 0;
   uint64_t fresh_samples = 0;

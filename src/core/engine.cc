@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "audit/audit.h"
+#include "diag/diag.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "prof/profiler.h"
@@ -113,6 +114,9 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
         engine->sampling_operator_->SetFaultPlan(options.fault_plan);
         engine->sampling_operator_->SetObservability(
             options.tracer, options.registry, options.profiler);
+        // The diagnostics watch the content-weighted walks only — the
+        // chain whose stationary target the estimator's samples rely on.
+        engine->sampling_operator_->SetDiag(options.diag);
         op = engine->sampling_operator_.get();
       }
       engine->two_stage_sampler_ =
@@ -374,6 +378,11 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
     obs.message_cost =
         (meter_ != nullptr ? meter_->Total() : 0) - cost_before;
     obs.health = static_cast<int>(supervisor_.health());
+    // Stationary-gap breaches observed by the sampler diagnostics since
+    // the previous occasion: a miss here is the chain's fault, not the
+    // variance model's.
+    obs.mixing_breach = options_.diag != nullptr &&
+                        options_.diag->TakeBreachSinceLastRead();
     options_.auditor->RecordSnapshot(obs);
   }
 

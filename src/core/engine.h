@@ -25,6 +25,9 @@ namespace digest {
 namespace audit {
 class PrecisionAuditor;
 }  // namespace audit
+namespace diag {
+class SamplerDiag;
+}  // namespace diag
 namespace obs {
 class Registry;
 class Tracer;
@@ -147,6 +150,17 @@ struct DigestEngineOptions {
   /// With no auditor attached the engine's estimates, RNG streams, and
   /// meter totals are bit-identical to pre-audit builds (test-enforced).
   audit::PrecisionAuditor* auditor = nullptr;
+
+  /// Optional sampler-introspection aggregator (not owned; null
+  /// disables). Wired into the content sampling operator the engine
+  /// builds: every walk batch folds its visit/probe/hop record and
+  /// closes with mixing + load diagnostics against the live membership.
+  /// When the diagnostics flag a stationary-gap breach, the engine
+  /// stamps the next snapshot observation's mixing_breach so the
+  /// auditor can attribute a coinciding miss to poor_mixing. Same
+  /// purity contract as `tracer`: estimates, RNG streams, and meter
+  /// totals are bit-identical with or without one (test-enforced).
+  diag::SamplerDiag* diag = nullptr;
 };
 
 /// What one engine tick did.

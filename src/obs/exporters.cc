@@ -182,6 +182,34 @@ struct JsonFields {
     Field(out, "budget_burn", Num(e.budget_burn));
     Field(out, "budget_remaining", Num(e.budget_remaining));
   }
+  void operator()(const WalkMixingEvent& e) const {
+    Field(out, "walks", Num(e.walks));
+    Field(out, "steps", Num(e.steps));
+    Field(out, "lag1_autocorr", Num(e.lag1_autocorr));
+    Field(out, "ess", Num(e.ess));
+    Field(out, "rhat", Num(e.rhat));
+  }
+  void operator()(const StationaryGapEvent& e) const {
+    Field(out, "tv_distance", Num(e.tv_distance));
+    Field(out, "chi_square", Num(e.chi_square));
+    Field(out, "live_peers", Num(e.live_peers));
+    Field(out, "visits", Num(e.visits));
+    Field(out, "dropped_dead_visits", Num(e.dropped_dead_visits));
+    Field(out, "breach", e.breach);
+  }
+  void operator()(const PeerLoadEvent& e) const {
+    Field(out, "peers", Num(e.peers));
+    Field(out, "links", Num(e.links));
+    Field(out, "hot_peer", Num(e.hot_peer));
+    Field(out, "max_load", Num(e.max_load));
+    Field(out, "mean_load", Num(e.mean_load));
+    Field(out, "hot", e.hot);
+  }
+  void operator()(const AcceptanceRateEvent& e) const {
+    Field(out, "proposals", Num(e.proposals));
+    Field(out, "accepted", Num(e.accepted));
+    Field(out, "rate", Num(e.rate));
+  }
 };
 
 /// Which Chrome phase an event renders as: engine ticks are spans;
@@ -199,7 +227,11 @@ ChromeShape ShapeOf(const EventPayload& payload) {
       std::holds_alternative<AgentRestartEvent>(payload) ||
       std::holds_alternative<FaultLossEvent>(payload) ||
       std::holds_alternative<FaultStallEvent>(payload) ||
-      std::holds_alternative<WalkHedgedEvent>(payload)) {
+      std::holds_alternative<WalkHedgedEvent>(payload) ||
+      std::holds_alternative<WalkMixingEvent>(payload) ||
+      std::holds_alternative<StationaryGapEvent>(payload) ||
+      std::holds_alternative<PeerLoadEvent>(payload) ||
+      std::holds_alternative<AcceptanceRateEvent>(payload)) {
     return ChromeShape::kNestedSlice;
   }
   return ChromeShape::kInstant;

@@ -57,6 +57,16 @@ struct NameVisitor {
     return "audit_drift";
   }
   const char* operator()(const AuditSloEvent&) const { return "audit_slo"; }
+  const char* operator()(const WalkMixingEvent&) const {
+    return "walk_mixing";
+  }
+  const char* operator()(const StationaryGapEvent&) const {
+    return "stationary_gap";
+  }
+  const char* operator()(const PeerLoadEvent&) const { return "peer_load"; }
+  const char* operator()(const AcceptanceRateEvent&) const {
+    return "acceptance_rate";
+  }
 };
 
 }  // namespace

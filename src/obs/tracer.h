@@ -224,6 +224,52 @@ struct AuditSloEvent {
   double budget_remaining = 0.0;
 };
 
+/// Per-batch walk-mixing verdict from the sampler diagnostics
+/// (src/diag): pooled lag-1 autocorrelation of the weight series
+/// w(visited node), total effective sample size across the batch's
+/// walks, and the cross-walk Gelman–Rubin R̂ scoring burn-in adequacy.
+struct WalkMixingEvent {
+  uint64_t walks = 0;  ///< Delivered walks folded into the batch.
+  uint64_t steps = 0;  ///< Walk steps recorded (live + dead visits).
+  double lag1_autocorr = 0.0;
+  double ess = 0.0;
+  double rhat = 0.0;
+};
+
+/// Gap between the batch's empirical visit histogram and the
+/// degree-corrected stationary target π(v) = w(v)/Σw over the *current*
+/// live membership — joins/leaves rebase the target, and visits to
+/// departed peers are pruned (`dropped_dead_visits`). `breach` marks a
+/// total-variation distance past the configured tolerance; the auditor
+/// re-attributes coinciding variance_undershoot misses to poor_mixing.
+struct StationaryGapEvent {
+  double tv_distance = 0.0;
+  double chi_square = 0.0;
+  uint64_t live_peers = 0;
+  uint64_t visits = 0;  ///< Visits to still-live peers.
+  uint64_t dropped_dead_visits = 0;
+  bool breach = false;
+};
+
+/// Per-peer/per-link message-load accounting for one batch (weight
+/// probes + accepted hops). `hot` flags the max-load peer when it
+/// carries more than hot_peer_factor × the mean per-peer load.
+struct PeerLoadEvent {
+  uint64_t peers = 0;  ///< Peers that carried at least one message.
+  uint64_t links = 0;  ///< Distinct links that carried messages.
+  uint64_t hot_peer = 0;  ///< Max-load peer id (smallest id on ties).
+  uint64_t max_load = 0;
+  double mean_load = 0.0;
+  bool hot = false;
+};
+
+/// Metropolis acceptance rate over one batch's proposals.
+struct AcceptanceRateEvent {
+  uint64_t proposals = 0;
+  uint64_t accepted = 0;
+  double rate = 0.0;
+};
+
 using EventPayload =
     std::variant<RunBeginEvent, TickEvent, GapPredictedEvent, SnapshotEvent,
                  SnapshotSkippedEvent, SampleBudgetEvent, CiWidenedEvent,
@@ -232,7 +278,8 @@ using EventPayload =
                  FaultStallEvent, SupervisorStateEvent, PartialSnapshotEvent,
                  WalkHedgedEvent, CheckpointEvent, RestoreEvent,
                  AuditCoverageEvent, AuditBudgetEvent, AuditDriftEvent,
-                 AuditSloEvent>;
+                 AuditSloEvent, WalkMixingEvent, StationaryGapEvent,
+                 PeerLoadEvent, AcceptanceRateEvent>;
 
 /// Stable lower-snake-case name of a payload's event type (the `event`
 /// field of the JSONL schema; see docs/OBSERVABILITY.md).

@@ -1,5 +1,6 @@
 #include "sampling/random_walk.h"
 
+#include "diag/diag.h"
 #include "sampling/metropolis.h"
 
 namespace digest {
@@ -36,7 +37,8 @@ bool TryDeliver(FaultPlan& faults, const RetryPolicy& retry, NodeId from,
 Status RandomWalk::Step(const Graph& graph, const WeightFn& weight, Rng& rng,
                         MessageMeter* meter, NodeId fallback,
                         FaultPlan* faults, const RetryPolicy* retry,
-                        WalkTelemetry* telemetry) {
+                        WalkTelemetry* telemetry,
+                        diag::WalkDiagBuffer* diag) {
   static const RetryPolicy kDefaultRetry;
   if (faults != nullptr && retry == nullptr) retry = &kDefaultRetry;
   if (telemetry != nullptr) ++telemetry->attempts;
@@ -70,6 +72,7 @@ Status RandomWalk::Step(const Graph& graph, const WeightFn& weight, Rng& rng,
   // not the transmission survives — the sender pays for the send).
   if (meter != nullptr) meter->AddWeightProbe();
   if (telemetry != nullptr) ++telemetry->proposals;
+  if (diag != nullptr) diag->RecordProbe(current_, proposal);
   if (faults != nullptr &&
       !TryDeliver(*faults, *retry, current_, proposal, meter, telemetry)) {
     // Probe never answered within the retry budget: abandon the
@@ -91,6 +94,7 @@ Status RandomWalk::Step(const Graph& graph, const WeightFn& weight, Rng& rng,
   if (rng.NextBernoulli(accept)) {
     if (meter != nullptr) meter->AddWalkHop();
     if (telemetry != nullptr) ++telemetry->accepted;
+    if (diag != nullptr) diag->RecordHop(current_, proposal);
     if (faults != nullptr) {
       if (!TryDeliver(*faults, *retry, current_, proposal, meter,
                       telemetry)) {
@@ -120,11 +124,13 @@ Status RandomWalk::Step(const Graph& graph, const WeightFn& weight, Rng& rng,
 
 Status RandomWalk::Advance(const Graph& graph, const WeightFn& weight,
                            Rng& rng, MessageMeter* meter, NodeId fallback,
-                           size_t steps, WalkTelemetry* telemetry) {
+                           size_t steps, WalkTelemetry* telemetry,
+                           diag::WalkDiagBuffer* diag) {
   for (size_t i = 0; i < steps; ++i) {
     DIGEST_RETURN_IF_ERROR(Step(graph, weight, rng, meter, fallback,
                                 /*faults=*/nullptr, /*retry=*/nullptr,
-                                telemetry));
+                                telemetry, diag));
+    if (diag != nullptr) diag->RecordVisit(current_);
   }
   return Status::OK();
 }

@@ -12,6 +12,10 @@
 
 namespace digest {
 
+namespace diag {
+struct WalkDiagBuffer;
+}  // namespace diag
+
 /// Per-call accounting of a walk, accumulated across Steps (fault-free
 /// walks populate it too, for observability). `attempts` is the budget
 /// currency: one unit per attempted transition plus the deterministic
@@ -70,19 +74,27 @@ class RandomWalk {
   /// accounting). Fails if both the current node and `fallback` are dead.
   /// `faults`, `retry`, and `telemetry` may be null for the clean path;
   /// with faults attached, `retry` governs retransmissions and
-  /// `telemetry` (if given) accumulates the fault accounting.
+  /// `telemetry` (if given) accumulates the fault accounting. `diag`
+  /// (normally null — the fast path) records the step's weight probe
+  /// and accepted-hop edges for the sampler diagnostics; it consumes no
+  /// randomness, so instrumented and uninstrumented runs are
+  /// bit-identical.
   Status Step(const Graph& graph, const WeightFn& weight, Rng& rng,
               MessageMeter* meter, NodeId fallback,
               FaultPlan* faults = nullptr, const RetryPolicy* retry = nullptr,
-              WalkTelemetry* telemetry = nullptr);
+              WalkTelemetry* telemetry = nullptr,
+              diag::WalkDiagBuffer* diag = nullptr);
 
   /// Executes `steps` transitions (clean path only; fault-aware loops
   /// live in SamplingOperator, which owns the hop budget). `telemetry`
   /// may be null; when given it accumulates the observability counters
-  /// (attempts, proposals, accepted).
+  /// (attempts, proposals, accepted). `diag` (may be null) additionally
+  /// records the post-step position of every transition — the visit
+  /// histogram the diagnostics compare against the stationary target.
   Status Advance(const Graph& graph, const WeightFn& weight, Rng& rng,
                  MessageMeter* meter, NodeId fallback, size_t steps,
-                 WalkTelemetry* telemetry = nullptr);
+                 WalkTelemetry* telemetry = nullptr,
+                 diag::WalkDiagBuffer* diag = nullptr);
 
  private:
   NodeId current_;

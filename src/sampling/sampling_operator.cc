@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "diag/diag.h"
 #include "exec/worker_pool.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -27,6 +28,14 @@ void ObserveBatch(obs::Registry* registry, const WalkTelemetry& telemetry,
   registry->GetCounter("walk.samples")->Increment(samples);
   if (timed_out) registry->GetCounter("walk.timeouts")->Increment();
   registry->GetCounter("walk.agent_restarts")->Increment(telemetry.drops);
+  // Metropolis decision counters, reconcilable against MessageMeter:
+  // every proposal sent one weight probe, every accepted move sent one
+  // walk-hop message (obs_reconcile_test holds both equalities on a
+  // static fault-free overlay).
+  registry->GetCounter("walk.proposals")->Increment(telemetry.proposals);
+  registry->GetCounter("walk.accepted")->Increment(telemetry.accepted);
+  registry->GetCounter("walk.rejected")
+      ->Increment(telemetry.proposals - telemetry.accepted);
   // Hedge counters only materialize once a hedge fires, so metric dumps
   // of non-hedged runs are byte-identical to the pre-hedge layout.
   if (telemetry.hedges > 0) {
@@ -191,6 +200,9 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
       steps = EffectiveWalkLength();
     }
     ++next_agent_;
+    // Per-walk diagnostic record; folded only when this walk delivers.
+    diag::WalkDiagBuffer walk_diag;
+    diag::WalkDiagBuffer* wd = diag_ != nullptr ? &walk_diag : nullptr;
     // One agent's stepping to convergence (cold mix or warm reset);
     // items count the attempted hops, so walk throughput in steps/sec
     // falls out of the phase stats.
@@ -199,7 +211,7 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
       advance_timer.AddItems(steps);
       DIGEST_RETURN_IF_ERROR(agent->Advance(*graph_, weight_, rng_, meter_,
                                             fallback, steps,
-                                            &last_telemetry_));
+                                            &last_telemetry_, wd));
     } else {
       const uint64_t start_attempts = last_telemetry_.attempts;
       const uint64_t hedge_threshold = HedgeThreshold(steps);
@@ -265,6 +277,10 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
           }
           ObserveBatch(registry_, last_telemetry_, out.size(),
                        /*timed_out=*/true);
+          if (diag_ != nullptr) {
+            diag_->FinishBatch(*graph_, weight_, last_telemetry_.proposals,
+                               last_telemetry_.accepted, tracer_, registry_);
+          }
           return PartialBatch{std::move(out), /*timed_out=*/true};
         }
         const bool step_hedge = hedged && hedge_spent <= primary_spent;
@@ -275,7 +291,8 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
         DIGEST_RETURN_IF_ERROR(walker->Step(*graph_, weight_, rng_, meter_,
                                             fallback, faults_,
                                             &options_.retry,
-                                            &last_telemetry_));
+                                            &last_telemetry_, wd));
+        if (wd != nullptr) wd->RecordVisit(walker->current());
         const uint64_t spent = last_telemetry_.attempts - attempts_before;
         if (step_hedge) {
           hedge_spent += spent;
@@ -316,6 +333,7 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
     // The agent reports the sampled node back to the originator.
     if (meter_ != nullptr) meter_->AddSampleTransfer();
     out.push_back(agent->current());
+    if (wd != nullptr) diag_->FoldWalk(walk_diag);
   }
   if (!options_.warm_walks) {
     agents_.clear();
@@ -333,6 +351,10 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
         last_telemetry_.hedge_wins});
   }
   ObserveBatch(registry_, last_telemetry_, out.size(), /*timed_out=*/false);
+  if (diag_ != nullptr) {
+    diag_->FinishBatch(*graph_, weight_, last_telemetry_.proposals,
+                       last_telemetry_.accepted, tracer_, registry_);
+  }
   return PartialBatch{std::move(out), /*timed_out=*/false};
 }
 
@@ -435,6 +457,7 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
     NodeId final_pos = 0;
     WalkTelemetry telemetry;
     MessageMeter meter;
+    diag::WalkDiagBuffer diag;
     std::vector<obs::EventPayload> events;
     uint64_t fault_losses = 0;
     uint64_t fault_drops = 0;
@@ -458,6 +481,7 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
         const WalkPlan& plan = plans[i];
         Rng walk_rng = substream_base.Split(2 * i);
         MessageMeter* wm = meter_ != nullptr ? &out.meter : nullptr;
+        diag::WalkDiagBuffer* wd = diag_ != nullptr ? &out.diag : nullptr;
         RandomWalk agent(plan.start, options_.laziness);
         prof::ScopedTrackTimer advance_timer(&tracks[worker],
                                              prof::Phase::kWalkAdvance);
@@ -465,7 +489,7 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
           advance_timer.AddItems(plan.steps);
           DIGEST_RETURN_IF_ERROR(agent.Advance(*graph_, weight_, walk_rng,
                                                wm, fallback, plan.steps,
-                                               &out.telemetry));
+                                               &out.telemetry, wd));
         } else {
           FaultPlan sub = faults_->SpawnSubstream(plan.fault_key);
           obs::BufferTracer buffer;
@@ -510,7 +534,8 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
             DIGEST_RETURN_IF_ERROR(walker->Step(*graph_, weight_, walk_rng,
                                                 wm, fallback, &sub,
                                                 &options_.retry,
-                                                &out.telemetry));
+                                                &out.telemetry, wd));
+            if (wd != nullptr) wd->RecordVisit(walker->current());
             const uint64_t spent = out.telemetry.attempts - attempts_before;
             if (step_hedge) {
               hedge_spent += spent;
@@ -591,6 +616,10 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
       break;
     }
     out.push_back(o.final_pos);
+    // Delivered walk: its diagnostic record folds here, in walk-index
+    // order on the main thread — the fold order (and hence all diag
+    // state) is independent of worker scheduling.
+    if (diag_ != nullptr) diag_->FoldWalk(o.diag);
     cum_attempts += o.telemetry.attempts;
     if (faults_ != nullptr) {
       ++done_walks_;
@@ -607,6 +636,10 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
                                                  budget});
     }
     ObserveBatch(registry_, last_telemetry_, out.size(), /*timed_out=*/true);
+    if (diag_ != nullptr) {
+      diag_->FinishBatch(*graph_, weight_, last_telemetry_.proposals,
+                         last_telemetry_.accepted, tracer_, registry_);
+    }
     return PartialBatch{std::move(out), /*timed_out=*/true};
   }
   if (!options_.warm_walks) {
@@ -623,6 +656,10 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
         last_telemetry_.hedge_wins});
   }
   ObserveBatch(registry_, last_telemetry_, out.size(), /*timed_out=*/false);
+  if (diag_ != nullptr) {
+    diag_->FinishBatch(*graph_, weight_, last_telemetry_.proposals,
+                       last_telemetry_.accepted, tracer_, registry_);
+  }
   return PartialBatch{std::move(out), /*timed_out=*/false};
 }
 

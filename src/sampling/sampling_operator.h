@@ -14,6 +14,9 @@
 #include "sampling/weight.h"
 
 namespace digest {
+namespace diag {
+class SamplerDiag;
+}  // namespace diag
 namespace exec {
 class WorkerPool;
 }  // namespace exec
@@ -166,6 +169,16 @@ class SamplingOperator {
   obs::Registry* registry() const { return registry_; }
   prof::Profiler* profiler() const { return profiler_; }
 
+  /// Attaches (or detaches, with nullptr) the sampler-introspection
+  /// aggregator. Not owned. Each delivered walk's visit/probe/hop record
+  /// is folded in walk-index order and every batch is closed with
+  /// SamplerDiag::FinishBatch against the current live membership. Pure
+  /// observation with the same contract as SetObservability: a null
+  /// diag is the fast path, bit-identical to an uninstrumented build,
+  /// and the folded state is invariant across num_threads.
+  void SetDiag(diag::SamplerDiag* diag) { diag_ = diag; }
+  diag::SamplerDiag* diag() const { return diag_; }
+
   /// Draws one sample node, originating the walk at `origin`. Returning
   /// the sampled node id to the originator costs one transfer message.
   /// Fails if the graph is empty or the origin is dead with no live node
@@ -248,6 +261,7 @@ class SamplingOperator {
   obs::Tracer* tracer_ = nullptr;
   obs::Registry* registry_ = nullptr;
   prof::Profiler* profiler_ = nullptr;
+  diag::SamplerDiag* diag_ = nullptr;
   WalkTelemetry last_telemetry_;
   std::vector<RandomWalk> agents_;  // Warm agents, reused round-robin.
   size_t next_agent_ = 0;

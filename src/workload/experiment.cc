@@ -2,6 +2,7 @@
 
 #include "audit/audit.h"
 #include "baselines/push_all.h"
+#include "diag/diag.h"
 #include "numeric/rng.h"
 #include "obs/bridge.h"
 #include "obs/tracer.h"
@@ -31,6 +32,11 @@ Result<RunResult> RunEngineExperiment(Workload& workload,
   }
   if (options.auditor != nullptr) {
     options.auditor->BeginRun(run_label.empty() ? "engine-run" : run_label);
+  }
+  if (options.diag != nullptr) {
+    // Mirror the auditor: a shared diagnostics aggregator starts every
+    // run from a clean slate, so repeat runs accumulate identically.
+    options.diag->Reset();
   }
 
   RunResult out;

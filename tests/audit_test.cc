@@ -47,6 +47,7 @@ TEST(MissCauseTest, NamesAreStable) {
   EXPECT_STREQ(MissCauseName(MissCause::kRetainedPoolFallback),
                "retained_pool");
   EXPECT_STREQ(MissCauseName(MissCause::kHedgeTimeout), "hedge_timeout");
+  EXPECT_STREQ(MissCauseName(MissCause::kPoorMixing), "poor_mixing");
 }
 
 TEST(AuditOptionsTest, ValidateRejectsBadTuning) {
@@ -113,7 +114,7 @@ TEST(PrecisionAuditorTest, AttributionPrecedence) {
   auditor.BeginRun("attribution");
   // Every occasion misses (estimate 0 vs truth 50, ci 1); the flags
   // decide the cause. Worst state wins: timeout > degraded (retained
-  // pool) > partial > clean variance undershoot.
+  // pool) > partial > poor mixing > clean variance undershoot.
   SnapshotObservation degraded_partial = MakeObs(1, 0.0, 1.0);
   degraded_partial.degraded = true;
   degraded_partial.partial = true;
@@ -122,6 +123,9 @@ TEST(PrecisionAuditorTest, AttributionPrecedence) {
 
   SnapshotObservation partial = MakeObs(2, 0.0, 1.0);
   partial.partial = true;
+  // A stationary-gap breach rides along but loses to the structural
+  // partial-snapshot flag.
+  partial.mixing_breach = true;
   auditor.RecordSnapshot(partial);
   auditor.RecordTruth(2, 50.0);
 
@@ -133,8 +137,15 @@ TEST(PrecisionAuditorTest, AttributionPrecedence) {
                         /*health=*/1);
   auditor.RecordTruth(4, 50.0);
 
+  // A structurally clean miss whose walk batches breached the
+  // stationary-gap tolerance: re-attributed to the sampler.
+  SnapshotObservation poorly_mixed = MakeObs(5, 0.0, 1.0);
+  poorly_mixed.mixing_breach = true;
+  auditor.RecordSnapshot(poorly_mixed);
+  auditor.RecordTruth(5, 50.0);
+
   const PrecisionAuditor::Summary s = auditor.Summarize();
-  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.misses, 5u);
   EXPECT_EQ(s.cause_counts[static_cast<size_t>(
                 MissCause::kRetainedPoolFallback)], 1u);
   EXPECT_EQ(s.cause_counts[static_cast<size_t>(
@@ -143,11 +154,16 @@ TEST(PrecisionAuditorTest, AttributionPrecedence) {
                 MissCause::kVarianceUndershoot)], 1u);
   EXPECT_EQ(s.cause_counts[static_cast<size_t>(MissCause::kHedgeTimeout)],
             1u);
+  EXPECT_EQ(s.cause_counts[static_cast<size_t>(MissCause::kPoorMixing)],
+            1u);
   // The ledger kept the structural flags.
-  ASSERT_EQ(auditor.records().size(), 4u);
+  ASSERT_EQ(auditor.records().size(), 5u);
   EXPECT_TRUE(auditor.records()[0].degraded);
   EXPECT_TRUE(auditor.records()[1].partial);
+  EXPECT_TRUE(auditor.records()[1].mixing_breach);
   EXPECT_TRUE(auditor.records()[3].timeout);
+  EXPECT_TRUE(auditor.records()[4].mixing_breach);
+  EXPECT_FALSE(auditor.records()[4].partial);
 }
 
 TEST(PrecisionAuditorTest, SkipPathDeltaCompliance) {
@@ -253,7 +269,11 @@ TEST(PrecisionAuditorTest, StateJsonRoundTrips) {
   auditor.RecordTruth(2, 50.0);
   auditor.RecordSkip(3, 50.0, 0.5);
   auditor.RecordTruth(3, 90.0);
-  auditor.RecordSnapshot(MakeObs(4, 50.0, 1.0));  // Left pending.
+  SnapshotObservation breached = MakeObs(4, 10.0, 1.0);
+  breached.mixing_breach = true;  // The codec must carry the flag.
+  auditor.RecordSnapshot(breached);
+  auditor.RecordTruth(4, 50.0);
+  auditor.RecordSnapshot(MakeObs(5, 50.0, 1.0));  // Left pending.
 
   const PrecisionAuditor::State state = auditor.SaveState();
   EXPECT_TRUE(state.pending_snapshot);
@@ -269,9 +289,15 @@ TEST(PrecisionAuditorTest, StateJsonRoundTrips) {
   restored.AttachContract(1.0, 2.0, 0.9);
   restored.RestoreState(decoded.value());
   EXPECT_EQ(restored.SummaryJson(), auditor.SummaryJson());
+  // The breached record survived the round trip with flag and cause.
+  ASSERT_FALSE(restored.records().empty());
+  const CoverageRecord& breached_restored = restored.records().back();
+  EXPECT_EQ(breached_restored.tick, 4);
+  EXPECT_TRUE(breached_restored.mixing_breach);
+  EXPECT_EQ(breached_restored.cause, MissCause::kPoorMixing);
   // The pending observation survived: resolving it after restore works.
-  restored.RecordTruth(4, 50.0);
-  auditor.RecordTruth(4, 50.0);
+  restored.RecordTruth(5, 50.0);
+  auditor.RecordTruth(5, 50.0);
   EXPECT_EQ(restored.SummaryJson(), auditor.SummaryJson());
   // Re-encoding the restored state is byte-identical.
   std::string re_encoded;

@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "core/engine.h"
+#include "diag/diag.h"
 #include "net/topology.h"
 #include "workload/experiment.h"
 #include "workload/memory.h"
@@ -81,6 +84,78 @@ TEST(ChurnStressTest, SamplingOperatorSurvivesMassDeparture) {
   Result<std::vector<NodeId>> nodes = op.SampleNodes(0, 20);
   ASSERT_TRUE(nodes.ok()) << nodes.status();
   for (NodeId v : *nodes) EXPECT_TRUE(graph.HasNode(v));
+}
+
+struct ChurnDiagRun {
+  std::vector<NodeId> first_batch;
+  std::vector<NodeId> second_batch;
+  size_t live_after = 0;
+  uint64_t live_peers_before = 0;
+  uint64_t live_peers_after = 0;
+  uint64_t batches = 0;
+  std::string summary;
+};
+
+/// Two sampling batches with a 60% mass departure in between, with the
+/// sampler diagnostics optionally attached. Same fixed seeds every
+/// call, so any two runs must produce identical samples.
+ChurnDiagRun DriveChurnedBatches(diag::SamplerDiag* diag) {
+  Rng topo(3);
+  Graph graph = MakeBarabasiAlbert(100, 3, topo).value();
+  SamplingOperatorOptions options;
+  options.walk_length = 50;
+  options.reset_length = 15;
+  SamplingOperator op(&graph, UniformWeight(), Rng(4), nullptr, options);
+  if (diag != nullptr) op.SetDiag(diag);
+
+  ChurnDiagRun run;
+  run.first_batch = op.SampleNodes(0, 20).value();
+  if (diag != nullptr) run.live_peers_before = diag->last_batch().live_peers;
+
+  Rng rng(5);
+  for (NodeId victim : graph.LiveNodes()) {
+    if (victim == 0) continue;  // Keep the origin.
+    if (rng.NextBernoulli(0.6)) EXPECT_TRUE(graph.RemoveNode(victim).ok());
+  }
+  RepairConnectivity(graph, rng);
+  run.live_after = graph.NodeCount();
+
+  run.second_batch = op.SampleNodes(0, 20).value();
+  if (diag != nullptr) {
+    run.live_peers_after = diag->last_batch().live_peers;
+    run.batches = diag->batches();
+    run.summary = diag->SummaryJson();
+  }
+  for (NodeId v : run.second_batch) EXPECT_TRUE(graph.HasNode(v));
+  return run;
+}
+
+TEST(ChurnStressTest, DiagVisitTargetRebasesAfterMassDeparture) {
+  // Sampler-introspection under churn: after 60% of the network leaves,
+  // the next batch's stationary target is rebased on the survivors —
+  // departed peers contribute no target mass — and attaching the
+  // diagnostics never perturbs the walk schedule.
+  diag::SamplerDiag diag;
+  const ChurnDiagRun diagnosed = DriveChurnedBatches(&diag);
+  ASSERT_EQ(diagnosed.batches, 2u);
+  EXPECT_EQ(diagnosed.live_peers_before, 100u);
+  EXPECT_EQ(diagnosed.live_peers_after, diagnosed.live_after);
+  EXPECT_LT(diagnosed.live_peers_after, 60u);  // The departure happened.
+  // Live visits land only on survivors, so the post-churn histogram is
+  // still a probability distribution over the rebased target: TV ≤ 1.
+  EXPECT_GT(diag.last_batch().live_visits, 0u);
+  EXPECT_LE(diag.last_batch().tv_distance, 1.0);
+
+  // Determinism, both ways: a diag-free run draws the same samples
+  // (observation is pure), and a second diagnosed run reproduces the
+  // summary byte-for-byte.
+  const ChurnDiagRun plain = DriveChurnedBatches(nullptr);
+  EXPECT_EQ(diagnosed.first_batch, plain.first_batch);
+  EXPECT_EQ(diagnosed.second_batch, plain.second_batch);
+  diag::SamplerDiag diag2;
+  const ChurnDiagRun repeat = DriveChurnedBatches(&diag2);
+  ASSERT_FALSE(diagnosed.summary.empty());
+  EXPECT_EQ(diagnosed.summary, repeat.summary);
 }
 
 TEST(ChurnStressTest, RetainedPoolSurvivesDepartureOfSampledNodes) {

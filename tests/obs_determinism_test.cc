@@ -16,6 +16,7 @@
 
 #include "audit/audit.h"
 #include "core/engine.h"
+#include "diag/diag.h"
 #include "db/p2p_database.h"
 #include "net/fault_plan.h"
 #include "net/topology.h"
@@ -191,11 +192,13 @@ TEST(ObsDeterminismTest, TracingIsPureObservationFaultyRun) {
 }
 
 /// Renders the trace as JSONL lines with the seq stamp stripped and —
-/// when `drop_audit` — the audit_* lines removed, so an audited trace
-/// can be compared line-for-line against an unaudited one (audit events
-/// shift every later seq).
+/// when `drop_audit` / `drop_diag` — the audit_* / sampler-diagnostic
+/// lines removed, so an instrumented trace can be compared
+/// line-for-line against a plain one (extra events shift every later
+/// seq).
 std::vector<std::string> NormalizedLines(
-    const std::vector<obs::TraceEvent>& events, bool drop_audit) {
+    const std::vector<obs::TraceEvent>& events, bool drop_audit,
+    bool drop_diag = false) {
   std::vector<std::string> out;
   for (const obs::TraceEvent& event : events) {
     if (drop_audit &&
@@ -203,6 +206,13 @@ std::vector<std::string> NormalizedLines(
          std::holds_alternative<obs::AuditBudgetEvent>(event.payload) ||
          std::holds_alternative<obs::AuditDriftEvent>(event.payload) ||
          std::holds_alternative<obs::AuditSloEvent>(event.payload))) {
+      continue;
+    }
+    if (drop_diag &&
+        (std::holds_alternative<obs::WalkMixingEvent>(event.payload) ||
+         std::holds_alternative<obs::StationaryGapEvent>(event.payload) ||
+         std::holds_alternative<obs::PeerLoadEvent>(event.payload) ||
+         std::holds_alternative<obs::AcceptanceRateEvent>(event.payload))) {
       continue;
     }
     const std::string line = obs::EventToJsonLine(event);
@@ -302,6 +312,99 @@ TEST(ObsDeterminismTest, AuditLedgerIsThreadCountInvariant) {
                  /*num_threads=*/4);
   ASSERT_FALSE(serial.summary_json.empty());
   EXPECT_EQ(serial.summary_json, parallel.summary_json);
+  EXPECT_EQ(obs::RenderJsonLines(serial.events),
+            obs::RenderJsonLines(parallel.events));
+}
+
+struct DiaggedRun {
+  RunResult result;
+  std::string diag_summary;
+  std::vector<obs::TraceEvent> events;
+};
+
+DiaggedRun RunDiagged(bool with_diag, bool with_faults,
+                      size_t num_threads = 0) {
+  DriftWorkload workload(/*seed=*/99);
+  const ContinuousQuerySpec spec =
+      ContinuousQuerySpec::Create("SELECT AVG(load) FROM R",
+                                  PrecisionSpec{1.0, 4.0, 0.9})
+          .value();
+  FaultPlanConfig config;
+  config.message_loss = with_faults ? 0.06 : 0.0;
+  config.agent_drop = with_faults ? 0.03 : 0.0;
+  FaultPlan plan(config, /*seed=*/31);
+
+  obs::MemoryTracer tracer;
+  diag::SamplerDiag diag;
+  DigestEngineOptions options;
+  options.scheduler = SchedulerKind::kPred;
+  options.estimator = EstimatorKind::kRepeated;
+  options.sampling_options.walk_length = 14;
+  options.sampling_options.reset_length = 4;
+  options.num_threads = num_threads;
+  if (with_faults) options.fault_plan = &plan;
+  options.tracer = &tracer;
+  if (with_diag) options.diag = &diag;
+
+  DiaggedRun out;
+  out.result = RunEngineExperiment(workload, spec, options, kTicks,
+                                   /*seed=*/7, "determinism")
+                   .value();
+  out.diag_summary = diag.SummaryJson();
+  out.events = tracer.events();
+  return out;
+}
+
+TEST(ObsDeterminismTest, DiagOffIsBitIdenticalToUndiagged) {
+  // With the sampler diagnostics detached (the null fast path), the run
+  // must match a diagnosed run of the same seed in everything except the
+  // four per-batch diagnostic events — SamplerDiag observes the walks
+  // but consumes no RNG and never steers them.
+  const DiaggedRun diagged =
+      RunDiagged(/*with_diag=*/true, /*with_faults=*/true);
+  const DiaggedRun plain =
+      RunDiagged(/*with_diag=*/false, /*with_faults=*/true);
+  ASSERT_EQ(diagged.result.reported.size(), plain.result.reported.size());
+  for (size_t i = 0; i < plain.result.reported.size(); ++i) {
+    EXPECT_EQ(diagged.result.reported[i], plain.result.reported[i])
+        << "tick " << i;
+    EXPECT_EQ(diagged.result.ci_halfwidths[i],
+              plain.result.ci_halfwidths[i]);
+  }
+  EXPECT_EQ(diagged.result.meter.Total(), plain.result.meter.Total());
+  EXPECT_EQ(diagged.result.meter.walk_hops(),
+            plain.result.meter.walk_hops());
+  EXPECT_EQ(diagged.result.meter.weight_probes(),
+            plain.result.meter.weight_probes());
+  EXPECT_EQ(diagged.result.stats.snapshots, plain.result.stats.snapshots);
+  EXPECT_EQ(diagged.result.stats.total_samples,
+            plain.result.stats.total_samples);
+  EXPECT_EQ(diagged.result.final_health, plain.result.final_health);
+  const std::vector<std::string> diagged_lines = NormalizedLines(
+      diagged.events, /*drop_audit=*/false, /*drop_diag=*/true);
+  const std::vector<std::string> plain_lines =
+      NormalizedLines(plain.events, /*drop_audit=*/false);
+  ASSERT_EQ(diagged_lines.size(), plain_lines.size());
+  for (size_t i = 0; i < plain_lines.size(); ++i) {
+    EXPECT_EQ(diagged_lines[i], plain_lines[i]) << "line " << i;
+  }
+  // And the diagnosed trace really did carry the diagnostic events.
+  EXPECT_GT(diagged.events.size(), plain.events.size());
+}
+
+TEST(ObsDeterminismTest, DiagStateIsThreadCountInvariant) {
+  // The diagnostics fold per-walk buffers in walk-index order on the
+  // main thread, so the full run summary (counts, TV, ESS, R-hat — all
+  // %.17g) must be byte-identical for 1 vs 4 worker threads, and so
+  // must the exported trace.
+  const DiaggedRun serial =
+      RunDiagged(/*with_diag=*/true, /*with_faults=*/true,
+                 /*num_threads=*/1);
+  const DiaggedRun parallel =
+      RunDiagged(/*with_diag=*/true, /*with_faults=*/true,
+                 /*num_threads=*/4);
+  ASSERT_FALSE(serial.diag_summary.empty());
+  EXPECT_EQ(serial.diag_summary, parallel.diag_summary);
   EXPECT_EQ(obs::RenderJsonLines(serial.events),
             obs::RenderJsonLines(parallel.events));
 }

@@ -218,6 +218,24 @@ TEST(ObsReconcileTest, FaultFreeRunReconcilesExactly) {
   // Walk instrumentation fired on the clean path too.
   EXPECT_GT(registry.CounterValue("walk.batches"), 0u);
   EXPECT_GT(registry.CounterValue("walk.samples"), 0u);
+
+  // --- Metropolis counters vs MessageMeter -------------------------
+  // Every proposal sends exactly one weight probe and every accepted
+  // move exactly one forwarding hop (the lazy half-steps send nothing),
+  // so on the fault-free path the operator's registry counters must
+  // equal the network accounting to the message.
+  EXPECT_GT(registry.CounterValue("walk.proposals"), 0u);
+  EXPECT_EQ(registry.CounterValue("walk.proposals"),
+            run->meter.weight_probes());
+  EXPECT_EQ(registry.CounterValue("walk.accepted"),
+            run->meter.walk_hops());
+  EXPECT_EQ(registry.CounterValue("walk.rejected"),
+            run->meter.weight_probes() - run->meter.walk_hops());
+  // Lazy Metropolis accepts most proposals (the degree correction only
+  // rejects into the tail): a grossly low acceptance rate would mean
+  // the counters drifted apart.
+  EXPECT_GE(2 * registry.CounterValue("walk.accepted"),
+            registry.CounterValue("walk.proposals"));
 }
 
 }  // namespace

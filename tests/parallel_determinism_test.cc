@@ -16,6 +16,7 @@
 
 #include "core/engine.h"
 #include "db/p2p_database.h"
+#include "diag/diag.h"
 #include "net/fault_plan.h"
 #include "net/message_meter.h"
 #include "net/topology.h"
@@ -108,6 +109,7 @@ struct DriveResult {
   SessionHealth health = SessionHealth::kHealthy;
   uint64_t outcome_total = 0;
   std::vector<std::string> trace;  ///< Normalized JSONL (seq stripped).
+  std::string diag_summary;        ///< SamplerDiag::SummaryJson().
 };
 
 /// Renders events as JSONL with the per-tracer `seq` stamp stripped.
@@ -142,10 +144,15 @@ Result<DriveResult> Drive(const DriveConfig& cfg) {
     plan.emplace(cfg.faults, kFaultSeed);
   }
   obs::MemoryTracer tracer;
+  // The sampler diagnostics ride every drive: their folded state is part
+  // of the bit-identity contract across thread counts, and they consume
+  // no RNG, so attaching them never perturbs the run itself.
+  diag::SamplerDiag diag;
   DigestEngineOptions options;
   options.scheduler = cfg.scheduler;
   options.estimator = EstimatorKind::kRepeated;
   options.num_threads = cfg.num_threads;
+  options.diag = &diag;
   options.sampling_options.walk_length = 16;
   options.sampling_options.reset_length = 4;
   options.sampling_options.retry.hop_budget_factor = cfg.hop_budget_factor;
@@ -181,6 +188,7 @@ Result<DriveResult> Drive(const DriveConfig& cfg) {
         engine->supervisor().outcome_count(static_cast<SnapshotOutcome>(i));
   }
   out.trace = NormalizeTrace(tracer.events());
+  out.diag_summary = diag.SummaryJson();
   return out;
 }
 
@@ -209,6 +217,10 @@ void ExpectBitIdentical(const DriveResult& a, const DriveResult& b) {
   for (size_t i = 0; i < a.trace.size(); ++i) {
     EXPECT_EQ(a.trace[i], b.trace[i]) << "event " << i;
   }
+  // The %.17g diag summary is the strictest scalar digest of the walk
+  // schedule: byte-equality means every fold happened in the same order
+  // with the same visits on every thread count.
+  EXPECT_EQ(a.diag_summary, b.diag_summary);
 }
 
 bool TraceContains(const DriveResult& run, const std::string& event_name) {
@@ -243,6 +255,9 @@ TEST(ParallelDeterminismTest, CleanRunBitIdenticalAcrossThreadCounts) {
   cfg.num_threads = 1;
   Result<DriveResult> reference = Drive(cfg);
   ASSERT_TRUE(reference.ok()) << reference.status().message();
+  // The diagnostics actually watched walks (not a vacuous comparison).
+  EXPECT_EQ(reference->diag_summary.find("\"batches\":0,"),
+            std::string::npos);
   for (size_t threads : {2u, 4u, 8u}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     cfg.num_threads = threads;

@@ -26,27 +26,16 @@ events found.
 """
 
 import argparse
-import json
 import math
 import sys
+
+from trace_schema import load_jsonl_events
 
 
 def load_slo_events(path):
     """Returns the list of audit_slo payload objects in the trace, in
     emission order. Raises ValueError on malformed JSONL."""
-    events = []
-    with open(path, "r", encoding="utf-8") as f:
-        for line_no, line in enumerate(f, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError as e:
-                raise ValueError(f"{path}:{line_no}: invalid JSON: {e}")
-            if obj.get("event") == "audit_slo":
-                events.append(obj)
-    return events
+    return load_jsonl_events(path, {"audit_slo"})
 
 
 def coverage_floor(p, occasions):

@@ -47,28 +47,24 @@ import argparse
 import json
 import sys
 
-COUNT_FIELDS = ("ticks", "snapshots", "total_samples", "messages",
-                "degraded_ticks", "walk_batches", "walk_hops")
-
-SUITE_SCHEMA = "digest-bench-suite-v1"
-
-# An audited baseline (bench_suite --audit) carries the precision
-# auditor's run summary in each scenario's `extra.audit` object. Two
-# gates: (1) a scenario whose baseline met its coverage floor
+# Schema tables shared with check_trace.py / audit_report.py /
+# diag_report.py live in trace_schema.py — one source of truth for the
+# bench_suite JSON layout this script gates.
+#
+# Audit gate: a scenario whose baseline met its coverage floor
 # (coverage_ok true) must still meet it — a flip to false is an
-# accuracy regression, flagged even when the configs differ; (2) when
-# the configs match, the deterministic accuracy fields must match the
-# baseline EXACTLY, same rationale as the work counts.
-AUDIT_EXACT_FIELDS = ("occasions", "hits", "misses", "delta_ticks",
-                      "delta_misses", "coverage", "attribution")
-
-# The parallel-executor scenario additionally commits a speedup curve in
-# its `extra` object (BENCH_parallel_rpt_mcmc.json); those fields are
-# schema-checked here, and the in-suite cross-thread-count determinism
-# verdict is a hard gate: a run that was not bit-identical across 1/2/4/8
-# threads fails the comparison no matter how fast it was.
-PARALLEL_EXTRA_FIELDS = ("threads", "wall_ms", "speedup", "speedup_at_4",
-                         "host_cores", "bit_identical_across_counts")
+# accuracy regression, flagged even when the configs differ; when the
+# configs match, AUDIT_EXACT_FIELDS must match the baseline EXACTLY,
+# same rationale as the work counts. Diag gate: same exact-match rule
+# for DIAG_EXACT_FIELDS (the deterministic walk/visit/breach counts).
+#
+# Parallel scenario: PARALLEL_EXTRA_FIELDS are schema-checked, and the
+# in-suite cross-thread-count determinism verdict is a hard gate: a run
+# that was not bit-identical across 1/2/4/8 threads fails the
+# comparison no matter how fast it was.
+from trace_schema import (AUDIT_EXACT_FIELDS, COUNT_FIELDS,
+                          DIAG_EXACT_FIELDS, PARALLEL_EXTRA_FIELDS,
+                          SUITE_SCHEMA)
 
 
 def check_parallel_extra(name, scenario, failures):
@@ -90,15 +86,31 @@ def check_parallel_extra(name, scenario, failures):
                         f"thread count list length {len(threads)}")
 
 
+def extra_section(name, scenario, key, side, failures):
+    """Returns scenario.extra[key] as a dict, or None with one clear
+    failure line when the section is absent or malformed — never a
+    KeyError traceback."""
+    extra = scenario.get("extra")
+    if not isinstance(extra, dict) or key not in extra:
+        flag = "--audit" if key == "audit" else "--diag"
+        failures.append(
+            f"{name}: {side} run has no extra.{key} section (was "
+            f"bench_suite run with {flag}?)")
+        return None
+    section = extra[key]
+    if not isinstance(section, dict):
+        failures.append(f"{name}: {side} extra.{key} is not an object")
+        return None
+    return section
+
+
 def check_audit_extra(name, base_scenario, cur_scenario, counts_comparable,
                       failures):
-    base_audit = base_scenario["extra"]["audit"]
-    cur_extra = cur_scenario.get("extra")
-    cur_audit = cur_extra.get("audit") if isinstance(cur_extra, dict) \
-        else None
-    if not isinstance(cur_audit, dict):
-        failures.append(f"{name}: baseline is audited but current run has "
-                        f"no extra.audit (run bench_suite with --audit)")
+    base_audit = extra_section(name, base_scenario, "audit", "baseline",
+                               failures)
+    cur_audit = extra_section(name, cur_scenario, "audit", "current",
+                              failures)
+    if base_audit is None or cur_audit is None:
         return
     if base_audit.get("coverage_ok") is True and \
             cur_audit.get("coverage_ok") is not True:
@@ -114,6 +126,23 @@ def check_audit_extra(name, base_scenario, cur_scenario, counts_comparable,
                 failures.append(
                     f"{name}: audit '{field}' changed {bv} -> {cv} "
                     f"(deterministic accuracy ledger differs)")
+
+
+def check_diag_extra(name, base_scenario, cur_scenario, counts_comparable,
+                     failures):
+    base_diag = extra_section(name, base_scenario, "diag", "baseline",
+                              failures)
+    cur_diag = extra_section(name, cur_scenario, "diag", "current",
+                             failures)
+    if base_diag is None or cur_diag is None or not counts_comparable:
+        return
+    for field in DIAG_EXACT_FIELDS:
+        bv = base_diag.get(field)
+        cv = cur_diag.get(field)
+        if bv != cv:
+            failures.append(
+                f"{name}: diag '{field}' changed {bv} -> {cv} "
+                f"(deterministic sampler diagnostics differ)")
 
 
 def load_suite(path):
@@ -181,6 +210,9 @@ def main():
 
         if isinstance(b.get("extra"), dict) and "audit" in b["extra"]:
             check_audit_extra(name, b, c, counts_comparable, failures)
+
+        if isinstance(b.get("extra"), dict) and "diag" in b["extra"]:
+            check_diag_extra(name, b, c, counts_comparable, failures)
 
         if isinstance(b.get("extra"), dict) and \
                 "bit_identical_across_counts" in b["extra"]:

@@ -21,67 +21,9 @@ import argparse
 import json
 import sys
 
-# event name -> required payload fields (beyond seq/t/event).
-EVENT_SCHEMA = {
-    "run_begin": {"label"},
-    "tick": {"snapshot_executed", "degraded", "result_updated", "reported",
-             "ci_halfwidth"},
-    "gap_predicted": {"gap", "next_tick", "poly_order", "predicted_drift",
-                      "strict"},
-    "snapshot": {"value", "ci_halfwidth", "total_samples", "fresh_samples",
-                 "retained_samples", "degraded"},
-    "snapshot_skipped": {"next_snapshot_tick"},
-    "sample_budget": {"repeated", "rho_hat", "sigma_hat", "planned_total",
-                      "planned_retained"},
-    "ci_widened": {"from", "to"},
-    "degraded_fallback": {"retained_pool"},
-    "walk_batch": {"agents", "warm", "cold_steps", "warm_steps", "budget"},
-    "walk_batch_done": {"samples", "attempts", "retries", "losses", "drops",
-                        "stalled_steps", "hedges", "hedge_wins"},
-    "hop_budget_exhausted": {"attempts", "budget"},
-    "agent_restart": {"agent_index"},
-    "fault_loss": {"from", "to"},
-    "fault_stall": {"stalled_steps"},
-    "supervisor_state": {"from", "to", "outcome", "consecutive"},
-    "partial_snapshot": {"collected", "planned", "ci_halfwidth"},
-    "walk_hedged": {"agent_index", "attempts", "threshold"},
-    "checkpoint": {"bytes", "last_tick"},
-    "restore": {"bytes", "last_tick"},
-    # Precision-audit events (src/audit/, docs/OBSERVABILITY.md "audit").
-    "audit_coverage": {"estimate", "truth", "ci_halfwidth", "hit", "cause",
-                       "occasions", "misses"},
-    "audit_budget": {"burn", "remaining", "occasions", "misses"},
-    "audit_drift": {"detector", "ewma", "cusum_pos", "cusum_neg",
-                    "threshold", "streak", "flip"},
-    "audit_slo": {"label", "p", "epsilon", "delta", "occasions", "hits",
-                  "misses", "coverage", "coverage_floor", "coverage_ok",
-                  "delta_ticks", "delta_misses", "delta_compliance",
-                  "budget_burn", "budget_remaining"},
-}
-
-# Walk-scoped events that may carry the optional `lane` field: the walk
-# index the parallel executor stamps on per-walk events at merge time
-# (src/exec/, DESIGN.md "Parallel execution & determinism model").
-# Deterministic — a lane is a walk, never an OS thread — and absent
-# entirely on serial (num_threads=0) traces.
-LANE_EVENTS = {"fault_loss", "agent_restart", "walk_hedged"}
-
-# Events the Chrome exporter renders as slices nested inside tick spans.
-NESTED_SLICE_EVENTS = {
-    "walk_batch", "walk_batch_done", "hop_budget_exhausted",
-    "agent_restart", "fault_loss", "fault_stall", "walk_hedged",
-}
-
-TICK_SPAN_US = 1000  # One simulated tick = 1000 us of trace time.
-
-# Wall-clock profiling (src/prof/): phase names are stable API
-# (prof::PhaseName), pinned here like the event names above.
-PROF_PHASES = {
-    "engine_tick", "extrapolator_fit", "extrapolator_predict",
-    "estimator_evaluate", "walk_batch", "walk_advance", "fault_draw",
-}
-PROF_STAT_FIELDS = {"calls", "total_ns", "min_ns", "max_ns", "items"}
-WALL_PROCESS_NAME = "wall-clock profiler"
+from trace_schema import (EVENT_SCHEMA, LANE_EVENTS, NESTED_SLICE_EVENTS,
+                          PROF_PHASES, PROF_STAT_FIELDS, TICK_SPAN_US,
+                          WALL_PROCESS_NAME)
 
 
 class Failure(Exception):

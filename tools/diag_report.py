@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Render the sampler-introspection diagnostics of a traced run.
+
+Reads the JSON Lines event trace a `bench_* --diag --trace-jsonl=F`
+run writes and collects the four per-walk-batch diagnostic events
+(src/diag/, docs/OBSERVABILITY.md "Sampler diagnostics"):
+
+    walk_mixing      lag-1 autocorrelation, effective sample size,
+                     cross-walk R-hat
+    stationary_gap   total-variation distance and chi-square of the
+                     per-peer visit histogram against the
+                     degree-corrected stationary target
+    peer_load        per-peer/per-link message load and hot-peer
+                     detection
+    acceptance_rate  Metropolis proposal/accept counters
+
+The four events are emitted together, once per batch, in that order,
+so rows are matched by index. Two tables are printed: the mixing
+table (one row per batch: walks, steps, lag-1, ESS, R-hat, TV
+distance, chi-square, acceptance rate, breach flag) and the hot-peer
+table (only the batches whose max per-peer load exceeded the hot
+threshold), followed by a one-line summary.
+
+With --gate, the script exits 1 when more than --max-breach-frac of
+the batches breached the stationary-gap threshold — a coarse CI
+tripwire for a sampler whose walks stopped mixing.
+
+Stdlib only. Exit status: 0 = tables rendered (and gate passed, if
+requested); 1 = gate breach, malformed trace, mismatched event
+streams, or no diagnostic events found.
+"""
+
+import argparse
+import sys
+
+from trace_schema import load_jsonl_events
+
+DIAG_EVENTS = ("walk_mixing", "stationary_gap", "peer_load",
+               "acceptance_rate")
+
+
+def collect_batches(path):
+    """Returns one dict per batch, merging the four per-batch events
+    matched by emission index. Raises ValueError when the trace is
+    malformed or the four streams disagree in length."""
+    streams = {name: [] for name in DIAG_EVENTS}
+    for obj in load_jsonl_events(path, set(DIAG_EVENTS)):
+        streams[obj["event"]].append(obj)
+    lengths = {name: len(events) for name, events in streams.items()}
+    if len(set(lengths.values())) != 1:
+        raise ValueError(
+            f"{path}: diagnostic event streams disagree in length "
+            f"({lengths}); trace is truncated or interleaved")
+    batches = []
+    for mixing, gap, load, acc in zip(*(streams[n] for n in DIAG_EVENTS)):
+        batches.append({"mixing": mixing, "gap": gap, "load": load,
+                        "acc": acc})
+    return batches
+
+
+def format_table(headers, rows):
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+    lines = ["  ".join(h.ljust(widths[c])
+                       for c, h in enumerate(headers)).rstrip()]
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[c])
+                               for c, cell in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def mixing_table(batches):
+    headers = ["batch", "walks", "steps", "lag1", "ess", "rhat", "tv",
+               "chi2", "accept", "breach"]
+    rows = []
+    for i, b in enumerate(batches):
+        mixing, gap, acc = b["mixing"], b["gap"], b["acc"]
+        rows.append([
+            str(i),
+            str(mixing["walks"]),
+            str(mixing["steps"]),
+            f"{mixing['lag1_autocorr']:.3f}",
+            f"{mixing['ess']:.1f}",
+            f"{mixing['rhat']:.3f}" if mixing["rhat"] > 0 else "-",
+            f"{gap['tv_distance']:.4f}",
+            f"{gap['chi_square']:.1f}",
+            f"{acc['rate']:.3f}",
+            "BREACH" if gap["breach"] else "",
+        ])
+    return format_table(headers, rows)
+
+
+def hot_peer_table(batches):
+    headers = ["batch", "peers", "links", "hot_peer", "max_load",
+               "mean_load", "ratio"]
+    rows = []
+    for i, b in enumerate(batches):
+        load = b["load"]
+        if not load["hot"]:
+            continue
+        mean = load["mean_load"]
+        ratio = load["max_load"] / mean if mean > 0 else float("inf")
+        rows.append([
+            str(i),
+            str(load["peers"]),
+            str(load["links"]),
+            str(load["hot_peer"]),
+            str(load["max_load"]),
+            f"{mean:.2f}",
+            f"{ratio:.2f}x",
+        ])
+    if not rows:
+        return "(no hot peers: every batch's max load stayed under the " \
+               "hot threshold)"
+    return format_table(headers, rows)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jsonl", required=True,
+                        help="JSON Lines trace of a --diag run")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 when the stationary-gap breach "
+                             "fraction exceeds --max-breach-frac")
+    parser.add_argument("--max-breach-frac", type=float, default=0.5,
+                        help="allowed fraction of breached batches under "
+                             "--gate (default 0.5)")
+    args = parser.parse_args()
+
+    try:
+        batches = collect_batches(args.jsonl)
+    except (OSError, ValueError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    if not batches:
+        print(f"FAIL: {args.jsonl}: no sampler-diagnostic events (was "
+              f"the run started with --diag?)", file=sys.stderr)
+        return 1
+
+    print(f"== sampler diagnostics ({len(batches)} walk batch(es) in "
+          f"{args.jsonl}) ==")
+    print(mixing_table(batches))
+    print(f"\n== hot peers ==")
+    print(hot_peer_table(batches))
+
+    breaches = sum(1 for b in batches if b["gap"]["breach"])
+    hot = sum(1 for b in batches if b["load"]["hot"])
+    proposals = sum(b["acc"]["proposals"] for b in batches)
+    accepted = sum(b["acc"]["accepted"] for b in batches)
+    rate = accepted / proposals if proposals > 0 else 0.0
+    frac = breaches / len(batches)
+    print(f"\nsummary: {len(batches)} batches, "
+          f"{breaches} stationary-gap breach(es) ({frac:.1%}), "
+          f"{hot} hot batch(es), overall acceptance {rate:.3f} "
+          f"({accepted}/{proposals})")
+
+    if not args.gate:
+        return 0
+    if frac > args.max_breach_frac:
+        print(f"\nGATE FAIL: breach fraction {frac:.1%} exceeds "
+              f"{args.max_breach_frac:.1%} — sampler is not mixing "
+              f"toward its stationary target", file=sys.stderr)
+        return 1
+    print(f"\ngate OK: breach fraction {frac:.1%} within "
+          f"{args.max_breach_frac:.1%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
