@@ -81,6 +81,7 @@ int Run(int argc, char** argv) {
       options.profiler = obs.profiler();
       options.auditor = obs.auditor();
       options.diag = obs.diag();
+      options.health = obs.health();
       const std::string run_label = "loss=" + Fmt("%.0f%%", 100.0 * loss) +
                                     " drop=" + Fmt("%.0f%%", 100.0 * drop);
       RunResult run = UnwrapOrDie(
@@ -143,6 +144,7 @@ int Run(int argc, char** argv) {
     options.profiler = obs.profiler();
     options.auditor = obs.auditor();
     options.diag = obs.diag();
+    options.health = obs.health();
     const std::string run_label = "budget " + Fmt("%.0fx", factor);
     if (obs::Tracing(obs.tracer())) {
       obs.tracer()->set_now(workload->now());
@@ -151,6 +153,7 @@ int Run(int argc, char** argv) {
     plan.SetTracer(obs.tracer());
     if (obs.auditor() != nullptr) obs.auditor()->BeginRun(run_label);
     if (obs.diag() != nullptr) obs.diag()->Reset();
+    if (obs.health() != nullptr) obs.health()->Reset();
 
     Rng rng(args.seed);
     const NodeId querying =

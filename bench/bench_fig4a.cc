@@ -91,6 +91,7 @@ int Run(int argc, char** argv) {
       options.profiler = obs.profiler();
       options.auditor = obs.auditor();
       options.diag = obs.diag();
+      options.health = obs.health();
       if (algo.history > 0) {
         options.extrapolator.history_points = algo.history;
       }
@@ -147,6 +148,7 @@ int Run(int argc, char** argv) {
     options.profiler = obs.profiler();
     options.auditor = obs.auditor();
     options.diag = obs.diag();
+    options.health = obs.health();
     RunResult run = UnwrapOrDie(
         RunEngineExperiment(*workload, spec, options, showcase_ticks,
                             args.seed, "PRED-3 RPT mcmc showcase"),

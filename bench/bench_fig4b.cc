@@ -90,6 +90,7 @@ int Run(int argc, char** argv) {
         options.profiler = obs.profiler();
         options.auditor = obs.auditor();
         options.diag = obs.diag();
+        options.health = obs.health();
         const std::string run_label =
             std::string(ds.name) + (k == 0 ? " INDEP" : " RPT") +
             " eps=" + Fmt("%.3f", epsilon);

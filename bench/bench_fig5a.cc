@@ -90,6 +90,7 @@ int Run(int argc, char** argv) {
       options.profiler = obs.profiler();
       options.auditor = obs.auditor();
       options.diag = obs.diag();
+      options.health = obs.health();
       RunResult run = UnwrapOrDie(
           RunEngineExperiment(*workload, spec, options, ds.ticks,
                               args.seed,

@@ -109,11 +109,14 @@ struct Scenario {
   // to their measured engine run, and the suite driver splices its
   // SummaryJson into the extra object afterwards. `diag` is the --diag
   // sampler-introspection aggregator with the same contract (null when
-  // off; summary spliced by the driver).
+  // off; summary spliced by the driver), and `health` the --health
+  // peer-health monitor (likewise; note it steers walk routing, so
+  // --health runs legitimately do different work than plain runs).
   std::function<RunResult(const BenchArgs&, prof::Profiler*,
                           uint64_t* wall_ns, std::string* extra,
                           audit::PrecisionAuditor* auditor,
-                          diag::SamplerDiag* diag)>
+                          diag::SamplerDiag* diag,
+                          PeerHealthMonitor* health)>
       run;
 };
 
@@ -148,7 +151,8 @@ std::vector<Scenario> BuildScenarios() {
        "extrapolator/scheduler cost, no walks",
        [](const BenchArgs& args, prof::Profiler* profiler,
           uint64_t* wall_ns, std::string* /*extra*/,
-          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag,
+          PeerHealthMonitor* health) {
          TemperatureConfig config;
          config.num_units = args.Scaled(8000, 200);
          config.num_nodes = args.Scaled(530, 16);
@@ -165,6 +169,7 @@ std::vector<Scenario> BuildScenarios() {
          options.profiler = profiler;
          options.auditor = auditor;
          options.diag = diag;
+         options.health = health;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 120 : 400, args.seed,
                                 "pred_indep_exact", profiler, wall_ns);
@@ -178,7 +183,8 @@ std::vector<Scenario> BuildScenarios() {
        "full distributed query path",
        [](const BenchArgs& args, prof::Profiler* profiler,
           uint64_t* wall_ns, std::string* /*extra*/,
-          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag,
+          PeerHealthMonitor* health) {
          TemperatureConfig config;
          config.num_units = args.Scaled(2000, 200);
          config.num_nodes = args.Scaled(530, 16);
@@ -195,6 +201,7 @@ std::vector<Scenario> BuildScenarios() {
          options.profiler = profiler;
          options.auditor = auditor;
          options.diag = diag;
+         options.health = health;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 40 : 120, args.seed,
                                 "pred_rpt_mcmc", profiler, wall_ns);
@@ -208,7 +215,8 @@ std::vector<Scenario> BuildScenarios() {
        "snapshot query every tick",
        [](const BenchArgs& args, prof::Profiler* profiler,
           uint64_t* wall_ns, std::string* /*extra*/,
-          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag,
+          PeerHealthMonitor* health) {
          TemperatureConfig config;
          config.num_units = args.Scaled(2000, 200);
          config.num_nodes = args.Scaled(530, 16);
@@ -224,6 +232,7 @@ std::vector<Scenario> BuildScenarios() {
          options.profiler = profiler;
          options.auditor = auditor;
          options.diag = diag;
+         options.health = health;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 25 : 80, args.seed,
                                 "all_indep_mcmc", profiler, wall_ns);
@@ -236,7 +245,8 @@ std::vector<Scenario> BuildScenarios() {
        "PRED-3 + RPT over MCMC on the churning MEMORY workload",
        [](const BenchArgs& args, prof::Profiler* profiler,
           uint64_t* wall_ns, std::string* /*extra*/,
-          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag,
+          PeerHealthMonitor* health) {
          MemoryConfig config;
          config.num_units = args.Scaled(1000, 200);
          config.num_nodes = args.Scaled(820, 150);
@@ -253,6 +263,7 @@ std::vector<Scenario> BuildScenarios() {
          options.profiler = profiler;
          options.auditor = auditor;
          options.diag = diag;
+         options.health = health;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 30 : 90, args.seed,
                                 "churn_rpt_mcmc", profiler, wall_ns);
@@ -266,7 +277,8 @@ std::vector<Scenario> BuildScenarios() {
        "stalls): retry + degradation overhead",
        [](const BenchArgs& args, prof::Profiler* profiler,
           uint64_t* wall_ns, std::string* /*extra*/,
-          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag,
+          PeerHealthMonitor* health) {
          MemoryConfig config;
          config.num_units = args.Scaled(1000, 200);
          config.num_nodes = args.Scaled(820, 150);
@@ -291,6 +303,7 @@ std::vector<Scenario> BuildScenarios() {
          options.profiler = profiler;
          options.auditor = auditor;
          options.diag = diag;
+         options.health = health;
          return TimedExperiment(*workload, spec, options,
                                 args.quick ? 20 : 60, args.seed,
                                 "faults_mcmc", profiler, wall_ns);
@@ -308,7 +321,8 @@ std::vector<Scenario> BuildScenarios() {
        "per-snapshot message cost",
        [](const BenchArgs& args, prof::Profiler* profiler,
           uint64_t* wall_ns, std::string* extra,
-          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag,
+          PeerHealthMonitor* health) {
          const size_t ticks = args.quick ? 24 : 72;
          // Heterogeneous loss (edge_spread 1.0 puts concrete edges
          // anywhere from lossless to 2× the base rate) is what gives
@@ -333,7 +347,8 @@ std::vector<Scenario> BuildScenarios() {
          // checkpoint blob and the diag summary covers one run's walks.
          auto drive = [&](bool hedge, bool kill_mid_run,
                           audit::PrecisionAuditor* aud,
-                          diag::SamplerDiag* dg, uint64_t* ns) -> PhaseOut {
+                          diag::SamplerDiag* dg, PeerHealthMonitor* hm,
+                          uint64_t* ns) -> PhaseOut {
            TemperatureConfig config;
            config.num_units = args.Scaled(2000, 200);
            config.num_nodes = args.Scaled(530, 16);
@@ -355,8 +370,10 @@ std::vector<Scenario> BuildScenarios() {
            options.profiler = profiler;
            options.auditor = aud;
            options.diag = dg;
+           options.health = hm;
            if (aud != nullptr) aud->BeginRun("recovery_rpt_mcmc");
            if (dg != nullptr) dg->Reset();
+           if (hm != nullptr) hm->Reset();
 
            PhaseOut out;
            Rng rng(args.seed);
@@ -427,9 +444,10 @@ std::vector<Scenario> BuildScenarios() {
 
          uint64_t ns = 0;
          PhaseOut hedged = drive(/*hedge=*/true, /*kill_mid_run=*/true,
-                                 auditor, diag, &ns);
+                                 auditor, diag, health, &ns);
          PhaseOut unhedged = drive(/*hedge=*/false, /*kill_mid_run=*/false,
-                                   /*aud=*/nullptr, /*dg=*/nullptr, &ns);
+                                   /*aud=*/nullptr, /*dg=*/nullptr,
+                                   /*hm=*/nullptr, &ns);
          *wall_ns = ns;
          std::string x = "{\"p90_snapshot_msgs_hedged\":";
          x += FmtRate(Percentile(hedged.snapshot_msgs, 90));
@@ -446,6 +464,118 @@ std::vector<Scenario> BuildScenarios() {
          x += "\"}";
          *extra = std::move(x);
          return hedged.run;
+       }});
+
+  // Partition recovery: seeded partition/heal episodes split the overlay
+  // into components while the engine keeps answering. The measured run
+  // routes around the quarantine set its breakers build (peer-health
+  // steering is always on here — it is the thing being measured); the
+  // extra also carries a breakers-off ablated control, so the committed
+  // trajectory records what the steering buys: un-widened (eps+delta)
+  // per-tick coverage of both runs against the binomial floor.
+  scenarios.push_back(
+      {"partition_rpt_mcmc",
+       "ALL + RPT over MCMC through seeded partition/heal episodes: "
+       "quarantine-aware routing (measured) vs a breakers-off ablation; "
+       "extra compares both coverages against the binomial floor",
+       [](const BenchArgs& args, prof::Profiler* profiler,
+          uint64_t* wall_ns, std::string* extra,
+          audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag,
+          PeerHealthMonitor* health) {
+         const size_t ticks = args.quick ? 24 : 72;
+         FaultPlanConfig faults;
+         faults.message_loss = 0.02;
+         faults.edge_spread = 0.5;
+         faults.loss_asymmetry = 0.5;
+         faults.partition_every = 12;
+         faults.partition_length = 6;
+         faults.partition_components = 2;
+         CheckOk(faults.Validate(), "fault config");
+
+         auto drive = [&](PeerHealthMonitor* monitor,
+                          audit::PrecisionAuditor* aud,
+                          diag::SamplerDiag* dg,
+                          uint64_t* ns) -> RunResult {
+           TemperatureConfig config;
+           config.num_units = args.Scaled(2000, 200);
+           config.num_nodes = args.Scaled(530, 16);
+           config.seed = args.seed;
+           auto workload = UnwrapOrDie(TemperatureWorkload::Create(config),
+                                       "workload");
+           ContinuousQuerySpec spec =
+               AvgSpec("SELECT AVG(temperature) FROM R", 4.0, 2.0, 0.95);
+           FaultPlan plan(faults, args.seed + 1);
+           DigestEngineOptions options;
+           options.scheduler = SchedulerKind::kAll;
+           options.estimator = EstimatorKind::kRepeated;
+           options.sampler = SamplerKind::kTwoStageMcmc;
+           options.sampling_options.walk_length = 60;
+           options.sampling_options.reset_length = 15;
+           options.estimator_options.allow_partial = true;
+           options.fault_plan = &plan;
+           options.profiler = profiler;
+           options.auditor = aud;
+           options.diag = dg;
+           options.health = monitor;
+           const uint64_t t0 = profiler->ElapsedNs();
+           RunResult run = UnwrapOrDie(
+               RunEngineExperiment(*workload, spec, options, ticks,
+                                   args.seed, "partition_rpt_mcmc"),
+               "partition_rpt_mcmc");
+           *ns += profiler->ElapsedNs() - t0;
+           return run;
+         };
+
+         uint64_t ns = 0;
+         // Measured run: quarantine-aware. Rides the suite monitor when
+         // --health is on (so the driver's spliced summary reflects this
+         // run), else a scenario-local one — steering is on either way.
+         PeerHealthMonitor local_monitor;
+         PeerHealthMonitor* aware =
+             health != nullptr ? health : &local_monitor;
+         RunResult steered = drive(aware, auditor, diag, &ns);
+         const uint64_t opens = aware->opens();
+         const uint64_t reopens = aware->reopens();
+         const double flap = aware->FlapRate();
+         // Ablated control: same faults and monitor, but breakers never
+         // open — walks keep proposing into the partition.
+         PeerHealthConfig ablated_config;
+         ablated_config.breakers_enabled = false;
+         PeerHealthMonitor ablated_monitor(ablated_config);
+         RunResult ablated = drive(&ablated_monitor, nullptr, nullptr, &ns);
+         *wall_ns = ns;
+
+         const double p = 0.95;
+         const double floor =
+             p - 2.0 * std::sqrt(p * (1.0 - p) /
+                                 static_cast<double>(ticks));
+         const double cov_aware =
+             steered.precision.within_tolerance_fraction;
+         const double cov_ablated =
+             ablated.precision.within_tolerance_fraction;
+         std::string x = "{\"coverage_aware\":";
+         x += FmtRate(cov_aware);
+         x += ",\"coverage_ablated\":";
+         x += FmtRate(cov_ablated);
+         x += ",\"coverage_floor\":";
+         x += FmtRate(floor);
+         x += ",\"aware_above_floor\":";
+         x += cov_aware >= floor ? "true" : "false";
+         x += ",\"ablated_breached\":";
+         x += cov_ablated < floor ? "true" : "false";
+         x += ",\"breaker_opens\":";
+         x += std::to_string(opens);
+         x += ",\"breaker_reopens\":";
+         x += std::to_string(reopens);
+         x += ",\"flap_rate\":";
+         x += FmtRate(flap);
+         x += ",\"degraded_ticks_aware\":";
+         x += std::to_string(steered.degraded_ticks);
+         x += ",\"degraded_ticks_ablated\":";
+         x += std::to_string(ablated.degraded_ticks);
+         x += "}";
+         *extra = std::move(x);
+         return steered;
        }});
 
   // Deterministic parallel walk execution: the full distributed
@@ -468,13 +598,15 @@ std::vector<Scenario> BuildScenarios() {
        [cached_extra = std::make_shared<std::string>()](
            const BenchArgs& args, prof::Profiler* profiler,
            uint64_t* wall_ns, std::string* extra,
-           audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag) {
+           audit::PrecisionAuditor* auditor, diag::SamplerDiag* diag,
+          PeerHealthMonitor* health) {
          const size_t kThreadCounts[] = {1, 2, 4, 8};
          std::vector<double> curve_ms;
          RunResult measured;
          std::vector<double> reference_reported;
          std::string reference_audit;
          std::string reference_diag;
+         std::string reference_health;
          for (size_t threads : kThreadCounts) {
            TemperatureConfig config;
            config.num_units = args.Scaled(2000, 200);
@@ -493,6 +625,7 @@ std::vector<Scenario> BuildScenarios() {
            options.profiler = profiler;
            options.auditor = auditor;
            options.diag = diag;
+           options.health = health;
            uint64_t ns = 0;
            RunResult run = TimedExperiment(*workload, spec, options,
                                            args.quick ? 40 : 120, args.seed,
@@ -537,6 +670,24 @@ std::vector<Scenario> BuildScenarios() {
                             "FATAL: parallel_rpt_mcmc diag summary "
                             "differs at %zu threads vs 1 — the sampler "
                             "diagnostics are not thread-count-"
+                            "invariant\n",
+                            threads);
+               std::abort();
+             }
+           }
+           if (health != nullptr) {
+             // And for the peer-health monitor: outcome folds happen in
+             // walk-index order on the main thread, so breaker and
+             // quarantine state must be byte-identical at any thread
+             // count.
+             const std::string health_json = health->SummaryJson();
+             if (threads == kThreadCounts[0]) {
+               reference_health = health_json;
+             } else if (health_json != reference_health) {
+               std::fprintf(stderr,
+                            "FATAL: parallel_rpt_mcmc health summary "
+                            "differs at %zu threads vs 1 — the peer-"
+                            "health fold is not thread-count-"
                             "invariant\n",
                             threads);
                std::abort();
@@ -739,6 +890,10 @@ int Run(int argc, char** argv) {
   // the spliced summary describes the scenario's measured run alone.
   diag::SamplerDiag suite_diag;
   diag::SamplerDiag* diag = args.diag ? &suite_diag : nullptr;
+  // And for --health: each engine run resets the monitor, so the
+  // spliced breaker/quarantine summary covers the measured run alone.
+  PeerHealthMonitor suite_health;
+  PeerHealthMonitor* health = args.health ? &suite_health : nullptr;
 
   std::vector<ScenarioReport> reports;
   for (const Scenario& scenario : scenarios) {
@@ -752,7 +907,8 @@ int Run(int argc, char** argv) {
       prof::Profiler scratch(popt);
       uint64_t ignored = 0;
       std::string scratch_extra;
-      scenario.run(args, &scratch, &ignored, &scratch_extra, auditor, diag);
+      scenario.run(args, &scratch, &ignored, &scratch_extra, auditor, diag,
+                   health);
     }
     prof::Profiler profiler(popt);
     ScenarioReport report;
@@ -766,7 +922,7 @@ int Run(int argc, char** argv) {
       uint64_t wall_ns = 0;
       std::string extra;
       RunResult run = scenario.run(args, &profiler, &wall_ns, &extra,
-                                   auditor, diag);
+                                   auditor, diag, health);
       if (auditor != nullptr) {
         // Splice the measured run's audit summary into the extra
         // object (coverage, δ-compliance, budget burn, attribution) so
@@ -788,6 +944,17 @@ int Run(int argc, char** argv) {
           extra = "{\"diag\":" + diag_json + "}";
         } else {
           extra.insert(extra.size() - 1, ",\"diag\":" + diag_json);
+        }
+      }
+      if (health != nullptr) {
+        // And the peer-health breaker/quarantine summary, so
+        // bench_compare.py can gate flap-rate and quarantine churn
+        // alongside the perf counters.
+        const std::string health_json = health->SummaryJson();
+        if (extra.empty()) {
+          extra = "{\"health\":" + health_json + "}";
+        } else {
+          extra.insert(extra.size() - 1, ",\"health\":" + health_json);
         }
       }
       WorkCounts counts;

@@ -16,6 +16,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "diag/diag.h"
+#include "net/peer_health.h"
 #include "obs/exporters.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -41,6 +42,7 @@ struct BenchArgs {
   bool prof = false;             ///< --prof: wall-clock profiling.
   bool audit = false;            ///< --audit: precision-audit ledger.
   bool diag = false;             ///< --diag: sampler mixing/load diagnostics.
+  bool health = false;           ///< --health: peer-health breakers.
   std::string trace_path;        ///< --trace=F: Chrome trace_event JSON.
   std::string trace_jsonl_path;  ///< --trace-jsonl=F: JSON Lines events.
   std::string metrics_path;      ///< --metrics=F: registry dump (JSON).
@@ -49,8 +51,8 @@ struct BenchArgs {
                          const std::vector<ExtraFlag>& extra) {
     std::fprintf(out,
                  "usage: %s [--scale=F] [--seed=N] [--quick] [--prof] "
-                 "[--audit] [--diag] [--trace=F] [--trace-jsonl=F] "
-                 "[--metrics=F]%s\n"
+                 "[--audit] [--diag] [--health] [--trace=F] "
+                 "[--trace-jsonl=F] [--metrics=F]%s\n"
                  "  --scale=F        workload size multiplier vs the paper "
                  "(default 0.25; 1.0 = paper scale)\n"
                  "  --seed=N         master RNG seed (default 1)\n"
@@ -61,6 +63,8 @@ struct BenchArgs {
                  "table; audit_* events when tracing)\n"
                  "  --diag           run the sampler diagnostics (mixing + "
                  "peer-load summary; diag events when tracing)\n"
+                 "  --health         run the peer-health monitor (breaker/"
+                 "quarantine summary; health events when tracing)\n"
                  "  --trace=F        write a Chrome trace_event file "
                  "(Perfetto-loadable)\n"
                  "  --trace-jsonl=F  write the structured event trace as "
@@ -104,6 +108,8 @@ struct BenchArgs {
         args.audit = true;
       } else if (std::strcmp(argv[i], "--diag") == 0) {
         args.diag = true;
+      } else if (std::strcmp(argv[i], "--health") == 0) {
+        args.health = true;
       } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
         args.trace_path = argv[i] + 8;
       } else if (std::strncmp(argv[i], "--trace-jsonl=", 14) == 0) {
@@ -174,9 +180,17 @@ class ObsSession {
   /// rules as --audit: its events/metrics ride the --trace /
   /// --trace-jsonl / --metrics exports; null when --diag is off.
   diag::SamplerDiag* diag() { return args_.diag ? &diag_ : nullptr; }
+  /// The --health peer-health monitor. Unlike the observers above it
+  /// steers walk routing (quarantine-aware Metropolis), so --health runs
+  /// are NOT bit-identical to plain runs — by design. Its events and
+  /// health.* metrics ride the same exports; null when --health is off.
+  PeerHealthMonitor* health() { return args_.health ? &health_ : nullptr; }
   bool enabled() const { return enabled_; }
 
   void Finish() {
+    if (args_.health) {
+      std::printf("\n%s", health_.SummaryText().c_str());
+    }
     if (args_.diag) {
       std::printf("\n%s", diag_.SummaryText().c_str());
     }
@@ -221,6 +235,7 @@ class ObsSession {
   prof::Profiler profiler_;
   audit::PrecisionAuditor auditor_;
   diag::SamplerDiag diag_;
+  PeerHealthMonitor health_;
 };
 
 /// One consistent rejection for a flag a bench cannot honor: same
@@ -246,6 +261,7 @@ inline void RejectObservabilityFlags(const BenchArgs& args,
   if (args.prof) flag = "--prof";
   if (args.audit) flag = "--audit";
   if (args.diag) flag = "--diag";
+  if (args.health) flag = "--health";
   if (flag != nullptr) {
     RejectFlag(binary, flag, "no engine runs to instrument");
   }

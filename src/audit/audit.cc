@@ -60,6 +60,8 @@ void AppendRecordJson(std::string* out, const CoverageRecord& r) {
   AppendBool(out, r.timeout);
   *out += ",\"mixing_breach\":";
   AppendBool(out, r.mixing_breach);
+  *out += ",\"quarantine\":";
+  AppendBool(out, r.quarantine);
   *out += ",\"health\":";
   *out += std::to_string(r.health);
   *out += ",\"total_samples\":";
@@ -91,6 +93,7 @@ Result<CoverageRecord> ParseRecordJson(const json::Value& v) {
   DIGEST_ASSIGN_OR_RETURN(r.partial, v.GetBool("partial"));
   DIGEST_ASSIGN_OR_RETURN(r.timeout, v.GetBool("timeout"));
   DIGEST_ASSIGN_OR_RETURN(r.mixing_breach, v.GetBool("mixing_breach"));
+  DIGEST_ASSIGN_OR_RETURN(r.quarantine, v.GetBool("quarantine"));
   int64_t health;
   DIGEST_ASSIGN_OR_RETURN(health, v.GetInt64("health"));
   r.health = static_cast<int>(health);
@@ -147,6 +150,8 @@ const char* MissCauseName(MissCause cause) {
       return "hedge_timeout";
     case MissCause::kPoorMixing:
       return "poor_mixing";
+    case MissCause::kPeerQuarantine:
+      return "peer_quarantine";
   }
   return "unknown";
 }
@@ -227,6 +232,7 @@ void PrecisionAuditor::RecordSnapshot(const SnapshotObservation& o) {
   pending_record_.retained_samples = o.retained_samples;
   pending_record_.message_cost = o.message_cost;
   pending_record_.mixing_breach = o.mixing_breach;
+  pending_record_.quarantine = o.quarantine;
   pending_snapshot_ = true;
 }
 
@@ -286,6 +292,7 @@ void PrecisionAuditor::ResolveSnapshot(double truth) {
     r.cause = r.timeout         ? MissCause::kHedgeTimeout
               : r.degraded      ? MissCause::kRetainedPoolFallback
               : r.partial       ? MissCause::kPartialSnapshot
+              : r.quarantine    ? MissCause::kPeerQuarantine
               : r.mixing_breach ? MissCause::kPoorMixing
                                 : MissCause::kVarianceUndershoot;
     ++misses_;

@@ -48,7 +48,7 @@ namespace audit {
 
 /// Dominant structural cause of one coverage miss. Precedence for
 /// snapshot occasions (worst subsystem state wins): hedge_timeout >
-/// retained_pool > partial_snapshot > poor_mixing >
+/// retained_pool > partial_snapshot > peer_quarantine > poor_mixing >
 /// variance_undershoot; misses on skipped (extrapolated/held) ticks are
 /// always pred_residual.
 enum class MissCause {
@@ -68,9 +68,15 @@ enum class MissCause {
                              ///< walks had not mixed, so the sample was
                              ///< not weight-proportional and the
                              ///< variance estimate is untrustworthy.
+  kPeerQuarantine = 7,       ///< The batches feeding this occasion
+                             ///< routed around quarantined peers
+                             ///< (src/net/peer_health): coverage of the
+                             ///< quarantined nodes' values was traded
+                             ///< for reachability, so the sample frame
+                             ///< excluded part of the population.
 };
 
-constexpr size_t kNumMissCauses = 7;
+constexpr size_t kNumMissCauses = 8;
 
 /// Stable lower-snake name (trace events, metric labels, bench extras).
 const char* MissCauseName(MissCause cause);
@@ -110,6 +116,10 @@ struct SnapshotObservation {
   /// batch feeding this occasion (SamplerDiag::TakeBreachSinceLastRead;
   /// always false when --diag is off).
   bool mixing_breach = false;
+  /// A batch feeding this occasion routed against a non-empty
+  /// quarantine set (PeerHealthMonitor::TakeQuarantineSinceLastRead;
+  /// always false when no monitor is attached).
+  bool quarantine = false;
 };
 
 /// One ledger row: a snapshot occasion, resolved against the oracle
@@ -126,6 +136,7 @@ struct CoverageRecord {
   bool partial = false;
   bool timeout = false;  ///< Held-result path (occasion yielded nothing).
   bool mixing_breach = false;  ///< Sampler stationary gap out of tolerance.
+  bool quarantine = false;     ///< Sampled while peers were quarantined.
   int health = 0;
   uint64_t total_samples = 0;
   uint64_t fresh_samples = 0;
@@ -282,7 +293,8 @@ class PrecisionAuditor {
   void RestoreState(const State& state);
 
   /// JSON codec for State, used by the engine checkpoint ("audit"
-  /// section of digest-checkpoint-v2). Append emits a stable object;
+  /// section of digest-checkpoint-v2 and later). Append emits a stable
+  /// object;
   /// Parse validates everything before returning (so the engine's
   /// parse-all-then-install discipline extends to audit state).
   static void AppendStateJson(const State& state, std::string* out);

@@ -6,6 +6,7 @@
 
 #include "audit/audit.h"
 #include "diag/diag.h"
+#include "net/peer_health.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "prof/profiler.h"
@@ -101,6 +102,10 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
                                     engine->spec_.precision.epsilon,
                                     engine->spec_.precision.confidence);
   }
+  if (options.health != nullptr) {
+    DIGEST_RETURN_IF_ERROR(options.health->config().Validate());
+    options.health->SetTracer(options.tracer);
+  }
   engine->shared_operator_ = shared_operator != nullptr;
 
   // Bottom tier: sample source.
@@ -117,6 +122,9 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
         // The diagnostics watch the content-weighted walks only — the
         // chain whose stationary target the estimator's samples rely on.
         engine->sampling_operator_->SetDiag(options.diag);
+        // Like the diagnostics, the health monitor watches (and steers)
+        // the content-weighted walks only.
+        engine->sampling_operator_->SetHealth(options.health);
         op = engine->sampling_operator_.get();
       }
       engine->two_stage_sampler_ =
@@ -202,6 +210,17 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
   // below (including by the estimator and sampler during Evaluate) is
   // stamped with this tick.
   if (options_.tracer != nullptr) options_.tracer->set_now(t);
+  // The engine also owns the health monitor's virtual clock: breaker
+  // cooldowns age in ticks, never in wall time.
+  if (options_.health != nullptr) options_.health->set_now(t);
+  // Drain quarantine-threshold flips queued by the health monitor's
+  // batch folds since the last tick — same one-tick-lag discipline as
+  // the audit breach drain below.
+  if (options_.health != nullptr) {
+    while (options_.health->TakePendingQuarantineFlip()) {
+      supervisor_.RecordQuarantineBreach();
+    }
+  }
   // Drain audit breach flips queued by the drift detectors since the
   // last tick. The one-tick lag keeps the feedback edge deterministic:
   // truth resolution happens after Tick returns, so a breach detected
@@ -383,6 +402,11 @@ Result<EngineTickResult> DigestEngine::Tick(int64_t t) {
     // variance model's.
     obs.mixing_breach = options_.diag != nullptr &&
                         options_.diag->TakeBreachSinceLastRead();
+    // Quarantined peers since the previous occasion: the sample frame
+    // excluded part of the overlay, so a miss here is attributed to
+    // peer_quarantine rather than the variance model.
+    obs.quarantine = options_.health != nullptr &&
+                     options_.health->TakeQuarantineSinceLastRead();
     options_.auditor->RecordSnapshot(obs);
   }
 

@@ -36,6 +36,8 @@ namespace prof {
 class Profiler;
 }  // namespace prof
 
+class PeerHealthMonitor;
+
 /// Snapshot scheduling policy: ALL executes a snapshot query at every
 /// tick; PRED uses the extrapolation algorithm (§IV-A) to skip ticks the
 /// aggregate cannot have drifted δ in.
@@ -161,6 +163,22 @@ struct DigestEngineOptions {
   /// purity contract as `tracer`: estimates, RNG streams, and meter
   /// totals are bit-identical with or without one (test-enforced).
   diag::SamplerDiag* diag = nullptr;
+
+  /// Optional peer-health monitor (not owned; null disables). Wired into
+  /// the content sampling operator the engine builds: walk batches fold
+  /// per-peer probe/hop outcomes into the monitor's phi-accrual scores
+  /// and per-peer circuit breakers, and each batch routes around the
+  /// quarantine set frozen at its start (see net/peer_health.h). Unlike
+  /// the pure observers above, the monitor deliberately STEERS walks —
+  /// but deterministically: health state folds in walk-index order, so
+  /// results stay bit-identical across thread counts. The engine drives
+  /// the monitor's virtual clock (set_now per Tick), stamps snapshot
+  /// observations' `quarantine` flag for audit attribution, and drains
+  /// TakePendingQuarantineFlip into
+  /// SessionSupervisor::RecordQuarantineBreach one tick after the
+  /// quarantine fraction crosses its threshold. With no monitor attached
+  /// the engine is bit-identical to pre-health builds (test-enforced).
+  PeerHealthMonitor* health = nullptr;
 };
 
 /// What one engine tick did.
@@ -269,8 +287,10 @@ class DigestEngine {
   /// stats, the PRED history window, the supervisor machine, estimator
   /// cross-occasion state (retained pool, regression recursion), every
   /// owned RNG stream position, and the meter's counters — into a
-  /// versioned JSON blob ("digest-checkpoint-v2"; v2 added the optional
-  /// "audit" section, present iff an auditor is attached). Emits one
+  /// versioned JSON blob ("digest-checkpoint-v3"; v2 added the optional
+  /// "audit" section, present iff an auditor is attached; v3 the
+  /// optional "health" section, present iff a peer-health monitor is
+  /// attached). Emits one
   /// CheckpointEvent when tracing. Engines sampling through a *shared*
   /// operator (CreateWithOperator) record that the operator was external;
   /// its warm agents and stream are the caller's to preserve.

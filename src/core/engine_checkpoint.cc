@@ -1,6 +1,6 @@
 // Checkpoint/restore of a DigestEngine query session.
 //
-// The checkpoint is a versioned JSON blob ("digest-checkpoint-v2")
+// The checkpoint is a versioned JSON blob ("digest-checkpoint-v3")
 // carrying every piece of *session* state a restored engine needs to
 // replay the exact tick/draw sequence an uninterrupted run would have
 // produced: engine scalars and stats, the PRED history window, the
@@ -10,7 +10,12 @@
 // owned sampling operators, and the message meter's counters. v2 added
 // the optional "audit" section: the attached PrecisionAuditor's full
 // ledger and detector state, present iff options.auditor != nullptr
-// (presence must match on restore, both ways).
+// (presence must match on restore, both ways). v3 added the optional
+// "health" section on the same terms: the attached PeerHealthMonitor's
+// per-peer phi/breaker state and counters, present iff
+// options.health != nullptr — so a mid-partition restore resumes with
+// the same quarantine set and breaker cooldowns the checkpointing
+// engine had.
 //
 // Deliberately NOT in the blob:
 //  - configuration (graph, database, query spec, options, seeds):
@@ -37,12 +42,13 @@
 #include "audit/audit.h"
 #include "common/json.h"
 #include "core/engine.h"
+#include "net/peer_health.h"
 #include "obs/tracer.h"
 
 namespace digest {
 namespace {
 
-constexpr char kCheckpointVersion[] = "digest-checkpoint-v2";
+constexpr char kCheckpointVersion[] = "digest-checkpoint-v3";
 
 void AppendDouble(std::string* out, double v) {
   char buf[40];
@@ -320,6 +326,12 @@ Result<std::string> DigestEngine::Checkpoint() const {
                                              &out);
   }
 
+  // Peer-health monitor state (v3; same presence discipline as audit).
+  if (options_.health != nullptr) {
+    out += ",\"health\":";
+    PeerHealthMonitor::AppendStateJson(options_.health->SaveState(), &out);
+  }
+
   out += '}';
   if (obs::Tracing(options_.tracer)) {
     options_.tracer->Emit(obs::CheckpointEvent{
@@ -568,6 +580,22 @@ Status DigestEngine::Restore(std::string_view blob) {
               "carries no audit state");
   }
 
+  bool have_health = false;
+  PeerHealthMonitor::State health_state;
+  if (const json::Value* h = doc.Find("health")) {
+    DIGEST_ASSIGN_OR_RETURN(health_state,
+                            PeerHealthMonitor::ParseStateJson(*h));
+    have_health = true;
+  }
+  if (have_health != (options_.health != nullptr)) {
+    return Status::InvalidArgument(
+        have_health
+            ? "checkpoint: blob carries peer-health state but this "
+              "engine has no monitor attached"
+            : "checkpoint: engine has a peer-health monitor attached "
+              "but the blob carries no health state");
+  }
+
   // All parsed and validated — install.
   reported_value_ = reported_value;
   last_ci_halfwidth_ = last_ci;
@@ -600,6 +628,9 @@ Status DigestEngine::Restore(std::string_view blob) {
   }
   if (have_audit) {
     options_.auditor->RestoreState(audit_state);
+  }
+  if (have_health) {
+    options_.health->RestoreState(health_state);
   }
   if (obs::Tracing(options_.tracer)) {
     options_.tracer->Emit(obs::RestoreEvent{

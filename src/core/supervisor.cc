@@ -73,6 +73,14 @@ SessionHealth SessionSupervisor::RecordAuditBreach() {
   return health_;
 }
 
+SessionHealth SessionSupervisor::RecordQuarantineBreach() {
+  if (health_ != SessionHealth::kHealthy) return health_;
+  consecutive_failures_ = 1;
+  consecutive_successes_ = 0;
+  TransitionNamed(SessionHealth::kDegraded, "peer_quarantine", 1);
+  return health_;
+}
+
 SessionHealth SessionSupervisor::RecordOutcome(SnapshotOutcome outcome) {
   ++outcome_counts_[static_cast<size_t>(outcome)];
   const bool success = outcome == SnapshotOutcome::kMetContract;

@@ -96,6 +96,14 @@ class SessionSupervisor {
   /// emits a SupervisorStateEvent with outcome name "audit_breach".
   SessionHealth RecordAuditBreach();
 
+  /// Forced degradation when the peer-health monitor reports the
+  /// quarantine fraction crossed its threshold (the engine drains
+  /// PeerHealthMonitor::TakePendingQuarantineFlip each tick, one tick
+  /// behind the crossing — the same lag discipline as the audit
+  /// breach). Only acts from HEALTHY; emits a SupervisorStateEvent with
+  /// outcome name "peer_quarantine".
+  SessionHealth RecordQuarantineBreach();
+
   SessionHealth health() const { return health_; }
   size_t consecutive_failures() const { return consecutive_failures_; }
   size_t consecutive_successes() const { return consecutive_successes_; }

@@ -50,6 +50,32 @@ struct FaultPlanConfig {
   int64_t stall_every = 64;
   int64_t stall_length = 8;
 
+  /// Correlated partition episodes: every `partition_every` ticks a new
+  /// episode begins, and for its first `partition_length` ticks the
+  /// overlay is split into `partition_components` components. Component
+  /// membership is a pure hash of (seed, episode, node), so successive
+  /// episodes cut the overlay along different seams; any message whose
+  /// endpoints land in different components is lost deterministically
+  /// (no draw — a partition is not a coin flip). 0 disables.
+  int64_t partition_every = 0;
+  int64_t partition_length = 0;
+  uint64_t partition_components = 2;
+
+  /// Flapping links: this fraction of edges goes dark for `flap_length`
+  /// consecutive ticks out of every `flap_every`, at a per-edge
+  /// deterministic phase — the link-level analogue of node stalls, and
+  /// the failure mode that makes circuit breakers bounce.
+  double flap_fraction = 0.0;
+  int64_t flap_every = 32;
+  int64_t flap_length = 4;
+
+  /// Asymmetric per-direction loss in [0, 1]: direction (from, to) of an
+  /// edge carries rate EdgeLossRate · (1 + loss_asymmetry · s) with
+  /// s = ±1 chosen by a per-direction hash (one direction of each lossy
+  /// edge is worse than the other). 0 keeps both directions exactly
+  /// equal to EdgeLossRate.
+  double loss_asymmetry = 0.0;
+
   /// Validates ranges (probabilities in [0,1], window lengths coherent).
   Status Validate() const;
 };
@@ -82,9 +108,13 @@ class FaultPlan {
   Status set_message_loss(double p);
   Status set_agent_drop(double p);
   Status set_stale_probe(double p);
+  Status set_stall_fraction(double p);
 
-  /// Advances the plan's clock; stall windows are evaluated against it.
-  void set_now(int64_t t) { now_ = t; }
+  /// Advances the plan's clock; stall, flap, and partition windows are
+  /// evaluated against it. Emits PartitionBegin/PartitionEnd trace
+  /// events when the clock crosses a partition-window boundary (pure
+  /// observation: the fault schedule is unchanged by tracing).
+  void set_now(int64_t t);
   int64_t now() const { return now_; }
 
   /// Attaches (or detaches, with nullptr) a structured event tracer:
@@ -108,6 +138,32 @@ class FaultPlan {
 
   /// Deterministic loss rate of edge {a, b} (symmetric; no draw).
   double EdgeLossRate(NodeId a, NodeId b) const;
+
+  /// Deterministic loss rate of the DIRECTION (from, to): EdgeLossRate
+  /// skewed by loss_asymmetry (one direction of each lossy edge is
+  /// worse). Exactly EdgeLossRate when loss_asymmetry is 0.
+  double DirectionalLossRate(NodeId from, NodeId to) const;
+
+  /// True iff a partition window is active at now(). Pure function of
+  /// (config, now).
+  bool PartitionActive() const;
+
+  /// Partition episode index at now() (floor(now / partition_every)).
+  uint64_t PartitionEpisode() const;
+
+  /// Component `node` belongs to in the current episode's split — a
+  /// pure hash of (seed, episode, node), meaningful whether or not the
+  /// window is active (tests probe upcoming splits).
+  uint64_t PartitionComponent(NodeId node) const;
+
+  /// True iff a message (from, to) crosses component boundaries while a
+  /// partition window is active — such messages are lost
+  /// deterministically, independent of the draw stream.
+  bool CrossPartition(NodeId from, NodeId to) const;
+
+  /// True iff edge {a, b} is inside one of its flap windows at now().
+  /// Pure function of (seed, a, b, now).
+  bool LinkFlapped(NodeId a, NodeId b) const;
 
   /// Draws whether a hopping agent is lost in transit.
   bool DropAgent();
@@ -156,6 +212,8 @@ class FaultPlan {
   obs::Tracer* tracer_ = nullptr;
   prof::Profiler* profiler_ = nullptr;
   int64_t now_ = 0;
+  bool partition_window_active_ = false;
+  uint64_t active_episode_ = 0;  ///< Valid while a window is active.
   uint64_t losses_injected_ = 0;
   uint64_t drops_injected_ = 0;
   uint64_t stale_injected_ = 0;
@@ -179,8 +237,14 @@ struct RetryPolicy {
   double hop_budget_factor = 8.0;
 
   /// Deterministic backoff cost of the k-th retransmission (k >= 1).
+  /// Saturates at SIZE_MAX instead of overflowing: the shift is capped
+  /// at 20 doublings, but a large backoff_base could still wrap, and a
+  /// wrapped cost would under-charge the hop budget.
   size_t BackoffCost(size_t k) const {
     const size_t shift = k > 0 ? (k - 1 < 20 ? k - 1 : 20) : 0;
+    if (backoff_base > (static_cast<size_t>(-1) >> shift)) {
+      return static_cast<size_t>(-1);
+    }
     return backoff_base << shift;
   }
 

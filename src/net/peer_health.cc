@@ -1,0 +1,578 @@
+#include "net/peer_health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace digest {
+namespace {
+
+// ln 10: phi is the base-10 suspicion exponent of the phi-accrual
+// detector under an exponential inter-arrival model — phi = k means
+// "the chance this peer is merely slow is 10^-k".
+constexpr double kLn10 = 2.302585092994045684;
+
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  // Checkpoint convention: uint64 counters ride as decimal strings
+  // (exact for the full range; see engine_checkpoint.cc).
+  *out += '"';
+  *out += std::to_string(v);
+  *out += '"';
+}
+
+void AppendBool(std::string* out, bool v) { *out += v ? "true" : "false"; }
+
+void AppendPeerJson(std::string* out, const PeerHealthMonitor::PeerState& p) {
+  *out += "{\"peer\":";
+  *out += std::to_string(p.peer);
+  *out += ",\"breaker\":";
+  *out += std::to_string(p.breaker);
+  *out += ",\"mean_interval\":";
+  AppendDouble(out, p.mean_interval);
+  *out += ",\"has_success\":";
+  AppendBool(out, p.has_success);
+  *out += ",\"last_success\":";
+  *out += std::to_string(p.last_success);
+  *out += ",\"consecutive_failures\":";
+  AppendU64(out, p.consecutive_failures);
+  *out += ",\"suspect_latched\":";
+  AppendBool(out, p.suspect_latched);
+  *out += ",\"open_until\":";
+  *out += std::to_string(p.open_until);
+  *out += ",\"trial_outcomes\":";
+  AppendU64(out, p.trial_outcomes);
+  *out += ",\"trial_successes\":";
+  AppendU64(out, p.trial_successes);
+  *out += ",\"successes\":";
+  AppendU64(out, p.peer_successes);
+  *out += ",\"failures\":";
+  AppendU64(out, p.peer_failures);
+  *out += '}';
+}
+
+Result<PeerHealthMonitor::PeerState> ParsePeerJson(const json::Value& v) {
+  PeerHealthMonitor::PeerState p;
+  uint64_t peer;
+  DIGEST_ASSIGN_OR_RETURN(peer, v.GetUInt64("peer"));
+  if (peer >= static_cast<uint64_t>(kInvalidNode)) {
+    return Status::InvalidArgument("health: peer id out of range");
+  }
+  p.peer = static_cast<NodeId>(peer);
+  int64_t breaker;
+  DIGEST_ASSIGN_OR_RETURN(breaker, v.GetInt64("breaker"));
+  if (breaker < 0 || breaker > 2) {
+    return Status::InvalidArgument("health: breaker state out of range");
+  }
+  p.breaker = static_cast<int>(breaker);
+  DIGEST_ASSIGN_OR_RETURN(p.mean_interval, v.GetDouble("mean_interval"));
+  DIGEST_ASSIGN_OR_RETURN(p.has_success, v.GetBool("has_success"));
+  DIGEST_ASSIGN_OR_RETURN(p.last_success, v.GetInt64("last_success"));
+  DIGEST_ASSIGN_OR_RETURN(p.consecutive_failures,
+                          v.GetUInt64("consecutive_failures"));
+  DIGEST_ASSIGN_OR_RETURN(p.suspect_latched, v.GetBool("suspect_latched"));
+  DIGEST_ASSIGN_OR_RETURN(p.open_until, v.GetInt64("open_until"));
+  DIGEST_ASSIGN_OR_RETURN(p.trial_outcomes, v.GetUInt64("trial_outcomes"));
+  DIGEST_ASSIGN_OR_RETURN(p.trial_successes,
+                          v.GetUInt64("trial_successes"));
+  DIGEST_ASSIGN_OR_RETURN(p.peer_successes, v.GetUInt64("successes"));
+  DIGEST_ASSIGN_OR_RETURN(p.peer_failures, v.GetUInt64("failures"));
+  return p;
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+Status PeerHealthConfig::Validate() const {
+  if (!(interval_alpha > 0.0) || interval_alpha > 1.0) {
+    return Status::InvalidArgument(
+        "health: interval_alpha must be in (0, 1]");
+  }
+  if (!(initial_interval > 0.0)) {
+    return Status::InvalidArgument(
+        "health: initial_interval must be > 0");
+  }
+  if (!(phi_suspect > 0.0) || !(phi_open > 0.0)) {
+    return Status::InvalidArgument(
+        "health: phi thresholds must be > 0");
+  }
+  if (phi_open < phi_suspect) {
+    return Status::InvalidArgument(
+        "health: phi_open must be >= phi_suspect (a breaker cannot open "
+        "below the suspicion it announces)");
+  }
+  if (failure_floor < 1) {
+    return Status::InvalidArgument("health: failure_floor must be >= 1");
+  }
+  if (open_cooldown < 1) {
+    return Status::InvalidArgument("health: open_cooldown must be >= 1");
+  }
+  if (half_open_probes < 1 || close_successes < 1) {
+    return Status::InvalidArgument(
+        "health: half-open trial needs half_open_probes >= 1 and "
+        "close_successes >= 1");
+  }
+  if (close_successes > half_open_probes) {
+    return Status::InvalidArgument(
+        "health: close_successes must fit inside the half_open_probes "
+        "trial budget");
+  }
+  if (!(quarantine_degrade_fraction > 0.0) ||
+      quarantine_degrade_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "health: quarantine_degrade_fraction must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+PeerHealthMonitor::PeerHealthMonitor(PeerHealthConfig config)
+    : config_(config) {}
+
+PeerHealthMonitor::Peer& PeerHealthMonitor::PeerAt(NodeId id) {
+  if (static_cast<size_t>(id) >= peers_.size()) {
+    peers_.resize(static_cast<size_t>(id) + 1);
+  }
+  return peers_[id];
+}
+
+double PeerHealthMonitor::Phi(const Peer& peer) const {
+  // Virtual-time gap since the last delivery, plus the consecutive
+  // failure count as sub-tick evidence (a batch folds many outcomes at
+  // one tick, and each additional failure is additional evidence).
+  double gap = static_cast<double>(peer.consecutive_failures);
+  double mean = config_.initial_interval;
+  if (peer.has_success) {
+    gap += static_cast<double>(
+        std::max<int64_t>(0, now_ - peer.last_success));
+    mean = std::max(peer.mean_interval, 1e-9);
+  }
+  return gap / (mean * kLn10);
+}
+
+void PeerHealthMonitor::Transition(NodeId id, Peer& peer, BreakerState to,
+                                   double phi) {
+  const BreakerState from = peer.breaker;
+  if (from == to) return;
+  if (from == BreakerState::kOpen) --quarantined_;
+  if (to == BreakerState::kOpen) ++quarantined_;
+  peer.breaker = to;
+  ++breaker_transitions_;
+  if (obs::Tracing(tracer_)) {
+    tracer_->Emit(obs::BreakerTransitionEvent{
+        static_cast<uint64_t>(id), BreakerStateName(from),
+        BreakerStateName(to), phi});
+  }
+}
+
+void PeerHealthMonitor::set_now(int64_t t) {
+  now_ = t;
+  // Age open breakers into their trial window. Main-thread only, and
+  // peers are scanned in id order, so the transition (and event) order
+  // is deterministic.
+  for (NodeId id = 0; id < static_cast<NodeId>(peers_.size()); ++id) {
+    Peer& peer = peers_[id];
+    if (peer.breaker == BreakerState::kOpen && now_ >= peer.open_until) {
+      peer.trial_outcomes = 0;
+      peer.trial_successes = 0;
+      Transition(id, peer, BreakerState::kHalfOpen, Phi(peer));
+    }
+  }
+}
+
+QuarantineView PeerHealthMonitor::SnapshotView() const {
+  if (quarantined_ == 0) return QuarantineView();
+  std::vector<uint8_t> flags(peers_.size(), 0);
+  size_t count = 0;
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].breaker == BreakerState::kOpen) {
+      flags[i] = 1;
+      ++count;
+    }
+  }
+  return QuarantineView(std::move(flags), count);
+}
+
+void PeerHealthMonitor::RecordOutcome(NodeId id, bool delivered) {
+  Peer& peer = PeerAt(id);
+  peer.tracked = true;
+  ++outcomes_folded_;
+  if (delivered) {
+    ++successes_;
+    ++peer.successes;
+    if (peer.has_success) {
+      const double interval = static_cast<double>(
+          std::max<int64_t>(1, now_ - peer.last_success));
+      peer.mean_interval += config_.interval_alpha *
+                            (interval - peer.mean_interval);
+    } else {
+      peer.mean_interval = config_.initial_interval;
+      peer.has_success = true;
+    }
+    peer.last_success = now_;
+    peer.consecutive_failures = 0;
+    peer.suspect_latched = false;
+    if (peer.breaker == BreakerState::kHalfOpen) {
+      ++peer.trial_outcomes;
+      ++peer.trial_successes;
+      if (peer.trial_successes >= config_.close_successes) {
+        ++closes_;
+        Transition(id, peer, BreakerState::kClosed, 0.0);
+      }
+    }
+    return;
+  }
+  ++failures_;
+  ++peer.failures;
+  ++peer.consecutive_failures;
+  const double phi = Phi(peer);
+  if (!peer.suspect_latched && phi >= config_.phi_suspect) {
+    peer.suspect_latched = true;
+    ++suspects_;
+    if (obs::Tracing(tracer_)) {
+      tracer_->Emit(obs::PeerSuspectEvent{static_cast<uint64_t>(id), phi,
+                                          peer.consecutive_failures});
+    }
+  }
+  if (!config_.breakers_enabled) return;
+  switch (peer.breaker) {
+    case BreakerState::kClosed:
+      if (phi >= config_.phi_open &&
+          peer.consecutive_failures >= config_.failure_floor) {
+        peer.open_until = now_ + config_.open_cooldown;
+        ++opens_;
+        Transition(id, peer, BreakerState::kOpen, phi);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // Any trial failure re-opens for another cooldown.
+      ++peer.trial_outcomes;
+      peer.open_until = now_ + config_.open_cooldown;
+      ++reopens_;
+      Transition(id, peer, BreakerState::kOpen, phi);
+      break;
+    case BreakerState::kOpen:
+      // Straggling outcomes from walks launched before the breaker
+      // opened (the view is frozen per batch): evidence only.
+      break;
+  }
+}
+
+void PeerHealthMonitor::FoldWalk(const WalkHealthBuffer& buffer) {
+  for (const auto& [peer, delivered] : buffer.outcomes) {
+    RecordOutcome(peer, delivered != 0);
+  }
+}
+
+void PeerHealthMonitor::FinishBatch(size_t population) {
+  ++batches_;
+  population_ = static_cast<uint64_t>(population);
+  if (quarantined_ > 0) quarantine_since_read_ = true;
+  const double fraction = QuarantineFraction();
+  if (config_.breakers_enabled &&
+      fraction >= config_.quarantine_degrade_fraction) {
+    if (!degrade_latched_) {
+      degrade_latched_ = true;
+      ++pending_flips_;
+    }
+  } else {
+    degrade_latched_ = false;
+  }
+}
+
+BreakerState PeerHealthMonitor::StateOf(NodeId peer) const {
+  if (static_cast<size_t>(peer) >= peers_.size()) {
+    return BreakerState::kClosed;
+  }
+  return peers_[peer].breaker;
+}
+
+double PeerHealthMonitor::QuarantineFraction() const {
+  if (population_ == 0) return 0.0;
+  return static_cast<double>(quarantined_) /
+         static_cast<double>(population_);
+}
+
+bool PeerHealthMonitor::TakePendingQuarantineFlip() {
+  if (pending_flips_ == 0) return false;
+  --pending_flips_;
+  return true;
+}
+
+bool PeerHealthMonitor::TakeQuarantineSinceLastRead() {
+  const bool q = quarantine_since_read_;
+  quarantine_since_read_ = false;
+  return q;
+}
+
+size_t PeerHealthMonitor::peers_tracked() const {
+  size_t tracked = 0;
+  for (const Peer& peer : peers_) {
+    if (peer.tracked) ++tracked;
+  }
+  return tracked;
+}
+
+double PeerHealthMonitor::FlapRate() const {
+  const uint64_t total = opens_ + reopens_;
+  if (total == 0) return 0.0;
+  return static_cast<double>(reopens_) / static_cast<double>(total);
+}
+
+void PeerHealthMonitor::Reset() {
+  const PeerHealthConfig config = config_;
+  obs::Tracer* tracer = tracer_;
+  *this = PeerHealthMonitor(config);
+  tracer_ = tracer;
+}
+
+void PeerHealthMonitor::ExportToRegistry(obs::Registry* registry) const {
+  if (registry == nullptr) return;
+  const std::pair<const char*, uint64_t> counters[] = {
+      {"health.outcomes", outcomes_folded_},
+      {"health.successes", successes_},
+      {"health.failures", failures_},
+      {"health.suspects", suspects_},
+      {"health.breaker_transitions", breaker_transitions_},
+      {"health.breaker_opens", opens_},
+      {"health.breaker_reopens", reopens_},
+      {"health.breaker_closes", closes_},
+      {"health.batches", batches_},
+  };
+  for (const auto& [name, value] : counters) {
+    if (value == 0) continue;
+    registry->GetCounter(name)->Increment(value);
+  }
+  registry->GetGauge("health.quarantined")
+      ->Set(static_cast<double>(quarantined_));
+  registry->GetGauge("health.quarantine_fraction")->Set(QuarantineFraction());
+  registry->GetGauge("health.peers_tracked")
+      ->Set(static_cast<double>(peers_tracked()));
+  registry->GetGauge("health.flap_rate")->Set(FlapRate());
+}
+
+std::string PeerHealthMonitor::SummaryJson() const {
+  // Keys sorted; counters as plain JSON numbers (bench extras, not the
+  // checkpoint codec) — byte-comparable across thread counts/repeats.
+  std::string out = "{\"batches\":";
+  out += std::to_string(batches_);
+  out += ",\"breaker_transitions\":";
+  out += std::to_string(breaker_transitions_);
+  out += ",\"closes\":";
+  out += std::to_string(closes_);
+  out += ",\"failures\":";
+  out += std::to_string(failures_);
+  out += ",\"flap_rate\":";
+  AppendDouble(&out, FlapRate());
+  out += ",\"opens\":";
+  out += std::to_string(opens_);
+  out += ",\"outcomes\":";
+  out += std::to_string(outcomes_folded_);
+  out += ",\"peers_tracked\":";
+  out += std::to_string(peers_tracked());
+  out += ",\"population\":";
+  out += std::to_string(population_);
+  out += ",\"quarantine_fraction\":";
+  AppendDouble(&out, QuarantineFraction());
+  out += ",\"quarantined\":";
+  out += std::to_string(quarantined_);
+  out += ",\"reopens\":";
+  out += std::to_string(reopens_);
+  out += ",\"successes\":";
+  out += std::to_string(successes_);
+  out += ",\"suspects\":";
+  out += std::to_string(suspects_);
+  out += '}';
+  return out;
+}
+
+std::string PeerHealthMonitor::SummaryText() const {
+  char buf[256];
+  std::string out = "== peer health ==\n";
+  std::snprintf(buf, sizeof(buf),
+                "  peers=%zu quarantined=%zu (%.1f%%) suspects=%llu "
+                "transitions=%llu (open=%llu reopen=%llu close=%llu "
+                "flap=%.3f)\n",
+                peers_tracked(), quarantined_,
+                100.0 * QuarantineFraction(),
+                static_cast<unsigned long long>(suspects_),
+                static_cast<unsigned long long>(breaker_transitions_),
+                static_cast<unsigned long long>(opens_),
+                static_cast<unsigned long long>(reopens_),
+                static_cast<unsigned long long>(closes_), FlapRate());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  outcomes=%llu delivered=%llu lost=%llu over %llu "
+                "batch(es)\n",
+                static_cast<unsigned long long>(outcomes_folded_),
+                static_cast<unsigned long long>(successes_),
+                static_cast<unsigned long long>(failures_),
+                static_cast<unsigned long long>(batches_));
+  out += buf;
+  return out;
+}
+
+PeerHealthMonitor::State PeerHealthMonitor::SaveState() const {
+  State s;
+  s.now = now_;
+  for (NodeId id = 0; id < static_cast<NodeId>(peers_.size()); ++id) {
+    const Peer& peer = peers_[id];
+    if (!peer.tracked && peer.breaker == BreakerState::kClosed) continue;
+    PeerState p;
+    p.peer = id;
+    p.breaker = static_cast<int>(peer.breaker);
+    p.mean_interval = peer.mean_interval;
+    p.has_success = peer.has_success;
+    p.last_success = peer.last_success;
+    p.consecutive_failures = peer.consecutive_failures;
+    p.suspect_latched = peer.suspect_latched;
+    p.open_until = peer.open_until;
+    p.trial_outcomes = peer.trial_outcomes;
+    p.trial_successes = peer.trial_successes;
+    p.peer_successes = peer.successes;
+    p.peer_failures = peer.failures;
+    s.peers.push_back(p);
+  }
+  s.outcomes_folded = outcomes_folded_;
+  s.successes = successes_;
+  s.failures = failures_;
+  s.suspects = suspects_;
+  s.breaker_transitions = breaker_transitions_;
+  s.opens = opens_;
+  s.reopens = reopens_;
+  s.closes = closes_;
+  s.batches = batches_;
+  s.population = population_;
+  s.degrade_latched = degrade_latched_;
+  s.pending_flips = pending_flips_;
+  s.quarantine_since_read = quarantine_since_read_;
+  return s;
+}
+
+void PeerHealthMonitor::RestoreState(const State& state) {
+  peers_.clear();
+  quarantined_ = 0;
+  now_ = state.now;
+  for (const PeerState& p : state.peers) {
+    Peer& peer = PeerAt(p.peer);
+    peer.breaker = static_cast<BreakerState>(p.breaker);
+    peer.mean_interval = p.mean_interval;
+    peer.has_success = p.has_success;
+    peer.last_success = p.last_success;
+    peer.consecutive_failures = p.consecutive_failures;
+    peer.suspect_latched = p.suspect_latched;
+    peer.open_until = p.open_until;
+    peer.trial_outcomes = p.trial_outcomes;
+    peer.trial_successes = p.trial_successes;
+    peer.successes = p.peer_successes;
+    peer.failures = p.peer_failures;
+    peer.tracked = true;
+    if (peer.breaker == BreakerState::kOpen) ++quarantined_;
+  }
+  outcomes_folded_ = state.outcomes_folded;
+  successes_ = state.successes;
+  failures_ = state.failures;
+  suspects_ = state.suspects;
+  breaker_transitions_ = state.breaker_transitions;
+  opens_ = state.opens;
+  reopens_ = state.reopens;
+  closes_ = state.closes;
+  batches_ = state.batches;
+  population_ = state.population;
+  degrade_latched_ = state.degrade_latched;
+  pending_flips_ = state.pending_flips;
+  quarantine_since_read_ = state.quarantine_since_read;
+}
+
+void PeerHealthMonitor::AppendStateJson(const State& s, std::string* out) {
+  *out += "{\"now\":";
+  *out += std::to_string(s.now);
+  *out += ",\"outcomes\":";
+  AppendU64(out, s.outcomes_folded);
+  *out += ",\"successes\":";
+  AppendU64(out, s.successes);
+  *out += ",\"failures\":";
+  AppendU64(out, s.failures);
+  *out += ",\"suspects\":";
+  AppendU64(out, s.suspects);
+  *out += ",\"breaker_transitions\":";
+  AppendU64(out, s.breaker_transitions);
+  *out += ",\"opens\":";
+  AppendU64(out, s.opens);
+  *out += ",\"reopens\":";
+  AppendU64(out, s.reopens);
+  *out += ",\"closes\":";
+  AppendU64(out, s.closes);
+  *out += ",\"batches\":";
+  AppendU64(out, s.batches);
+  *out += ",\"population\":";
+  AppendU64(out, s.population);
+  *out += ",\"degrade_latched\":";
+  AppendBool(out, s.degrade_latched);
+  *out += ",\"pending_flips\":";
+  AppendU64(out, s.pending_flips);
+  *out += ",\"quarantine_since_read\":";
+  AppendBool(out, s.quarantine_since_read);
+  *out += ",\"peers\":[";
+  for (size_t i = 0; i < s.peers.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendPeerJson(out, s.peers[i]);
+  }
+  *out += "]}";
+}
+
+Result<PeerHealthMonitor::State> PeerHealthMonitor::ParseStateJson(
+    const json::Value& v) {
+  State s;
+  DIGEST_ASSIGN_OR_RETURN(s.now, v.GetInt64("now"));
+  DIGEST_ASSIGN_OR_RETURN(s.outcomes_folded, v.GetUInt64("outcomes"));
+  DIGEST_ASSIGN_OR_RETURN(s.successes, v.GetUInt64("successes"));
+  DIGEST_ASSIGN_OR_RETURN(s.failures, v.GetUInt64("failures"));
+  DIGEST_ASSIGN_OR_RETURN(s.suspects, v.GetUInt64("suspects"));
+  DIGEST_ASSIGN_OR_RETURN(s.breaker_transitions,
+                          v.GetUInt64("breaker_transitions"));
+  DIGEST_ASSIGN_OR_RETURN(s.opens, v.GetUInt64("opens"));
+  DIGEST_ASSIGN_OR_RETURN(s.reopens, v.GetUInt64("reopens"));
+  DIGEST_ASSIGN_OR_RETURN(s.closes, v.GetUInt64("closes"));
+  DIGEST_ASSIGN_OR_RETURN(s.batches, v.GetUInt64("batches"));
+  DIGEST_ASSIGN_OR_RETURN(s.population, v.GetUInt64("population"));
+  DIGEST_ASSIGN_OR_RETURN(s.degrade_latched, v.GetBool("degrade_latched"));
+  DIGEST_ASSIGN_OR_RETURN(s.pending_flips, v.GetUInt64("pending_flips"));
+  DIGEST_ASSIGN_OR_RETURN(s.quarantine_since_read,
+                          v.GetBool("quarantine_since_read"));
+  DIGEST_ASSIGN_OR_RETURN(const json::Value* peers, v.GetArray("peers"));
+  s.peers.reserve(peers->array().size());
+  NodeId last = 0;
+  bool first = true;
+  for (const json::Value& pv : peers->array()) {
+    DIGEST_ASSIGN_OR_RETURN(PeerState p, ParsePeerJson(pv));
+    if (!first && p.peer <= last) {
+      return Status::InvalidArgument(
+          "health: peers must be strictly ascending by id");
+    }
+    first = false;
+    last = p.peer;
+    s.peers.push_back(p);
+  }
+  return s;
+}
+
+}  // namespace digest

@@ -210,6 +210,25 @@ struct JsonFields {
     Field(out, "accepted", Num(e.accepted));
     Field(out, "rate", Num(e.rate));
   }
+  void operator()(const PeerSuspectEvent& e) const {
+    Field(out, "peer", Num(e.peer));
+    Field(out, "phi", Num(e.phi));
+    Field(out, "failures", Num(e.failures));
+  }
+  void operator()(const BreakerTransitionEvent& e) const {
+    Field(out, "peer", Num(e.peer));
+    Field(out, "from", e.from, /*quote=*/true);
+    Field(out, "to", e.to, /*quote=*/true);
+    Field(out, "phi", Num(e.phi));
+  }
+  void operator()(const PartitionBeginEvent& e) const {
+    Field(out, "episode", Num(e.episode));
+    Field(out, "components", Num(e.components));
+    Field(out, "length", Num(e.length));
+  }
+  void operator()(const PartitionEndEvent& e) const {
+    Field(out, "episode", Num(e.episode));
+  }
 };
 
 /// Which Chrome phase an event renders as: engine ticks are spans;
@@ -231,7 +250,9 @@ ChromeShape ShapeOf(const EventPayload& payload) {
       std::holds_alternative<WalkMixingEvent>(payload) ||
       std::holds_alternative<StationaryGapEvent>(payload) ||
       std::holds_alternative<PeerLoadEvent>(payload) ||
-      std::holds_alternative<AcceptanceRateEvent>(payload)) {
+      std::holds_alternative<AcceptanceRateEvent>(payload) ||
+      std::holds_alternative<PeerSuspectEvent>(payload) ||
+      std::holds_alternative<BreakerTransitionEvent>(payload)) {
     return ChromeShape::kNestedSlice;
   }
   return ChromeShape::kInstant;

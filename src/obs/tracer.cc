@@ -67,6 +67,18 @@ struct NameVisitor {
   const char* operator()(const AcceptanceRateEvent&) const {
     return "acceptance_rate";
   }
+  const char* operator()(const PeerSuspectEvent&) const {
+    return "peer_suspect";
+  }
+  const char* operator()(const BreakerTransitionEvent&) const {
+    return "breaker_transition";
+  }
+  const char* operator()(const PartitionBeginEvent&) const {
+    return "partition_begin";
+  }
+  const char* operator()(const PartitionEndEvent&) const {
+    return "partition_end";
+  }
 };
 
 }  // namespace

@@ -270,6 +270,40 @@ struct AcceptanceRateEvent {
   double rate = 0.0;
 };
 
+/// A peer's phi-accrual suspicion level crossed the suspect threshold
+/// (src/net/peer_health.h). Emitted once per suspicion excursion — the
+/// latch re-arms when the peer next delivers — so flapping peers are
+/// visible without flooding the trace.
+struct PeerSuspectEvent {
+  uint64_t peer = 0;
+  double phi = 0.0;          ///< Suspicion level at the crossing.
+  uint64_t failures = 0;     ///< Consecutive failures at the crossing.
+};
+
+/// A per-peer circuit breaker changed state. States are stable
+/// lower-snake strings: closed / open / half_open.
+struct BreakerTransitionEvent {
+  uint64_t peer = 0;
+  std::string from;
+  std::string to;
+  double phi = 0.0;  ///< Suspicion level that drove the transition.
+};
+
+/// A correlated partition episode began: the fault plan splits the
+/// overlay into `components` components for `length` ticks (membership
+/// is a pure hash of (seed, episode, node); cross-component messages
+/// are lost deterministically).
+struct PartitionBeginEvent {
+  uint64_t episode = 0;
+  uint64_t components = 0;
+  int64_t length = 0;
+};
+
+/// The partition episode healed: cross-component edges carry again.
+struct PartitionEndEvent {
+  uint64_t episode = 0;
+};
+
 using EventPayload =
     std::variant<RunBeginEvent, TickEvent, GapPredictedEvent, SnapshotEvent,
                  SnapshotSkippedEvent, SampleBudgetEvent, CiWidenedEvent,
@@ -279,7 +313,9 @@ using EventPayload =
                  WalkHedgedEvent, CheckpointEvent, RestoreEvent,
                  AuditCoverageEvent, AuditBudgetEvent, AuditDriftEvent,
                  AuditSloEvent, WalkMixingEvent, StationaryGapEvent,
-                 PeerLoadEvent, AcceptanceRateEvent>;
+                 PeerLoadEvent, AcceptanceRateEvent, PeerSuspectEvent,
+                 BreakerTransitionEvent, PartitionBeginEvent,
+                 PartitionEndEvent>;
 
 /// Stable lower-snake-case name of a payload's event type (the `event`
 /// field of the JSONL schema; see docs/OBSERVABILITY.md).

@@ -16,6 +16,9 @@ namespace diag {
 struct WalkDiagBuffer;
 }  // namespace diag
 
+class QuarantineView;
+struct WalkHealthBuffer;
+
 /// Per-call accounting of a walk, accumulated across Steps (fault-free
 /// walks populate it too, for observability). `attempts` is the budget
 /// currency: one unit per attempted transition plus the deterministic
@@ -79,11 +82,24 @@ class RandomWalk {
   /// and accepted-hop edges for the sampler diagnostics; it consumes no
   /// randomness, so instrumented and uninstrumented runs are
   /// bit-identical.
+  ///
+  /// `quarantine` (may be null) is the frozen per-batch quarantine view
+  /// from the peer-health monitor: proposals are drawn uniformly over
+  /// the NON-quarantined neighbors, and both degree corrections in the
+  /// acceptance test use live degrees — the walk is exactly the
+  /// Metropolis chain on the subgraph induced by live nodes, so the
+  /// stationary target over the live nodes is preserved (see the
+  /// src/diag TV gate). An empty view takes the legacy draw path,
+  /// bit-identical to an unmonitored run. `health` (may be null)
+  /// records each transmission's (peer, delivered) outcome for the
+  /// monitor to fold after the batch; it consumes no randomness.
   Status Step(const Graph& graph, const WeightFn& weight, Rng& rng,
               MessageMeter* meter, NodeId fallback,
               FaultPlan* faults = nullptr, const RetryPolicy* retry = nullptr,
               WalkTelemetry* telemetry = nullptr,
-              diag::WalkDiagBuffer* diag = nullptr);
+              diag::WalkDiagBuffer* diag = nullptr,
+              const QuarantineView* quarantine = nullptr,
+              WalkHealthBuffer* health = nullptr);
 
   /// Executes `steps` transitions (clean path only; fault-aware loops
   /// live in SamplingOperator, which owns the hop budget). `telemetry`
@@ -91,10 +107,13 @@ class RandomWalk {
   /// (attempts, proposals, accepted). `diag` (may be null) additionally
   /// records the post-step position of every transition — the visit
   /// histogram the diagnostics compare against the stationary target.
+  /// `quarantine`/`health` route and record exactly as in Step.
   Status Advance(const Graph& graph, const WeightFn& weight, Rng& rng,
                  MessageMeter* meter, NodeId fallback, size_t steps,
                  WalkTelemetry* telemetry = nullptr,
-                 diag::WalkDiagBuffer* diag = nullptr);
+                 diag::WalkDiagBuffer* diag = nullptr,
+                 const QuarantineView* quarantine = nullptr,
+                 WalkHealthBuffer* health = nullptr);
 
  private:
   NodeId current_;

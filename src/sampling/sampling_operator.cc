@@ -6,6 +6,7 @@
 
 #include "diag/diag.h"
 #include "exec/worker_pool.h"
+#include "net/peer_health.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "prof/profiler.h"
@@ -163,6 +164,12 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
     DIGEST_ASSIGN_OR_RETURN(fallback, graph_->RandomLiveNode(rng_));
   }
   last_telemetry_ = WalkTelemetry();
+  // Quarantine view, frozen before any walk launches: every walk in
+  // this batch routes against the same breaker snapshot, and outcome
+  // folds (which may flip breakers) happen only after a walk delivers.
+  const QuarantineView health_view =
+      health_ != nullptr ? health_->SnapshotView() : QuarantineView();
+  const QuarantineView* qv = health_ != nullptr ? &health_view : nullptr;
   // Batch attempt budget, provisioned up front: a batch planned to take
   // S hops total may spend at most ceil(hop_budget_factor · S) attempt
   // units (hops, retries, and backoff delays) before it times out. The
@@ -203,6 +210,9 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
     // Per-walk diagnostic record; folded only when this walk delivers.
     diag::WalkDiagBuffer walk_diag;
     diag::WalkDiagBuffer* wd = diag_ != nullptr ? &walk_diag : nullptr;
+    // Per-walk transmission outcomes, same fold-on-delivery rule.
+    WalkHealthBuffer walk_health;
+    WalkHealthBuffer* wh = health_ != nullptr ? &walk_health : nullptr;
     // One agent's stepping to convergence (cold mix or warm reset);
     // items count the attempted hops, so walk throughput in steps/sec
     // falls out of the phase stats.
@@ -211,7 +221,7 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
       advance_timer.AddItems(steps);
       DIGEST_RETURN_IF_ERROR(agent->Advance(*graph_, weight_, rng_, meter_,
                                             fallback, steps,
-                                            &last_telemetry_, wd));
+                                            &last_telemetry_, wd, qv, wh));
     } else {
       const uint64_t start_attempts = last_telemetry_.attempts;
       const uint64_t hedge_threshold = HedgeThreshold(steps);
@@ -281,6 +291,7 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
             diag_->FinishBatch(*graph_, weight_, last_telemetry_.proposals,
                                last_telemetry_.accepted, tracer_, registry_);
           }
+          if (health_ != nullptr) health_->FinishBatch(graph_->NodeCount());
           return PartialBatch{std::move(out), /*timed_out=*/true};
         }
         const bool step_hedge = hedged && hedge_spent <= primary_spent;
@@ -291,7 +302,7 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
         DIGEST_RETURN_IF_ERROR(walker->Step(*graph_, weight_, rng_, meter_,
                                             fallback, faults_,
                                             &options_.retry,
-                                            &last_telemetry_, wd));
+                                            &last_telemetry_, wd, qv, wh));
         if (wd != nullptr) wd->RecordVisit(walker->current());
         const uint64_t spent = last_telemetry_.attempts - attempts_before;
         if (step_hedge) {
@@ -334,6 +345,7 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
     if (meter_ != nullptr) meter_->AddSampleTransfer();
     out.push_back(agent->current());
     if (wd != nullptr) diag_->FoldWalk(walk_diag);
+    if (wh != nullptr) health_->FoldWalk(walk_health);
   }
   if (!options_.warm_walks) {
     agents_.clear();
@@ -355,6 +367,7 @@ Result<PartialBatch> SamplingOperator::SampleBatch(NodeId origin, size_t n) {
     diag_->FinishBatch(*graph_, weight_, last_telemetry_.proposals,
                        last_telemetry_.accepted, tracer_, registry_);
   }
+  if (health_ != nullptr) health_->FinishBatch(graph_->NodeCount());
   return PartialBatch{std::move(out), /*timed_out=*/false};
 }
 
@@ -389,6 +402,11 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
     DIGEST_ASSIGN_OR_RETURN(fallback, graph_->RandomLiveNode(rng_));
   }
   last_telemetry_ = WalkTelemetry();
+  // Quarantine view frozen on the main thread before fan-out; workers
+  // share it read-only, so routing is identical on any schedule.
+  const QuarantineView health_view =
+      health_ != nullptr ? health_->SnapshotView() : QuarantineView();
+  const QuarantineView* qv = health_ != nullptr ? &health_view : nullptr;
   const size_t base = next_agent_;
   const size_t warm_pool =
       options_.warm_walks && agents_.size() > base ? agents_.size() - base : 0;
@@ -458,6 +476,7 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
     WalkTelemetry telemetry;
     MessageMeter meter;
     diag::WalkDiagBuffer diag;
+    WalkHealthBuffer health;
     std::vector<obs::EventPayload> events;
     uint64_t fault_losses = 0;
     uint64_t fault_drops = 0;
@@ -482,6 +501,7 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
         Rng walk_rng = substream_base.Split(2 * i);
         MessageMeter* wm = meter_ != nullptr ? &out.meter : nullptr;
         diag::WalkDiagBuffer* wd = diag_ != nullptr ? &out.diag : nullptr;
+        WalkHealthBuffer* wh = health_ != nullptr ? &out.health : nullptr;
         RandomWalk agent(plan.start, options_.laziness);
         prof::ScopedTrackTimer advance_timer(&tracks[worker],
                                              prof::Phase::kWalkAdvance);
@@ -489,7 +509,7 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
           advance_timer.AddItems(plan.steps);
           DIGEST_RETURN_IF_ERROR(agent.Advance(*graph_, weight_, walk_rng,
                                                wm, fallback, plan.steps,
-                                               &out.telemetry, wd));
+                                               &out.telemetry, wd, qv, wh));
         } else {
           FaultPlan sub = faults_->SpawnSubstream(plan.fault_key);
           obs::BufferTracer buffer;
@@ -534,7 +554,7 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
             DIGEST_RETURN_IF_ERROR(walker->Step(*graph_, weight_, walk_rng,
                                                 wm, fallback, &sub,
                                                 &options_.retry,
-                                                &out.telemetry, wd));
+                                                &out.telemetry, wd, qv, wh));
             if (wd != nullptr) wd->RecordVisit(walker->current());
             const uint64_t spent = out.telemetry.attempts - attempts_before;
             if (step_hedge) {
@@ -620,6 +640,7 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
     // order on the main thread — the fold order (and hence all diag
     // state) is independent of worker scheduling.
     if (diag_ != nullptr) diag_->FoldWalk(o.diag);
+    if (health_ != nullptr) health_->FoldWalk(o.health);
     cum_attempts += o.telemetry.attempts;
     if (faults_ != nullptr) {
       ++done_walks_;
@@ -640,6 +661,7 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
       diag_->FinishBatch(*graph_, weight_, last_telemetry_.proposals,
                          last_telemetry_.accepted, tracer_, registry_);
     }
+    if (health_ != nullptr) health_->FinishBatch(graph_->NodeCount());
     return PartialBatch{std::move(out), /*timed_out=*/true};
   }
   if (!options_.warm_walks) {
@@ -660,6 +682,7 @@ Result<PartialBatch> SamplingOperator::SampleBatchParallel(NodeId origin,
     diag_->FinishBatch(*graph_, weight_, last_telemetry_.proposals,
                        last_telemetry_.accepted, tracer_, registry_);
   }
+  if (health_ != nullptr) health_->FinishBatch(graph_->NodeCount());
   return PartialBatch{std::move(out), /*timed_out=*/false};
 }
 

@@ -28,6 +28,8 @@ namespace prof {
 class Profiler;
 }  // namespace prof
 
+class PeerHealthMonitor;
+
 /// Straggler mitigation for fault-injected walks: when one agent has
 /// consumed far more budget than completed walks typically need, launch
 /// a redundant (hedged) walk and let the two race; the first to finish
@@ -179,6 +181,20 @@ class SamplingOperator {
   void SetDiag(diag::SamplerDiag* diag) { diag_ = diag; }
   diag::SamplerDiag* diag() const { return diag_; }
 
+  /// Attaches (or detaches, with nullptr) the adaptive peer-health
+  /// monitor. Not owned. Unlike the pure observers above, the monitor
+  /// STEERS: each batch routes against the quarantine view frozen at
+  /// batch start (open breakers drop out of the proposal distribution,
+  /// with degree corrections that preserve the stationary target over
+  /// the live nodes), and each delivered walk's transmission outcomes
+  /// are folded back in walk-index order, closing with
+  /// FinishBatch(live population). A monitor whose quarantine set is
+  /// empty leaves every draw bit-identical to no monitor, and the
+  /// folded health state is invariant across num_threads
+  /// (test-enforced).
+  void SetHealth(PeerHealthMonitor* health) { health_ = health; }
+  PeerHealthMonitor* health() const { return health_; }
+
   /// Draws one sample node, originating the walk at `origin`. Returning
   /// the sampled node id to the originator costs one transfer message.
   /// Fails if the graph is empty or the origin is dead with no live node
@@ -262,6 +278,7 @@ class SamplingOperator {
   obs::Registry* registry_ = nullptr;
   prof::Profiler* profiler_ = nullptr;
   diag::SamplerDiag* diag_ = nullptr;
+  PeerHealthMonitor* health_ = nullptr;
   WalkTelemetry last_telemetry_;
   std::vector<RandomWalk> agents_;  // Warm agents, reused round-robin.
   size_t next_agent_ = 0;

@@ -3,6 +3,7 @@
 #include "audit/audit.h"
 #include "baselines/push_all.h"
 #include "diag/diag.h"
+#include "net/peer_health.h"
 #include "numeric/rng.h"
 #include "obs/bridge.h"
 #include "obs/tracer.h"
@@ -37,6 +38,11 @@ Result<RunResult> RunEngineExperiment(Workload& workload,
     // Mirror the auditor: a shared diagnostics aggregator starts every
     // run from a clean slate, so repeat runs accumulate identically.
     options.diag->Reset();
+  }
+  if (options.health != nullptr) {
+    // Same clean-slate discipline for the peer-health monitor: breaker
+    // and quarantine state never leaks across runs.
+    options.health->Reset();
   }
 
   RunResult out;
@@ -76,6 +82,9 @@ Result<RunResult> RunEngineExperiment(Workload& workload,
     engine->supervisor().ExportToRegistry(options.registry);
     if (options.auditor != nullptr) {
       options.auditor->ExportToRegistry(options.registry);
+    }
+    if (options.health != nullptr) {
+      options.health->ExportToRegistry(options.registry);
     }
   }
   DIGEST_ASSIGN_OR_RETURN(

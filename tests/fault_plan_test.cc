@@ -3,9 +3,12 @@
 // identical fault schedules.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <variant>
 #include <vector>
 
 #include "net/fault_plan.h"
+#include "obs/tracer.h"
 #include "net/topology.h"
 #include "sampling/sampling_operator.h"
 #include "workload/experiment.h"
@@ -254,6 +257,237 @@ TEST(FaultPlanTest, BlackholeWindowsMatchConfiguredShape) {
       EXPECT_FALSE(quiet.IsBlackholed(node));
     }
   }
+}
+
+TEST(FaultPlanTest, StallWindowShapeIsRejectedEvenWhenNobodyStalls) {
+  // The window shape is validated UNCONDITIONALLY: stall_fraction 0
+  // does not excuse an inverted window, because set_stall_fraction can
+  // turn stalling on mid-run against whatever window is configured.
+  FaultPlanConfig bad;
+  ASSERT_EQ(bad.stall_fraction, 0.0);
+  bad.stall_length = bad.stall_every;
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  bad = FaultPlanConfig{};
+  bad.flap_length = bad.flap_every;  // Same rule for flap windows.
+  ASSERT_EQ(bad.flap_fraction, 0.0);
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+
+  // And the live setter can then enable stalling against the (valid)
+  // configured window.
+  FaultPlan plan(FaultPlanConfig{}, 3);
+  EXPECT_EQ(plan.set_stall_fraction(1.5).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(plan.set_stall_fraction(1.0).ok());
+  plan.set_now(0);
+  int stalled = 0;
+  for (int64_t t = 0; t < plan.config().stall_every; ++t) {
+    plan.set_now(t);
+    if (plan.IsBlackholed(4)) ++stalled;
+  }
+  EXPECT_EQ(stalled, plan.config().stall_length);
+}
+
+TEST(FaultPlanTest, PartitionConfigValidation) {
+  FaultPlanConfig config;
+  config.partition_every = 16;
+  config.partition_length = 8;
+  config.partition_components = 3;
+  EXPECT_TRUE(config.Validate().ok());
+
+  FaultPlanConfig bad = config;
+  bad.partition_every = 0;  // Length without a schedule.
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  bad = config;
+  bad.partition_length = bad.partition_every;  // Never heals.
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  bad = config;
+  bad.partition_length = 0;  // Scheduled but never splits.
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  bad = config;
+  bad.partition_every = -4;
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  bad = config;
+  bad.partition_components = 1;  // One component is no partition.
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultPlanTest, PartitionEpisodesSplitHealAndCutDifferentSeams) {
+  FaultPlanConfig config;
+  config.partition_every = 10;
+  config.partition_length = 4;
+  config.partition_components = 2;
+  config.agent_drop = 0.5;  // Gives the draw-purity check a real draw.
+  FaultPlan plan(config, 21);
+  FaultPlan twin(config, 21);
+
+  // The window shape: active for the first 4 ticks of every 10.
+  for (int64_t t = 0; t < 30; ++t) {
+    plan.set_now(t);
+    EXPECT_EQ(plan.PartitionActive(), t % 10 < 4) << "t=" << t;
+    EXPECT_EQ(plan.PartitionEpisode(), static_cast<uint64_t>(t / 10));
+  }
+
+  // Component membership is a pure hash: stable across queries, equal
+  // across same-seed twins, and both components are inhabited.
+  plan.set_now(0);
+  bool seen[2] = {false, false};
+  for (NodeId node = 0; node < 64; ++node) {
+    const uint64_t c = plan.PartitionComponent(node);
+    ASSERT_LT(c, 2u);
+    EXPECT_EQ(c, plan.PartitionComponent(node));
+    seen[c] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1]);
+
+  // Successive episodes cut different seams: some node lands in a
+  // different component in episode 1 than in episode 0.
+  std::vector<uint64_t> episode0(64);
+  for (NodeId node = 0; node < 64; ++node) {
+    episode0[node] = plan.PartitionComponent(node);
+  }
+  plan.set_now(10);
+  bool seam_moved = false;
+  for (NodeId node = 0; node < 64 && !seam_moved; ++node) {
+    seam_moved = plan.PartitionComponent(node) != episode0[node];
+  }
+  EXPECT_TRUE(seam_moved);
+
+  // Cross-component messages are lost deterministically during the
+  // window — no draw consumed — and carry again once healed.
+  plan.set_now(0);
+  NodeId in0 = kInvalidNode, in1 = kInvalidNode;
+  for (NodeId node = 0; node < 64; ++node) {
+    (plan.PartitionComponent(node) == 0 ? in0 : in1) = node;
+  }
+  ASSERT_NE(in0, kInvalidNode);
+  ASSERT_NE(in1, kInvalidNode);
+  EXPECT_TRUE(plan.CrossPartition(in0, in1));
+  EXPECT_TRUE(plan.LoseMessage(in0, in1));
+  EXPECT_FALSE(plan.CrossPartition(in0, in0));
+  plan.set_now(4);  // Healed.
+  EXPECT_FALSE(plan.CrossPartition(in0, in1));
+  EXPECT_FALSE(plan.LoseMessage(in0, in1));  // No loss rate configured.
+  // The deterministic losses never touched the draw stream: a twin that
+  // skipped all the partition queries still agrees on the next draws.
+  EXPECT_EQ(plan.DropAgent(), twin.DropAgent());
+}
+
+TEST(FaultPlanTest, FlappingLinksAreDeterministicWindowedAndSymmetric) {
+  FaultPlanConfig config;
+  config.flap_fraction = 1.0;  // Every link flaps somewhere.
+  config.flap_every = 8;
+  config.flap_length = 3;
+  config.stale_probe = 0.5;  // Gives the draw-purity check a real draw.
+  FaultPlan plan(config, 13);
+  FaultPlan twin(config, 13);
+  for (NodeId a = 0; a < 8; ++a) {
+    for (NodeId b = a + 1; b < 8; ++b) {
+      int dark = 0;
+      for (int64_t t = 0; t < 8; ++t) {
+        plan.set_now(t);
+        const bool flapped = plan.LinkFlapped(a, b);
+        EXPECT_EQ(flapped, plan.LinkFlapped(b, a)) << "symmetry";
+        if (flapped) ++dark;
+      }
+      EXPECT_EQ(dark, 3) << "edge {" << a << "," << b << "}";
+    }
+  }
+  // A dark link loses deterministically; a zero-fraction plan never
+  // flaps at all.
+  plan.set_now(0);
+  bool found_dark = false;
+  for (NodeId b = 1; b < 8 && !found_dark; ++b) {
+    if (plan.LinkFlapped(0, b)) {
+      found_dark = true;
+      EXPECT_TRUE(plan.LoseMessage(0, b));
+    }
+  }
+  FaultPlan quiet(FaultPlanConfig{}, 13);
+  for (int64_t t = 0; t < 8; ++t) {
+    quiet.set_now(t);
+    EXPECT_FALSE(quiet.LinkFlapped(0, 1));
+  }
+  // Flap checks consume no draws either.
+  EXPECT_EQ(plan.StaleProbe(), twin.StaleProbe());
+}
+
+TEST(FaultPlanTest, AsymmetricLossSkewsDirectionsOppositeWays) {
+  FaultPlanConfig config;
+  config.message_loss = 0.2;
+  config.edge_spread = 0.3;
+  config.loss_asymmetry = 0.5;
+  const FaultPlan plan(config, 31);
+
+  FaultPlanConfig symmetric = config;
+  symmetric.loss_asymmetry = 0.0;
+  const FaultPlan base_plan(symmetric, 31);
+
+  for (NodeId a = 0; a < 16; ++a) {
+    for (NodeId b = a + 1; b < 16; ++b) {
+      const double base = plan.EdgeLossRate(a, b);
+      const double ab = plan.DirectionalLossRate(a, b);
+      const double ba = plan.DirectionalLossRate(b, a);
+      // One direction is worse, the other better, by the same factor —
+      // the skew redistributes loss, it does not add any.
+      EXPECT_NE(ab, ba);
+      EXPECT_NEAR(ab + ba, 2.0 * base, 1e-12);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+      // With asymmetry 0 both directions answer exactly the edge rate.
+      EXPECT_EQ(base_plan.DirectionalLossRate(a, b),
+                base_plan.EdgeLossRate(a, b));
+      EXPECT_EQ(base_plan.DirectionalLossRate(b, a),
+                base_plan.EdgeLossRate(a, b));
+    }
+  }
+}
+
+TEST(FaultPlanTest, PartitionWindowsEmitPairedTraceEvents) {
+  FaultPlanConfig config;
+  config.partition_every = 6;
+  config.partition_length = 2;
+  config.partition_components = 2;
+  FaultPlan plan(config, 9);
+  obs::MemoryTracer tracer;
+  plan.SetTracer(&tracer);
+
+  for (int64_t t = 0; t < 14; ++t) plan.set_now(t);
+
+  std::vector<std::string> events;
+  for (const obs::TraceEvent& event : tracer.events()) {
+    if (const auto* b =
+            std::get_if<obs::PartitionBeginEvent>(&event.payload)) {
+      EXPECT_EQ(b->components, 2u);
+      EXPECT_EQ(b->length, 2);
+      events.push_back("begin:" + std::to_string(b->episode));
+    } else if (const auto* e = std::get_if<obs::PartitionEndEvent>(
+                   &event.payload)) {
+      events.push_back("end:" + std::to_string(e->episode));
+    }
+  }
+  const std::vector<std::string> expected = {"begin:0", "end:0", "begin:1",
+                                             "end:1", "begin:2"};
+  EXPECT_EQ(events, expected);
+
+  // A clock jump across episodes still closes the open window before
+  // opening the next, so begin/end always pair up: t=13 is inside
+  // episode 2's window, the jump to t=24 lands inside episode 4's (the
+  // end:2 is emitted first), and t=40 is healed ground (40 mod 6 = 4).
+  tracer.Clear();
+  plan.set_now(24);
+  plan.set_now(40);
+  events.clear();
+  for (const obs::TraceEvent& event : tracer.events()) {
+    if (const auto* b =
+            std::get_if<obs::PartitionBeginEvent>(&event.payload)) {
+      events.push_back("begin:" + std::to_string(b->episode));
+    } else if (const auto* e = std::get_if<obs::PartitionEndEvent>(
+                   &event.payload)) {
+      events.push_back("end:" + std::to_string(e->episode));
+    }
+  }
+  EXPECT_EQ(events,
+            (std::vector<std::string>{"end:2", "begin:4", "end:4"}));
 }
 
 TEST(FaultPlanTest, StaleWeightDistortionIsBoundedAndNonNegative) {

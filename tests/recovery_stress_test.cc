@@ -400,7 +400,7 @@ TEST(RecoveryStressTest, RestoreRejectsBadBlobsWithoutTouchingTheEngine) {
 
   // Unknown version.
   std::string tampered = blob;
-  const size_t at = tampered.find("digest-checkpoint-v2");
+  const size_t at = tampered.find("digest-checkpoint-v3");
   ASSERT_NE(at, std::string::npos);
   tampered.replace(at, 20, "digest-checkpoint-v9");
   EXPECT_EQ(engine->Restore(tampered).code(),

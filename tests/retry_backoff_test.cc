@@ -44,6 +44,77 @@ TEST(RetryBackoffTest, BackoffSequenceIsDeterministicAndCapped) {
   }
 }
 
+TEST(RetryBackoffTest, BackoffCostSaturatesInsteadOfWrapping) {
+  // Property: for ANY backoff_base and ANY attempt index — including
+  // adversarial max_attempts far beyond what validation would admit —
+  // the cost sequence is monotone non-decreasing and saturates at
+  // SIZE_MAX rather than wrapping. A wrapped cost would under-charge
+  // the hop budget and turn a timeout into an infinite retry loop.
+  const size_t kMax = static_cast<size_t>(-1);
+  for (size_t base :
+       {static_cast<size_t>(1), static_cast<size_t>(3),
+        static_cast<size_t>(1) << 40, kMax / 2, kMax - 1, kMax}) {
+    RetryPolicy policy;
+    policy.backoff_base = base;
+    size_t previous = 0;
+    for (size_t k = 1; k < 64; ++k) {
+      const size_t cost = policy.BackoffCost(k);
+      EXPECT_GE(cost, previous) << "base=" << base << " k=" << k;
+      EXPECT_GE(cost, base) << "base=" << base << " k=" << k;
+      previous = cost;
+    }
+    // Deep attempts pin to the shift-cap plateau (base << 20), which
+    // itself saturates to SIZE_MAX when the base is too large for the
+    // doubling to be representable.
+    EXPECT_EQ(policy.BackoffCost(1000), policy.BackoffCost(21))
+        << "base=" << base;
+    if (base > (kMax >> 20)) {
+      EXPECT_EQ(policy.BackoffCost(1000), kMax) << "base=" << base;
+    }
+  }
+  // The exact saturation boundary: the last exactly-representable cost
+  // is base << 20; one doubling past SIZE_MAX pins to SIZE_MAX.
+  RetryPolicy policy;
+  policy.backoff_base = (kMax >> 20);  // Largest base with exact k=21.
+  EXPECT_EQ(policy.BackoffCost(21), (kMax >> 20) << 20);
+  policy.backoff_base = (kMax >> 20) + 1;
+  EXPECT_EQ(policy.BackoffCost(21), kMax);
+  // k=0 is charged like k=1 (no shift) — defensive, not reachable from
+  // the retry loop, but it must not underflow the shift count.
+  EXPECT_EQ(policy.BackoffCost(0), policy.backoff_base);
+}
+
+TEST(RetryBackoffTest, SaturatedBackoffStillReconcilesWithMeter) {
+  // An adversarial policy whose very first retransmission exhausts any
+  // budget: the walk times out cleanly, and the meter still reconciles
+  // losses against the plan — saturation never double-counts or loses
+  // a retry category.
+  const Graph graph = MakeComplete(12).value();
+  SamplingOperatorOptions options;
+  options.walk_length = 16;
+  options.reset_length = 4;
+  options.retry.max_attempts = static_cast<size_t>(-1);  // Adversarial.
+  options.retry.backoff_base = static_cast<size_t>(-1) / 2;
+  options.retry.hop_budget_factor = 8.0;
+  MessageMeter meter;
+  SamplingOperator op(&graph, DegreeWeight(graph), Rng(19), &meter, options);
+  FaultPlanConfig config;
+  config.message_loss = 1.0;
+  FaultPlan plan(config, 29);
+  op.SetFaultPlan(&plan);
+
+  Result<std::vector<NodeId>> res = op.SampleNodes(0, 4);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(meter.losses(), 0u);
+  EXPECT_EQ(meter.losses(), plan.losses_injected());
+  // Each loss was answered by at most one (budget-charged) retry; the
+  // saturated backoff cost forces timeout rather than an unbounded
+  // retry storm.
+  EXPECT_LE(meter.retries(), meter.losses());
+  EXPECT_EQ(meter.FaultOverhead(), meter.retries() + meter.agent_restarts());
+}
+
 TEST(RetryBackoffTest, BudgetExhaustionReturnsUnavailableNotCrash) {
   const Graph graph = MakeComplete(12).value();
   SamplingOperatorOptions options;

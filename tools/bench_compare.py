@@ -57,13 +57,18 @@ import sys
 # configs match, AUDIT_EXACT_FIELDS must match the baseline EXACTLY,
 # same rationale as the work counts. Diag gate: same exact-match rule
 # for DIAG_EXACT_FIELDS (the deterministic walk/visit/breach counts).
+# Health gate: same exact-match rule for HEALTH_EXACT_FIELDS (the
+# deterministic breaker/quarantine counters of a --health baseline),
+# plus a structural check of the partition-recovery scenario's
+# aware-vs-ablated coverage headline (PARTITION_EXTRA_FIELDS).
 #
 # Parallel scenario: PARALLEL_EXTRA_FIELDS are schema-checked, and the
 # in-suite cross-thread-count determinism verdict is a hard gate: a run
 # that was not bit-identical across 1/2/4/8 threads fails the
 # comparison no matter how fast it was.
 from trace_schema import (AUDIT_EXACT_FIELDS, COUNT_FIELDS,
-                          DIAG_EXACT_FIELDS, PARALLEL_EXTRA_FIELDS,
+                          DIAG_EXACT_FIELDS, HEALTH_EXACT_FIELDS,
+                          PARALLEL_EXTRA_FIELDS, PARTITION_EXTRA_FIELDS,
                           SUITE_SCHEMA)
 
 
@@ -92,7 +97,8 @@ def extra_section(name, scenario, key, side, failures):
     KeyError traceback."""
     extra = scenario.get("extra")
     if not isinstance(extra, dict) or key not in extra:
-        flag = "--audit" if key == "audit" else "--diag"
+        flag = {"audit": "--audit", "diag": "--diag",
+                "health": "--health"}.get(key, f"--{key}")
         failures.append(
             f"{name}: {side} run has no extra.{key} section (was "
             f"bench_suite run with {flag}?)")
@@ -143,6 +149,50 @@ def check_diag_extra(name, base_scenario, cur_scenario, counts_comparable,
             failures.append(
                 f"{name}: diag '{field}' changed {bv} -> {cv} "
                 f"(deterministic sampler diagnostics differ)")
+
+
+def check_health_extra(name, base_scenario, cur_scenario, counts_comparable,
+                       failures):
+    base_health = extra_section(name, base_scenario, "health", "baseline",
+                                failures)
+    cur_health = extra_section(name, cur_scenario, "health", "current",
+                               failures)
+    if base_health is None or cur_health is None or not counts_comparable:
+        return
+    for field in HEALTH_EXACT_FIELDS:
+        bv = base_health.get(field)
+        cv = cur_health.get(field)
+        if bv != cv:
+            failures.append(
+                f"{name}: health '{field}' changed {bv} -> {cv} "
+                f"(deterministic peer-health counters differ)")
+
+
+def check_partition_extra(name, scenario, failures):
+    """Structural gate on the partition-recovery scenario's headline:
+    the aware-vs-ablated coverage comparison must be present with sane
+    values, and the quarantine-aware run must not flap. The strict
+    acceptance property (aware above the binomial floor, ablated
+    breaching it) is enforced at pinned parameters by
+    tests/partition_test.cc — not re-gated here, where scale/seed are
+    arbitrary."""
+    extra = scenario.get("extra")
+    if not isinstance(extra, dict):
+        failures.append(f"{name}: missing 'extra' partition-recovery object")
+        return
+    for field in PARTITION_EXTRA_FIELDS:
+        if field not in extra:
+            failures.append(f"{name}: extra missing '{field}'")
+    for field in ("coverage_aware", "coverage_ablated", "coverage_floor",
+                  "flap_rate"):
+        v = extra.get(field)
+        if isinstance(v, (int, float)) and not 0.0 <= v <= 1.0:
+            failures.append(f"{name}: extra '{field}' = {v} outside [0, 1]")
+    flap = extra.get("flap_rate")
+    if isinstance(flap, (int, float)) and flap > 0.5:
+        failures.append(
+            f"{name}: flap_rate {flap} exceeds 0.5 — breakers bouncing "
+            f"between open and half-open instead of holding")
 
 
 def load_suite(path):
@@ -213,6 +263,13 @@ def main():
 
         if isinstance(b.get("extra"), dict) and "diag" in b["extra"]:
             check_diag_extra(name, b, c, counts_comparable, failures)
+
+        if isinstance(b.get("extra"), dict) and "health" in b["extra"]:
+            check_health_extra(name, b, c, counts_comparable, failures)
+
+        if isinstance(b.get("extra"), dict) and \
+                "coverage_aware" in b["extra"]:
+            check_partition_extra(name, c, failures)
 
         if isinstance(b.get("extra"), dict) and \
                 "bit_identical_across_counts" in b["extra"]:

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Render the peer-health picture of a traced run.
+
+Reads the JSON Lines event trace a `bench_* --health --trace-jsonl=F`
+run writes and collects the peer-health events (src/net/peer_health,
+src/net/fault_plan; docs/OBSERVABILITY.md "Peer health & partitions"):
+
+    peer_suspect        phi crossed the suspect threshold for a peer
+                        (once per suspicion excursion)
+    breaker_transition  a per-peer circuit breaker moved between
+                        closed / open / half_open
+    partition_begin     a seeded partition episode split the overlay
+    partition_end       the episode healed
+
+Two tables are printed: the per-peer breaker table (suspects, opens,
+re-opens, closes, and the final state reconstructed by replaying the
+transitions) and the partition-episode table (episode id, component
+count, window length). A one-line summary follows.
+
+With --gate, the script exits 1 when the flap rate — re-opens per
+breaker opening (opens + re-opens) — exceeds --max-flap-rate: a
+breaker population that keeps bouncing between open and half-open is
+quarantining on noise, not on real peer failure.
+
+Stdlib only. Exit status: 0 = tables rendered (and gate passed, if
+requested); 1 = gate breach, malformed trace, or no peer-health
+events found.
+"""
+
+import argparse
+import sys
+
+from trace_schema import load_jsonl_events
+
+HEALTH_EVENTS = ("peer_suspect", "breaker_transition", "partition_begin",
+                 "partition_end")
+
+
+def collect(path):
+    """Splits the four event streams, preserving emission order."""
+    streams = {name: [] for name in HEALTH_EVENTS}
+    for obj in load_jsonl_events(path, set(HEALTH_EVENTS)):
+        streams[obj["event"]].append(obj)
+    return streams
+
+
+def format_table(headers, rows):
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+    lines = ["  ".join(h.ljust(widths[c])
+                       for c, h in enumerate(headers)).rstrip()]
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[c])
+                               for c, cell in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def per_peer(streams):
+    """Folds the suspect/transition streams into one record per peer."""
+    peers = {}
+
+    def rec(peer):
+        return peers.setdefault(peer, {
+            "suspects": 0, "opens": 0, "reopens": 0, "closes": 0,
+            "state": "closed", "max_phi": 0.0,
+        })
+
+    for e in streams["peer_suspect"]:
+        r = rec(e["peer"])
+        r["suspects"] += 1
+        r["max_phi"] = max(r["max_phi"], e["phi"])
+    for e in streams["breaker_transition"]:
+        r = rec(e["peer"])
+        r["max_phi"] = max(r["max_phi"], e["phi"])
+        if e["to"] == "open":
+            if e["from"] == "half_open":
+                r["reopens"] += 1
+            else:
+                r["opens"] += 1
+        elif e["to"] == "closed":
+            r["closes"] += 1
+        r["state"] = e["to"]
+    return peers
+
+
+def breaker_table(peers):
+    headers = ["peer", "suspects", "opens", "reopens", "closes",
+               "max_phi", "final"]
+    rows = []
+    for peer in sorted(peers):
+        r = peers[peer]
+        rows.append([
+            str(peer),
+            str(r["suspects"]),
+            str(r["opens"]),
+            str(r["reopens"]),
+            str(r["closes"]),
+            f"{r['max_phi']:.2f}",
+            r["state"] if r["state"] != "closed" else "",
+        ])
+    if not rows:
+        return "(no peer ever crossed the suspect threshold)"
+    return format_table(headers, rows)
+
+
+def partition_table(streams):
+    headers = ["episode", "components", "length", "healed"]
+    begun = {e["episode"]: e for e in streams["partition_begin"]}
+    ended = {e["episode"] for e in streams["partition_end"]}
+    rows = []
+    for episode in sorted(begun):
+        e = begun[episode]
+        rows.append([
+            str(episode),
+            str(e["components"]),
+            str(e["length"]),
+            "yes" if episode in ended else "NO (still split at trace end)",
+        ])
+    if not rows:
+        return "(no partition episodes in this trace)"
+    return format_table(headers, rows)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jsonl", required=True,
+                        help="JSON Lines trace of a --health run")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 when the flap rate exceeds "
+                             "--max-flap-rate")
+    parser.add_argument("--max-flap-rate", type=float, default=0.5,
+                        help="allowed re-opens per breaker opening under "
+                             "--gate (default 0.5)")
+    args = parser.parse_args()
+
+    try:
+        streams = collect(args.jsonl)
+    except (OSError, ValueError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    total = sum(len(v) for v in streams.values())
+    if total == 0:
+        print(f"FAIL: {args.jsonl}: no peer-health events (was the run "
+              f"started with --health, under faults?)", file=sys.stderr)
+        return 1
+
+    peers = per_peer(streams)
+    print(f"== peer health ({total} event(s) in {args.jsonl}) ==")
+    print(breaker_table(peers))
+    print(f"\n== partition episodes ==")
+    print(partition_table(streams))
+
+    opens = sum(r["opens"] for r in peers.values())
+    reopens = sum(r["reopens"] for r in peers.values())
+    closes = sum(r["closes"] for r in peers.values())
+    quarantined = sum(1 for r in peers.values() if r["state"] == "open")
+    flap = reopens / (opens + reopens) if opens + reopens > 0 else 0.0
+    print(f"\nsummary: {len(peers)} peer(s) tracked, "
+          f"{opens} open(s), {reopens} re-open(s), {closes} close(s), "
+          f"flap rate {flap:.1%}, {quarantined} still quarantined, "
+          f"{len(streams['partition_begin'])} partition episode(s)")
+
+    if not args.gate:
+        return 0
+    if flap > args.max_flap_rate:
+        print(f"\nGATE FAIL: flap rate {flap:.1%} exceeds "
+              f"{args.max_flap_rate:.1%} — breakers are bouncing between "
+              f"open and half-open instead of holding", file=sys.stderr)
+        return 1
+    print(f"\ngate OK: flap rate {flap:.1%} within "
+          f"{args.max_flap_rate:.1%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,12 @@ EVENT_SCHEMA = {
     "peer_load": {"peers", "links", "hot_peer", "max_load", "mean_load",
                   "hot"},
     "acceptance_rate": {"proposals", "accepted", "rate"},
+    # Peer-health events (src/net/peer_health, net/fault_plan partition
+    # episodes; docs/OBSERVABILITY.md "Peer health & partitions").
+    "peer_suspect": {"peer", "phi", "failures"},
+    "breaker_transition": {"peer", "from", "to", "phi"},
+    "partition_begin": {"episode", "components", "length"},
+    "partition_end": {"episode"},
 }
 
 # Walk-scoped events that may carry the optional `lane` field: the walk
@@ -73,6 +79,7 @@ NESTED_SLICE_EVENTS = {
     "walk_batch", "walk_batch_done", "hop_budget_exhausted",
     "agent_restart", "fault_loss", "fault_stall", "walk_hedged",
     "walk_mixing", "stationary_gap", "peer_load", "acceptance_rate",
+    "peer_suspect", "breaker_transition",
 }
 
 TICK_SPAN_US = 1000  # One simulated tick = 1000 us of trace time.
@@ -110,10 +117,33 @@ DIAG_EXACT_FIELDS = ("batches", "walks", "steps", "live_visits",
                      "dropped_dead_visits", "proposals", "accepted",
                      "breaches", "hot_batches")
 
+# A health-monitored baseline (bench_suite --health) carries the peer
+# health monitor's run summary in each scenario's `extra.health` object
+# (PeerHealthMonitor::SummaryJson). The integer counters are
+# exact-compared when the configs match; the floating ratios
+# (flap_rate, quarantine_fraction) ride along but only the counts gate.
+HEALTH_EXACT_FIELDS = ("batches", "breaker_transitions", "closes",
+                       "failures", "opens", "outcomes", "peers_tracked",
+                       "population", "quarantined", "reopens", "successes",
+                       "suspects")
+
 # The parallel-executor scenario additionally commits a speedup curve in
 # its `extra` object (BENCH_parallel_rpt_mcmc.json).
 PARALLEL_EXTRA_FIELDS = ("threads", "wall_ms", "speedup", "speedup_at_4",
                          "host_cores", "bit_identical_across_counts")
+
+# The partition-recovery scenario (partition_rpt_mcmc) commits the
+# quarantine-aware vs breakers-ablated coverage comparison in its
+# `extra` object: the robustness headline bench_compare.py gates
+# structurally (presence + sane ranges; the strict aware-vs-ablated
+# acceptance property is test-enforced at pinned parameters in
+# tests/partition_test.cc, not here, to keep arbitrary-scale baselines
+# from flaking).
+PARTITION_EXTRA_FIELDS = ("coverage_aware", "coverage_ablated",
+                          "coverage_floor", "aware_above_floor",
+                          "ablated_breached", "breaker_opens",
+                          "breaker_reopens", "flap_rate",
+                          "degraded_ticks_aware", "degraded_ticks_ablated")
 
 
 def load_jsonl_events(path, names):
