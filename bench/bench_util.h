@@ -6,6 +6,7 @@
 // as an aligned text table, with a --scale flag to trade fidelity for
 // runtime (scale=1.0 reproduces the paper's full workload sizes).
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -97,7 +98,25 @@ struct BenchArgs {
     };
     for (int i = 1; i < argc; ++i) {
       if (std::strncmp(argv[i], "--scale=", 8) == 0) {
-        args.scale = std::atof(argv[i] + 8);
+        // Parse strictly: atof's silent 0.0 for garbage would zero-scale
+        // every workload config. Reject non-numeric, trailing-garbage,
+        // non-finite, and non-positive values the same way an unknown
+        // flag is rejected.
+        const char* text = argv[i] + 8;
+        char* end = nullptr;
+        errno = 0;
+        const double scale = std::strtod(text, &end);
+        if (*text == '\0' || end == nullptr || *end != '\0' ||
+            errno == ERANGE || !(scale > 0.0) ||
+            scale > 1e12 /* finite, sane */) {
+          std::fprintf(stderr,
+                       "%s: invalid --scale value '%s' (need a positive "
+                       "number)\n\n",
+                       argv[0], text);
+          PrintUsage(stderr, argv[0], extra);
+          std::exit(2);
+        }
+        args.scale = scale;
       } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
         args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
       } else if (std::strcmp(argv[i], "--quick") == 0) {
@@ -125,7 +144,6 @@ struct BenchArgs {
         std::exit(2);
       }
     }
-    if (args.scale <= 0.0) args.scale = 0.25;
     return args;
   }
 

@@ -1,6 +1,7 @@
 #include "common/json.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 
@@ -369,9 +370,21 @@ Result<double> Value::AsDouble() const {
     return Status::InvalidArgument("json: unparsable number '" + scalar_ +
                                    "'");
   }
-  if (errno == ERANGE && (v == std::numeric_limits<double>::infinity() ||
-                          v == -std::numeric_limits<double>::infinity())) {
+  // Range errors are refusals, not silent clamps: overflow would
+  // round-trip a checkpoint literal into ±inf, and full underflow
+  // would flush a too-small literal (e.g. "1e-999") to 0 without a
+  // trace. Denormal results are exempt — strtod flags them ERANGE on
+  // some libcs, but e.g. "5e-324" IS exactly representable and the
+  // checkpoint writer legitimately produces such text.
+  if (errno == ERANGE &&
+      (v == std::numeric_limits<double>::infinity() ||
+       v == -std::numeric_limits<double>::infinity() || v == 0.0)) {
     return Status::InvalidArgument("json: number out of double range");
+  }
+  // The string form reaches strtod directly, which accepts "inf"/"nan"
+  // spellings no JSON writer produces; neither is usable as a number.
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument("json: number is not finite");
   }
   return v;
 }

@@ -74,6 +74,10 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
     return Status::InvalidArgument(
         "a shared sampling operator requires the two-stage MCMC sampler");
   }
+  if (options.sample_source != nullptr && shared_operator == nullptr) {
+    return Status::InvalidArgument(
+        "an external sample source requires a shared sampling operator");
+  }
   DIGEST_RETURN_IF_ERROR(options.supervisor.Validate());
   DIGEST_RETURN_IF_ERROR(options.sampling_options.hedge.Validate());
   if (options.estimator_options.min_partial_samples < 2) {
@@ -127,10 +131,15 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
         engine->sampling_operator_->SetHealth(options.health);
         op = engine->sampling_operator_.get();
       }
-      engine->two_stage_sampler_ =
-          std::make_unique<TwoStageTupleSampler>(db, op, rng.Fork());
-      engine->sample_source_ = std::make_unique<TwoStageSampleSource>(
-          engine->two_stage_sampler_.get());
+      // With an external sample source the node owns the sampler (and
+      // its RNG stream); building one here would fork a dead stream and
+      // bloat the checkpoint with state nobody advances.
+      if (options.sample_source == nullptr) {
+        engine->two_stage_sampler_ =
+            std::make_unique<TwoStageTupleSampler>(db, op, rng.Fork());
+        engine->sample_source_ = std::make_unique<TwoStageSampleSource>(
+            engine->two_stage_sampler_.get());
+      }
       break;
     }
     case SamplerKind::kExactCentral: {
@@ -161,19 +170,21 @@ Result<std::unique_ptr<DigestEngine>> DigestEngine::CreateWithOperator(
     }
   }
 
-  // Top tier: snapshot estimator.
+  // Top tier: snapshot estimator. An external sample source (the
+  // node's coalescing wrapper) substitutes for the owned one.
+  SampleSource* source = options.sample_source != nullptr
+                             ? options.sample_source
+                             : engine->sample_source_.get();
   switch (options.estimator) {
     case EstimatorKind::kIndependent:
       engine->estimator_ = std::make_unique<IndependentEstimator>(
-          engine->spec_, db, engine->sample_source_.get(),
-          engine->size_oracle_.get(), meter, rng.Fork(),
-          options.estimator_options);
+          engine->spec_, db, source, engine->size_oracle_.get(), meter,
+          rng.Fork(), options.estimator_options);
       break;
     case EstimatorKind::kRepeated:
       engine->estimator_ = std::make_unique<RepeatedSamplingEstimator>(
-          engine->spec_, db, engine->sample_source_.get(),
-          engine->size_oracle_.get(), meter, rng.Fork(),
-          options.estimator_options);
+          engine->spec_, db, source, engine->size_oracle_.get(), meter,
+          rng.Fork(), options.estimator_options);
       break;
   }
   return engine;

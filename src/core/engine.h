@@ -179,6 +179,17 @@ struct DigestEngineOptions {
   /// quarantine fraction crosses its threshold. With no monitor attached
   /// the engine is bit-identical to pre-health builds (test-enforced).
   PeerHealthMonitor* health = nullptr;
+
+  /// Optional external sample source (not owned; must outlive the
+  /// engine). When set, the engine draws every fresh sample through it
+  /// instead of building its own TwoStageTupleSampler — this is the
+  /// interposition point the multi-query node uses to coalesce
+  /// same-tick snapshot demands into one shared walk batch (see
+  /// core/query_scheduler.h). Requires CreateWithOperator with a shared
+  /// operator (the source is expected to wrap that operator's sampler),
+  /// so the checkpoint blob carries no sampler RNG of its own: the
+  /// caller owns and persists the shared sampling state.
+  SampleSource* sample_source = nullptr;
 };
 
 /// What one engine tick did.
@@ -258,6 +269,14 @@ class DigestEngine {
 
   /// True after the first completed snapshot.
   bool has_result() const { return has_result_; }
+
+  /// True when Tick(t) would open a sampling occasion: the engine has
+  /// no result yet, or the (PRED/ALL) schedule is due at `t`. Pure
+  /// peek — no state moves. The node-level scheduler uses this to
+  /// batch same-tick snapshot demands before any engine ticks.
+  bool WouldSnapshotAt(int64_t t) const {
+    return !has_result_ || t >= next_snapshot_tick_;
+  }
 
   /// Cumulative counters.
   const EngineStats& stats() const { return stats_; }

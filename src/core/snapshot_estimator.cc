@@ -235,7 +235,9 @@ Result<SnapshotEstimate> IndependentEstimator::Evaluate(NodeId origin) {
     std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
     est.mean_estimate = sorted[mid];
   } else {
-    est.mean_estimate = stats.Mean();
+    // CheckedMean: an occasion that somehow collected zero qualifying
+    // samples must fail loudly, not report a silent 0.0 aggregate.
+    DIGEST_ASSIGN_OR_RETURN(est.mean_estimate, stats.CheckedMean());
   }
   est.sigma = stats.SampleStdDev();
   est.variance_of_mean =

@@ -23,8 +23,20 @@ class RunningStats {
   /// Number of observations added.
   size_t count() const { return count_; }
 
-  /// Sample mean; 0 when empty.
+  /// Sample mean; 0 when empty. Callers that cannot prove the
+  /// accumulator is non-empty should use CheckedMean() instead — an
+  /// empty accumulator's 0.0 is indistinguishable from a genuine zero
+  /// mean and can mask use-before-add bugs (estimator warm-up paths).
   double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Sample mean, or FailedPrecondition when no observation was added.
+  Result<double> CheckedMean() const {
+    if (count_ == 0) {
+      return Status::FailedPrecondition(
+          "RunningStats::CheckedMean on an empty accumulator");
+    }
+    return mean_;
+  }
 
   /// Population variance (divide by n); 0 when fewer than 1 observation.
   double PopulationVariance() const;

@@ -229,6 +229,11 @@ struct JsonFields {
   void operator()(const PartitionEndEvent& e) const {
     Field(out, "episode", Num(e.episode));
   }
+  void operator()(const SnapshotCoalescedEvent& e) const {
+    Field(out, "queries", Num(e.queries));
+    Field(out, "shared_samples", Num(e.shared_samples));
+    Field(out, "consumed_samples", Num(e.consumed_samples));
+  }
 };
 
 /// Which Chrome phase an event renders as: engine ticks are spans;

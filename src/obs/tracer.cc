@@ -79,6 +79,9 @@ struct NameVisitor {
   const char* operator()(const PartitionEndEvent&) const {
     return "partition_end";
   }
+  const char* operator()(const SnapshotCoalescedEvent&) const {
+    return "snapshot_coalesced";
+  }
 };
 
 }  // namespace

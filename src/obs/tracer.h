@@ -304,6 +304,18 @@ struct PartitionEndEvent {
   uint64_t episode = 0;
 };
 
+/// The node-level scheduler coalesced a tick's snapshot demands: `queries`
+/// continuous queries were due on the same tick and consumed one shared
+/// walk batch instead of each paying for its own. `shared_samples` is the
+/// size of the tick-scoped shared pool after all consumers ran;
+/// `consumed_samples` sums every query's draws from it (>= shared_samples
+/// whenever prefixes overlap across queries).
+struct SnapshotCoalescedEvent {
+  uint64_t queries = 0;
+  uint64_t shared_samples = 0;
+  uint64_t consumed_samples = 0;
+};
+
 using EventPayload =
     std::variant<RunBeginEvent, TickEvent, GapPredictedEvent, SnapshotEvent,
                  SnapshotSkippedEvent, SampleBudgetEvent, CiWidenedEvent,
@@ -315,7 +327,7 @@ using EventPayload =
                  AuditSloEvent, WalkMixingEvent, StationaryGapEvent,
                  PeerLoadEvent, AcceptanceRateEvent, PeerSuspectEvent,
                  BreakerTransitionEvent, PartitionBeginEvent,
-                 PartitionEndEvent>;
+                 PartitionEndEvent, SnapshotCoalescedEvent>;
 
 /// Stable lower-snake-case name of a payload's event type (the `event`
 /// field of the JSONL schema; see docs/OBSERVABILITY.md).
@@ -422,6 +434,32 @@ class BufferTracer : public Tracer {
 
  private:
   std::vector<EventPayload> payloads_;
+};
+
+/// Forwards every event to a parent tracer stamped with a fixed lane.
+/// The multi-query node hands each engine one of these over the node's
+/// real tracer, so per-query event streams interleave into one ordered
+/// trace yet stay separable by lane (= QueryId). seq/sim_time come from
+/// the parent — the engine's set_now on this wrapper moves only the
+/// wrapper's own (unread) clock, while the node drives the parent clock
+/// once per tick.
+class LaneTracer : public Tracer {
+ public:
+  LaneTracer(Tracer* parent, int64_t lane) : parent_(parent), lane_(lane) {}
+
+  bool enabled() const override {
+    return parent_ != nullptr && parent_->enabled();
+  }
+  int64_t lane() const { return lane_; }
+
+ protected:
+  void Record(TraceEvent event) override {
+    parent_->EmitLane(std::move(event.payload), lane_);
+  }
+
+ private:
+  Tracer* parent_;
+  int64_t lane_;
 };
 
 /// True when `tracer` is non-null and recording — guard for emission

@@ -65,7 +65,9 @@ Result<DatasetStatistics> MeasureWorkloadStatistics(Workload& workload,
     prev = std::move(cur);
   }
   DIGEST_ASSIGN_OR_RETURN(out.rho, PearsonCorrelation(lag_x, lag_y));
-  out.sigma = sigma_acc.Mean();
+  // CheckedMean: a zero-tick calibration window has no dispersion
+  // samples; surfacing that beats silently reporting sigma = 0.
+  DIGEST_ASSIGN_OR_RETURN(out.sigma, sigma_acc.CheckedMean());
   out.tuples_end = workload.db().TotalTuples();
   out.nodes_end = workload.graph().NodeCount();
   return out;

@@ -127,6 +127,28 @@ TEST(JsonNumericTest, IntegerConversionRejectsLossyText) {
   EXPECT_EQ(min.value(), std::numeric_limits<int64_t>::min());
 }
 
+TEST(JsonNumericTest, DoubleConversionRejectsRangeErrors) {
+  // Overflow: a syntactically valid literal no double can hold must not
+  // silently become ±inf.
+  EXPECT_FALSE(MustParse("1e999").AsDouble().ok());
+  EXPECT_FALSE(MustParse("-1e999").AsDouble().ok());
+  EXPECT_FALSE(MustParse("1.7976931348623157e400").AsDouble().ok());
+  // Full underflow: a nonzero literal flushed all the way to 0.
+  EXPECT_FALSE(MustParse("1e-999").AsDouble().ok());
+  EXPECT_FALSE(MustParse("-1e-999").AsDouble().ok());
+  // Denormals remain representable and must keep round-tripping even
+  // though strtod may flag them ERANGE.
+  Result<double> denormal = MustParse("5e-324").AsDouble();
+  ASSERT_TRUE(denormal.ok());
+  EXPECT_EQ(denormal.value(), 5e-324);
+  // strtod's "inf"/"nan" spellings ride in via the string form; neither
+  // is a usable number.
+  const Value v = MustParse(R"({"i": "inf", "n": "nan", "m": "-infinity"})");
+  EXPECT_FALSE(v.GetDouble("i").ok());
+  EXPECT_FALSE(v.GetDouble("n").ok());
+  EXPECT_FALSE(v.GetDouble("m").ok());
+}
+
 TEST(JsonTypedLookupTest, ErrorsOnMissingOrWrongType) {
   const Value v = MustParse(R"({"s": "text", "n": 1, "b": true, "a": []})");
   EXPECT_FALSE(v.GetDouble("s").ok());

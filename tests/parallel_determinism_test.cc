@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/digest_node.h"
 #include "core/engine.h"
 #include "db/p2p_database.h"
 #include "diag/diag.h"
@@ -434,6 +435,132 @@ TEST(ParallelDeterminismTest, OperatorBatchesBitIdenticalUnderFaults) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     ExpectOperatorRunsEqual(reference,
                             RunOperatorBatches(threads, true));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Multi-query node: the coalescing scheduler must preserve the same
+// bit-identity contract — N concurrent queries over one shared walk
+// batch produce identical results, meters, and traces at any thread
+// count, including across a mid-run whole-node checkpoint/restore.
+
+struct NodeDriveResult {
+  std::vector<double> reported;  ///< Per tick, per query (id order).
+  std::vector<double> ci;
+  MessageMeter meter;
+  uint64_t coalesced_ticks = 0;
+  std::vector<uint64_t> query_messages;  ///< Attribution, by id order.
+  std::vector<std::string> trace;
+};
+
+/// Drives a 3-query node for `ticks`; when `restore_at` > 0, the run is
+/// interrupted there — the node checkpoints, a freshly built node (same
+/// seed and issue history) restores the blob, and the tail continues on
+/// the restored node.
+Result<NodeDriveResult> DriveNode(size_t num_threads, size_t ticks,
+                                  size_t restore_at) {
+  StaticDriftWorkload workload(MakeMesh(8, 8).value(), kWorkloadSeed);
+  obs::MemoryTracer tracer;
+  NodeDriveResult out;
+
+  auto build = [&]() -> Result<std::unique_ptr<DigestNode>> {
+    DigestEngineOptions options;
+    options.scheduler = SchedulerKind::kAll;
+    options.estimator = EstimatorKind::kRepeated;
+    options.num_threads = num_threads;
+    options.sampling_options.walk_length = 16;
+    options.sampling_options.reset_length = 4;
+    options.tracer = &tracer;
+    Rng rng(kEngineSeed);
+    DIGEST_ASSIGN_OR_RETURN(NodeId self,
+                            workload.graph().RandomLiveNode(rng));
+    workload.ProtectNode(self);
+    DIGEST_ASSIGN_OR_RETURN(
+        std::unique_ptr<DigestNode> node,
+        DigestNode::Create(&workload.graph(), &workload.db(), self,
+                           rng.Fork(), &out.meter, options));
+    for (double eps : {2.0, 4.0, 6.0}) {
+      DIGEST_ASSIGN_OR_RETURN(
+          const ContinuousQuerySpec spec,
+          ContinuousQuerySpec::Create("SELECT AVG(load) FROM R",
+                                      PrecisionSpec{1.0, eps, 0.9}));
+      DIGEST_RETURN_IF_ERROR(node->IssueQuery(spec).status());
+    }
+    return node;
+  };
+
+  DIGEST_ASSIGN_OR_RETURN(std::unique_ptr<DigestNode> node, build());
+  for (size_t t = 0; t < ticks; ++t) {
+    if (restore_at > 0 && t == restore_at) {
+      DIGEST_ASSIGN_OR_RETURN(const std::string blob, node->Checkpoint());
+      // The restored node's meter is `out.meter` too: the engine blobs
+      // re-install the same counters the live meter already holds.
+      DIGEST_ASSIGN_OR_RETURN(node, build());
+      DIGEST_RETURN_IF_ERROR(node->Restore(blob));
+    }
+    DIGEST_RETURN_IF_ERROR(workload.Advance());
+    DIGEST_ASSIGN_OR_RETURN(auto results, node->Tick(workload.now()));
+    for (const auto& [id, tick] : results) {
+      out.reported.push_back(tick.reported_value);
+      out.ci.push_back(tick.ci_halfwidth);
+    }
+  }
+  out.coalesced_ticks = node->coalesced_ticks();
+  for (QueryId id : {QueryId{1}, QueryId{2}, QueryId{3}}) {
+    DIGEST_ASSIGN_OR_RETURN(const QueryCost cost, node->query_cost(id));
+    out.query_messages.push_back(cost.messages);
+  }
+  out.trace = NormalizeTrace(tracer.events());
+  return out;
+}
+
+void ExpectNodeRunsEqual(const NodeDriveResult& a,
+                         const NodeDriveResult& b) {
+  ASSERT_EQ(a.reported.size(), b.reported.size());
+  for (size_t i = 0; i < a.reported.size(); ++i) {
+    EXPECT_EQ(a.reported[i], b.reported[i]) << "entry " << i;
+    EXPECT_EQ(a.ci[i], b.ci[i]) << "entry " << i;
+  }
+  for (size_t i = 0; i < MessageMeter::kNumCategories; ++i) {
+    const auto c = static_cast<MessageMeter::Category>(i);
+    EXPECT_EQ(a.meter.Count(c), b.meter.Count(c)) << "category " << i;
+  }
+  EXPECT_EQ(a.coalesced_ticks, b.coalesced_ticks);
+  EXPECT_EQ(a.query_messages, b.query_messages);
+}
+
+TEST(ParallelDeterminismTest, MultiQueryNodeBitIdenticalAcrossThreads) {
+  Result<NodeDriveResult> reference = DriveNode(1, 12, /*restore_at=*/0);
+  ASSERT_TRUE(reference.ok()) << reference.status().message();
+  EXPECT_GT(reference->coalesced_ticks, 0u);
+  for (size_t threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Result<NodeDriveResult> run = DriveNode(threads, 12, 0);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    ExpectNodeRunsEqual(*reference, *run);
+    // Trace lanes (QueryIds and walk indices alike) are part of the
+    // contract — byte-compare the normalized JSONL too.
+    ASSERT_EQ(reference->trace.size(), run->trace.size());
+    for (size_t i = 0; i < reference->trace.size(); ++i) {
+      EXPECT_EQ(reference->trace[i], run->trace[i]) << "event " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest,
+     MultiQueryNodeCheckpointRestoreBitIdenticalAcrossThreads) {
+  // The uninterrupted single-threaded run is the reference; every other
+  // run checkpoints mid-way, restores into a fresh node (at a different
+  // thread count), and must land on the same bits. Traces are not
+  // compared here: the interrupted runs interleave checkpoint/restore
+  // events and re-issue run_begin markers.
+  Result<NodeDriveResult> reference = DriveNode(1, 12, /*restore_at=*/0);
+  ASSERT_TRUE(reference.ok()) << reference.status().message();
+  for (size_t threads : {1u, 2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Result<NodeDriveResult> run = DriveNode(threads, 12, /*restore_at=*/6);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    ExpectNodeRunsEqual(*reference, *run);
   }
 }
 

@@ -18,6 +18,29 @@ TEST(RunningStatsTest, EmptyIsZero) {
   EXPECT_EQ(s.SampleVariance(), 0.0);
 }
 
+TEST(RunningStatsTest, CheckedMeanFailsWhenEmpty) {
+  RunningStats s;
+  Result<double> mean = s.CheckedMean();
+  ASSERT_FALSE(mean.ok());
+  EXPECT_EQ(mean.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RunningStatsTest, CheckedMeanMatchesMeanWhenNonEmpty) {
+  RunningStats s;
+  s.Add(3.0);
+  s.Add(-1.0);
+  Result<double> mean = s.CheckedMean();
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(mean.value(), s.Mean());
+  EXPECT_DOUBLE_EQ(mean.value(), 1.0);
+  // A genuine zero mean is distinguishable from the empty case.
+  RunningStats zero;
+  zero.Add(2.0);
+  zero.Add(-2.0);
+  ASSERT_TRUE(zero.CheckedMean().ok());
+  EXPECT_DOUBLE_EQ(zero.CheckedMean().value(), 0.0);
+}
+
 TEST(RunningStatsTest, SingleValue) {
   RunningStats s;
   s.Add(5.0);

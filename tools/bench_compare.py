@@ -68,6 +68,7 @@ import sys
 # comparison no matter how fast it was.
 from trace_schema import (AUDIT_EXACT_FIELDS, COUNT_FIELDS,
                           DIAG_EXACT_FIELDS, HEALTH_EXACT_FIELDS,
+                          MULTIQUERY_EXTRA_FIELDS, MULTIQUERY_MAX_RATIO_Q8,
                           PARALLEL_EXTRA_FIELDS, PARTITION_EXTRA_FIELDS,
                           SUITE_SCHEMA)
 
@@ -195,6 +196,45 @@ def check_partition_extra(name, scenario, failures):
             f"between open and half-open instead of holding")
 
 
+def check_multiquery_extra(name, scenario, failures):
+    """Gate on the multi-query node scenario's sharing headline: the
+    marginal message cost of the 8th concurrent query under coalesced
+    snapshot scheduling must stay at or below MULTIQUERY_MAX_RATIO_Q8
+    of the warm-pool-only ablation's marginal cost, and every tenant's
+    (ε, p) coverage floor must have held under the shared sample pool.
+    Both are deterministic per (seed, scale), so they gate on the
+    current run alone — no baseline comparison needed."""
+    extra = scenario.get("extra")
+    if not isinstance(extra, dict):
+        failures.append(f"{name}: missing 'extra' multi-query object")
+        return
+    for field in MULTIQUERY_EXTRA_FIELDS:
+        if field not in extra:
+            failures.append(f"{name}: extra missing '{field}'")
+    ratio = extra.get("ratio_q8")
+    if isinstance(ratio, (int, float)):
+        if not 0.0 <= ratio <= MULTIQUERY_MAX_RATIO_Q8:
+            failures.append(
+                f"{name}: ratio_q8 {ratio} outside "
+                f"[0, {MULTIQUERY_MAX_RATIO_Q8}] — the 8th query's "
+                f"marginal cost under coalescing is no longer well "
+                f"below the warm-pool ablation's")
+    else:
+        failures.append(f"{name}: extra 'ratio_q8' is not a number")
+    if extra.get("coverage_ok_all") is not True:
+        failures.append(
+            f"{name}: coverage_ok_all is not true — some tenant's "
+            f"(ε, p) coverage floor broke under the shared sample pool")
+    for key in ("marginal_coalesced", "marginal_warm_pool"):
+        curve = extra.get(key)
+        queries = extra.get("queries")
+        if isinstance(curve, list) and isinstance(queries, list) and \
+                len(curve) != len(queries) - 1:
+            failures.append(
+                f"{name}: {key} length {len(curve)} != "
+                f"{len(queries) - 1} marginal steps")
+
+
 def load_suite(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -270,6 +310,14 @@ def main():
         if isinstance(b.get("extra"), dict) and \
                 "coverage_aware" in b["extra"]:
             check_partition_extra(name, c, failures)
+
+        if isinstance(b.get("extra"), dict) and "ratio_q8" in b["extra"]:
+            check_multiquery_extra(name, c, failures)
+            cx = c.get("extra", {})
+            if isinstance(cx, dict) and "ratio_q8" in cx:
+                print(f"note: {name} ratio_q8 = {cx['ratio_q8']} "
+                      f"(baseline {b['extra'].get('ratio_q8')}; "
+                      f"gate <= {MULTIQUERY_MAX_RATIO_Q8})")
 
         if isinstance(b.get("extra"), dict) and \
                 "bit_identical_across_counts" in b["extra"]:

@@ -22,7 +22,8 @@ import json
 import sys
 
 from trace_schema import (EVENT_SCHEMA, LANE_EVENTS, NESTED_SLICE_EVENTS,
-                          PROF_PHASES, PROF_STAT_FIELDS, TICK_SPAN_US,
+                          PROF_PHASES, PROF_STAT_FIELDS,
+                          QUERY_LANE_EVENTS, TICK_SPAN_US,
                           WALL_PROCESS_NAME)
 
 
@@ -95,12 +96,22 @@ def check_jsonl(path):
                     f"{sorted(missing)}")
             extra = obj.keys() - EVENT_SCHEMA[name] - {"seq", "t", "event"}
             if "lane" in extra and name in LANE_EVENTS:
+                # Walk lane stamped by the parallel executor.
                 extra.discard("lane")
                 lane = obj["lane"]
                 if not isinstance(lane, int) or lane < 0:
                     raise Failure(
                         f"{path}:{line_no}: event '{name}' lane must be a "
                         f"non-negative walk index, got {lane!r}")
+            elif "lane" in extra and name in QUERY_LANE_EVENTS:
+                # Query lane stamped by a DigestNode's per-tenant
+                # LaneTracer; QueryIds start at 1.
+                extra.discard("lane")
+                lane = obj["lane"]
+                if not isinstance(lane, int) or lane < 1:
+                    raise Failure(
+                        f"{path}:{line_no}: event '{name}' lane must be a "
+                        f"positive QueryId, got {lane!r}")
             if extra:
                 raise Failure(
                     f"{path}:{line_no}: event '{name}' has unexpected "
@@ -202,12 +213,18 @@ def check_chrome(path):
             raise Failure(f"{path}: traceEvents[{i}] args lack seq")
         if "lane" in ev["args"]:
             lane = ev["args"]["lane"]
-            if ev["name"] not in LANE_EVENTS:
+            if ev["name"] in LANE_EVENTS:
+                if not isinstance(lane, int) or lane < 0:
+                    raise Failure(f"{path}: traceEvents[{i}] lane must be "
+                                  f"a non-negative walk index, got "
+                                  f"{lane!r}")
+            elif ev["name"] in QUERY_LANE_EVENTS:
+                if not isinstance(lane, int) or lane < 1:
+                    raise Failure(f"{path}: traceEvents[{i}] lane must be "
+                                  f"a positive QueryId, got {lane!r}")
+            else:
                 raise Failure(f"{path}: traceEvents[{i}] '{ev['name']}' "
                               f"must not carry a lane")
-            if not isinstance(lane, int) or lane < 0:
-                raise Failure(f"{path}: traceEvents[{i}] lane must be a "
-                              f"non-negative walk index, got {lane!r}")
         if ph == "X" and ev["name"] == "tick":
             if ev.get("dur") != TICK_SPAN_US:
                 raise Failure(f"{path}: traceEvents[{i}] tick span "

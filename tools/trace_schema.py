@@ -41,6 +41,11 @@ EVENT_SCHEMA = {
     "walk_hedged": {"agent_index", "attempts", "threshold"},
     "checkpoint": {"bytes", "last_tick"},
     "restore": {"bytes", "last_tick"},
+    # Multi-query node runtime (src/core/digest_node.cc): >= 2 due
+    # queries split one shared walk batch this tick. Unlaned — the
+    # shared pool belongs to the node, not to any one tenant.
+    "snapshot_coalesced": {"queries", "shared_samples",
+                           "consumed_samples"},
     # Precision-audit events (src/audit/, docs/OBSERVABILITY.md "audit").
     "audit_coverage": {"estimate", "truth", "ci_halfwidth", "hit", "cause",
                        "occasions", "misses"},
@@ -73,6 +78,20 @@ EVENT_SCHEMA = {
 # Deterministic — a lane is a walk, never an OS thread — and absent
 # entirely on serial (num_threads=0) traces.
 LANE_EVENTS = {"fault_loss", "agent_restart", "walk_hedged"}
+
+# Engine- and audit-level events that may carry a `lane` field holding a
+# QueryId (>= 1) instead of a walk index: a DigestNode hands each tenant
+# engine a per-query lane view of the node's tracer
+# (obs::LaneTracer), so one trace carries every concurrent query's
+# events separably. Shared-operator events (walk_*, diag, health) stay
+# unlaned, as does snapshot_coalesced. Absent entirely on single-engine
+# traces.
+QUERY_LANE_EVENTS = {
+    "tick", "snapshot", "snapshot_skipped", "gap_predicted",
+    "sample_budget", "partial_snapshot", "ci_widened",
+    "degraded_fallback", "supervisor_state", "checkpoint", "restore",
+    "audit_coverage", "audit_budget", "audit_drift", "audit_slo",
+}
 
 # Events the Chrome exporter renders as slices nested inside tick spans.
 NESTED_SLICE_EVENTS = {
@@ -144,6 +163,20 @@ PARTITION_EXTRA_FIELDS = ("coverage_aware", "coverage_ablated",
                           "ablated_breached", "breaker_opens",
                           "breaker_reopens", "flap_rate",
                           "degraded_ticks_aware", "degraded_ticks_ablated")
+
+# The multi-query node scenario (multiquery_rpt_mcmc) commits the
+# marginal-message-per-added-query curves for both node modes
+# (coalesced snapshot scheduling vs the warm-pool-only ablation) in
+# its `extra` object. ratio_q8 — the 4->8 marginal of the coalesced
+# mode over the ablation's — is the sharing headline, gated at
+# MULTIQUERY_MAX_RATIO_Q8; coverage_ok_all asserts every tenant's
+# (ε, p) coverage floor held under the shared sample pool (per-query
+# auditors over the 8-query coalesced run).
+MULTIQUERY_EXTRA_FIELDS = ("queries", "messages_coalesced",
+                           "messages_warm_pool", "marginal_coalesced",
+                           "marginal_warm_pool", "ratio_q8",
+                           "coalesced_ticks_q8", "coverage_ok_all")
+MULTIQUERY_MAX_RATIO_Q8 = 0.6
 
 
 def load_jsonl_events(path, names):
